@@ -1,0 +1,58 @@
+// Ablation (Table 1: "How to maintain inter-partition pointers"): exact
+// synchronous maintenance vs a sequential store buffer vs card marking.
+// The paper holds this fixed (citing Hosking/Moss/Stefanovic for the
+// CPU-side comparison) and argues the I/O side is what matters in an
+// ODBMS; this bench measures exactly that I/O side: all three produce
+// identical reclamation, differing only in collection-time catch-up cost.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "sim/runner.h"
+#include "util/statistics.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace odbgc;
+  bench::PrintHeader("Ablation: write-barrier implementation",
+                     "Table 1 ('how to maintain inter-partition pointers')");
+
+  const int seeds = bench::SeedsOrDefault(5);
+  TablePrinter table({"Barrier", "GC I/Os", "Total I/Os", "Reclaimed (KB)",
+                      "% of garbage"});
+
+  for (BarrierMode mode :
+       {BarrierMode::kExact, BarrierMode::kSequentialStoreBuffer,
+        BarrierMode::kCardMarking}) {
+    ExperimentSpec spec;
+    spec.base = bench::BaseConfig();
+    spec.base.heap.barrier = mode;
+    spec.policies = {PolicyKind::kUpdatedPointer};
+    spec.num_seeds = seeds;
+    auto experiment = RunExperiment(spec);
+    if (!experiment.ok()) bench::Fail(experiment.status(), "experiment");
+
+    RunningStat gc_io, total_io, reclaimed, fraction;
+    for (const auto& run : experiment->sets[0].runs) {
+      gc_io.Add(static_cast<double>(run.gc_io));
+      total_io.Add(static_cast<double>(run.total_io()));
+      reclaimed.Add(static_cast<double>(run.garbage_reclaimed_bytes) /
+                    1024.0);
+      fraction.Add(run.FractionReclaimedPct());
+    }
+    table.AddRow({BarrierModeName(mode), FormatCount(gc_io.mean()),
+                  FormatCount(total_io.mean()),
+                  FormatCount(reclaimed.mean()),
+                  FormatDouble(fraction.mean(), 1)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nReading (UpdatedPointer): reclamation is identical by\n"
+      "construction — every mode presents the collector with a correct\n"
+      "remembered set. Card marking pays to rescan every card that keeps\n"
+      "an inter-partition pointer; the store buffer pays one slot read\n"
+      "per logged store at drain time. The paper's observation stands:\n"
+      "against secondary-memory costs, barrier overhead is secondary.\n");
+  return 0;
+}

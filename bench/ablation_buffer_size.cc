@@ -1,0 +1,63 @@
+// Ablation: I/O buffer size decoupled from partition size. The paper
+// deliberately sets buffer = one partition: "a buffer significantly
+// smaller than a partition may cause a garbage collector to perform an
+// excessive number of I/O operations, while a much larger buffer could
+// overwhelm any improved reference locality" (Section 5). This sweep
+// verifies both halves of that sentence.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "sim/runner.h"
+#include "util/statistics.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace odbgc;
+  bench::PrintHeader("Ablation: buffer size relative to partition size",
+                     "Section 5 'I/O Buffer Size'");
+
+  const int seeds = bench::SeedsOrDefault(5);
+  TablePrinter table({"Buffer (pages)", "Buffer/partition", "App I/Os",
+                      "GC I/Os", "Total I/Os",
+                      "NoCollection total I/Os"});
+
+  ExperimentSpec probe;
+  probe.base = bench::BaseConfig();
+  const size_t partition_pages = probe.base.heap.store.pages_per_partition;
+
+  for (double ratio : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    const size_t buffer_pages =
+        static_cast<size_t>(partition_pages * ratio + 0.5);
+    ExperimentSpec spec;
+    spec.base = bench::BaseConfig();
+    spec.base.heap.buffer_pages = buffer_pages;
+    spec.policies = {PolicyKind::kUpdatedPointer, PolicyKind::kNoCollection};
+    spec.num_seeds = seeds;
+    auto experiment = RunExperiment(spec);
+    if (!experiment.ok()) bench::Fail(experiment.status(), "experiment");
+
+    RunningStat app_io, gc_io, total_io, none_io;
+    for (const auto& run :
+         experiment->Find(PolicyKind::kUpdatedPointer)->runs) {
+      app_io.Add(static_cast<double>(run.app_io));
+      gc_io.Add(static_cast<double>(run.gc_io));
+      total_io.Add(static_cast<double>(run.total_io()));
+    }
+    for (const auto& run :
+         experiment->Find(PolicyKind::kNoCollection)->runs) {
+      none_io.Add(static_cast<double>(run.total_io()));
+    }
+    table.AddRow({std::to_string(buffer_pages), FormatDouble(ratio, 2),
+                  FormatCount(app_io.mean()), FormatCount(gc_io.mean()),
+                  FormatCount(total_io.mean()), FormatCount(none_io.mean())});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nReading: undersized buffers inflate collector I/O (a collection's\n"
+      "working set is about one partition); oversized buffers absorb the\n"
+      "whole working set and flatten the GC-locality advantage over\n"
+      "NoCollection.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Ablation (Section 6.5 / future work): distributed cyclic garbage and
+// nepotism as connectivity rises. The paper observes that "even small
+// increases in the connectivity of the database can produce significant
+// amounts of distributed garbage due to nepotism" — this bench quantifies
+// the end-of-run garbage anatomy: locally collectable vs nepotism-
+// protected vs stuck on cross-partition dead cycles (which no ordering of
+// single-partition collections can ever reclaim).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/reachability.h"
+#include "sim/simulator.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace odbgc;
+  bench::PrintHeader(
+      "Ablation: nepotism and distributed cyclic garbage vs connectivity",
+      "Section 6.5 (future work)");
+
+  TablePrinter table({"Connectivity", "Unreclaimed (KB)",
+                      "Locally collectable (KB)", "Nepotism (KB)",
+                      "Cross-partition cycles (KB)", "% reclaimed"});
+
+  for (double connectivity : {1.005, 1.040, 1.083, 1.167, 1.30}) {
+    SimulationConfig config = bench::BaseConfig();
+    config.workload = config.workload.WithConnectivity(connectivity);
+    config.heap.policy = PolicyKind::kUpdatedPointer;
+    Simulator simulator(config);
+    const Status status = simulator.Run();
+    if (!status.ok()) bench::Fail(status, "run");
+    SimulationResult result = simulator.Finish();
+    const GarbageAnatomy anatomy =
+        ComputeGarbageAnatomy(simulator.heap().store());
+
+    table.AddRow(
+        {FormatDouble(connectivity, 3),
+         FormatCount(static_cast<double>(result.unreclaimed_garbage_bytes) /
+                     1024.0),
+         FormatCount(static_cast<double>(anatomy.locally_collectable_bytes) /
+                     1024.0),
+         FormatCount(static_cast<double>(anatomy.nepotism_bytes) / 1024.0),
+         FormatCount(
+             static_cast<double>(anatomy.cross_partition_cycle_bytes) /
+             1024.0),
+         FormatDouble(result.FractionReclaimedPct(), 1)});
+    std::printf("  C=%.3f done\n", connectivity);
+  }
+  std::printf("\nEnd-of-run garbage anatomy (UpdatedPointer, single seed):\n");
+  table.Print(std::cout);
+  std::printf(
+      "\nReading: at every connectivity, roughly half of the unreclaimed\n"
+      "garbage is nepotism-protected — reclaimable only after the\n"
+      "referencing partitions get collected first — while true cross-\n"
+      "partition cyclic garbage is tiny but *permanent*: no ordering of\n"
+      "single-partition collections ever reclaims it (see the\n"
+      "full_collection_interval option / CollectFullDatabase for the\n"
+      "global pass the paper's Section 6.5 calls for). Rising connectivity\n"
+      "also keeps more detached data transitively reachable, shrinking\n"
+      "total garbage while degrading what the collector can find.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Ablation (Section 6.5 future work, implemented): hybrid collection —
+// UpdatedPointer partition collections plus a periodic whole-database
+// mark-and-copy pass that reclaims nepotism victims and cross-partition
+// cyclic garbage. Measures what the global pass buys and what it costs,
+// at the paper's highest connectivity (where distributed garbage is
+// worst).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "sim/runner.h"
+#include "util/statistics.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace odbgc;
+  bench::PrintHeader("Ablation: periodic whole-database collection",
+                     "Section 6.5 (distributed garbage, future work)");
+
+  const int seeds = bench::SeedsOrDefault(5);
+  TablePrinter table({"Full GC every", "Full GCs", "% of garbage",
+                      "Unreclaimed (KB)", "GC I/Os", "Total I/Os",
+                      "Max storage (KB)"});
+
+  for (uint32_t interval : {0u, 20u, 10u, 5u}) {
+    ExperimentSpec spec;
+    spec.base = bench::BaseConfig();
+    spec.base.workload = spec.base.workload.WithConnectivity(1.167);
+    spec.base.heap.full_collection_interval = interval;
+    spec.policies = {PolicyKind::kUpdatedPointer};
+    spec.num_seeds = seeds;
+    auto experiment = RunExperiment(spec);
+    if (!experiment.ok()) bench::Fail(experiment.status(), "experiment");
+
+    RunningStat full, fraction, unreclaimed, gc_io, total_io, storage;
+    for (const auto& run : experiment->sets[0].runs) {
+      full.Add(static_cast<double>(run.heap_stats.full_collections));
+      fraction.Add(run.FractionReclaimedPct());
+      unreclaimed.Add(static_cast<double>(run.unreclaimed_garbage_bytes) /
+                      1024.0);
+      gc_io.Add(static_cast<double>(run.gc_io));
+      total_io.Add(static_cast<double>(run.total_io()));
+      storage.Add(static_cast<double>(run.max_storage_bytes) / 1024.0);
+    }
+    table.AddRow({interval == 0 ? "never" : std::to_string(interval),
+                  FormatDouble(full.mean(), 1),
+                  FormatDouble(fraction.mean(), 1),
+                  FormatCount(unreclaimed.mean()),
+                  FormatCount(gc_io.mean()), FormatCount(total_io.mean()),
+                  FormatCount(storage.mean())});
+  }
+  std::printf("UpdatedPointer at connectivity 1.167, with a global pass\n"
+              "after every N partition collections:\n\n");
+  table.Print(std::cout);
+  std::printf(
+      "\nReading: the global pass eliminates the nepotism/cycle residue\n"
+      "partition-local collection can never reach, pushing reclamation\n"
+      "toward 100%% — at a steep collector-I/O price (each pass reads and\n"
+      "rewrites the whole live database). The paper's call for 'graceful\n"
+      "and scalable' treatment of distributed garbage is this trade-off.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Ablation (Section 5 "Object Size"): the paper chose ~100-byte objects
+// after observing that much larger objects "tend to reduce the impact of
+// garbage collection on access behavior, since pages would then be more
+// likely to contain either only all garbage or all live objects". This
+// sweep scales object size at fixed total allocation and watches the
+// policy differentiation shrink.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "sim/runner.h"
+#include "util/statistics.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace odbgc;
+  bench::PrintHeader("Ablation: object size",
+                     "Section 5 'Object Size'");
+
+  const int seeds = bench::SeedsOrDefault(5);
+  TablePrinter table({"Object bytes", "NoCollection I/Os",
+                      "MostGarbage I/Os", "NoColl/MostGarbage",
+                      "MostGarbage % reclaimed"});
+
+  struct SizeBand {
+    uint32_t min, max;
+    const char* label;
+  };
+  const SizeBand kBands[] = {
+      {50, 150, "50-150 (paper)"},
+      {200, 600, "200-600"},
+      {800, 2400, "800-2400"},
+      {3000, 9000, "3000-9000"},
+  };
+
+  for (const SizeBand& band : kBands) {
+    ExperimentSpec spec;
+    spec.base = bench::BaseConfig();
+    spec.base.workload.min_object_size = band.min;
+    spec.base.workload.max_object_size = band.max;
+    // Keep the tree count comparable: fewer, larger nodes per tree.
+    const double scale = (band.min + band.max) / 200.0;
+    spec.base.workload.tree_nodes_min = static_cast<uint32_t>(
+        std::max(20.0, spec.base.workload.tree_nodes_min / scale));
+    spec.base.workload.tree_nodes_max = static_cast<uint32_t>(
+        std::max(60.0, spec.base.workload.tree_nodes_max / scale));
+    spec.policies = {PolicyKind::kNoCollection, PolicyKind::kMostGarbage};
+    spec.num_seeds = seeds;
+    auto experiment = RunExperiment(spec);
+    if (!experiment.ok()) bench::Fail(experiment.status(), "experiment");
+
+    RunningStat none_io, most_io, fraction;
+    for (const auto& run :
+         experiment->Find(PolicyKind::kNoCollection)->runs) {
+      none_io.Add(static_cast<double>(run.total_io()));
+    }
+    for (const auto& run : experiment->Find(PolicyKind::kMostGarbage)->runs) {
+      most_io.Add(static_cast<double>(run.total_io()));
+      fraction.Add(run.FractionReclaimedPct());
+    }
+    table.AddRow({band.label, FormatCount(none_io.mean()),
+                  FormatCount(most_io.mean()),
+                  FormatDouble(none_io.mean() / most_io.mean(), 3),
+                  FormatDouble(fraction.mean(), 1)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nReading: as objects approach page size, pages become all-live or\n"
+      "all-garbage on their own, so collection's locality benefit (the\n"
+      "NoCollection/MostGarbage I/O ratio) shrinks toward 1 — the paper's\n"
+      "stated reason for evaluating with ~100-byte objects.\n");
+  return 0;
+}

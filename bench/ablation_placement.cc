@@ -1,0 +1,64 @@
+// Ablation: object placement policy (the partitioning criterion is "a
+// given" the paper inherits from the database — Section 1.1; this bench
+// shows how much the near-parent clustering it assumed actually matters).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "sim/runner.h"
+#include "util/statistics.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace odbgc;
+  bench::PrintHeader("Ablation: object placement policy",
+                     "Section 1.1 (partitioning criteria are 'a given')");
+
+  const int seeds = bench::SeedsOrDefault(5);
+  TablePrinter table({"Placement", "Policy", "Total I/Os", "% of garbage",
+                      "Efficiency (KB/IO)", "Max storage (KB)"});
+
+  const struct {
+    PlacementPolicy placement;
+    const char* name;
+  } kPlacements[] = {
+      {PlacementPolicy::kNearParent, "near-parent"},
+      {PlacementPolicy::kSequential, "sequential"},
+      {PlacementPolicy::kRoundRobin, "round-robin"},
+  };
+
+  for (const auto& placement : kPlacements) {
+    for (PolicyKind policy :
+         {PolicyKind::kUpdatedPointer, PolicyKind::kMostGarbage}) {
+      ExperimentSpec spec;
+      spec.base = bench::BaseConfig();
+      spec.base.heap.store.placement = placement.placement;
+      spec.policies = {policy};
+      spec.num_seeds = seeds;
+      auto experiment = RunExperiment(spec);
+      if (!experiment.ok()) bench::Fail(experiment.status(), "experiment");
+
+      RunningStat total_io, fraction, efficiency, storage;
+      for (const auto& run : experiment->sets[0].runs) {
+        total_io.Add(static_cast<double>(run.total_io()));
+        fraction.Add(run.FractionReclaimedPct());
+        efficiency.Add(run.EfficiencyKbPerIo());
+        storage.Add(static_cast<double>(run.max_storage_bytes) / 1024.0);
+      }
+      table.AddRow({placement.name, PolicyName(policy),
+                    FormatCount(total_io.mean()),
+                    FormatDouble(fraction.mean(), 1),
+                    FormatDouble(efficiency.mean(), 2),
+                    FormatCount(storage.mean())});
+    }
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nReading: round-robin placement scatters each subtree across\n"
+      "partitions, so deletions dust garbage everywhere — no partition is\n"
+      "a good victim for *any* policy, and application locality suffers\n"
+      "too. Clustered placement is what gives partition selection its\n"
+      "leverage.\n");
+  return 0;
+}

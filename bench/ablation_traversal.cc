@@ -1,0 +1,58 @@
+// Ablation (Table 1: "How to traverse objects during collection"):
+// breadth-first vs depth-first copying order. The paper fixes
+// breadth-first to preserve the test database's placement; this ablation
+// measures what the choice is worth.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "sim/runner.h"
+#include "util/statistics.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace odbgc;
+  bench::PrintHeader(
+      "Ablation: collection traversal order (breadth- vs depth-first)",
+      "Table 1 policy alternative");
+
+  const int seeds = bench::SeedsOrDefault(5);
+  TablePrinter table({"Policy", "Order", "Total I/Os", "App I/Os",
+                      "Reclaimed (KB)", "Max storage (KB)"});
+
+  for (PolicyKind policy :
+       {PolicyKind::kUpdatedPointer, PolicyKind::kMostGarbage}) {
+    for (TraversalOrder order :
+         {TraversalOrder::kBreadthFirst, TraversalOrder::kDepthFirst}) {
+      ExperimentSpec spec;
+      spec.base = bench::BaseConfig();
+      spec.base.heap.traversal = order;
+      spec.policies = {policy};
+      spec.num_seeds = seeds;
+      auto experiment = RunExperiment(spec);
+      if (!experiment.ok()) bench::Fail(experiment.status(), "experiment");
+
+      RunningStat total_io, app_io, reclaimed, storage;
+      for (const auto& run : experiment->sets[0].runs) {
+        total_io.Add(static_cast<double>(run.total_io()));
+        app_io.Add(static_cast<double>(run.app_io));
+        reclaimed.Add(static_cast<double>(run.garbage_reclaimed_bytes) /
+                      1024.0);
+        storage.Add(static_cast<double>(run.max_storage_bytes) / 1024.0);
+      }
+      table.AddRow({PolicyName(policy),
+                    order == TraversalOrder::kBreadthFirst ? "breadth-first"
+                                                           : "depth-first",
+                    FormatCount(total_io.mean()), FormatCount(app_io.mean()),
+                    FormatCount(reclaimed.mean()),
+                    FormatCount(storage.mean())});
+    }
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nReading: reclamation is traversal-order independent (same live\n"
+      "set); the orders differ only through the copied layout's effect on\n"
+      "later application locality.\n");
+  return 0;
+}

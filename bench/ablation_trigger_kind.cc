@@ -1,0 +1,70 @@
+// Ablation (Table 1: "When to perform collection"): the overwrite-count
+// trigger against the listed alternatives — allocation volume and
+// database growth — each calibrated to a similar number of collections so
+// the comparison isolates *when* collections happen, not how many.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "sim/runner.h"
+#include "util/statistics.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace odbgc;
+  bench::PrintHeader("Ablation: collection trigger criterion",
+                     "Table 1 policy alternative ('when to collect')");
+
+  const int seeds = bench::SeedsOrDefault(5);
+  TablePrinter table({"Trigger", "Collections", "Total I/Os",
+                      "% of garbage", "Efficiency (KB/IO)",
+                      "Max storage (KB)"});
+
+  struct Variant {
+    const char* name;
+    TriggerKind kind;
+    uint64_t alloc_bytes;
+  };
+  // ~11 MB allocated and ~7k overwrites per run: 150 overwrites and
+  // 320 KB of allocation both land near 30-35 collections; growth fires
+  // once per new partition (~30 over a run).
+  const Variant kVariants[] = {
+      {"150 pointer overwrites", TriggerKind::kPointerOverwrites, 0},
+      {"320 KB allocated", TriggerKind::kAllocatedBytes, 320u << 10},
+      {"database growth", TriggerKind::kDatabaseGrowth, 0},
+  };
+
+  for (const Variant& variant : kVariants) {
+    ExperimentSpec spec;
+    spec.base = bench::BaseConfig();
+    spec.base.heap.trigger = variant.kind;
+    spec.base.heap.allocation_trigger_bytes = variant.alloc_bytes;
+    spec.policies = {PolicyKind::kUpdatedPointer};
+    spec.num_seeds = seeds;
+    auto experiment = RunExperiment(spec);
+    if (!experiment.ok()) bench::Fail(experiment.status(), "experiment");
+
+    RunningStat collections, total_io, fraction, efficiency, storage;
+    for (const auto& run : experiment->sets[0].runs) {
+      collections.Add(static_cast<double>(run.collections));
+      total_io.Add(static_cast<double>(run.total_io()));
+      fraction.Add(run.FractionReclaimedPct());
+      efficiency.Add(run.EfficiencyKbPerIo());
+      storage.Add(static_cast<double>(run.max_storage_bytes) / 1024.0);
+    }
+    table.AddRow({variant.name, FormatDouble(collections.mean(), 1),
+                  FormatCount(total_io.mean()),
+                  FormatDouble(fraction.mean(), 1),
+                  FormatDouble(efficiency.mean(), 2),
+                  FormatCount(storage.mean())});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nReading (UpdatedPointer): overwrite-triggered collections fire\n"
+      "when garbage has just been created, so the policy's counters are\n"
+      "fresh; allocation- and growth-triggered collections fire on space\n"
+      "pressure, decoupled from garbage creation. The paper chose\n"
+      "overwrites for exactly the first property (Section 4.1).\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+#ifndef ODBGC_BENCH_BENCH_COMMON_H_
+#define ODBGC_BENCH_BENCH_COMMON_H_
+
+// Shared plumbing for the table/figure bench binaries. Each binary
+// regenerates one table or figure from the paper; this header provides the
+// environment knobs so the whole suite can be scaled down for smoke runs:
+//
+//   ODBGC_SEEDS=<n>   runs per configuration (default: per-bench, usually
+//                     the paper's 10 for tables)
+//   ODBGC_FAST=1      quarter-size workloads, 2 seeds — finishes in
+//                     seconds, shapes only roughly preserved
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/config.h"
+
+namespace odbgc::bench {
+
+inline int SeedsOrDefault(int fallback) {
+  if (const char* env = std::getenv("ODBGC_SEEDS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  if (std::getenv("ODBGC_FAST") != nullptr) return 2;
+  return fallback;
+}
+
+inline bool FastMode() { return std::getenv("ODBGC_FAST") != nullptr; }
+
+/// The base configuration for this bench run: the paper's (Tables 2-4)
+/// unless ODBGC_FAST scales it down 4x.
+inline SimulationConfig BaseConfig() {
+  SimulationConfig config = PaperBaseConfig();
+  if (FastMode()) {
+    config.workload = config.workload.WithTotalAllocation(
+        config.workload.total_alloc_bytes / 4);
+    config.heap.store.pages_per_partition = 24;
+    config.heap.buffer_pages = 24;
+  }
+  return config;
+}
+
+inline void PrintHeader(const char* experiment, const char* paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("Reproduces: %s\n", paper_ref);
+  std::printf("  (Cook, Wolf & Zorn, \"Partition Selection Policies in Object\n");
+  std::printf("   Database Garbage Collection\", CU-CS-653-93 / SIGMOD 1994)\n");
+  std::printf("================================================================\n\n");
+}
+
+inline void Fail(const Status& status, const char* what) {
+  std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+  std::exit(1);
+}
+
+}  // namespace odbgc::bench
+
+#endif  // ODBGC_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,75 @@
+// Regenerates Figure 6: storage required as a function of selection
+// policy and maximum allocated storage, for databases allocating about
+// 4 to 40 MB, with partition (and buffer) size scaled 24..100 pages along
+// with the database as in the paper.
+//
+// Expected shape: as the database grows, the relative order of the
+// policies is preserved — UpdatedPointer stays close to MostGarbage at
+// every size, MutatedPartition measurably worse, NoCollection worst.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "sim/runner.h"
+#include "util/statistics.h"
+#include "util/table_printer.h"
+#include "util/time_series.h"
+
+int main() {
+  using namespace odbgc;
+  bench::PrintHeader(
+      "Figure 6: Storage required vs maximum allocated storage", "Figure 6");
+
+  std::vector<uint64_t> sizes_mb = {4, 10, 20, 40};
+  if (bench::FastMode()) sizes_mb = {2, 4, 8};
+  const int seeds = bench::SeedsOrDefault(2);
+
+  TablePrinter table({"Max Allocated (MB)", "NoCollection",
+                      "MutatedPartition", "Random", "WeightedPointer",
+                      "UpdatedPointer", "MostGarbage"});
+  const std::vector<PolicyKind> column_order = {
+      PolicyKind::kNoCollection,    PolicyKind::kMutatedPartition,
+      PolicyKind::kRandom,          PolicyKind::kWeightedPointer,
+      PolicyKind::kUpdatedPointer,  PolicyKind::kMostGarbage};
+
+  std::vector<TimeSeries> series;
+  for (PolicyKind policy : column_order) {
+    series.emplace_back(PolicyName(policy));
+  }
+
+  for (uint64_t mb : sizes_mb) {
+    ExperimentSpec spec;
+    spec.base = ScaledConfig(mb << 20);
+    spec.num_seeds = seeds;
+    std::printf("  %2llu MB (partition %zu pages) x %d seeds...\n",
+                static_cast<unsigned long long>(mb),
+                spec.base.heap.store.pages_per_partition, seeds);
+    auto experiment = RunExperiment(spec);
+    if (!experiment.ok()) bench::Fail(experiment.status(), "experiment");
+
+    std::vector<std::string> row = {std::to_string(mb)};
+    for (size_t c = 0; c < column_order.size(); ++c) {
+      const PolicyRuns* runs = experiment->Find(column_order[c]);
+      RunningStat storage_mb;
+      for (const auto& run : runs->runs) {
+        storage_mb.Add(static_cast<double>(run.max_storage_bytes) /
+                       (1 << 20));
+      }
+      row.push_back(FormatDouble(storage_mb.mean(), 1));
+      series[c].Add(static_cast<double>(mb), storage_mb.mean());
+    }
+    table.AddRow(std::move(row));
+  }
+
+  std::printf("\nStorage required (MB):\n");
+  table.Print(std::cout);
+  std::printf("\nStorage required (MB) vs maximum allocated (MB):\n");
+  RenderAscii(series, std::cout, 60, 16);
+
+  std::ofstream csv("fig6_scalability.csv");
+  WriteCsv(series, csv);
+  std::printf("\nwrote fig6_scalability.csv\n");
+  return 0;
+}

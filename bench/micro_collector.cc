@@ -1,0 +1,76 @@
+// Microcurve for the paper's Section 6.6 observation: "it is actually
+// cheaper to collect a partition with more garbage than it is one with
+// less garbage". Builds partitions with a controlled garbage fraction,
+// collects them cold, and reports the collection's I/O and efficiency.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "core/heap.h"
+#include "util/random.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace odbgc;
+  bench::PrintHeader(
+      "Microcurve: collection cost vs garbage fraction of the partition",
+      "Section 6.6 (copying cost is proportional to live data)");
+
+  TablePrinter table({"Garbage %", "Live copied (KB)", "Reclaimed (KB)",
+                      "Collection I/Os", "Efficiency (KB per I/O)"});
+
+  for (int garbage_pct : {10, 25, 50, 75, 90}) {
+    HeapOptions options;
+    options.store.pages_per_partition = 48;
+    options.buffer_pages = 48;
+    options.policy = PolicyKind::kUpdatedPointer;
+    options.overwrite_trigger = 0;  // Manual collection.
+    CollectedHeap heap(options);
+
+    // Fill partition 0 with a mix of rooted chains (live) and orphaned
+    // objects (garbage) in the requested proportion.
+    auto root = heap.Allocate(100, 3);
+    if (!root.ok()) bench::Fail(root.status(), "alloc root");
+    if (Status s = heap.AddRoot(*root); !s.ok()) bench::Fail(s, "root");
+    ObjectId chain = *root;
+    Rng rng(garbage_pct);
+    // ~3500 objects of ~100 bytes fill most of the 384 KB partition.
+    for (int i = 0; i < 3500; ++i) {
+      auto id = heap.Allocate(100, 3);
+      if (!id.ok()) break;
+      if (heap.store().Lookup(*id)->partition != 0) break;  // Partition full.
+      if (!rng.Bernoulli(garbage_pct / 100.0)) {
+        if (Status s = heap.WriteSlot(chain, 0, *id); !s.ok()) {
+          bench::Fail(s, "link");
+        }
+        chain = *id;
+      }
+    }
+
+    // Cold-start the collection: flush and drop everything buffered.
+    (void)heap.mutable_buffer().FlushAll();
+    heap.mutable_buffer().DiscardExtent(
+        PageExtent{0, heap.disk().num_pages()});
+
+    auto result = heap.CollectPartition(0);
+    if (!result.ok()) bench::Fail(result.status(), "collect");
+    const double io =
+        static_cast<double>(result->page_reads + result->page_writes);
+    const double reclaimed_kb =
+        static_cast<double>(result->garbage_bytes_reclaimed) / 1024.0;
+    table.AddRow({std::to_string(garbage_pct),
+                  FormatCount(static_cast<double>(
+                                  result->live_bytes_copied) /
+                              1024.0),
+                  FormatCount(reclaimed_kb), FormatCount(io),
+                  FormatDouble(io > 0 ? reclaimed_kb / io : 0.0, 2)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nReading: collection I/O tracks the live bytes copied, so KB\n"
+      "reclaimed per I/O rises steeply with the garbage fraction — the\n"
+      "mechanism that makes good partition selection doubly valuable\n"
+      "(more garbage found AND cheaper to collect).\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Plugging a user-defined partition selection policy into the heap.
+//
+// This example implements "SizeGreedy": always collect the partition with
+// the most allocated (not necessarily garbage) bytes — a plausible-looking
+// heuristic a practitioner might try — and races it against the paper's
+// UpdatedPointer on the same workload to show why hint quality matters.
+//
+// Run:  ./build/examples/custom_policy
+
+#include <cstdio>
+#include <memory>
+
+#include "core/heap.h"
+#include "core/policies.h"
+#include "sim/config.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace odbgc;
+
+// A custom policy only needs Select(); notifications are optional.
+// It must be deterministic and may keep any state it likes.
+class SizeGreedyPolicy : public SelectionPolicy {
+ public:
+  explicit SizeGreedyPolicy(const ObjectStore** store) : store_(store) {}
+
+  // Report ourselves as an "UpdatedPointer-class" policy: the heap treats
+  // any kind other than kNoCollection/kMostGarbage identically.
+  PolicyKind kind() const override { return PolicyKind::kUpdatedPointer; }
+
+  PartitionId Select(const SelectionContext& context) override {
+    PartitionId best = kInvalidPartition;
+    uint32_t best_bytes = 0;
+    for (PartitionId candidate : context.candidates) {
+      const uint32_t bytes =
+          (*store_)->partition(candidate).allocated_bytes();
+      if (best == kInvalidPartition || bytes > best_bytes) {
+        best = candidate;
+        best_bytes = bytes;
+      }
+    }
+    return best;
+  }
+
+ private:
+  const ObjectStore** store_;  // Bound after the heap exists.
+};
+
+SimulationConfig SmallConfig() {
+  SimulationConfig config = PaperBaseConfig();
+  config.workload = config.workload.WithTotalAllocation(3ull << 20);
+  config.heap.store.pages_per_partition = 24;
+  config.heap.buffer_pages = 24;
+  config.heap.overwrite_trigger = 100;
+  return config;
+}
+
+void Report(const char* name, const SimulationResult& result) {
+  std::printf(
+      "  %-16s total I/O %7llu   reclaimed %5llu KB (%.1f%% of garbage)   "
+      "max storage %5llu KB\n",
+      name, static_cast<unsigned long long>(result.total_io()),
+      static_cast<unsigned long long>(result.garbage_reclaimed_bytes / 1024),
+      result.FractionReclaimedPct(),
+      static_cast<unsigned long long>(result.max_storage_bytes / 1024));
+}
+
+}  // namespace
+
+int main() {
+  // Run 1: the custom policy, installed through HeapOptions::policy_factory.
+  static const ObjectStore* bound_store = nullptr;
+  SimulationConfig custom = SmallConfig();
+  custom.heap.policy_factory = [] {
+    return std::make_unique<SizeGreedyPolicy>(&bound_store);
+  };
+  Simulator custom_sim(custom);
+  bound_store = &custom_sim.heap().store();
+  if (Status s = custom_sim.Run(); !s.ok()) {
+    std::fprintf(stderr, "custom run failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // Run 2: the paper's UpdatedPointer on the identical trace (same seed).
+  SimulationConfig baseline = SmallConfig();
+  baseline.heap.policy = PolicyKind::kUpdatedPointer;
+  Simulator baseline_sim(baseline);
+  if (Status s = baseline_sim.Run(); !s.ok()) {
+    std::fprintf(stderr, "baseline run failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("same trace, two selection policies:\n");
+  Report("SizeGreedy", custom_sim.Finish());
+  Report("UpdatedPointer", baseline_sim.Finish());
+  std::printf(
+      "\nSizeGreedy keeps re-collecting full partitions whether or not\n"
+      "they hold garbage; UpdatedPointer's overwritten-pointer hints find\n"
+      "the partitions where garbage actually is.\n");
+  return 0;
+}

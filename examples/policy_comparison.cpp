@@ -1,0 +1,49 @@
+// Compares all six partition selection policies on a scaled-down version
+// of the paper's workload (about 1 MB of live data) and prints the three
+// paper-style summary tables. A fast tour of the whole library; the bench/
+// binaries run the full-size configurations.
+//
+// Run:  ./build/examples/policy_comparison [num_seeds]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "sim/config.h"
+#include "sim/report.h"
+#include "sim/runner.h"
+
+int main(int argc, char** argv) {
+  using namespace odbgc;
+
+  ExperimentSpec spec;
+  spec.base = PaperBaseConfig();
+  // Scale the workload down ~5x and the partitions with it.
+  spec.base.workload = spec.base.workload.WithTotalAllocation(2200ull << 10);
+  spec.base.heap.store.pages_per_partition = 16;
+  spec.base.heap.buffer_pages = 16;
+  spec.base.heap.overwrite_trigger = 100;
+  spec.num_seeds = argc > 1 ? std::atoi(argv[1]) : 3;
+  if (spec.num_seeds <= 0) {
+    std::fprintf(stderr, "usage: %s [num_seeds>0]\n", argv[0]);
+    return 1;
+  }
+
+  std::printf("running %d seed(s) x %zu policies...\n", spec.num_seeds,
+              spec.policies.size());
+  auto experiment = RunExperiment(spec);
+  if (!experiment.ok()) {
+    std::fprintf(stderr, "experiment failed: %s\n",
+                 experiment.status().ToString().c_str());
+    return 1;
+  }
+
+  const auto summaries = Summarize(*experiment);
+  std::cout << '\n';
+  PrintThroughputTable(summaries, std::cout);
+  std::cout << '\n';
+  PrintStorageTable(summaries, std::cout);
+  std::cout << '\n';
+  PrintEfficiencyTable(summaries, std::cout);
+  return 0;
+}

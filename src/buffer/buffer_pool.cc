@@ -1,0 +1,90 @@
+#include "buffer/buffer_pool.h"
+
+#include <cassert>
+
+namespace odbgc {
+
+BufferPool::BufferPool(SimulatedDisk* disk, size_t frame_count)
+    : disk_(disk), frame_count_(frame_count) {
+  assert(disk_ != nullptr);
+  assert(frame_count_ > 0);
+}
+
+Result<std::span<std::byte>> BufferPool::GetPage(PageId page,
+                                                 AccessMode mode) {
+  auto it = frames_.find(page);
+  if (it != frames_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    if (mode == AccessMode::kWrite) it->second.dirty = true;
+    return std::span<std::byte>(it->second.data);
+  }
+
+  ++stats_.misses;
+
+  // Evict LRU frame if the pool is full.
+  if (frames_.size() >= frame_count_) {
+    const PageId victim = lru_.back();
+    auto victim_it = frames_.find(victim);
+    assert(victim_it != frames_.end());
+    ODBGC_RETURN_IF_ERROR(WriteBack(victim, victim_it->second));
+    lru_.pop_back();
+    frames_.erase(victim_it);
+  }
+
+  Frame frame;
+  frame.data.resize(disk_->page_size());
+  ODBGC_RETURN_IF_ERROR(disk_->ReadPage(page, std::span<std::byte>(frame.data)));
+  if (phase_ == IoPhase::kApplication) {
+    ++stats_.reads_app;
+  } else {
+    ++stats_.reads_gc;
+  }
+  frame.dirty = (mode == AccessMode::kWrite);
+  lru_.push_front(page);
+  frame.lru_pos = lru_.begin();
+  auto [ins, ok] = frames_.emplace(page, std::move(frame));
+  assert(ok);
+  (void)ok;
+  return std::span<std::byte>(ins->second.data);
+}
+
+Status BufferPool::WriteBack(PageId page, Frame& frame) {
+  if (!frame.dirty) return Status::Ok();
+  ODBGC_RETURN_IF_ERROR(
+      disk_->WritePage(page, std::span<const std::byte>(frame.data)));
+  if (phase_ == IoPhase::kApplication) {
+    ++stats_.writes_app;
+  } else {
+    ++stats_.writes_gc;
+  }
+  frame.dirty = false;
+  return Status::Ok();
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& [page, frame] : frames_) {
+    ODBGC_RETURN_IF_ERROR(WriteBack(page, frame));
+  }
+  return Status::Ok();
+}
+
+void BufferPool::DiscardExtent(const PageExtent& extent) {
+  for (PageId p = extent.first_page; p < extent.end_page(); ++p) {
+    auto it = frames_.find(p);
+    if (it == frames_.end()) continue;
+    lru_.erase(it->second.lru_pos);
+    frames_.erase(it);
+  }
+}
+
+bool BufferPool::IsDirty(PageId page) const {
+  auto it = frames_.find(page);
+  return it != frames_.end() && it->second.dirty;
+}
+
+std::vector<PageId> BufferPool::LruOrder() const {
+  return std::vector<PageId>(lru_.begin(), lru_.end());
+}
+
+}  // namespace odbgc

@@ -1,0 +1,134 @@
+#ifndef ODBGC_BUFFER_BUFFER_POOL_H_
+#define ODBGC_BUFFER_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/disk.h"
+#include "storage/extent.h"
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace odbgc {
+
+/// Who is driving I/O right now. The paper reports "Application I/Os" and
+/// "Collector I/Os" separately (Table 2); the pool attributes each disk
+/// transfer to the phase that was active when it happened.
+enum class IoPhase { kApplication, kCollector };
+
+/// Access intent for a page fetch.
+enum class AccessMode { kRead, kWrite };
+
+/// Cumulative buffer pool counters, split by phase.
+struct BufferStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  /// Disk page reads (fills on miss), per phase.
+  uint64_t reads_app = 0;
+  uint64_t reads_gc = 0;
+  /// Disk page writes (write-back of dirty pages), per phase.
+  uint64_t writes_app = 0;
+  uint64_t writes_gc = 0;
+
+  uint64_t app_io() const { return reads_app + writes_app; }
+  uint64_t gc_io() const { return reads_gc + writes_gc; }
+  uint64_t total_io() const { return app_io() + gc_io(); }
+};
+
+/// A fixed-capacity database I/O buffer with strict LRU replacement and
+/// write-back (dirty pages are written to disk only on eviction or flush),
+/// as specified in the paper's cost model (Section 4.2).
+///
+/// The pool owns frame memory; `GetPage` returns a span into the frame,
+/// valid only until the next call that may evict (any GetPage). This is the
+/// single point through which the object store and collector touch pages,
+/// so BufferStats is the experiment's I/O measurement.
+class BufferPool {
+ public:
+  /// `disk` must outlive the pool. `frame_count` > 0 frames of
+  /// disk->page_size() bytes each.
+  BufferPool(SimulatedDisk* disk, size_t frame_count);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Fetches `page` into the pool (reading from disk on a miss, evicting
+  /// the LRU frame if full), marks it most-recently-used, marks it dirty if
+  /// `mode` is kWrite, and returns its bytes.
+  ///
+  /// Returns OutOfRange if the page does not exist on disk.
+  Result<std::span<std::byte>> GetPage(PageId page, AccessMode mode);
+
+  /// Writes all dirty frames back to disk (counted in the current phase).
+  /// Frames stay resident and become clean.
+  Status FlushAll();
+
+  /// Drops any resident frames covering `extent` *without* write-back.
+  /// Used when a partition's contents have been discarded wholesale (its
+  /// garbage does not deserve the write I/O). Dirty data is lost by design.
+  void DiscardExtent(const PageExtent& extent);
+
+  /// Sets the accounting phase for subsequent transfers.
+  void set_phase(IoPhase phase) { phase_ = phase; }
+  IoPhase phase() const { return phase_; }
+
+  const BufferStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = BufferStats{}; }
+
+  size_t frame_count() const { return frame_count_; }
+  size_t resident_pages() const { return frames_.size(); }
+
+  /// True if `page` is currently resident (test/inspection helper; does not
+  /// touch LRU order or counters).
+  bool IsResident(PageId page) const { return frames_.count(page) > 0; }
+
+  /// True if `page` is resident and dirty (test/inspection helper).
+  bool IsDirty(PageId page) const;
+
+  /// Pages in LRU order, most recent first (test/inspection helper).
+  std::vector<PageId> LruOrder() const;
+
+ private:
+  struct Frame {
+    std::vector<std::byte> data;
+    bool dirty = false;
+    std::list<PageId>::iterator lru_pos;
+  };
+
+  // Writes back `frame` if dirty (charging the current phase).
+  Status WriteBack(PageId page, Frame& frame);
+
+  SimulatedDisk* const disk_;
+  const size_t frame_count_;
+  IoPhase phase_ = IoPhase::kApplication;
+  std::unordered_map<PageId, Frame> frames_;
+  std::list<PageId> lru_;  // Front = most recently used.
+  BufferStats stats_;
+};
+
+/// RAII helper that switches the pool's accounting phase and restores the
+/// previous phase on destruction. The collector wraps its work in
+/// `PhaseScope scope(pool, IoPhase::kCollector);`.
+class PhaseScope {
+ public:
+  PhaseScope(BufferPool* pool, IoPhase phase)
+      : pool_(pool), saved_(pool->phase()) {
+    pool_->set_phase(phase);
+  }
+  ~PhaseScope() { pool_->set_phase(saved_); }
+
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  BufferPool* const pool_;
+  const IoPhase saved_;
+};
+
+}  // namespace odbgc
+
+#endif  // ODBGC_BUFFER_BUFFER_POOL_H_

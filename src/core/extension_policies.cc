@@ -1,0 +1,68 @@
+#include "core/extension_policies.h"
+
+#include <algorithm>
+
+namespace odbgc {
+
+PartitionId LeastRecentlyCollectedPolicy::Select(
+    const SelectionContext& context) {
+  PartitionId best = kInvalidPartition;
+  uint64_t best_time = 0;
+  for (PartitionId candidate : context.candidates) {
+    auto it = last_collected_.find(candidate);
+    const uint64_t time = it == last_collected_.end() ? 0 : it->second;
+    if (best == kInvalidPartition || time < best_time) {
+      best = candidate;
+      best_time = time;
+    }
+  }
+  return best;
+}
+
+double LeastRecentlyCollectedPolicy::Score(PartitionId partition) const {
+  auto it = last_collected_.find(partition);
+  // Higher score = better victim = longer since collected.
+  return it == last_collected_.end()
+             ? static_cast<double>(clock_ + 1)
+             : static_cast<double>(clock_ - it->second);
+}
+
+void CostBenefitPolicy::OnPointerStore(const SlotWriteEvent& event,
+                                       uint8_t /*old_target_weight*/) {
+  if (event.is_overwrite() &&
+      event.old_target_partition != kInvalidPartition) {
+    ++overwrites_into_[event.old_target_partition];
+  }
+}
+
+double CostBenefitPolicy::Score(PartitionId partition) const {
+  const ObjectStore* store = *store_;
+  if (store == nullptr || partition >= store->partition_count()) return 0.0;
+  const double allocated =
+      static_cast<double>(store->partition(partition).allocated_bytes());
+  if (allocated <= 0.0) return 0.0;
+  auto it = overwrites_into_.find(partition);
+  const double hits =
+      it == overwrites_into_.end() ? 0.0 : static_cast<double>(it->second);
+  const double predicted_garbage =
+      std::min(hits * bytes_per_overwrite_, allocated);
+  const double live = allocated - predicted_garbage;
+  // benefit/cost; a fully-garbage prediction is unbeatable.
+  if (live <= 0.0) return 1e18;
+  return predicted_garbage / live;
+}
+
+PartitionId CostBenefitPolicy::Select(const SelectionContext& context) {
+  PartitionId best = kInvalidPartition;
+  double best_score = -1.0;
+  for (PartitionId candidate : context.candidates) {
+    const double score = Score(candidate);
+    if (best == kInvalidPartition || score > best_score) {
+      best = candidate;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+}  // namespace odbgc

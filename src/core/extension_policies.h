@@ -1,0 +1,76 @@
+#ifndef ODBGC_CORE_EXTENSION_POLICIES_H_
+#define ODBGC_CORE_EXTENSION_POLICIES_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/selection_policy.h"
+#include "odb/object_store.h"
+
+namespace odbgc {
+
+/// Extension policies beyond the paper's six, built on the same
+/// SelectionPolicy interface (install via HeapOptions::policy_factory).
+/// They represent the obvious neighbours in the design space that later
+/// storage-reclamation literature explored, and serve as additional
+/// baselines for the `extension_policies` bench.
+
+/// Collects partitions in least-recently-collected order — the fairness
+/// baseline (every partition eventually gets collected, no hints used).
+/// Never-collected partitions go first, lowest id first.
+class LeastRecentlyCollectedPolicy : public SelectionPolicy {
+ public:
+  PolicyKind kind() const override { return PolicyKind::kUpdatedPointer; }
+  void OnPartitionCollected(PartitionId partition) override {
+    last_collected_[partition] = ++clock_;
+  }
+  PartitionId Select(const SelectionContext& context) override;
+  double Score(PartitionId partition) const override;
+
+ private:
+  uint64_t clock_ = 0;
+  std::unordered_map<PartitionId, uint64_t> last_collected_;
+};
+
+/// An LFS-style cost-benefit policy (Rosenblum & Ousterhout's segment
+/// cleaning heuristic transplanted to partition selection): benefit is the
+/// garbage the overwritten-pointer hints predict, cost is copying the
+/// partition's remaining live data, and the victim maximizes
+///
+///     benefit / cost  =  predicted_garbage / (allocated - predicted_garbage)
+///
+/// where predicted_garbage = overwrite hits into the partition since its
+/// last collection x the expected bytes freed per overwrite. Unlike
+/// UpdatedPointer's raw count, a nearly-full partition needs
+/// proportionally more hints to win than a sparse one.
+///
+/// Needs the store for partition occupancy (a DBA-visible quantity); the
+/// heap exposes it naturally through the factory closure.
+class CostBenefitPolicy : public SelectionPolicy {
+ public:
+  /// `store` is bound by the caller (may dereference lazily; must outlive
+  /// the policy). `bytes_per_overwrite` calibrates predicted garbage; the
+  /// base workload frees ~1.2 KB per overwritten pointer (a ~12-object
+  /// subtree of ~100-byte objects).
+  explicit CostBenefitPolicy(const ObjectStore* const* store,
+                             double bytes_per_overwrite = 1200.0)
+      : store_(store), bytes_per_overwrite_(bytes_per_overwrite) {}
+
+  PolicyKind kind() const override { return PolicyKind::kUpdatedPointer; }
+  void OnPointerStore(const SlotWriteEvent& event,
+                      uint8_t old_target_weight) override;
+  void OnPartitionCollected(PartitionId partition) override {
+    overwrites_into_.erase(partition);
+  }
+  PartitionId Select(const SelectionContext& context) override;
+  double Score(PartitionId partition) const override;
+
+ private:
+  const ObjectStore* const* store_;
+  const double bytes_per_overwrite_;
+  std::unordered_map<PartitionId, uint64_t> overwrites_into_;
+};
+
+}  // namespace odbgc
+
+#endif  // ODBGC_CORE_EXTENSION_POLICIES_H_

@@ -1,0 +1,64 @@
+#ifndef ODBGC_CORE_GLOBAL_COLLECTOR_H_
+#define ODBGC_CORE_GLOBAL_COLLECTOR_H_
+
+#include <cstdint>
+
+#include "core/remembered_set.h"
+#include "core/weights.h"
+#include "odb/object_store.h"
+#include "util/status.h"
+
+namespace odbgc {
+
+/// Outcome of a whole-database collection.
+struct GlobalCollectionResult {
+  uint64_t live_objects_copied = 0;
+  uint64_t live_bytes_copied = 0;
+  uint64_t garbage_objects_reclaimed = 0;
+  uint64_t garbage_bytes_reclaimed = 0;
+  uint32_t partitions_processed = 0;
+  /// Collector-phase disk page transfers attributable to this collection.
+  uint64_t page_reads = 0;
+  uint64_t page_writes = 0;
+};
+
+/// A whole-database mark-and-copy collection — the paper's Section 6.5
+/// future work made concrete. Partition-local collection can never reclaim
+/// garbage on inter-partition cycles of dead objects, and reclaims
+/// nepotism-protected garbage only after its dead referents' partitions
+/// happen to be collected. A (rare, expensive) global pass removes both:
+///
+///  1. Mark: compute exact reachability from the database roots, reading
+///     every live object's header and slots (charged as collector I/O —
+///     a real marker must traverse the whole live graph on disk).
+///  2. Retire the dead set's remembered-set contributions wholesale (after
+///     which no dead object appears externally referenced).
+///  3. Sweep partition by partition: copy the globally-live survivors into
+///     the empty partition (compacting, exactly like a normal collection)
+///     and drop everything else — including cross-partition cycles.
+///
+/// The cascade of copy-then-swap leaves the heap with the same invariants
+/// as single-partition collection: one reserved empty partition, compact
+/// survivors, a consistent inter-partition index.
+class GlobalMarkCollector {
+ public:
+  /// All pointers must outlive the collector; `weights` may be null.
+  GlobalMarkCollector(ObjectStore* store, BufferPool* buffer,
+                      InterPartitionIndex* index, WeightTracker* weights);
+
+  /// Collects the whole database. Requires a reserved empty partition.
+  /// `extra_roots` are kept alive along with everything they reach (the
+  /// heap passes the not-yet-linked most recent allocation).
+  Result<GlobalCollectionResult> CollectAll(
+      const std::vector<ObjectId>& extra_roots = {});
+
+ private:
+  ObjectStore* const store_;
+  BufferPool* const buffer_;
+  InterPartitionIndex* const index_;
+  WeightTracker* const weights_;
+};
+
+}  // namespace odbgc
+
+#endif  // ODBGC_CORE_GLOBAL_COLLECTOR_H_

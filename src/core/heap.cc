@@ -1,0 +1,327 @@
+#include "core/heap.h"
+
+#include <cassert>
+
+#include "core/reachability.h"
+
+namespace odbgc {
+
+CollectedHeap::CollectedHeap(const HeapOptions& options) : options_(options) {
+  disk_ = std::make_unique<SimulatedDisk>(options_.store.page_size);
+  buffer_ = std::make_unique<BufferPool>(disk_.get(), options_.buffer_pages);
+  store_ = std::make_unique<ObjectStore>(options_.store, disk_.get(),
+                                         buffer_.get());
+  WireComponents();
+}
+
+CollectedHeap::CollectedHeap(const HeapOptions& options, RestoreTag)
+    : options_(options) {
+  disk_ = std::make_unique<SimulatedDisk>(options_.store.page_size);
+  buffer_ = std::make_unique<BufferPool>(disk_.get(), options_.buffer_pages);
+}
+
+void CollectedHeap::WireComponents() {
+  if (options_.policy_factory) {
+    policy_ = options_.policy_factory();
+    options_.policy = policy_->kind();
+  } else {
+    policy_ = MakePolicy(options_.policy, options_.seed);
+  }
+  const bool want_weights =
+      options_.weights == WeightMode::kOn ||
+      (options_.weights == WeightMode::kAuto &&
+       options_.policy == PolicyKind::kWeightedPointer);
+  if (want_weights) {
+    weights_ = std::make_unique<WeightTracker>(store_.get());
+  }
+  barrier_ = std::make_unique<WriteBarrier>(options_.barrier, store_.get(),
+                                            &index_, options_.card_size);
+  collector_ = std::make_unique<CopyingCollector>(
+      store_.get(), buffer_.get(), &index_, weights_.get(),
+      options_.traversal);
+  global_collector_ = std::make_unique<GlobalMarkCollector>(
+      store_.get(), buffer_.get(), &index_, weights_.get());
+  store_->set_slot_write_observer(this);
+  last_seen_partition_count_ = store_->partition_count();
+  NoteFootprint();
+}
+
+Result<std::unique_ptr<CollectedHeap>> CollectedHeap::FromImage(
+    const HeapOptions& options, const StoreImage& image) {
+  HeapOptions effective = options;
+  effective.store.page_size = image.page_size;
+  effective.store.pages_per_partition = image.pages_per_partition;
+  effective.store.reserve_empty_partition = image.reserve_empty_partition;
+
+  auto heap = std::unique_ptr<CollectedHeap>(
+      new CollectedHeap(effective, RestoreTag{}));
+  auto store =
+      ObjectStore::Restore(image, heap->disk_.get(), heap->buffer_.get());
+  ODBGC_RETURN_IF_ERROR(store.status());
+  heap->store_ = std::move(store).value();
+  heap->index_ = BuildIndexFromStore(*heap->store_);
+  heap->WireComponents();
+
+  // Recompute derivable weight state for WeightedPointer heaps.
+  if (heap->weights_ != nullptr) {
+    WeightTracker* weights = heap->weights_.get();
+    for (ObjectId root : heap->store_->roots()) {
+      ODBGC_RETURN_IF_ERROR(weights->OnRootAdded(root));
+    }
+  }
+  // Restoration I/O (page materialization, weight recomputation) is not
+  // part of any experiment.
+  heap->ResetMeasurement();
+  return heap;
+}
+
+CollectedHeap::~CollectedHeap() { store_->set_slot_write_observer(nullptr); }
+
+Result<ObjectId> CollectedHeap::Allocate(uint32_t size, uint32_t num_slots,
+                                         ObjectId parent_hint, uint8_t flags) {
+  auto id = store_->Allocate(size, num_slots, parent_hint, flags);
+  if (id.ok()) {
+    ++stats_.objects_allocated;
+    stats_.bytes_allocated += size;
+    allocated_since_collection_ += size;
+    newborn_ = *id;
+    NoteFootprint();
+    CheckTriggers();
+    ODBGC_RETURN_IF_ERROR(MaybeCollect());
+  }
+  return id;
+}
+
+Status CollectedHeap::WriteSlot(ObjectId source, uint32_t slot,
+                                ObjectId target) {
+  ODBGC_RETURN_IF_ERROR(store_->WriteSlot(source, slot, target));
+  // Weight relaxation happens after the barrier observer so the policy saw
+  // the *old* target's weight; the new edge may now lower the new
+  // target's weight.
+  if (weights_ != nullptr && !target.is_null()) {
+    ODBGC_RETURN_IF_ERROR(weights_->OnPointerStored(source, target));
+  }
+  return MaybeCollect();
+}
+
+Result<ObjectId> CollectedHeap::ReadSlot(ObjectId source, uint32_t slot) {
+  return store_->ReadSlot(source, slot);
+}
+
+Status CollectedHeap::VisitObject(ObjectId object) {
+  return store_->VisitObject(object);
+}
+
+Status CollectedHeap::WriteData(ObjectId object) {
+  return store_->WriteData(object);
+}
+
+Status CollectedHeap::AddRoot(ObjectId object) {
+  ODBGC_RETURN_IF_ERROR(store_->AddRoot(object));
+  if (object == newborn_) newborn_ = kNullObjectId;
+  if (weights_ != nullptr) {
+    ODBGC_RETURN_IF_ERROR(weights_->OnRootAdded(object));
+  }
+  return Status::Ok();
+}
+
+Status CollectedHeap::RemoveRoot(ObjectId object) {
+  return store_->RemoveRoot(object);
+}
+
+void CollectedHeap::OnSlotWrite(const SlotWriteEvent& event) {
+  // Once the newest allocation is referenced from the graph, it no longer
+  // needs birth protection.
+  if (!event.new_target.is_null() && event.new_target == newborn_) {
+    newborn_ = kNullObjectId;
+  }
+  if (!event.new_target.is_null()) ++stats_.pointer_stores;
+  if (event.is_overwrite()) {
+    ++stats_.pointer_overwrites;
+    ++overwrites_since_collection_;
+  }
+
+  // Policy hint first (needs the overwritten target's pre-store weight).
+  const uint8_t old_weight =
+      (weights_ != nullptr && !event.old_target.is_null())
+          ? weights_->GetWeight(event.old_target)
+          : WeightTracker::kMaxWeight;
+  policy_->OnPointerStore(event, old_weight);
+
+  // Remembered-set maintenance: the write barrier sees inter-partition
+  // references created and destroyed (synchronously or deferred,
+  // depending on the configured BarrierMode).
+  barrier_->OnSlotWrite(event);
+
+  CheckTriggers();
+}
+
+void CollectedHeap::CheckTriggers() {
+  if (in_collection_ || options_.policy == PolicyKind::kNoCollection) {
+    return;
+  }
+  switch (options_.trigger) {
+    case TriggerKind::kPointerOverwrites:
+      // The paper's choice: a fixed number of pointer overwrites.
+      if (options_.overwrite_trigger > 0 &&
+          overwrites_since_collection_ >= options_.overwrite_trigger) {
+        collection_pending_ = true;
+      }
+      break;
+    case TriggerKind::kAllocatedBytes:
+      if (options_.allocation_trigger_bytes > 0 &&
+          allocated_since_collection_ >= options_.allocation_trigger_bytes) {
+        collection_pending_ = true;
+      }
+      break;
+    case TriggerKind::kDatabaseGrowth:
+      if (store_->partition_count() > last_seen_partition_count_) {
+        last_seen_partition_count_ = store_->partition_count();
+        collection_pending_ = true;
+      }
+      break;
+  }
+}
+
+Status CollectedHeap::MaybeCollect() {
+  if (!collection_pending_ || in_collection_) return Status::Ok();
+  collection_pending_ = false;
+  overwrites_since_collection_ = 0;
+  allocated_since_collection_ = 0;
+  last_seen_partition_count_ = store_->partition_count();
+  for (uint32_t i = 0; i < options_.partitions_per_collection; ++i) {
+    auto result = CollectNow();
+    if (!result.ok()) {
+      // Declining (no candidates) is not an error for the trigger path.
+      if (result.status().code() == StatusCode::kFailedPrecondition) break;
+      return result.status();
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<PartitionId> CollectedHeap::CollectionCandidates() const {
+  std::vector<PartitionId> candidates;
+  for (size_t pid = 0; pid < store_->partition_count(); ++pid) {
+    const PartitionId id = static_cast<PartitionId>(pid);
+    if (id == store_->empty_partition()) continue;
+    if (store_->partition(id).allocated_bytes() == 0) continue;
+    candidates.push_back(id);
+  }
+  return candidates;
+}
+
+SelectionContext CollectedHeap::MakeSelectionContext() const {
+  SelectionContext context;
+  context.candidates = CollectionCandidates();
+  if (options_.policy == PolicyKind::kMostGarbage) {
+    // The oracle ranks partitions by garbage a collection would actually
+    // reclaim now (excluding remembered-set-protected garbage) — ranking
+    // by raw garbage would keep re-selecting protected partitions.
+    context.garbage_bytes_per_partition =
+        ComputeGarbageCensus(*store_).collectable_bytes_per_partition;
+  }
+  return context;
+}
+
+Result<CollectionResult> CollectedHeap::CollectNow() {
+  SelectionContext context = MakeSelectionContext();
+  const PartitionId victim = policy_->Select(context);
+  if (victim == kInvalidPartition) {
+    return Status::FailedPrecondition(
+        "policy declined to select a partition");
+  }
+  return CollectPartition(victim);
+}
+
+Result<CollectionResult> CollectedHeap::CollectPartition(PartitionId victim) {
+  assert(!in_collection_);
+  std::vector<ObjectId> extra_roots;
+  if (!newborn_.is_null() && store_->Exists(newborn_)) {
+    extra_roots.push_back(newborn_);
+  }
+  in_collection_ = true;
+  {
+    // Deferred barrier modes catch the index up now, charging their
+    // catch-up I/O to the collector.
+    PhaseScope phase(buffer_.get(), IoPhase::kCollector);
+    const Status prepared = barrier_->PrepareForCollection();
+    if (!prepared.ok()) {
+      in_collection_ = false;
+      return prepared;
+    }
+  }
+  auto result = collector_->Collect(victim, extra_roots);
+  in_collection_ = false;
+  if (!result.ok()) return result;
+  barrier_->OnPartitionEmptied(victim);
+
+  ++stats_.collections;
+  stats_.garbage_bytes_reclaimed += result->garbage_bytes_reclaimed;
+  stats_.garbage_objects_reclaimed += result->garbage_objects_reclaimed;
+  stats_.live_bytes_copied += result->live_bytes_copied;
+  stats_.live_objects_copied += result->live_objects_copied;
+  policy_->OnPartitionCollected(victim);
+  collection_log_.push_back(*result);
+  NoteFootprint();
+
+  if (options_.full_collection_interval > 0 &&
+      stats_.collections % options_.full_collection_interval == 0) {
+    ODBGC_RETURN_IF_ERROR(CollectFullDatabase().status());
+  }
+  return result;
+}
+
+Result<GlobalCollectionResult> CollectedHeap::CollectFullDatabase() {
+  assert(!in_collection_);
+  std::vector<ObjectId> extra_roots;
+  if (!newborn_.is_null() && store_->Exists(newborn_)) {
+    extra_roots.push_back(newborn_);
+  }
+  in_collection_ = true;
+  {
+    PhaseScope phase(buffer_.get(), IoPhase::kCollector);
+    const Status prepared = barrier_->PrepareForCollection();
+    if (!prepared.ok()) {
+      in_collection_ = false;
+      return prepared;
+    }
+  }
+  auto result = global_collector_->CollectAll(extra_roots);
+  in_collection_ = false;
+  if (!result.ok()) return result;
+  // Every partition's contents moved or died; all cards are stale-clean.
+  for (size_t pid = 0; pid < store_->partition_count(); ++pid) {
+    barrier_->OnPartitionEmptied(static_cast<PartitionId>(pid));
+  }
+
+  ++stats_.full_collections;
+  stats_.garbage_bytes_reclaimed += result->garbage_bytes_reclaimed;
+  stats_.garbage_objects_reclaimed += result->garbage_objects_reclaimed;
+  stats_.live_bytes_copied += result->live_bytes_copied;
+  stats_.live_objects_copied += result->live_objects_copied;
+  // Every partition was collected: reset all policy hints.
+  for (size_t pid = 0; pid < store_->partition_count(); ++pid) {
+    policy_->OnPartitionCollected(static_cast<PartitionId>(pid));
+  }
+  NoteFootprint();
+  return result;
+}
+
+void CollectedHeap::ResetMeasurement() {
+  buffer_->ResetStats();
+  disk_->ResetStats();
+  stats_ = HeapStats{};
+  collection_log_.clear();
+  NoteFootprint();
+}
+
+void CollectedHeap::NoteFootprint() {
+  const uint64_t total = store_->total_bytes();
+  if (total > stats_.max_total_bytes) {
+    stats_.max_total_bytes = total;
+    stats_.max_partitions = store_->partition_count();
+  }
+}
+
+}  // namespace odbgc

@@ -1,0 +1,277 @@
+#include "core/reachability.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+namespace odbgc {
+
+std::unordered_set<ObjectId> ComputeLiveSet(const ObjectStore& store) {
+  std::unordered_set<ObjectId> live;
+  std::deque<ObjectId> queue;
+  for (ObjectId root : store.roots()) {
+    if (live.insert(root).second) queue.push_back(root);
+  }
+  while (!queue.empty()) {
+    const ObjectId id = queue.front();
+    queue.pop_front();
+    const ObjectStore::ObjectInfo* info = store.Lookup(id);
+    if (info == nullptr) continue;
+    for (ObjectId child : info->slots) {
+      if (!child.is_null() && store.Exists(child) &&
+          live.insert(child).second) {
+        queue.push_back(child);
+      }
+    }
+  }
+  return live;
+}
+
+GarbageCensus ComputeGarbageCensus(const ObjectStore& store) {
+  const std::unordered_set<ObjectId> live = ComputeLiveSet(store);
+
+  GarbageCensus census;
+  census.garbage_bytes_per_partition.assign(store.partition_count(), 0);
+  census.garbage_objects_per_partition.assign(store.partition_count(), 0);
+  census.collectable_bytes_per_partition.assign(store.partition_count(), 0);
+
+  struct DeadEntry {
+    PartitionId partition;
+    uint32_t size;
+  };
+  std::unordered_map<ObjectId, DeadEntry> dead;
+
+  for (size_t pid = 0; pid < store.partition_count(); ++pid) {
+    for (const auto& [offset, id] : store.partition(pid).objects_by_offset()) {
+      const ObjectStore::ObjectInfo* info = store.Lookup(id);
+      if (info == nullptr) continue;
+      if (live.count(id) > 0) {
+        census.total_live_bytes += info->size;
+        ++census.total_live_objects;
+      } else {
+        census.garbage_bytes_per_partition[pid] += info->size;
+        ++census.garbage_objects_per_partition[pid];
+        census.total_garbage_bytes += info->size;
+        ++census.total_garbage_objects;
+        dead.emplace(id,
+                     DeadEntry{static_cast<PartitionId>(pid), info->size});
+      }
+    }
+  }
+
+  // Kept-but-dead: garbage with a cross-partition in-edge from another
+  // dead object (only dead sources can reference garbage), plus everything
+  // those objects reach through intra-partition dead edges — the
+  // collector's conservative remembered-set treatment keeps all of it.
+  std::unordered_set<ObjectId> kept;
+  std::deque<ObjectId> queue;
+  for (const auto& [id, entry] : dead) {
+    const ObjectStore::ObjectInfo* info = store.Lookup(id);
+    for (ObjectId child : info->slots) {
+      if (child.is_null()) continue;
+      auto cit = dead.find(child);
+      if (cit == dead.end() || cit->second.partition == entry.partition) {
+        continue;
+      }
+      if (kept.insert(child).second) queue.push_back(child);
+    }
+  }
+  while (!queue.empty()) {
+    const ObjectId id = queue.front();
+    queue.pop_front();
+    const PartitionId partition = dead.at(id).partition;
+    const ObjectStore::ObjectInfo* info = store.Lookup(id);
+    for (ObjectId child : info->slots) {
+      if (child.is_null()) continue;
+      auto cit = dead.find(child);
+      if (cit == dead.end() || cit->second.partition != partition) continue;
+      if (kept.insert(child).second) queue.push_back(child);
+    }
+  }
+
+  for (const auto& [id, entry] : dead) {
+    if (kept.count(id) > 0) continue;
+    census.collectable_bytes_per_partition[entry.partition] += entry.size;
+    census.total_collectable_bytes += entry.size;
+  }
+  return census;
+}
+
+namespace {
+
+// Dense view of the dead-object subgraph used by ComputeGarbageAnatomy.
+struct DeadGraph {
+  std::vector<ObjectId> ids;
+  std::vector<PartitionId> partitions;
+  std::vector<uint32_t> sizes;
+  std::vector<std::vector<uint32_t>> out_edges;  // Dead -> dead only.
+  std::unordered_map<ObjectId, uint32_t> index_of;
+};
+
+DeadGraph BuildDeadGraph(const ObjectStore& store,
+                         const std::unordered_set<ObjectId>& live) {
+  DeadGraph g;
+  for (size_t pid = 0; pid < store.partition_count(); ++pid) {
+    for (const auto& [offset, id] : store.partition(pid).objects_by_offset()) {
+      if (live.count(id) > 0) continue;
+      const ObjectStore::ObjectInfo* info = store.Lookup(id);
+      if (info == nullptr) continue;
+      g.index_of.emplace(id, static_cast<uint32_t>(g.ids.size()));
+      g.ids.push_back(id);
+      g.partitions.push_back(static_cast<PartitionId>(pid));
+      g.sizes.push_back(info->size);
+    }
+  }
+  g.out_edges.resize(g.ids.size());
+  for (uint32_t i = 0; i < g.ids.size(); ++i) {
+    const ObjectStore::ObjectInfo* info = store.Lookup(g.ids[i]);
+    for (ObjectId child : info->slots) {
+      if (child.is_null()) continue;
+      auto it = g.index_of.find(child);
+      if (it != g.index_of.end()) g.out_edges[i].push_back(it->second);
+    }
+  }
+  return g;
+}
+
+// Iterative Tarjan SCC over the dead graph; returns component id per node.
+std::vector<uint32_t> StronglyConnectedComponents(const DeadGraph& g,
+                                                  uint32_t* num_components) {
+  const uint32_t n = static_cast<uint32_t>(g.ids.size());
+  constexpr uint32_t kUnvisited = UINT32_MAX;
+  std::vector<uint32_t> index(n, kUnvisited), lowlink(n, 0), component(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<uint32_t> stack;
+  uint32_t next_index = 0, next_component = 0;
+
+  struct Frame {
+    uint32_t node;
+    size_t edge;
+  };
+  std::vector<Frame> call_stack;
+
+  for (uint32_t start = 0; start < n; ++start) {
+    if (index[start] != kUnvisited) continue;
+    call_stack.push_back({start, 0});
+    index[start] = lowlink[start] = next_index++;
+    stack.push_back(start);
+    on_stack[start] = true;
+
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const uint32_t v = frame.node;
+      if (frame.edge < g.out_edges[v].size()) {
+        const uint32_t w = g.out_edges[v][frame.edge++];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          call_stack.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      } else {
+        if (lowlink[v] == index[v]) {
+          for (;;) {
+            const uint32_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            component[w] = next_component;
+            if (w == v) break;
+          }
+          ++next_component;
+        }
+        call_stack.pop_back();
+        if (!call_stack.empty()) {
+          const uint32_t parent = call_stack.back().node;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+        }
+      }
+    }
+  }
+  *num_components = next_component;
+  return component;
+}
+
+}  // namespace
+
+GarbageAnatomy ComputeGarbageAnatomy(const ObjectStore& store) {
+  const std::unordered_set<ObjectId> live = ComputeLiveSet(store);
+  const DeadGraph g = BuildDeadGraph(store, live);
+  const uint32_t n = static_cast<uint32_t>(g.ids.size());
+
+  GarbageAnatomy anatomy;
+  if (n == 0) return anatomy;
+
+  // --- Stuck garbage: reachable from an SCC containing a cross-partition
+  // edge. Such a cycle of dead objects keeps itself registered in
+  // remembered sets forever, and everything it references stays protected.
+  uint32_t num_components = 0;
+  const std::vector<uint32_t> component =
+      StronglyConnectedComponents(g, &num_components);
+  std::vector<bool> component_self_sustaining(num_components, false);
+  for (uint32_t v = 0; v < n; ++v) {
+    for (uint32_t w : g.out_edges[v]) {
+      if (component[v] == component[w] &&
+          g.partitions[v] != g.partitions[w]) {
+        component_self_sustaining[component[v]] = true;
+      }
+    }
+  }
+  std::vector<bool> stuck(n, false);
+  std::deque<uint32_t> queue;
+  for (uint32_t v = 0; v < n; ++v) {
+    if (component_self_sustaining[component[v]]) {
+      stuck[v] = true;
+      queue.push_back(v);
+    }
+  }
+  while (!queue.empty()) {
+    const uint32_t v = queue.front();
+    queue.pop_front();
+    for (uint32_t w : g.out_edges[v]) {
+      if (!stuck[w]) {
+        stuck[w] = true;
+        queue.push_back(w);
+      }
+    }
+  }
+
+  // --- Locally collectable *now*: dead objects a collection of their own
+  // partition would reclaim at this instant. Kept instead are dead objects
+  // with a cross-partition dead in-edge (they look like remembered-set
+  // roots) plus everything they reach through intra-partition dead edges
+  // (the collector traverses kept objects).
+  std::vector<bool> kept(n, false);
+  for (uint32_t v = 0; v < n; ++v) {
+    for (uint32_t w : g.out_edges[v]) {
+      if (g.partitions[v] != g.partitions[w] && !kept[w]) {
+        kept[w] = true;
+        queue.push_back(w);
+      }
+    }
+  }
+  while (!queue.empty()) {
+    const uint32_t v = queue.front();
+    queue.pop_front();
+    for (uint32_t w : g.out_edges[v]) {
+      if (g.partitions[v] == g.partitions[w] && !kept[w]) {
+        kept[w] = true;
+        queue.push_back(w);
+      }
+    }
+  }
+
+  for (uint32_t v = 0; v < n; ++v) {
+    if (stuck[v]) {
+      anatomy.cross_partition_cycle_bytes += g.sizes[v];
+    } else if (kept[v]) {
+      anatomy.nepotism_bytes += g.sizes[v];
+    } else {
+      anatomy.locally_collectable_bytes += g.sizes[v];
+    }
+  }
+  return anatomy;
+}
+
+}  // namespace odbgc

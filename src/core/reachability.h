@@ -1,0 +1,72 @@
+#ifndef ODBGC_CORE_REACHABILITY_H_
+#define ODBGC_CORE_REACHABILITY_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "odb/object_id.h"
+#include "odb/object_store.h"
+
+namespace odbgc {
+
+/// A whole-database garbage census: which bytes are live (transitively
+/// reachable from the root set) and which are garbage, per partition.
+///
+/// This is simulator-omniscient information — the oracle behind the
+/// MostGarbage policy, the "Actual Garbage" row of Table 4, and the
+/// unreclaimed-garbage curves of Figure 4. It walks the store's shadow
+/// object graph, so it costs no simulated I/O and does not perturb the
+/// experiment.
+struct GarbageCensus {
+  /// Garbage bytes in each partition, indexed by partition id.
+  std::vector<uint64_t> garbage_bytes_per_partition;
+  /// Garbage object count per partition.
+  std::vector<uint64_t> garbage_objects_per_partition;
+  /// Garbage bytes a collection of the partition would reclaim *right
+  /// now*: excludes garbage protected by remembered-set entries from dead
+  /// objects in other partitions (nepotism) and everything such kept
+  /// objects reach within the partition. This is what the MostGarbage
+  /// oracle ranks partitions by — ranking by raw garbage would repeatedly
+  /// select partitions whose garbage cannot yet be reclaimed.
+  std::vector<uint64_t> collectable_bytes_per_partition;
+  uint64_t total_garbage_bytes = 0;
+  uint64_t total_garbage_objects = 0;
+  uint64_t total_collectable_bytes = 0;
+  uint64_t total_live_bytes = 0;
+  uint64_t total_live_objects = 0;
+};
+
+/// Ids of all objects reachable from the root set.
+std::unordered_set<ObjectId> ComputeLiveSet(const ObjectStore& store);
+
+/// Full census (one reachability pass).
+GarbageCensus ComputeGarbageCensus(const ObjectStore& store);
+
+/// Classifies the *garbage* of a census by why a partition-local collector
+/// would or would not find it, quantifying the paper's Section 6.5
+/// observations (nepotism and distributed cyclic garbage).
+struct GarbageAnatomy {
+  /// Garbage objects with no remaining references from other partitions'
+  /// objects (live or dead): a collection of their partition reclaims
+  /// them immediately.
+  uint64_t locally_collectable_bytes = 0;
+  /// Garbage kept "live" by pointers from *dead* objects in other
+  /// partitions (nepotism): reclaimable only after the referencing
+  /// partition is collected first.
+  uint64_t nepotism_bytes = 0;
+  /// Garbage on inter-partition cycles of dead objects: no ordering of
+  /// single-partition collections reclaims it (the paper's "distributed
+  /// cyclic garbage").
+  uint64_t cross_partition_cycle_bytes = 0;
+};
+
+/// Computes the anatomy given the current store contents. The
+/// cross-partition-cycle component is found as the fixpoint of repeatedly
+/// discarding dead objects that have no external dead referents — what
+/// remains is garbage that partition-local collection can never reach.
+GarbageAnatomy ComputeGarbageAnatomy(const ObjectStore& store);
+
+}  // namespace odbgc
+
+#endif  // ODBGC_CORE_REACHABILITY_H_

@@ -1,0 +1,152 @@
+#include "core/remembered_set.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace odbgc {
+
+void InterPartitionIndex::AddReference(ObjectId source,
+                                       PartitionId source_partition,
+                                       uint32_t slot, ObjectId target,
+                                       PartitionId target_partition) {
+  assert(source_partition != target_partition);
+  entries_by_target_[target].push_back({source, slot});
+  targets_in_partition_[target_partition].insert(target);
+  out_pointers_by_source_[source].push_back({slot, target});
+  sources_in_partition_[source_partition].insert(source);
+  ++entry_count_;
+}
+
+void InterPartitionIndex::RemoveReference(ObjectId source, uint32_t slot,
+                                          ObjectId target) {
+  auto tit = entries_by_target_.find(target);
+  if (tit == entries_by_target_.end()) return;
+  auto& locs = tit->second;
+  auto lit = std::find(locs.begin(), locs.end(), PointerLocation{source, slot});
+  if (lit == locs.end()) return;
+  locs.erase(lit);
+  --entry_count_;
+  if (locs.empty()) {
+    entries_by_target_.erase(tit);
+    // Drop the target from whichever partition bucket holds it.
+    for (auto& [pid, ids] : targets_in_partition_) {
+      if (ids.erase(target) > 0) break;
+    }
+  }
+
+  auto sit = out_pointers_by_source_.find(source);
+  if (sit != out_pointers_by_source_.end()) {
+    auto& outs = sit->second;
+    auto oit = std::find(outs.begin(), outs.end(),
+                         std::make_pair(slot, target));
+    if (oit != outs.end()) outs.erase(oit);
+    if (outs.empty()) {
+      out_pointers_by_source_.erase(sit);
+      for (auto& [pid, ids] : sources_in_partition_) {
+        if (ids.erase(source) > 0) break;
+      }
+    }
+  }
+}
+
+void InterPartitionIndex::OnObjectMoved(ObjectId object, PartitionId from,
+                                        PartitionId to) {
+  if (entries_by_target_.count(object) > 0) {
+    auto fit = targets_in_partition_.find(from);
+    if (fit != targets_in_partition_.end() && fit->second.erase(object) > 0) {
+      targets_in_partition_[to].insert(object);
+    }
+  }
+  if (out_pointers_by_source_.count(object) > 0) {
+    auto fit = sources_in_partition_.find(from);
+    if (fit != sources_in_partition_.end() && fit->second.erase(object) > 0) {
+      sources_in_partition_[to].insert(object);
+    }
+  }
+}
+
+void InterPartitionIndex::OnObjectDied(ObjectId object, PartitionId partition) {
+  assert(!HasExternalReferences(object) &&
+         "a partition-local collection cannot reclaim an externally "
+         "referenced object");
+  RemoveOutPointersOf(object, partition);
+}
+
+void InterPartitionIndex::RemoveOutPointersOf(ObjectId source,
+                                              PartitionId partition) {
+  auto sit = out_pointers_by_source_.find(source);
+  if (sit != out_pointers_by_source_.end()) {
+    // RemoveReference mutates the source's out list; work on a copy.
+    const auto outs = sit->second;
+    for (const auto& [slot, target] : outs) {
+      RemoveReference(source, slot, target);
+    }
+  }
+  auto pit = sources_in_partition_.find(partition);
+  if (pit != sources_in_partition_.end()) pit->second.erase(source);
+}
+
+std::vector<ObjectId> InterPartitionIndex::ExternalTargetsInPartition(
+    PartitionId partition) const {
+  auto it = targets_in_partition_.find(partition);
+  if (it == targets_in_partition_.end()) return {};
+  return std::vector<ObjectId>(it->second.begin(), it->second.end());
+}
+
+const std::vector<PointerLocation>* InterPartitionIndex::EntriesForTarget(
+    ObjectId target) const {
+  auto it = entries_by_target_.find(target);
+  return it == entries_by_target_.end() ? nullptr : &it->second;
+}
+
+bool InterPartitionIndex::HasExternalReferences(ObjectId target) const {
+  return entries_by_target_.count(target) > 0;
+}
+
+std::vector<ObjectId> InterPartitionIndex::SourcesInPartition(
+    PartitionId partition) const {
+  auto it = sources_in_partition_.find(partition);
+  if (it == sources_in_partition_.end()) return {};
+  return std::vector<ObjectId>(it->second.begin(), it->second.end());
+}
+
+const std::vector<std::pair<uint32_t, ObjectId>>*
+InterPartitionIndex::OutPointersOfSource(ObjectId source) const {
+  auto it = out_pointers_by_source_.find(source);
+  return it == out_pointers_by_source_.end() ? nullptr : &it->second;
+}
+
+InterPartitionIndex BuildIndexFromStore(const ObjectStore& store) {
+  InterPartitionIndex index;
+  for (size_t pid = 0; pid < store.partition_count(); ++pid) {
+    for (const auto& [offset, id] : store.partition(pid).objects_by_offset()) {
+      const ObjectStore::ObjectInfo* info = store.Lookup(id);
+      for (uint32_t s = 0; s < info->num_slots; ++s) {
+        const ObjectId target = info->slots[s];
+        if (target.is_null()) continue;
+        const ObjectStore::ObjectInfo* target_info = store.Lookup(target);
+        if (target_info == nullptr ||
+            target_info->partition == info->partition) {
+          continue;
+        }
+        index.AddReference(id, info->partition, s, target,
+                           target_info->partition);
+      }
+    }
+  }
+  return index;
+}
+
+size_t InterPartitionIndex::EntryCountForPartition(
+    PartitionId partition) const {
+  auto it = targets_in_partition_.find(partition);
+  if (it == targets_in_partition_.end()) return 0;
+  size_t n = 0;
+  for (ObjectId target : it->second) {
+    auto eit = entries_by_target_.find(target);
+    if (eit != entries_by_target_.end()) n += eit->second.size();
+  }
+  return n;
+}
+
+}  // namespace odbgc

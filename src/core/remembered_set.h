@@ -1,0 +1,128 @@
+#ifndef ODBGC_CORE_REMEMBERED_SET_H_
+#define ODBGC_CORE_REMEMBERED_SET_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "odb/object_id.h"
+#include "odb/object_store.h"
+
+namespace odbgc {
+
+/// A pointer field: slot `slot` of object `source`.
+struct PointerLocation {
+  ObjectId source;
+  uint32_t slot = 0;
+
+  friend bool operator==(const PointerLocation& a, const PointerLocation& b) {
+    return a.source == b.source && a.slot == b.slot;
+  }
+  friend bool operator<(const PointerLocation& a, const PointerLocation& b) {
+    if (!(a.source == b.source)) return a.source < b.source;
+    return a.slot < b.slot;
+  }
+};
+
+/// Tracks every inter-partition pointer in the database — the paper's two
+/// auxiliary structures rolled into one consistent index:
+///
+///  - the *remembered set* of partition T: all pointer locations whose
+///    target lives in T but whose source lives elsewhere (these act as
+///    roots when T is collected), and
+///  - the *out-of-partition set* of partition F: all objects in F holding
+///    pointers out of F (needed so that when such an object dies, its
+///    entries can be removed from the remembered sets it contributed to —
+///    otherwise later collections would unnecessarily preserve objects
+///    pointed to only by garbage).
+///
+/// Only inter-partition pointers are indexed; intra-partition pointers are
+/// found by the collector's traversal. Because slots store stable
+/// ObjectIds, relocation only re-buckets entries between partitions; the
+/// entries themselves never go stale.
+///
+/// The index lives in primary memory (the paper maintains these structures
+/// as in-memory auxiliaries) and is never charged I/O.
+class InterPartitionIndex {
+ public:
+  InterPartitionIndex() = default;
+
+  /// Records inter-partition pointer (source.slot -> target). Requires
+  /// source_partition != target_partition; call only for such pointers.
+  void AddReference(ObjectId source, PartitionId source_partition,
+                    uint32_t slot, ObjectId target,
+                    PartitionId target_partition);
+
+  /// Removes the record for (source.slot -> target); no-op if absent.
+  void RemoveReference(ObjectId source, uint32_t slot, ObjectId target);
+
+  /// Re-buckets all entries involving `object` after it moved between
+  /// partitions (both its role as a target and as a source of
+  /// out-pointers).
+  void OnObjectMoved(ObjectId object, PartitionId from, PartitionId to);
+
+  /// Removes a dead object: erases all remembered-set entries contributed
+  /// by its out-pointers, and its out-set membership. The object must have
+  /// no incoming external references left (a partition-local collection
+  /// treats externally referenced objects as live).
+  void OnObjectDied(ObjectId object, PartitionId partition);
+
+  /// Erases all entries contributed by `source`'s out-pointers without
+  /// requiring `source` to be unreferenced. The global collector retires a
+  /// whole dead set at once: it first strips every dead object's
+  /// out-pointers (after which no dead object has external references,
+  /// since live objects cannot point at garbage), then drops the bodies.
+  void RemoveOutPointersOf(ObjectId source, PartitionId partition);
+
+  /// Remembered set of `partition`: ids of objects in `partition` that
+  /// have at least one external reference, in ascending id order
+  /// (deterministic collection roots).
+  std::vector<ObjectId> ExternalTargetsInPartition(PartitionId partition) const;
+
+  /// All pointer locations referencing `target` from other partitions;
+  /// nullptr if none.
+  const std::vector<PointerLocation>* EntriesForTarget(ObjectId target) const;
+
+  bool HasExternalReferences(ObjectId target) const;
+
+  /// Out-of-partition set of `partition`: ids of objects in `partition`
+  /// holding at least one pointer out of it, ascending order.
+  std::vector<ObjectId> SourcesInPartition(PartitionId partition) const;
+
+  /// Out-pointers of `source` (slot, target) pairs; nullptr if none.
+  const std::vector<std::pair<uint32_t, ObjectId>>* OutPointersOfSource(
+      ObjectId source) const;
+
+  /// Total number of inter-partition pointer entries.
+  size_t entry_count() const { return entry_count_; }
+
+  /// Number of remembered-set entries into `partition` (size of its
+  /// remembered set in pointers, not targets).
+  size_t EntryCountForPartition(PartitionId partition) const;
+
+ private:
+  // target -> external pointer locations referencing it.
+  std::unordered_map<ObjectId, std::vector<PointerLocation>>
+      entries_by_target_;
+  // partition -> ids of externally referenced objects living there.
+  std::unordered_map<PartitionId, std::set<ObjectId>> targets_in_partition_;
+  // source -> its out-pointers (slot, target).
+  std::unordered_map<ObjectId, std::vector<std::pair<uint32_t, ObjectId>>>
+      out_pointers_by_source_;
+  // partition -> ids of out-pointer-holding objects living there.
+  std::unordered_map<PartitionId, std::set<ObjectId>> sources_in_partition_;
+
+  size_t entry_count_ = 0;
+};
+
+/// Rebuilds the complete index by scanning the store's shadow graph — the
+/// index is derivable state, so checkpoint images do not carry it and a
+/// restored heap reconstructs it with this.
+InterPartitionIndex BuildIndexFromStore(const ObjectStore& store);
+
+}  // namespace odbgc
+
+#endif  // ODBGC_CORE_REMEMBERED_SET_H_

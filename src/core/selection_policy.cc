@@ -1,0 +1,33 @@
+#include "core/selection_policy.h"
+
+namespace odbgc {
+
+const std::vector<PolicyKind>& AllPolicyKinds() {
+  static const std::vector<PolicyKind>* const kAll = new std::vector<PolicyKind>{
+      PolicyKind::kNoCollection,    PolicyKind::kMutatedPartition,
+      PolicyKind::kRandom,          PolicyKind::kWeightedPointer,
+      PolicyKind::kUpdatedPointer,  PolicyKind::kMostGarbage,
+  };
+  return *kAll;
+}
+
+const char* PolicyName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kNoCollection: return "NoCollection";
+    case PolicyKind::kMutatedPartition: return "MutatedPartition";
+    case PolicyKind::kUpdatedPointer: return "UpdatedPointer";
+    case PolicyKind::kWeightedPointer: return "WeightedPointer";
+    case PolicyKind::kRandom: return "Random";
+    case PolicyKind::kMostGarbage: return "MostGarbage";
+  }
+  return "Unknown";
+}
+
+Result<PolicyKind> ParsePolicyName(const std::string& name) {
+  for (PolicyKind kind : AllPolicyKinds()) {
+    if (name == PolicyName(kind)) return kind;
+  }
+  return Status::InvalidArgument("unknown policy name: " + name);
+}
+
+}  // namespace odbgc

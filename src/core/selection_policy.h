@@ -1,0 +1,103 @@
+#ifndef ODBGC_CORE_SELECTION_POLICY_H_
+#define ODBGC_CORE_SELECTION_POLICY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "odb/object_id.h"
+#include "odb/object_store.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace odbgc {
+
+/// The six partition selection policies of the paper (Section 3.1).
+enum class PolicyKind {
+  /// Never collect; grow the database instead (upper space bound).
+  kNoCollection,
+  /// Most pointer stores into a partition since its last collection
+  /// (the enhanced Yong/Naughton/Yu heuristic).
+  kMutatedPartition,
+  /// Most overwritten pointers that pointed *into* a partition — the
+  /// paper's winning policy.
+  kUpdatedPointer,
+  /// Like UpdatedPointer, but each overwrite weighted 2^(16-w) by the old
+  /// target's root-distance weight w.
+  kWeightedPointer,
+  /// Uniformly random partition (control).
+  kRandom,
+  /// Oracle: the partition currently containing the most garbage
+  /// (near-optimal, impractical to implement outside a simulator).
+  kMostGarbage,
+};
+
+/// All six kinds, in the paper's table order.
+const std::vector<PolicyKind>& AllPolicyKinds();
+
+/// "UpdatedPointer", "MostGarbage", ...
+const char* PolicyName(PolicyKind kind);
+
+/// Parses a policy name (exact match); InvalidArgument if unknown.
+Result<PolicyKind> ParsePolicyName(const std::string& name);
+
+/// Everything a policy may consult when choosing a victim partition.
+struct SelectionContext {
+  /// Partitions eligible for collection: every non-empty partition except
+  /// the reserved copy target. Ascending id order.
+  std::vector<PartitionId> candidates;
+  /// Actual garbage bytes per partition (indexed by partition id). Only
+  /// populated when an oracle census was run (MostGarbage); empty
+  /// otherwise.
+  std::vector<uint64_t> garbage_bytes_per_partition;
+};
+
+/// A partition selection policy. The heap notifies the policy of every
+/// pointer store (the write-barrier hook it shares with the remembered-set
+/// machinery) and of each completed collection; when a collection triggers,
+/// `Select` chooses the victim.
+///
+/// Implementations must be deterministic given the notification sequence
+/// (Random draws from an explicitly seeded Rng).
+class SelectionPolicy {
+ public:
+  virtual ~SelectionPolicy() = default;
+
+  virtual PolicyKind kind() const = 0;
+
+  /// Notification of one pointer store. `old_target_weight` is the
+  /// root-distance weight of the overwritten target at the moment of the
+  /// store (kMaxWeight when weights are not maintained); only
+  /// WeightedPointer consumes it.
+  virtual void OnPointerStore(const SlotWriteEvent& event,
+                              uint8_t old_target_weight) {
+    (void)event;
+    (void)old_target_weight;
+  }
+
+  /// Notification that `partition` was just collected; policies reset that
+  /// partition's accumulated hints ("zero the counter and begin again").
+  virtual void OnPartitionCollected(PartitionId partition) {
+    (void)partition;
+  }
+
+  /// Chooses the partition to collect. Returns kInvalidPartition if the
+  /// policy declines (NoCollection, or no candidates).
+  virtual PartitionId Select(const SelectionContext& context) = 0;
+
+  /// The policy's current hint value for `partition` (counter, weighted
+  /// sum, or garbage estimate) — exposed for tests and inspection tools.
+  virtual double Score(PartitionId partition) const {
+    (void)partition;
+    return 0.0;
+  }
+};
+
+/// Creates a policy instance. `seed` feeds Random's generator; other
+/// policies ignore it.
+std::unique_ptr<SelectionPolicy> MakePolicy(PolicyKind kind, uint64_t seed);
+
+}  // namespace odbgc
+
+#endif  // ODBGC_CORE_SELECTION_POLICY_H_

@@ -1,0 +1,51 @@
+#include "core/weights.h"
+
+#include <deque>
+
+namespace odbgc {
+
+uint8_t WeightTracker::GetWeight(ObjectId object) const {
+  auto it = weights_.find(object);
+  return it == weights_.end() ? kMaxWeight : it->second;
+}
+
+Status WeightTracker::OnRootAdded(ObjectId object) {
+  return Relax(object, kRootWeight);
+}
+
+Status WeightTracker::OnPointerStored(ObjectId source, ObjectId target) {
+  if (target.is_null()) return Status::Ok();
+  const uint8_t sw = GetWeight(source);
+  const uint8_t candidate =
+      sw >= kMaxWeight ? kMaxWeight : static_cast<uint8_t>(sw + 1);
+  return Relax(target, candidate);
+}
+
+Status WeightTracker::Relax(ObjectId object, uint8_t w) {
+  if (object.is_null() || w >= GetWeight(object)) return Status::Ok();
+
+  std::deque<std::pair<ObjectId, uint8_t>> queue;
+  queue.push_back({object, w});
+  while (!queue.empty()) {
+    auto [id, weight] = queue.front();
+    queue.pop_front();
+    if (weight >= GetWeight(id)) continue;
+    weights_[id] = weight;
+    if (charge_io_) {
+      // The 4-bit weight lives in the object header on its page.
+      ODBGC_RETURN_IF_ERROR(store_->TouchHeader(id, AccessMode::kWrite));
+    }
+    if (weight + 1 >= kMaxWeight) continue;  // Children can't improve.
+    const ObjectStore::ObjectInfo* info = store_->Lookup(id);
+    if (info == nullptr) continue;
+    const uint8_t next = static_cast<uint8_t>(weight + 1);
+    for (ObjectId child : info->slots) {
+      if (!child.is_null() && next < GetWeight(child)) {
+        queue.push_back({child, next});
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace odbgc

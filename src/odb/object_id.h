@@ -1,0 +1,50 @@
+#ifndef ODBGC_ODB_OBJECT_ID_H_
+#define ODBGC_ODB_OBJECT_ID_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace odbgc {
+
+/// Stable logical identity of a database object. Object slots store
+/// ObjectIds (not physical addresses), and the object table maps an id to
+/// its current physical location — the classic ODBMS indirection that lets
+/// a copying collector relocate objects without rewriting every pointer to
+/// them. Identity never changes over an object's lifetime; ids are never
+/// reused.
+struct ObjectId {
+  uint64_t value = 0;  // 0 is the null reference.
+
+  constexpr bool is_null() const { return value == 0; }
+  constexpr explicit operator bool() const { return value != 0; }
+
+  friend constexpr bool operator==(ObjectId a, ObjectId b) {
+    return a.value == b.value;
+  }
+  friend constexpr bool operator<(ObjectId a, ObjectId b) {
+    return a.value < b.value;
+  }
+};
+
+/// The null reference.
+inline constexpr ObjectId kNullObjectId{0};
+
+/// Index of a partition in the store's partition directory.
+using PartitionId = uint32_t;
+
+/// Sentinel for "no partition".
+inline constexpr PartitionId kInvalidPartition =
+    std::numeric_limits<PartitionId>::max();
+
+}  // namespace odbgc
+
+template <>
+struct std::hash<odbgc::ObjectId> {
+  size_t operator()(odbgc::ObjectId id) const noexcept {
+    // Fibonacci hashing; ids are sequential so identity hashing clusters.
+    return static_cast<size_t>(id.value * 0x9e3779b97f4a7c15ULL);
+  }
+};
+
+#endif  // ODBGC_ODB_OBJECT_ID_H_

@@ -1,0 +1,89 @@
+#include "odb/object_layout.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace odbgc {
+
+namespace {
+
+void PutU16(std::span<std::byte> out, size_t at, uint16_t v) {
+  out[at] = static_cast<std::byte>(v & 0xff);
+  out[at + 1] = static_cast<std::byte>((v >> 8) & 0xff);
+}
+
+void PutU32(std::span<std::byte> out, size_t at, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out[at + i] = static_cast<std::byte>((v >> (8 * i)) & 0xff);
+  }
+}
+
+void PutU64(std::span<std::byte> out, size_t at, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out[at + i] = static_cast<std::byte>((v >> (8 * i)) & 0xff);
+  }
+}
+
+uint16_t GetU16(std::span<const std::byte> in, size_t at) {
+  return static_cast<uint16_t>(std::to_integer<uint16_t>(in[at]) |
+                               (std::to_integer<uint16_t>(in[at + 1]) << 8));
+}
+
+uint32_t GetU32(std::span<const std::byte> in, size_t at) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= std::to_integer<uint32_t>(in[at + i]) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetU64(std::span<const std::byte> in, size_t at) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= std::to_integer<uint64_t>(in[at + i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void EncodeObjectHeader(const ObjectHeader& header, std::span<std::byte> out) {
+  assert(out.size() >= kObjectHeaderSize);
+  PutU16(out, 0, kObjectMagic);
+  out[2] = static_cast<std::byte>(header.weight);
+  out[3] = static_cast<std::byte>(header.flags);
+  PutU64(out, 4, header.id.value);
+  PutU32(out, 12, header.size);
+  PutU32(out, 16, header.num_slots);
+}
+
+Result<ObjectHeader> DecodeObjectHeader(std::span<const std::byte> in) {
+  if (in.size() < kObjectHeaderSize) {
+    return Status::Corruption("object header truncated");
+  }
+  if (GetU16(in, 0) != kObjectMagic) {
+    return Status::Corruption("bad object magic");
+  }
+  ObjectHeader h;
+  h.weight = std::to_integer<uint8_t>(in[2]);
+  h.flags = std::to_integer<uint8_t>(in[3]);
+  h.id = ObjectId{GetU64(in, 4)};
+  h.size = GetU32(in, 12);
+  h.num_slots = GetU32(in, 16);
+  if (h.size < MinObjectSize(h.num_slots)) {
+    return Status::Corruption("object size below minimum for slot count");
+  }
+  return h;
+}
+
+void EncodeSlot(ObjectId target, std::span<std::byte> out) {
+  assert(out.size() >= kSlotSize);
+  PutU64(out, 0, target.value);
+}
+
+ObjectId DecodeSlot(std::span<const std::byte> in) {
+  assert(in.size() >= kSlotSize);
+  return ObjectId{GetU64(in, 0)};
+}
+
+}  // namespace odbgc

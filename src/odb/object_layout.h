@@ -1,0 +1,68 @@
+#ifndef ODBGC_ODB_OBJECT_LAYOUT_H_
+#define ODBGC_ODB_OBJECT_LAYOUT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "odb/object_id.h"
+#include "util/status.h"
+
+namespace odbgc {
+
+/// On-page object header. Objects are stored contiguously in a partition's
+/// byte space as: header, then `num_slots` 8-byte ObjectId slots, then an
+/// opaque data payload filling the remaining `size` bytes.
+///
+/// Serialized little-endian as:
+///   magic      u16   (kObjectMagic)
+///   weight     u8    root-distance weight, 1..16 (the paper stores 4 bits
+///                    per object; a byte is the addressable equivalent)
+///   flags      u8    kFlagLarge for OO7-style large leaf objects
+///   id         u64
+///   size       u32   total object footprint in bytes (header included)
+///   num_slots  u32
+struct ObjectHeader {
+  ObjectId id;
+  uint32_t size = 0;
+  uint32_t num_slots = 0;
+  uint8_t weight = 16;
+  uint8_t flags = 0;
+};
+
+inline constexpr uint16_t kObjectMagic = 0xDB0B;
+inline constexpr uint8_t kFlagLarge = 0x01;
+
+/// Serialized header footprint.
+inline constexpr size_t kObjectHeaderSize = 2 + 1 + 1 + 8 + 4 + 4;
+
+/// Bytes of one pointer slot.
+inline constexpr size_t kSlotSize = 8;
+
+/// Minimum legal object size for `num_slots` slots.
+constexpr size_t MinObjectSize(uint32_t num_slots) {
+  return kObjectHeaderSize + num_slots * kSlotSize;
+}
+
+/// Byte offset of slot `slot` from the start of the object.
+constexpr size_t SlotOffset(uint32_t slot) {
+  return kObjectHeaderSize + slot * kSlotSize;
+}
+
+/// Serializes `header` into `out` (at least kObjectHeaderSize bytes).
+void EncodeObjectHeader(const ObjectHeader& header, std::span<std::byte> out);
+
+/// Parses a header from `in` (at least kObjectHeaderSize bytes). Returns
+/// Corruption if the magic does not match or the fields are inconsistent
+/// (size below minimum for the slot count).
+Result<ObjectHeader> DecodeObjectHeader(std::span<const std::byte> in);
+
+/// Serializes a slot value (little-endian u64).
+void EncodeSlot(ObjectId target, std::span<std::byte> out);
+
+/// Parses a slot value.
+ObjectId DecodeSlot(std::span<const std::byte> in);
+
+}  // namespace odbgc
+
+#endif  // ODBGC_ODB_OBJECT_LAYOUT_H_

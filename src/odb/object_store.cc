@@ -1,0 +1,565 @@
+#include "odb/object_store.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace odbgc {
+
+ObjectStore::ObjectStore(const StoreOptions& options, SimulatedDisk* disk,
+                         BufferPool* buffer)
+    : options_(options), disk_(disk), buffer_(buffer) {
+  assert(disk_ != nullptr && buffer_ != nullptr);
+  assert(options_.pages_per_partition > 0);
+  AddPartition();  // Partition 0: first allocatable partition.
+  if (options_.reserve_empty_partition) {
+    empty_partition_ = AddPartition();
+  }
+}
+
+ObjectStore::ObjectStore(const StoreOptions& options, SimulatedDisk* disk,
+                         BufferPool* buffer, RestoreTag)
+    : options_(options), disk_(disk), buffer_(buffer) {
+  assert(disk_ != nullptr && buffer_ != nullptr);
+}
+
+StoreImage ObjectStore::ExtractImage() const {
+  StoreImage image;
+  image.page_size = options_.page_size;
+  image.pages_per_partition = options_.pages_per_partition;
+  image.reserve_empty_partition = options_.reserve_empty_partition;
+  image.empty_partition = empty_partition_;
+  image.next_id = next_id_;
+  for (const Partition& partition : partitions_) {
+    image.partitions.push_back({partition.allocated_bytes()});
+  }
+  for (const Partition& partition : partitions_) {
+    for (const auto& [offset, id] : partition.objects_by_offset()) {
+      const ObjectInfo& info = table_.at(id);
+      StoreImage::ObjectImage object;
+      object.id = id;
+      object.partition = info.partition;
+      object.offset = info.offset;
+      object.size = info.size;
+      object.num_slots = info.num_slots;
+      object.flags = info.flags;
+      object.slots = info.slots;
+      image.objects.push_back(std::move(object));
+    }
+  }
+  image.roots = roots_;
+  return image;
+}
+
+Result<std::unique_ptr<ObjectStore>> ObjectStore::Restore(
+    const StoreImage& image, SimulatedDisk* disk, BufferPool* buffer) {
+  StoreOptions options;
+  options.page_size = image.page_size;
+  options.pages_per_partition = image.pages_per_partition;
+  options.reserve_empty_partition = image.reserve_empty_partition;
+  if (options.page_size == 0 || options.pages_per_partition == 0) {
+    return Status::Corruption("image: bad geometry");
+  }
+  if (disk->num_pages() != 0) {
+    return Status::InvalidArgument("Restore requires an empty disk");
+  }
+
+  auto store = std::unique_ptr<ObjectStore>(
+      new ObjectStore(options, disk, buffer, RestoreTag{}));
+
+  for (const auto& partition_image : image.partitions) {
+    const PartitionId id = store->AddPartition();
+    if (partition_image.alloc_offset >
+        store->partitions_[id].capacity_bytes()) {
+      return Status::Corruption("image: partition alloc beyond capacity");
+    }
+    store->partitions_[id].RestoreAllocOffset(partition_image.alloc_offset);
+  }
+  if (image.empty_partition != kInvalidPartition &&
+      image.empty_partition >= store->partitions_.size()) {
+    return Status::Corruption("image: bad empty partition");
+  }
+  store->empty_partition_ = image.empty_partition;
+  store->next_id_ = image.next_id;
+
+  // First pass: register every object (bounds + uniqueness checks).
+  for (const auto& object : image.objects) {
+    if (object.id.is_null() || object.id.value >= image.next_id) {
+      return Status::Corruption("image: object id out of range");
+    }
+    if (object.partition >= store->partitions_.size()) {
+      return Status::Corruption("image: object in unknown partition");
+    }
+    Partition& partition = store->partitions_[object.partition];
+    if (object.size < MinObjectSize(object.num_slots) ||
+        static_cast<uint64_t>(object.offset) + object.size >
+            partition.allocated_bytes()) {
+      return Status::Corruption("image: object bounds invalid");
+    }
+    if (object.slots.size() != object.num_slots) {
+      return Status::Corruption("image: slot count mismatch");
+    }
+    ObjectInfo info;
+    info.partition = object.partition;
+    info.offset = object.offset;
+    info.size = object.size;
+    info.num_slots = object.num_slots;
+    info.flags = object.flags;
+    info.slots = object.slots;
+    if (!store->table_.emplace(object.id, std::move(info)).second) {
+      return Status::Corruption("image: duplicate object id");
+    }
+    partition.AddObject(object.offset, object.id);
+    store->live_bytes_ += object.size;
+  }
+
+  // Overlap check per partition (roster is offset-ordered). Two objects
+  // at the same offset collide in the roster map, so a count mismatch is
+  // also an overlap.
+  size_t roster_total = 0;
+  for (const Partition& partition : store->partitions_) {
+    uint32_t prev_end = 0;
+    for (const auto& [offset, id] : partition.objects_by_offset()) {
+      if (offset < prev_end) {
+        return Status::Corruption("image: overlapping objects");
+      }
+      prev_end = offset + store->table_.at(id).size;
+      ++roster_total;
+    }
+  }
+  if (roster_total != store->table_.size()) {
+    return Status::Corruption("image: objects share an offset");
+  }
+
+  // Slot referents and roots must exist.
+  for (const auto& object : image.objects) {
+    for (ObjectId target : object.slots) {
+      if (!target.is_null() && store->table_.count(target) == 0) {
+        return Status::Corruption("image: dangling slot reference");
+      }
+    }
+  }
+  for (ObjectId root : image.roots) {
+    if (store->table_.count(root) == 0) {
+      return Status::Corruption("image: dangling root");
+    }
+    ODBGC_RETURN_IF_ERROR(store->AddRoot(root));
+  }
+
+  // Second pass: re-materialize headers and slots into pages.
+  for (const auto& object : image.objects) {
+    std::vector<std::byte> bytes(MinObjectSize(object.num_slots));
+    ObjectHeader header;
+    header.id = object.id;
+    header.size = object.size;
+    header.num_slots = object.num_slots;
+    header.flags = object.flags;
+    EncodeObjectHeader(header, bytes);
+    for (uint32_t s = 0; s < object.num_slots; ++s) {
+      EncodeSlot(object.slots[s], std::span<std::byte>(bytes).subspan(
+                                      SlotOffset(s), kSlotSize));
+    }
+    ODBGC_RETURN_IF_ERROR(
+        store->WriteBytes(object.partition, object.offset, bytes));
+  }
+  return store;
+}
+
+PartitionId ObjectStore::AddPartition() {
+  const PartitionId id = static_cast<PartitionId>(partitions_.size());
+  PageExtent extent = disk_->AllocatePages(options_.pages_per_partition);
+  partitions_.emplace_back(id, extent, options_.page_size);
+  return id;
+}
+
+const ObjectStore::ObjectInfo* ObjectStore::Lookup(ObjectId object) const {
+  if (object.is_null()) return nullptr;
+  auto it = table_.find(object);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+ObjectStore::ObjectInfo* ObjectStore::MutableLookup(ObjectId object) {
+  if (object.is_null()) return nullptr;
+  auto it = table_.find(object);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+bool ObjectStore::TryPlace(PartitionId partition, uint32_t size,
+                           uint32_t* offset) {
+  if (partition == empty_partition_) return false;
+  return partitions_[partition].TryAllocate(size, offset);
+}
+
+PartitionId ObjectStore::ChoosePartition(uint32_t size, ObjectId parent_hint) {
+  // Round-robin: rotate over partitions with room (control policy that
+  // deliberately destroys clustering).
+  if (options_.placement == PlacementPolicy::kRoundRobin) {
+    const size_t n = partitions_.size();
+    for (size_t step = 1; step <= n; ++step) {
+      const PartitionId p =
+          static_cast<PartitionId>((round_robin_cursor_ + step) % n);
+      if (p == empty_partition_) continue;
+      if (partitions_[p].free_bytes() >= size) {
+        round_robin_cursor_ = p;
+        return p;
+      }
+    }
+    return AddPartition();
+  }
+
+  // 1. Near the parent (the paper's placement policy).
+  if (options_.placement == PlacementPolicy::kNearParent) {
+    if (const ObjectInfo* parent = Lookup(parent_hint)) {
+      if (partitions_[parent->partition].free_bytes() >= size &&
+          parent->partition != empty_partition_) {
+        return parent->partition;
+      }
+    }
+  }
+  // 2. The current allocation partition, so parentless allocations (new
+  //    tree roots) stream into one partition in creation order.
+  if (current_alloc_partition_ < partitions_.size() &&
+      current_alloc_partition_ != empty_partition_ &&
+      partitions_[current_alloc_partition_].free_bytes() >= size) {
+    return current_alloc_partition_;
+  }
+  // 3. First fit over existing partitions.
+  for (const Partition& p : partitions_) {
+    if (p.id() != empty_partition_ && p.free_bytes() >= size) return p.id();
+  }
+  // 4. Grow the database by one partition ("when free space is exhausted").
+  return AddPartition();
+}
+
+Result<ObjectId> ObjectStore::Allocate(uint32_t size, uint32_t num_slots,
+                                       ObjectId parent_hint, uint8_t flags) {
+  if (size < MinObjectSize(num_slots)) {
+    return Status::InvalidArgument("object size below header+slots minimum");
+  }
+  if (size > partition_bytes()) {
+    return Status::InvalidArgument("object larger than a partition");
+  }
+
+  const PartitionId pid = ChoosePartition(size, parent_hint);
+  uint32_t offset = 0;
+  if (!TryPlace(pid, size, &offset)) {
+    return Status::ResourceExhausted("partition chosen for allocation full");
+  }
+  current_alloc_partition_ = pid;
+
+  const ObjectId id{next_id_++};
+  ObjectInfo info;
+  info.partition = pid;
+  info.offset = offset;
+  info.size = size;
+  info.num_slots = num_slots;
+  info.flags = flags;
+  info.slots.assign(num_slots, kNullObjectId);
+  partitions_[pid].AddObject(offset, id);
+  live_bytes_ += size;
+  table_.emplace(id, std::move(info));
+
+  // Serialize header + null slots; charge writes covering the whole new
+  // object (a freshly created object is written in its entirety).
+  std::vector<std::byte> image(MinObjectSize(num_slots));
+  ObjectHeader header;
+  header.id = id;
+  header.size = size;
+  header.num_slots = num_slots;
+  header.weight = 16;
+  header.flags = flags;
+  EncodeObjectHeader(header, image);
+  for (uint32_t s = 0; s < num_slots; ++s) {
+    EncodeSlot(kNullObjectId,
+               std::span<std::byte>(image).subspan(SlotOffset(s), kSlotSize));
+  }
+  ODBGC_RETURN_IF_ERROR(WriteBytes(pid, offset, image));
+  // The payload area beyond header+slots is charged but not transferred.
+  if (size > image.size()) {
+    ODBGC_RETURN_IF_ERROR(TouchRange(pid, offset + image.size(),
+                                     size - static_cast<uint32_t>(image.size()),
+                                     AccessMode::kWrite));
+  }
+  return id;
+}
+
+Status ObjectStore::WriteSlot(ObjectId source, uint32_t slot,
+                              ObjectId target) {
+  ObjectInfo* info = MutableLookup(source);
+  if (info == nullptr) {
+    return Status::NotFound("WriteSlot: source object not found");
+  }
+  if (slot >= info->num_slots) {
+    return Status::OutOfRange("WriteSlot: slot index out of range");
+  }
+  if (!target.is_null() && !Exists(target)) {
+    return Status::NotFound("WriteSlot: target object not found");
+  }
+
+  const ObjectId old_target = info->slots[slot];
+
+  SlotWriteEvent event;
+  event.source = source;
+  event.source_partition = info->partition;
+  event.slot = slot;
+  event.old_target = old_target;
+  if (const ObjectInfo* t = Lookup(old_target)) {
+    event.old_target_partition = t->partition;
+  }
+  event.new_target = target;
+  if (const ObjectInfo* t = Lookup(target)) {
+    event.new_target_partition = t->partition;
+  }
+
+  // Update shadow and serialized state. One write access to the slot's
+  // page; the old value lives on the same page, so reading it first (as
+  // UpdatedPointer requires) costs no extra I/O — exactly the paper's
+  // argument for that policy's cheapness.
+  info->slots[slot] = target;
+  std::byte image[kSlotSize];
+  EncodeSlot(target, image);
+  ODBGC_RETURN_IF_ERROR(WriteBytes(
+      info->partition, info->offset + static_cast<uint32_t>(SlotOffset(slot)),
+      std::span<const std::byte>(image, kSlotSize)));
+
+  if (observer_ != nullptr) observer_->OnSlotWrite(event);
+  return Status::Ok();
+}
+
+Result<ObjectId> ObjectStore::ReadSlot(ObjectId source, uint32_t slot) {
+  const ObjectInfo* info = Lookup(source);
+  if (info == nullptr) {
+    return Status::NotFound("ReadSlot: source object not found");
+  }
+  if (slot >= info->num_slots) {
+    return Status::OutOfRange("ReadSlot: slot index out of range");
+  }
+  ODBGC_RETURN_IF_ERROR(TouchRange(
+      info->partition, info->offset + static_cast<uint32_t>(SlotOffset(slot)),
+      kSlotSize, AccessMode::kRead));
+  return info->slots[slot];
+}
+
+Status ObjectStore::VisitObject(ObjectId object) {
+  const ObjectInfo* info = Lookup(object);
+  if (info == nullptr) {
+    return Status::NotFound("VisitObject: object not found");
+  }
+  return TouchRange(info->partition, info->offset,
+                    static_cast<uint32_t>(MinObjectSize(info->num_slots)),
+                    AccessMode::kRead);
+}
+
+Status ObjectStore::WriteData(ObjectId object) {
+  const ObjectInfo* info = Lookup(object);
+  if (info == nullptr) {
+    return Status::NotFound("WriteData: object not found");
+  }
+  const uint32_t payload_start =
+      static_cast<uint32_t>(MinObjectSize(info->num_slots));
+  const uint32_t at =
+      info->size > payload_start ? info->offset + payload_start : info->offset;
+  return TouchRange(info->partition, at, 1, AccessMode::kWrite);
+}
+
+Status ObjectStore::AddRoot(ObjectId object) {
+  if (!Exists(object)) return Status::NotFound("AddRoot: object not found");
+  if (root_index_.count(object) > 0) return Status::Ok();
+  root_index_.emplace(object, roots_.size());
+  roots_.push_back(object);
+  return Status::Ok();
+}
+
+Status ObjectStore::RemoveRoot(ObjectId object) {
+  auto it = root_index_.find(object);
+  if (it == root_index_.end()) {
+    return Status::NotFound("RemoveRoot: not a root");
+  }
+  // Swap-with-last keeps removal O(1) while the vector stays deterministic.
+  const size_t pos = it->second;
+  const ObjectId last = roots_.back();
+  roots_[pos] = last;
+  root_index_[last] = pos;
+  roots_.pop_back();
+  root_index_.erase(it);
+  return Status::Ok();
+}
+
+Status ObjectStore::RelocateObject(ObjectId object, PartitionId target) {
+  ObjectInfo* info = MutableLookup(object);
+  if (info == nullptr) {
+    return Status::NotFound("RelocateObject: object not found");
+  }
+  if (target >= partitions_.size()) {
+    return Status::OutOfRange("RelocateObject: bad target partition");
+  }
+  uint32_t new_offset = 0;
+  if (!partitions_[target].TryAllocate(info->size, &new_offset)) {
+    return Status::ResourceExhausted(
+        "RelocateObject: target partition cannot hold object");
+  }
+
+  // Physical copy, page by page: read at source, write at destination.
+  const PartitionId src_partition = info->partition;
+  const uint32_t src_offset = info->offset;
+  uint32_t copied = 0;
+  std::vector<std::byte> chunk;
+  while (copied < info->size) {
+    const uint32_t page_size = static_cast<uint32_t>(options_.page_size);
+    const uint32_t src_at = src_offset + copied;
+    const uint32_t dst_at = new_offset + copied;
+    // Largest run that stays within one source page and one dest page.
+    const uint32_t src_room = page_size - src_at % page_size;
+    const uint32_t dst_room = page_size - dst_at % page_size;
+    const uint32_t len =
+        std::min({info->size - copied, src_room, dst_room});
+    chunk.resize(len);
+    ODBGC_RETURN_IF_ERROR(
+        ReadBytes(src_partition, src_at, chunk, AccessMode::kRead));
+    ODBGC_RETURN_IF_ERROR(WriteBytes(target, dst_at, chunk));
+    copied += len;
+  }
+
+  partitions_[src_partition].RemoveObject(src_offset);
+  partitions_[target].AddObject(new_offset, object);
+  info->partition = target;
+  info->offset = new_offset;
+  return Status::Ok();
+}
+
+Status ObjectStore::DropObject(ObjectId object) {
+  auto it = table_.find(object);
+  if (it == table_.end()) {
+    return Status::NotFound("DropObject: object not found");
+  }
+  if (root_index_.count(object) > 0) {
+    return Status::FailedPrecondition("DropObject: object is a root");
+  }
+  partitions_[it->second.partition].RemoveObject(it->second.offset);
+  live_bytes_ -= it->second.size;
+  table_.erase(it);
+  return Status::Ok();
+}
+
+Status ObjectStore::SwapEmptyPartition(PartitionId id) {
+  if (id >= partitions_.size()) {
+    return Status::OutOfRange("SwapEmptyPartition: bad partition");
+  }
+  if (!partitions_[id].empty()) {
+    return Status::FailedPrecondition(
+        "SwapEmptyPartition: partition still holds objects");
+  }
+  partitions_[id].Reset();
+  // Its page contents are garbage; drop them from the buffer without
+  // spending write-back I/O on them.
+  buffer_->DiscardExtent(partitions_[id].extent());
+  empty_partition_ = id;
+  return Status::Ok();
+}
+
+Status ObjectStore::TouchHeader(ObjectId object, AccessMode mode) {
+  const ObjectInfo* info = Lookup(object);
+  if (info == nullptr) {
+    return Status::NotFound("TouchHeader: object not found");
+  }
+  return TouchRange(info->partition, info->offset,
+                    static_cast<uint32_t>(kObjectHeaderSize), mode);
+}
+
+Status ObjectStore::ReadBytes(PartitionId partition, uint32_t offset,
+                              std::span<std::byte> out, AccessMode mode) {
+  if (partition >= partitions_.size()) {
+    return Status::OutOfRange("ReadBytes: bad partition");
+  }
+  const Partition& p = partitions_[partition];
+  if (static_cast<uint64_t>(offset) + out.size() > p.capacity_bytes()) {
+    return Status::OutOfRange("ReadBytes: range beyond partition");
+  }
+  const uint32_t page_size = static_cast<uint32_t>(options_.page_size);
+  size_t done = 0;
+  while (done < out.size()) {
+    const uint32_t at = offset + static_cast<uint32_t>(done);
+    const PageId page = p.extent().first_page + at / page_size;
+    const uint32_t in_page = at % page_size;
+    const size_t len =
+        std::min(out.size() - done, static_cast<size_t>(page_size - in_page));
+    auto frame = buffer_->GetPage(page, mode);
+    ODBGC_RETURN_IF_ERROR(frame.status());
+    std::memcpy(out.data() + done, frame->data() + in_page, len);
+    done += len;
+  }
+  return Status::Ok();
+}
+
+Status ObjectStore::WriteBytes(PartitionId partition, uint32_t offset,
+                               std::span<const std::byte> data) {
+  if (partition >= partitions_.size()) {
+    return Status::OutOfRange("WriteBytes: bad partition");
+  }
+  const Partition& p = partitions_[partition];
+  if (static_cast<uint64_t>(offset) + data.size() > p.capacity_bytes()) {
+    return Status::OutOfRange("WriteBytes: range beyond partition");
+  }
+  const uint32_t page_size = static_cast<uint32_t>(options_.page_size);
+  size_t done = 0;
+  while (done < data.size()) {
+    const uint32_t at = offset + static_cast<uint32_t>(done);
+    const PageId page = p.extent().first_page + at / page_size;
+    const uint32_t in_page = at % page_size;
+    const size_t len =
+        std::min(data.size() - done, static_cast<size_t>(page_size - in_page));
+    auto frame = buffer_->GetPage(page, AccessMode::kWrite);
+    ODBGC_RETURN_IF_ERROR(frame.status());
+    std::memcpy(frame->data() + in_page, data.data() + done, len);
+    done += len;
+  }
+  return Status::Ok();
+}
+
+Status ObjectStore::TouchRange(PartitionId partition, uint32_t offset,
+                               uint32_t length, AccessMode mode) {
+  if (partition >= partitions_.size()) {
+    return Status::OutOfRange("TouchRange: bad partition");
+  }
+  const Partition& p = partitions_[partition];
+  if (static_cast<uint64_t>(offset) + length > p.capacity_bytes()) {
+    return Status::OutOfRange("TouchRange: range beyond partition");
+  }
+  const uint32_t page_size = static_cast<uint32_t>(options_.page_size);
+  const PageId first = p.extent().first_page + offset / page_size;
+  const PageId last = p.extent().first_page + (offset + length - 1) / page_size;
+  for (PageId page = first; page <= last; ++page) {
+    auto frame = buffer_->GetPage(page, mode);
+    ODBGC_RETURN_IF_ERROR(frame.status());
+  }
+  return Status::Ok();
+}
+
+Result<ObjectHeader> ObjectStore::ReadHeaderFromPages(ObjectId object) {
+  const ObjectInfo* info = Lookup(object);
+  if (info == nullptr) {
+    return Status::NotFound("ReadHeaderFromPages: object not found");
+  }
+  std::byte image[kObjectHeaderSize];
+  ODBGC_RETURN_IF_ERROR(ReadBytes(info->partition, info->offset,
+                                  std::span<std::byte>(image)));
+  return DecodeObjectHeader(std::span<const std::byte>(image));
+}
+
+Result<ObjectId> ObjectStore::ReadSlotFromPages(ObjectId object,
+                                                uint32_t slot) {
+  const ObjectInfo* info = Lookup(object);
+  if (info == nullptr) {
+    return Status::NotFound("ReadSlotFromPages: object not found");
+  }
+  if (slot >= info->num_slots) {
+    return Status::OutOfRange("ReadSlotFromPages: slot out of range");
+  }
+  std::byte image[kSlotSize];
+  ODBGC_RETURN_IF_ERROR(ReadBytes(
+      info->partition, info->offset + static_cast<uint32_t>(SlotOffset(slot)),
+      std::span<std::byte>(image)));
+  return DecodeSlot(std::span<const std::byte>(image));
+}
+
+}  // namespace odbgc

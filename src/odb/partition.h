@@ -1,0 +1,78 @@
+#ifndef ODBGC_ODB_PARTITION_H_
+#define ODBGC_ODB_PARTITION_H_
+
+#include <cstdint>
+#include <map>
+
+#include "odb/object_id.h"
+#include "storage/extent.h"
+#include "storage/page.h"
+
+namespace odbgc {
+
+/// Metadata for one physically contiguous partition of the database.
+///
+/// A partition is the unit of independent collection (the paper's GC
+/// partition equals the database partition). Space within a partition is
+/// bump-allocated; internal space is reclaimed only by copying collection,
+/// which compacts the partition's live objects into the empty partition.
+class Partition {
+ public:
+  Partition(PartitionId id, PageExtent extent, size_t page_size)
+      : id_(id),
+        extent_(extent),
+        capacity_bytes_(static_cast<uint32_t>(extent.page_count * page_size)) {}
+
+  PartitionId id() const { return id_; }
+  const PageExtent& extent() const { return extent_; }
+  uint32_t capacity_bytes() const { return capacity_bytes_; }
+
+  /// Current bump pointer: bytes allocated since the partition was last
+  /// (re)set. Includes garbage; only copying collection lowers it.
+  uint32_t allocated_bytes() const { return alloc_offset_; }
+  uint32_t free_bytes() const { return capacity_bytes_ - alloc_offset_; }
+  bool empty() const { return objects_by_offset_.empty(); }
+  size_t object_count() const { return objects_by_offset_.size(); }
+
+  /// Tries to bump-allocate `size` bytes; returns the byte offset within
+  /// the partition, or false if it does not fit.
+  bool TryAllocate(uint32_t size, uint32_t* offset) {
+    if (size > free_bytes()) return false;
+    *offset = alloc_offset_;
+    alloc_offset_ += size;
+    return true;
+  }
+
+  /// Registers an object residing at `offset` (allocation or relocation).
+  void AddObject(uint32_t offset, ObjectId id) {
+    objects_by_offset_.emplace(offset, id);
+  }
+
+  /// Unregisters the object at `offset` (death or relocation away).
+  void RemoveObject(uint32_t offset) { objects_by_offset_.erase(offset); }
+
+  /// Resets the partition to empty (after all its live objects were copied
+  /// out). The bookkeeping map must already be empty.
+  void Reset() { alloc_offset_ = 0; }
+
+  /// Restores the bump pointer when loading a checkpoint image. Must not
+  /// shrink below the highest registered object end.
+  void RestoreAllocOffset(uint32_t offset) { alloc_offset_ = offset; }
+
+  /// Objects resident in this partition, ordered by byte offset — the
+  /// physical scan order, which keeps collection deterministic.
+  const std::map<uint32_t, ObjectId>& objects_by_offset() const {
+    return objects_by_offset_;
+  }
+
+ private:
+  PartitionId id_;
+  PageExtent extent_;
+  uint32_t capacity_bytes_;
+  uint32_t alloc_offset_ = 0;
+  std::map<uint32_t, ObjectId> objects_by_offset_;
+};
+
+}  // namespace odbgc
+
+#endif  // ODBGC_ODB_PARTITION_H_

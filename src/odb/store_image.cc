@@ -1,0 +1,164 @@
+#include "odb/store_image.h"
+
+namespace odbgc {
+
+namespace {
+
+void PutVarint(std::ostream& out, uint64_t v) {
+  while (v >= 0x80) {
+    out.put(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.put(static_cast<char>(v));
+}
+
+Result<uint64_t> GetVarint(std::istream& in) {
+  uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    const int c = in.get();
+    if (c == EOF) return Status::Corruption("image truncated inside varint");
+    v |= static_cast<uint64_t>(c & 0x7f) << shift;
+    if ((c & 0x80) == 0) break;
+    shift += 7;
+    if (shift >= 64) return Status::Corruption("image varint too long");
+  }
+  return v;
+}
+
+void PutU32(std::ostream& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.put(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+Result<uint32_t> GetU32(std::istream& in) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    const int c = in.get();
+    if (c == EOF) return Status::Corruption("image truncated");
+    v |= static_cast<uint32_t>(c) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+Status WriteStoreImage(const StoreImage& image, std::ostream* out) {
+  PutU32(*out, kStoreImageMagic);
+  PutU32(*out, kStoreImageVersion);  // 16 bits used; u32 keeps it simple.
+
+  PutVarint(*out, image.page_size);
+  PutVarint(*out, image.pages_per_partition);
+  out->put(image.reserve_empty_partition ? 1 : 0);
+
+  PutVarint(*out, image.partitions.size());
+  for (const auto& partition : image.partitions) {
+    PutVarint(*out, partition.alloc_offset);
+  }
+  PutVarint(*out, image.empty_partition == kInvalidPartition
+                      ? 0
+                      : static_cast<uint64_t>(image.empty_partition) + 1);
+  PutVarint(*out, image.next_id);
+
+  PutVarint(*out, image.objects.size());
+  for (const auto& object : image.objects) {
+    PutVarint(*out, object.id.value);
+    PutVarint(*out, object.partition);
+    PutVarint(*out, object.offset);
+    PutVarint(*out, object.size);
+    PutVarint(*out, object.num_slots);
+    out->put(static_cast<char>(object.flags));
+    for (ObjectId slot : object.slots) PutVarint(*out, slot.value);
+  }
+
+  PutVarint(*out, image.roots.size());
+  for (ObjectId root : image.roots) PutVarint(*out, root.value);
+
+  out->flush();
+  return out->good() ? Status::Ok()
+                     : Status::IoError("store image write failed");
+}
+
+Result<StoreImage> ReadStoreImage(std::istream* in) {
+  auto magic = GetU32(*in);
+  ODBGC_RETURN_IF_ERROR(magic.status());
+  if (*magic != kStoreImageMagic) {
+    return Status::Corruption("bad store image magic");
+  }
+  auto version = GetU32(*in);
+  ODBGC_RETURN_IF_ERROR(version.status());
+  if (*version != kStoreImageVersion) {
+    return Status::Corruption("unsupported store image version");
+  }
+
+  StoreImage image;
+  auto get = [in](uint64_t* out_value) -> Status {
+    auto v = GetVarint(*in);
+    ODBGC_RETURN_IF_ERROR(v.status());
+    *out_value = *v;
+    return Status::Ok();
+  };
+
+  uint64_t tmp = 0;
+  ODBGC_RETURN_IF_ERROR(get(&tmp));
+  image.page_size = static_cast<size_t>(tmp);
+  ODBGC_RETURN_IF_ERROR(get(&tmp));
+  image.pages_per_partition = static_cast<size_t>(tmp);
+  {
+    const int c = in->get();
+    if (c == EOF) return Status::Corruption("image truncated");
+    image.reserve_empty_partition = (c != 0);
+  }
+
+  ODBGC_RETURN_IF_ERROR(get(&tmp));
+  if (tmp > 1u << 20) return Status::Corruption("image: partition count");
+  image.partitions.resize(tmp);
+  for (auto& partition : image.partitions) {
+    ODBGC_RETURN_IF_ERROR(get(&tmp));
+    partition.alloc_offset = static_cast<uint32_t>(tmp);
+  }
+  ODBGC_RETURN_IF_ERROR(get(&tmp));
+  image.empty_partition =
+      tmp == 0 ? kInvalidPartition : static_cast<PartitionId>(tmp - 1);
+  ODBGC_RETURN_IF_ERROR(get(&image.next_id));
+
+  ODBGC_RETURN_IF_ERROR(get(&tmp));
+  if (tmp > 1ull << 32) return Status::Corruption("image: object count");
+  image.objects.resize(tmp);
+  for (auto& object : image.objects) {
+    ODBGC_RETURN_IF_ERROR(get(&object.id.value));
+    ODBGC_RETURN_IF_ERROR(get(&tmp));
+    object.partition = static_cast<PartitionId>(tmp);
+    ODBGC_RETURN_IF_ERROR(get(&tmp));
+    object.offset = static_cast<uint32_t>(tmp);
+    ODBGC_RETURN_IF_ERROR(get(&tmp));
+    object.size = static_cast<uint32_t>(tmp);
+    ODBGC_RETURN_IF_ERROR(get(&tmp));
+    object.num_slots = static_cast<uint32_t>(tmp);
+    if (object.num_slots > 1u << 16) {
+      return Status::Corruption("image: slot count");
+    }
+    const int flags = in->get();
+    if (flags == EOF) return Status::Corruption("image truncated");
+    object.flags = static_cast<uint8_t>(flags);
+    object.slots.resize(object.num_slots);
+    for (auto& slot : object.slots) {
+      ODBGC_RETURN_IF_ERROR(get(&slot.value));
+    }
+  }
+
+  ODBGC_RETURN_IF_ERROR(get(&tmp));
+  if (tmp > image.objects.size()) {
+    return Status::Corruption("image: root count exceeds object count");
+  }
+  image.roots.resize(tmp);
+  for (auto& root : image.roots) {
+    ODBGC_RETURN_IF_ERROR(get(&root.value));
+  }
+  return image;
+}
+
+Status SaveStore(const ObjectStore& store, std::ostream* out) {
+  return WriteStoreImage(store.ExtractImage(), out);
+}
+
+}  // namespace odbgc

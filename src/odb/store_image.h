@@ -1,0 +1,31 @@
+#ifndef ODBGC_ODB_STORE_IMAGE_H_
+#define ODBGC_ODB_STORE_IMAGE_H_
+
+#include <istream>
+#include <ostream>
+
+#include "odb/object_store.h"
+#include "util/status.h"
+
+namespace odbgc {
+
+/// Binary checkpoint format for StoreImage: header (magic "ODBS" u32,
+/// version u16, reserved u16), geometry, partition directory, object
+/// table (varint-encoded), root set. Readers fail with Corruption on bad
+/// magic/version, truncation, or any inconsistency ObjectStore::Restore
+/// would reject.
+inline constexpr uint32_t kStoreImageMagic = 0x5342444fu;  // "ODBS" LE.
+inline constexpr uint16_t kStoreImageVersion = 1;
+
+/// Serializes `image` to `out`. IoError if the stream fails.
+Status WriteStoreImage(const StoreImage& image, std::ostream* out);
+
+/// Parses an image from `in`.
+Result<StoreImage> ReadStoreImage(std::istream* in);
+
+/// Convenience: checkpoint a live store to a stream.
+Status SaveStore(const ObjectStore& store, std::ostream* out);
+
+}  // namespace odbgc
+
+#endif  // ODBGC_ODB_STORE_IMAGE_H_

@@ -1,0 +1,51 @@
+#ifndef ODBGC_SIM_REPORT_H_
+#define ODBGC_SIM_REPORT_H_
+
+#include <ostream>
+#include <vector>
+
+#include "sim/runner.h"
+#include "util/statistics.h"
+
+namespace odbgc {
+
+/// Per-policy aggregates across seeds, in the paper's reporting shape
+/// (means and standard deviations; relative metrics are paired per seed
+/// against the MostGarbage run of the same seed, the paper's baseline).
+struct PolicySummary {
+  PolicyKind policy = PolicyKind::kUpdatedPointer;
+  RunningStat app_io;
+  RunningStat gc_io;
+  RunningStat total_io;
+  RunningStat relative_total_io;  // vs MostGarbage, same seed.
+  RunningStat max_storage_kb;
+  RunningStat relative_max_storage;  // vs MostGarbage, same seed.
+  RunningStat max_partitions;
+  RunningStat reclaimed_kb;
+  RunningStat fraction_reclaimed_pct;
+  RunningStat efficiency_kb_per_io;
+  RunningStat relative_efficiency;  // vs MostGarbage, same seed.
+  RunningStat collections;
+  RunningStat actual_garbage_kb;  // Trace property; same for all policies.
+};
+
+/// Builds per-policy summaries from an experiment (preserves set order).
+std::vector<PolicySummary> Summarize(const Experiment& experiment);
+
+/// Table 2: throughput as page I/O operations (application, collector,
+/// total, and total relative to MostGarbage).
+void PrintThroughputTable(const std::vector<PolicySummary>& summaries,
+                          std::ostream& os);
+
+/// Table 3: maximum storage space usage and partition counts.
+void PrintStorageTable(const std::vector<PolicySummary>& summaries,
+                       std::ostream& os);
+
+/// Table 4: collector effectiveness and efficiency, with the
+/// "Actual Garbage" reference row.
+void PrintEfficiencyTable(const std::vector<PolicySummary>& summaries,
+                          std::ostream& os);
+
+}  // namespace odbgc
+
+#endif  // ODBGC_SIM_REPORT_H_

@@ -1,0 +1,85 @@
+#include "sim/runner.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "sim/simulator.h"
+
+namespace odbgc {
+
+const PolicyRuns* Experiment::Find(PolicyKind policy) const {
+  for (const auto& set : sets) {
+    if (set.policy == policy) return &set;
+  }
+  return nullptr;
+}
+
+Result<Experiment> RunExperiment(const ExperimentSpec& spec) {
+  struct Task {
+    size_t set_index;
+    size_t run_index;
+    PolicyKind policy;
+    uint64_t seed;
+  };
+
+  Experiment experiment;
+  std::vector<Task> tasks;
+  for (size_t p = 0; p < spec.policies.size(); ++p) {
+    PolicyRuns set;
+    set.policy = spec.policies[p];
+    set.runs.resize(spec.num_seeds);
+    experiment.sets.push_back(std::move(set));
+    for (int s = 0; s < spec.num_seeds; ++s) {
+      tasks.push_back({p, static_cast<size_t>(s), spec.policies[p],
+                       spec.first_seed + static_cast<uint64_t>(s)});
+    }
+  }
+
+  int threads = spec.threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 4;
+  }
+  threads = std::min<int>(threads, static_cast<int>(tasks.size()));
+
+  std::atomic<size_t> next_task{0};
+  std::mutex error_mutex;
+  Status first_error;
+
+  auto worker = [&] {
+    for (;;) {
+      const size_t i = next_task.fetch_add(1);
+      if (i >= tasks.size()) return;
+      const Task& task = tasks[i];
+
+      SimulationConfig config = spec.base;
+      config.seed = task.seed;
+      config.heap.policy = task.policy;
+
+      Simulator simulator(config);
+      const Status status = simulator.Run();
+      if (!status.ok()) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error.ok()) first_error = status;
+        return;
+      }
+      experiment.sets[task.set_index].runs[task.run_index] =
+          simulator.Finish();
+    }
+  };
+
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+
+  if (!first_error.ok()) return first_error;
+  return experiment;
+}
+
+}  // namespace odbgc

@@ -1,0 +1,48 @@
+#ifndef ODBGC_SIM_RUNNER_H_
+#define ODBGC_SIM_RUNNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/selection_policy.h"
+#include "sim/config.h"
+#include "sim/metrics.h"
+#include "util/status.h"
+
+namespace odbgc {
+
+/// An experiment: the same simulation run under several policies and
+/// several seeds. Policies see identical traces per seed (the generator
+/// never consults the heap), so differences are attributable to the
+/// selection policy alone — the paper runs "10 sets of simulation runs,
+/// each set with the same configuration parameters but with a different
+/// random seed".
+struct ExperimentSpec {
+  SimulationConfig base;
+  std::vector<PolicyKind> policies = AllPolicyKinds();
+  int num_seeds = 10;
+  uint64_t first_seed = 1;
+  /// Worker threads (runs are independent); 0 = hardware concurrency.
+  int threads = 0;
+};
+
+/// All runs of one policy across the experiment's seeds (seed order).
+struct PolicyRuns {
+  PolicyKind policy = PolicyKind::kUpdatedPointer;
+  std::vector<SimulationResult> runs;
+};
+
+struct Experiment {
+  std::vector<PolicyRuns> sets;  // In spec.policies order.
+
+  /// Runs of `policy`, or nullptr if it was not in the experiment.
+  const PolicyRuns* Find(PolicyKind policy) const;
+};
+
+/// Executes the experiment (parallel across runs). Returns the first
+/// error if any run fails.
+Result<Experiment> RunExperiment(const ExperimentSpec& spec);
+
+}  // namespace odbgc
+
+#endif  // ODBGC_SIM_RUNNER_H_

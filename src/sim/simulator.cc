@@ -1,0 +1,147 @@
+#include "sim/simulator.h"
+
+#include "core/reachability.h"
+#include "workload/generator.h"
+
+namespace odbgc {
+
+Simulator::Simulator(const SimulationConfig& config) : config_(config) {
+  HeapOptions heap_options = config_.heap;
+  heap_options.seed = config_.seed;  // Policy randomness follows the run seed.
+  heap_ = std::make_unique<CollectedHeap>(heap_options);
+  next_snapshot_ = config_.snapshot_interval;
+}
+
+Status Simulator::Append(const TraceEvent& event) {
+  auto resolve = [this](uint64_t logical) -> Result<ObjectId> {
+    if (logical == 0) return kNullObjectId;
+    auto it = id_map_.find(logical);
+    if (it == id_map_.end()) {
+      return Status::NotFound("trace references unknown object " +
+                              std::to_string(logical));
+    }
+    return it->second;
+  };
+
+  switch (event.kind) {
+    case EventKind::kAlloc: {
+      auto parent = resolve(event.parent_hint);
+      // A stale placement hint is tolerable (the referent may have been
+      // deleted in a foreign trace); fall back to no hint.
+      const ObjectId hint = parent.ok() ? *parent : kNullObjectId;
+      auto id = heap_->Allocate(event.size, event.num_slots, hint,
+                                event.flags);
+      ODBGC_RETURN_IF_ERROR(id.status());
+      if (!id_map_.emplace(event.object, *id).second) {
+        return Status::Corruption("trace allocates duplicate object id " +
+                                  std::to_string(event.object));
+      }
+      break;
+    }
+    case EventKind::kWriteSlot: {
+      auto source = resolve(event.object);
+      ODBGC_RETURN_IF_ERROR(source.status());
+      auto target = resolve(event.target);
+      ODBGC_RETURN_IF_ERROR(target.status());
+      ODBGC_RETURN_IF_ERROR(heap_->WriteSlot(*source, event.slot, *target));
+      break;
+    }
+    case EventKind::kReadSlot: {
+      auto source = resolve(event.object);
+      ODBGC_RETURN_IF_ERROR(source.status());
+      ODBGC_RETURN_IF_ERROR(heap_->ReadSlot(*source, event.slot).status());
+      break;
+    }
+    case EventKind::kVisit: {
+      auto object = resolve(event.object);
+      ODBGC_RETURN_IF_ERROR(object.status());
+      ODBGC_RETURN_IF_ERROR(heap_->VisitObject(*object));
+      break;
+    }
+    case EventKind::kWriteData: {
+      auto object = resolve(event.object);
+      ODBGC_RETURN_IF_ERROR(object.status());
+      ODBGC_RETURN_IF_ERROR(heap_->WriteData(*object));
+      break;
+    }
+    case EventKind::kAddRoot: {
+      auto object = resolve(event.object);
+      ODBGC_RETURN_IF_ERROR(object.status());
+      ODBGC_RETURN_IF_ERROR(heap_->AddRoot(*object));
+      break;
+    }
+    case EventKind::kRemoveRoot: {
+      auto object = resolve(event.object);
+      ODBGC_RETURN_IF_ERROR(object.status());
+      ODBGC_RETURN_IF_ERROR(heap_->RemoveRoot(*object));
+      break;
+    }
+  }
+
+  ++events_;
+  MaybeSnapshot();
+  return Status::Ok();
+}
+
+void Simulator::MaybeSnapshot() {
+  if (config_.snapshot_interval == 0 || events_ < next_snapshot_) return;
+  next_snapshot_ += config_.snapshot_interval;
+
+  const double x = static_cast<double>(events_);
+  database_size_kb_.Add(
+      x, static_cast<double>(heap_->store().total_bytes()) / 1024.0);
+  if (config_.census_at_snapshots) {
+    const GarbageCensus census = ComputeGarbageCensus(heap_->store());
+    unreclaimed_garbage_kb_.Add(
+        x, static_cast<double>(census.total_garbage_bytes) / 1024.0);
+  }
+}
+
+Status Simulator::Run() {
+  WorkloadGenerator generator(config_.workload, config_.seed);
+  if (config_.warm_start) {
+    ODBGC_RETURN_IF_ERROR(generator.BuildInitialDatabase(this));
+    // Measurements restart; the database and buffer contents stay warm.
+    heap_->ResetMeasurement();
+    events_ = 0;
+    next_snapshot_ = config_.snapshot_interval;
+    unreclaimed_garbage_kb_ = TimeSeries("unreclaimed_garbage_kb");
+    database_size_kb_ = TimeSeries("database_size_kb");
+  }
+  return generator.Generate(this);
+}
+
+SimulationResult Simulator::Finish() {
+  SimulationResult result;
+  result.policy = heap_->options().policy;
+  result.seed = config_.seed;
+  result.app_events = events_;
+
+  const BufferStats& buffer = heap_->buffer().stats();
+  result.app_io = buffer.app_io();
+  result.gc_io = buffer.gc_io();
+  result.buffer_stats = buffer;
+  result.disk_stats = heap_->disk().stats();
+
+  const HeapStats& heap_stats = heap_->stats();
+  result.heap_stats = heap_stats;
+  result.max_storage_bytes = heap_stats.max_total_bytes;
+  result.max_partitions = heap_stats.max_partitions;
+  result.final_partitions = heap_->store().partition_count();
+  result.collections = heap_stats.collections;
+  result.garbage_reclaimed_bytes = heap_stats.garbage_bytes_reclaimed;
+  result.live_bytes_copied = heap_stats.live_bytes_copied;
+  result.bytes_allocated = heap_stats.bytes_allocated;
+  result.pointer_overwrites = heap_stats.pointer_overwrites;
+
+  const GarbageCensus census = ComputeGarbageCensus(heap_->store());
+  result.unreclaimed_garbage_bytes = census.total_garbage_bytes;
+  result.final_live_bytes = census.total_live_bytes;
+  result.remset_entries = heap_->index().entry_count();
+
+  result.unreclaimed_garbage_kb = unreclaimed_garbage_kb_;
+  result.database_size_kb = database_size_kb_;
+  return result;
+}
+
+}  // namespace odbgc

@@ -1,0 +1,35 @@
+#ifndef ODBGC_STORAGE_EXTENT_H_
+#define ODBGC_STORAGE_EXTENT_H_
+
+#include <cstddef>
+
+#include "storage/page.h"
+
+namespace odbgc {
+
+/// A contiguous run of pages. Partitions are physically contiguous (the
+/// paper segments the address space into contiguous partitions), so a
+/// partition's on-disk footprint is exactly one extent.
+struct PageExtent {
+  PageId first_page = kInvalidPageId;
+  size_t page_count = 0;
+
+  /// True if the extent covers at least one page.
+  bool valid() const { return first_page != kInvalidPageId && page_count > 0; }
+
+  /// One past the last page.
+  PageId end_page() const { return first_page + page_count; }
+
+  /// True if `page` lies inside the extent.
+  bool Contains(PageId page) const {
+    return valid() && page >= first_page && page < end_page();
+  }
+
+  friend bool operator==(const PageExtent& a, const PageExtent& b) {
+    return a.first_page == b.first_page && a.page_count == b.page_count;
+  }
+};
+
+}  // namespace odbgc
+
+#endif  // ODBGC_STORAGE_EXTENT_H_

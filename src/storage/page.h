@@ -1,0 +1,21 @@
+#ifndef ODBGC_STORAGE_PAGE_H_
+#define ODBGC_STORAGE_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace odbgc {
+
+/// Index of a page in the simulated database's global page space.
+using PageId = uint64_t;
+
+/// Sentinel for "no page".
+inline constexpr PageId kInvalidPageId = std::numeric_limits<PageId>::max();
+
+/// The paper's page size: 8 kilobytes.
+inline constexpr size_t kDefaultPageSize = 8192;
+
+}  // namespace odbgc
+
+#endif  // ODBGC_STORAGE_PAGE_H_

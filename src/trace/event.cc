@@ -1,0 +1,111 @@
+#include "trace/event.h"
+
+#include <cstdio>
+
+namespace odbgc {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kAlloc: return "Alloc";
+    case EventKind::kWriteSlot: return "WriteSlot";
+    case EventKind::kReadSlot: return "ReadSlot";
+    case EventKind::kVisit: return "Visit";
+    case EventKind::kWriteData: return "WriteData";
+    case EventKind::kAddRoot: return "AddRoot";
+    case EventKind::kRemoveRoot: return "RemoveRoot";
+  }
+  return "Unknown";
+}
+
+TraceEvent TraceEvent::Alloc(uint64_t id, uint32_t size, uint32_t num_slots,
+                             uint64_t parent_hint, uint8_t flags) {
+  TraceEvent e;
+  e.kind = EventKind::kAlloc;
+  e.object = id;
+  e.size = size;
+  e.num_slots = num_slots;
+  e.parent_hint = parent_hint;
+  e.flags = flags;
+  return e;
+}
+
+TraceEvent TraceEvent::WriteSlot(uint64_t object, uint32_t slot,
+                                 uint64_t target) {
+  TraceEvent e;
+  e.kind = EventKind::kWriteSlot;
+  e.object = object;
+  e.slot = slot;
+  e.target = target;
+  return e;
+}
+
+TraceEvent TraceEvent::ReadSlot(uint64_t object, uint32_t slot) {
+  TraceEvent e;
+  e.kind = EventKind::kReadSlot;
+  e.object = object;
+  e.slot = slot;
+  return e;
+}
+
+TraceEvent TraceEvent::Visit(uint64_t object) {
+  TraceEvent e;
+  e.kind = EventKind::kVisit;
+  e.object = object;
+  return e;
+}
+
+TraceEvent TraceEvent::WriteData(uint64_t object) {
+  TraceEvent e;
+  e.kind = EventKind::kWriteData;
+  e.object = object;
+  return e;
+}
+
+TraceEvent TraceEvent::AddRoot(uint64_t object) {
+  TraceEvent e;
+  e.kind = EventKind::kAddRoot;
+  e.object = object;
+  return e;
+}
+
+TraceEvent TraceEvent::RemoveRoot(uint64_t object) {
+  TraceEvent e;
+  e.kind = EventKind::kRemoveRoot;
+  e.object = object;
+  return e;
+}
+
+bool operator==(const TraceEvent& a, const TraceEvent& b) {
+  return a.kind == b.kind && a.object == b.object && a.slot == b.slot &&
+         a.target == b.target && a.size == b.size &&
+         a.num_slots == b.num_slots && a.parent_hint == b.parent_hint &&
+         a.flags == b.flags;
+}
+
+std::string TraceEvent::ToString() const {
+  char buf[160];
+  switch (kind) {
+    case EventKind::kAlloc:
+      std::snprintf(buf, sizeof(buf),
+                    "Alloc obj=%llu size=%u slots=%u parent=%llu flags=%u",
+                    static_cast<unsigned long long>(object), size, num_slots,
+                    static_cast<unsigned long long>(parent_hint), flags);
+      break;
+    case EventKind::kWriteSlot:
+      std::snprintf(buf, sizeof(buf), "WriteSlot obj=%llu slot=%u target=%llu",
+                    static_cast<unsigned long long>(object), slot,
+                    static_cast<unsigned long long>(target));
+      break;
+    case EventKind::kReadSlot:
+      std::snprintf(buf, sizeof(buf), "ReadSlot obj=%llu slot=%u",
+                    static_cast<unsigned long long>(object), slot);
+      break;
+    default:
+      std::snprintf(buf, sizeof(buf), "%s obj=%llu", EventKindName(kind),
+                    static_cast<unsigned long long>(object));
+      break;
+  }
+  return buf;
+}
+
+}  // namespace odbgc

@@ -1,0 +1,44 @@
+#ifndef ODBGC_TRACE_TRACE_READER_H_
+#define ODBGC_TRACE_TRACE_READER_H_
+
+#include <istream>
+#include <optional>
+
+#include "trace/event.h"
+#include "util/status.h"
+
+namespace odbgc {
+
+/// Deserializes trace events from a binary stream produced by TraceWriter.
+///
+/// Failure behaviour: a bad magic or unsupported version fails the first
+/// Next() with Corruption; a record truncated mid-field also returns
+/// Corruption (never undefined behaviour, never a partial event). Clean
+/// EOF at a record boundary yields an empty optional.
+class TraceReader {
+ public:
+  /// `in` must outlive the reader.
+  explicit TraceReader(std::istream* in);
+
+  /// Returns the next event, an empty optional at clean end-of-trace, or
+  /// an error status.
+  Result<std::optional<TraceEvent>> Next();
+
+  /// Replays the remaining events into `sink`, stopping at end-of-trace or
+  /// the first error (from the stream or the sink).
+  Status ReplayInto(TraceSink* sink);
+
+  uint64_t events_read() const { return events_read_; }
+
+ private:
+  Status ReadHeaderIfNeeded();
+  Result<uint64_t> GetVarint();
+
+  std::istream* const in_;
+  bool header_read_ = false;
+  uint64_t events_read_ = 0;
+};
+
+}  // namespace odbgc
+
+#endif  // ODBGC_TRACE_TRACE_READER_H_

@@ -1,0 +1,117 @@
+#include "trace/trace_stats.h"
+
+#include "util/table_printer.h"
+
+namespace odbgc {
+
+namespace {
+uint64_t SlotKey(uint64_t object, uint32_t slot) {
+  return (object << 8) | (slot & 0xff);
+}
+}  // namespace
+
+Status TraceStatsCollector::Append(const TraceEvent& event) {
+  ++stats_.events;
+  switch (event.kind) {
+    case EventKind::kAlloc:
+      ++stats_.allocs;
+      stats_.bytes_allocated += event.size;
+      if (event.flags != 0) {
+        ++stats_.large_allocs;
+        stats_.large_bytes_allocated += event.size;
+      } else {
+        small_bytes_ += event.size;
+      }
+      break;
+    case EventKind::kWriteSlot: {
+      ++stats_.slot_writes;
+      const uint64_t key = SlotKey(event.object, event.slot);
+      auto it = slot_values_.find(key);
+      const uint64_t old_value = it == slot_values_.end() ? 0 : it->second;
+      if (event.target != 0) {
+        ++stats_.pointer_stores;
+        if (old_value != 0) ++stats_.pointer_overwrites;
+        slot_values_[key] = event.target;
+      } else {
+        if (old_value != 0) {
+          ++stats_.pointer_overwrites;
+          ++stats_.null_clears;
+        }
+        slot_values_.erase(key);
+      }
+      break;
+    }
+    case EventKind::kReadSlot:
+      ++stats_.slot_reads;
+      break;
+    case EventKind::kVisit:
+      ++stats_.visits;
+      break;
+    case EventKind::kWriteData:
+      ++stats_.data_writes;
+      break;
+    case EventKind::kAddRoot:
+      ++stats_.root_adds;
+      break;
+    case EventKind::kRemoveRoot:
+      ++stats_.root_removes;
+      break;
+  }
+  return Status::Ok();
+}
+
+double TraceStatsCollector::Stats::MeanSmallObjectSize() const {
+  const uint64_t small = allocs - large_allocs;
+  if (small == 0) return 0.0;
+  return static_cast<double>(bytes_allocated - large_bytes_allocated) /
+         static_cast<double>(small);
+}
+
+double TraceStatsCollector::Stats::LargeSpaceFraction() const {
+  if (bytes_allocated == 0) return 0.0;
+  return static_cast<double>(large_bytes_allocated) /
+         static_cast<double>(bytes_allocated);
+}
+
+double TraceStatsCollector::Stats::EdgeReadWriteRatio() const {
+  if (slot_writes == 0) return 0.0;
+  return static_cast<double>(slot_reads) / static_cast<double>(slot_writes);
+}
+
+const TraceStatsCollector::Stats& TraceStatsCollector::Finish() {
+  if (!finished_) {
+    stats_.connectivity =
+        stats_.allocs == 0 ? 0.0
+                           : static_cast<double>(slot_values_.size()) /
+                                 static_cast<double>(stats_.allocs);
+    finished_ = true;
+  }
+  return stats_;
+}
+
+void TraceStatsCollector::Print(std::ostream& os) {
+  const Stats& s = Finish();
+  TablePrinter t({"Metric", "Value"});
+  t.AddRow({"events", FormatCount(static_cast<double>(s.events))});
+  t.AddRow({"objects allocated", FormatCount(static_cast<double>(s.allocs))});
+  t.AddRow({"  large objects", FormatCount(static_cast<double>(s.large_allocs))});
+  t.AddRow({"bytes allocated",
+            FormatCount(static_cast<double>(s.bytes_allocated))});
+  t.AddRow({"  large-object space fraction",
+            FormatDouble(s.LargeSpaceFraction(), 3)});
+  t.AddRow({"mean small object size",
+            FormatDouble(s.MeanSmallObjectSize(), 1)});
+  t.AddRow({"slot writes", FormatCount(static_cast<double>(s.slot_writes))});
+  t.AddRow({"  pointer overwrites",
+            FormatCount(static_cast<double>(s.pointer_overwrites))});
+  t.AddRow({"  edge deletions",
+            FormatCount(static_cast<double>(s.null_clears))});
+  t.AddRow({"slot reads", FormatCount(static_cast<double>(s.slot_reads))});
+  t.AddRow({"visits", FormatCount(static_cast<double>(s.visits))});
+  t.AddRow({"data writes", FormatCount(static_cast<double>(s.data_writes))});
+  t.AddRow({"edge read/write ratio", FormatDouble(s.EdgeReadWriteRatio(), 2)});
+  t.AddRow({"connectivity (ptrs/object)", FormatDouble(s.Connectivity(), 3)});
+  t.Print(os);
+}
+
+}  // namespace odbgc

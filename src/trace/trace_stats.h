@@ -1,0 +1,67 @@
+#ifndef ODBGC_TRACE_TRACE_STATS_H_
+#define ODBGC_TRACE_TRACE_STATS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <unordered_map>
+
+#include "trace/event.h"
+
+namespace odbgc {
+
+/// Aggregate statistics over a trace: the workload-characterization
+/// numbers Section 5 of the paper quotes (object sizes, edge read/write
+/// ratio, connectivity). Feed events via Accept (it is a TraceSink, so a
+/// reader can replay straight into it).
+class TraceStatsCollector : public TraceSink {
+ public:
+  Status Append(const TraceEvent& event) override;
+
+  struct Stats {
+    uint64_t events = 0;
+    uint64_t allocs = 0;
+    uint64_t large_allocs = 0;
+    uint64_t bytes_allocated = 0;
+    uint64_t large_bytes_allocated = 0;
+    uint64_t slot_writes = 0;
+    uint64_t pointer_stores = 0;      // Non-null values written.
+    uint64_t pointer_overwrites = 0;  // Writes replacing a non-null value.
+    uint64_t null_clears = 0;         // Null over non-null (edge deletion).
+    uint64_t slot_reads = 0;
+    uint64_t visits = 0;
+    uint64_t data_writes = 0;
+    uint64_t root_adds = 0;
+    uint64_t root_removes = 0;
+
+    /// Mean size of regular (non-large) objects.
+    double MeanSmallObjectSize() const;
+    /// Fraction of allocated space in large objects.
+    double LargeSpaceFraction() const;
+    /// Edges read (slot reads) per edge written (slot writes).
+    double EdgeReadWriteRatio() const;
+    /// Pointers per object: non-null distinct pointer slots at end of
+    /// trace divided by live-ish object count (allocations) — the paper's
+    /// connectivity measure.
+    double Connectivity() const { return connectivity; }
+
+    double connectivity = 0.0;  // Filled in by Finish().
+  };
+
+  /// Finalizes derived statistics and returns them.
+  const Stats& Finish();
+
+  /// Writes a readable report.
+  void Print(std::ostream& os);
+
+ private:
+  Stats stats_;
+  // (object<<8 | slot) -> current value, to classify overwrites and count
+  // final edges. Slot indices in the workloads are tiny.
+  std::unordered_map<uint64_t, uint64_t> slot_values_;
+  uint64_t small_bytes_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace odbgc
+
+#endif  // ODBGC_TRACE_TRACE_STATS_H_

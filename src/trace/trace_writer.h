@@ -1,0 +1,47 @@
+#ifndef ODBGC_TRACE_TRACE_WRITER_H_
+#define ODBGC_TRACE_TRACE_WRITER_H_
+
+#include <cstdint>
+#include <ostream>
+
+#include "trace/event.h"
+#include "util/status.h"
+
+namespace odbgc {
+
+/// Trace file format identification.
+inline constexpr uint32_t kTraceMagic = 0x5442444fu;  // "ODBT" LE bytes.
+inline constexpr uint16_t kTraceVersion = 1;
+
+/// Serializes trace events to a binary stream.
+///
+/// Format: a fixed header (magic u32, version u16, reserved u16), then one
+/// record per event: a kind byte followed by the kind's fields, integers
+/// encoded as unsigned LEB128 varints (traces run to millions of events;
+/// small ids and slots dominate). The stream ends at EOF — readers detect
+/// truncation as a record cut off mid-field.
+class TraceWriter : public TraceSink {
+ public:
+  /// `out` must outlive the writer. The header is written on first append
+  /// (or by Flush on an empty trace).
+  explicit TraceWriter(std::ostream* out);
+
+  /// Appends one event. IoError if the stream fails.
+  Status Append(const TraceEvent& event) override;
+
+  /// Ensures the header is written and flushes the stream.
+  Status Flush();
+
+  uint64_t events_written() const { return events_written_; }
+
+ private:
+  Status WriteHeaderIfNeeded();
+
+  std::ostream* const out_;
+  bool header_written_ = false;
+  uint64_t events_written_ = 0;
+};
+
+}  // namespace odbgc
+
+#endif  // ODBGC_TRACE_TRACE_WRITER_H_

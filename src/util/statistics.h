@@ -1,0 +1,57 @@
+#ifndef ODBGC_UTIL_STATISTICS_H_
+#define ODBGC_UTIL_STATISTICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace odbgc {
+
+/// Accumulates a stream of samples and reports mean, sample standard
+/// deviation, min and max. Uses Welford's online algorithm for numerical
+/// stability; no sample storage.
+class RunningStat {
+ public:
+  RunningStat() = default;
+
+  /// Adds one sample.
+  void Add(double x);
+
+  /// Merges another accumulator into this one (parallel-friendly).
+  void Merge(const RunningStat& other);
+
+  /// Number of samples added.
+  size_t count() const { return count_; }
+
+  /// Mean of the samples; 0 if empty.
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+  /// Sample standard deviation (divides by n-1); 0 if fewer than 2 samples.
+  double stddev() const;
+
+  /// Population variance helper: sample variance (n-1 denominator).
+  double variance() const;
+
+  /// Smallest sample; 0 if empty.
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+
+  /// Largest sample; 0 if empty.
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Convenience: mean of a vector; 0 if empty.
+double Mean(const std::vector<double>& xs);
+
+/// Convenience: sample standard deviation of a vector; 0 if size < 2.
+double StdDev(const std::vector<double>& xs);
+
+}  // namespace odbgc
+
+#endif  // ODBGC_UTIL_STATISTICS_H_

@@ -1,0 +1,141 @@
+#ifndef ODBGC_UTIL_STATUS_H_
+#define ODBGC_UTIL_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace odbgc {
+
+/// Error category for Status. Kept deliberately small; the library reports
+/// failures by value instead of throwing across its boundary.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kCorruption,
+  kIoError,
+  kFailedPrecondition,
+  kResourceExhausted,
+};
+
+/// Human-readable name of a status code ("OK", "InvalidArgument", ...).
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kCorruption: return "Corruption";
+    case StatusCode::kIoError: return "IoError";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
+  }
+  return "Unknown";
+}
+
+/// Value-semantics error type, in the style of absl::Status / rocksdb::Status.
+/// Default-constructed Status is OK; errors carry a code and a message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status OutOfRange(std::string m) {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  static Status Corruption(std::string m) {
+    return Status(StatusCode::kCorruption, std::move(m));
+  }
+  static Status IoError(std::string m) {
+    return Status(StatusCode::kIoError, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> carries either a T or an error Status (like absl::StatusOr).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return value;` in functions returning
+  /// Result<T>.
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status. The status must not be OK.
+  Result(Status status) : v_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(v_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  /// The error status; OK if this holds a value.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(v_);
+  }
+
+  /// The contained value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+/// Propagates a non-OK status out of the current function.
+#define ODBGC_RETURN_IF_ERROR(expr)                 \
+  do {                                              \
+    ::odbgc::Status _odbgc_status = (expr);         \
+    if (!_odbgc_status.ok()) return _odbgc_status;  \
+  } while (0)
+
+}  // namespace odbgc
+
+#endif  // ODBGC_UTIL_STATUS_H_

@@ -1,0 +1,97 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace odbgc {
+
+const char* const TablePrinter::kSeparatorTag = "\x01sep";
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)), aligns_(headers_.size(), Align::kRight) {
+  if (!aligns_.empty()) aligns_[0] = Align::kLeft;
+}
+
+void TablePrinter::SetAlign(size_t col, Align align) {
+  if (col < aligns_.size()) aligns_[col] = align;
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::AddSeparator() { rows_.push_back({kSeparatorTag}); }
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    if (!row.empty() && row[0] == kSeparatorTag) continue;
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : headers_[c];
+      const size_t pad = widths[c] - cell.size();
+      if (c != 0) os << "  ";
+      if (aligns_[c] == Align::kRight) os << std::string(pad, ' ');
+      os << cell;
+      if (aligns_[c] == Align::kLeft && c + 1 != headers_.size()) {
+        os << std::string(pad, ' ');
+      }
+    }
+    os << '\n';
+  };
+
+  auto print_rule = [&] {
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c) {
+      total += widths[c] + (c != 0 ? 2 : 0);
+    }
+    os << std::string(total, '-') << '\n';
+  };
+
+  print_cells(headers_);
+  print_rule();
+  for (const auto& row : rows_) {
+    if (!row.empty() && row[0] == kSeparatorTag) {
+      print_rule();
+    } else {
+      print_cells(row);
+    }
+  }
+}
+
+void TablePrinter::PrintCsv(std::ostream& os) const {
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      if (c != 0) os << ',';
+      if (c < cells.size()) os << cells[c];
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  for (const auto& row : rows_) {
+    if (!row.empty() && row[0] == kSeparatorTag) continue;
+    print_row(row);
+  }
+}
+
+std::string FormatDouble(double x, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, x);
+  return buf;
+}
+
+std::string FormatCount(double x) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.0f", std::round(x));
+  return buf;
+}
+
+}  // namespace odbgc

@@ -1,0 +1,61 @@
+#ifndef ODBGC_UTIL_TABLE_PRINTER_H_
+#define ODBGC_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace odbgc {
+
+/// Column alignment for TablePrinter.
+enum class Align { kLeft, kRight };
+
+/// Formats rows of strings as an aligned plain-text table (for the
+/// paper-style tables the bench binaries print) and as CSV.
+///
+/// Usage:
+///   TablePrinter t({"Policy", "Mean", "Std Dev"});
+///   t.AddRow({"UpdatedPointer", "33098", "5559"});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers. All columns default to
+  /// right alignment except the first, which is left-aligned (row labels).
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Overrides the alignment of column `col`.
+  void SetAlign(size_t col, Align align);
+
+  /// Appends a row. Rows shorter than the header are padded with empty
+  /// cells; longer rows are truncated to the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line.
+  void AddSeparator();
+
+  /// Writes the aligned table.
+  void Print(std::ostream& os) const;
+
+  /// Writes the table as CSV (headers first; separators skipped).
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  // A row with the sentinel value {kSeparatorTag} renders as a rule.
+  std::vector<std::vector<std::string>> rows_;
+
+  static const char* const kSeparatorTag;
+};
+
+/// Formats a double with `digits` digits after the decimal point.
+std::string FormatDouble(double x, int digits);
+
+/// Formats a count with no decimals (rounded).
+std::string FormatCount(double x);
+
+}  // namespace odbgc
+
+#endif  // ODBGC_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,105 @@
+#include "util/time_series.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace odbgc {
+
+double TimeSeries::MaxY() const {
+  double best = 0.0;
+  for (const auto& p : points_) best = std::max(best, p.y);
+  return best;
+}
+
+double TimeSeries::LastY() const {
+  return points_.empty() ? 0.0 : points_.back().y;
+}
+
+TimeSeries TimeSeries::Downsample(size_t max_points) const {
+  TimeSeries out(name_);
+  if (points_.size() <= max_points || max_points < 2) {
+    out.points_ = points_;
+    return out;
+  }
+  const double step = static_cast<double>(points_.size() - 1) /
+                      static_cast<double>(max_points - 1);
+  size_t last_idx = points_.size();  // sentinel
+  for (size_t i = 0; i < max_points; ++i) {
+    size_t idx = static_cast<size_t>(std::llround(i * step));
+    idx = std::min(idx, points_.size() - 1);
+    if (idx == last_idx) continue;
+    out.points_.push_back(points_[idx]);
+    last_idx = idx;
+  }
+  return out;
+}
+
+void WriteGnuplot(const std::vector<TimeSeries>& series, std::ostream& os) {
+  bool first = true;
+  for (const auto& s : series) {
+    if (!first) os << "\n\n";
+    first = false;
+    os << "# " << s.name() << '\n';
+    for (const auto& p : s.points()) os << p.x << ' ' << p.y << '\n';
+  }
+}
+
+void WriteCsv(const std::vector<TimeSeries>& series, std::ostream& os) {
+  os << "x";
+  for (const auto& s : series) os << ',' << s.name();
+  os << '\n';
+
+  // Merge by x: map x -> per-series y.
+  std::map<double, std::vector<std::pair<size_t, double>>> rows;
+  for (size_t i = 0; i < series.size(); ++i) {
+    for (const auto& p : series[i].points()) {
+      rows[p.x].push_back({i, p.y});
+    }
+  }
+  for (const auto& [x, ys] : rows) {
+    os << x;
+    size_t k = 0;
+    for (size_t i = 0; i < series.size(); ++i) {
+      os << ',';
+      if (k < ys.size() && ys[k].first == i) {
+        os << ys[k].second;
+        ++k;
+      }
+    }
+    os << '\n';
+  }
+}
+
+void RenderAscii(const std::vector<TimeSeries>& series, std::ostream& os,
+                 size_t width, size_t height) {
+  double xmax = 0.0, ymax = 0.0;
+  for (const auto& s : series) {
+    for (const auto& p : s.points()) {
+      xmax = std::max(xmax, p.x);
+      ymax = std::max(ymax, p.y);
+    }
+  }
+  if (xmax <= 0.0 || ymax <= 0.0) {
+    os << "(empty chart)\n";
+    return;
+  }
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  const char* marks = "*+ox#@%&";
+  for (size_t i = 0; i < series.size(); ++i) {
+    const char mark = marks[i % 8];
+    for (const auto& p : series[i].points()) {
+      size_t cx = static_cast<size_t>(p.x / xmax * (width - 1));
+      size_t cy = static_cast<size_t>(p.y / ymax * (height - 1));
+      grid[height - 1 - cy][cx] = mark;
+    }
+  }
+  os << "y max = " << ymax << '\n';
+  for (const auto& row : grid) os << '|' << row << '\n';
+  os << '+' << std::string(width, '-') << "> x max = " << xmax << '\n';
+  for (size_t i = 0; i < series.size(); ++i) {
+    os << "  " << marks[i % 8] << " = " << series[i].name() << '\n';
+  }
+}
+
+}  // namespace odbgc

@@ -1,0 +1,61 @@
+#ifndef ODBGC_UTIL_TIME_SERIES_H_
+#define ODBGC_UTIL_TIME_SERIES_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace odbgc {
+
+/// A named (x, y) series sampled over simulation time. Used for the paper's
+/// time-varying plots (Figures 4 and 5): x is the application event count,
+/// y a byte or KB quantity.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+  void Add(double x, double y) { points_.push_back({x, y}); }
+
+  const std::string& name() const { return name_; }
+
+  struct Point {
+    double x;
+    double y;
+  };
+  const std::vector<Point>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+
+  /// Largest y value seen; 0 if empty.
+  double MaxY() const;
+
+  /// Final y value; 0 if empty.
+  double LastY() const;
+
+  /// Returns a copy containing at most `max_points` points, evenly sampled
+  /// (always keeps the first and last point).
+  TimeSeries Downsample(size_t max_points) const;
+
+ private:
+  std::string name_;
+  std::vector<Point> points_;
+};
+
+/// Writes several series in a gnuplot-friendly layout: one block per series
+/// ("# <name>" then "x y" lines), blocks separated by blank lines.
+void WriteGnuplot(const std::vector<TimeSeries>& series, std::ostream& os);
+
+/// Writes several series as one CSV: header "x,<name1>,<name2>,..." and one
+/// row per union x value; series without a point at that x leave the cell
+/// empty. Assumes each series' x values are non-decreasing.
+void WriteCsv(const std::vector<TimeSeries>& series, std::ostream& os);
+
+/// Renders the series as a coarse ASCII chart (for terminal inspection of
+/// the figure benches). `width` x `height` character cells.
+void RenderAscii(const std::vector<TimeSeries>& series, std::ostream& os,
+                 size_t width = 72, size_t height = 20);
+
+}  // namespace odbgc
+
+#endif  // ODBGC_UTIL_TIME_SERIES_H_

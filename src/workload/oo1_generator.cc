@@ -1,0 +1,261 @@
+#include "workload/oo1_generator.h"
+
+#include <cassert>
+
+#include "odb/object_layout.h"
+
+namespace odbgc {
+
+namespace {
+// Index nodes: slot 0 chains to the next node, slots 1..kIndexFanout hold
+// parts.
+constexpr uint32_t kIndexSlots = 17;
+constexpr uint32_t kIndexNodeSize = 160;  // >= MinObjectSize(17) = 156.
+}  // namespace
+
+Status OO1Config::Validate() const {
+  if (target_live_bytes == 0 || total_alloc_bytes < target_live_bytes) {
+    return Status::InvalidArgument(
+        "total_alloc_bytes must be >= target_live_bytes > 0");
+  }
+  if (part_size < MinObjectSize(connections_per_part)) {
+    return Status::InvalidArgument("part_size too small for connections");
+  }
+  if (connections_per_part == 0 || connections_per_part > 8) {
+    return Status::InvalidArgument("connections_per_part outside [1,8]");
+  }
+  if (locality_prob < 0.0 || locality_prob > 1.0) {
+    return Status::InvalidArgument("locality_prob outside [0,1]");
+  }
+  if (locality_window == 0) {
+    return Status::InvalidArgument("locality_window must be positive");
+  }
+  if (traversal_depth == 0 || traversal_depth > 10) {
+    return Status::InvalidArgument("traversal_depth outside [1,10]");
+  }
+  return Status::Ok();
+}
+
+OO1Generator::OO1Generator(const OO1Config& config, uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+Status OO1Generator::Generate(TraceSink* sink) {
+  ODBGC_RETURN_IF_ERROR(config_.Validate());
+  ODBGC_RETURN_IF_ERROR(BuildInitialDatabase(sink));
+  while (!Done()) {
+    ODBGC_RETURN_IF_ERROR(RunTransaction(sink));
+  }
+  return Status::Ok();
+}
+
+bool OO1Generator::Done() const {
+  return built_ && (allocated_bytes_ >= config_.total_alloc_bytes ||
+                    rounds_ >= config_.max_rounds);
+}
+
+Status OO1Generator::BuildInitialDatabase(TraceSink* sink) {
+  if (built_) return Status::Ok();
+  // Rooted index head.
+  index_head_ = next_id_++;
+  ODBGC_RETURN_IF_ERROR(
+      sink->Append(TraceEvent::Alloc(index_head_, kIndexNodeSize,
+                                     kIndexSlots, 0, 0)));
+  ODBGC_RETURN_IF_ERROR(sink->Append(TraceEvent::AddRoot(index_head_)));
+  allocated_bytes_ += kIndexNodeSize;
+  index_tail_ = index_head_;
+  index_fill_.emplace(index_head_, 0);
+
+  uint64_t live_bytes = kIndexNodeSize;
+  while (live_bytes < config_.target_live_bytes) {
+    ODBGC_RETURN_IF_ERROR(CreatePart(sink));
+    live_bytes += config_.part_size;
+  }
+  built_ = true;
+  return Status::Ok();
+}
+
+Result<std::pair<uint64_t, uint32_t>> OO1Generator::AcquireIndexSlot(
+    TraceSink* sink) {
+  if (!free_index_slots_.empty()) {
+    auto slot = free_index_slots_.back();
+    free_index_slots_.pop_back();
+    return slot;
+  }
+  uint32_t& fill = index_fill_[index_tail_];
+  if (fill < kIndexSlots - 1) {
+    ++fill;
+    return std::pair<uint64_t, uint32_t>{index_tail_, fill};
+  }
+  // Grow the index by one node, chained from the tail's slot 0.
+  const uint64_t node = next_id_++;
+  ODBGC_RETURN_IF_ERROR(sink->Append(
+      TraceEvent::Alloc(node, kIndexNodeSize, kIndexSlots, index_tail_, 0)));
+  ODBGC_RETURN_IF_ERROR(
+      sink->Append(TraceEvent::WriteSlot(index_tail_, 0, node)));
+  allocated_bytes_ += kIndexNodeSize;
+  index_tail_ = node;
+  index_fill_[node] = 1;
+  return std::pair<uint64_t, uint32_t>{node, 1u};
+}
+
+uint64_t OO1Generator::PickConnectionTarget(size_t ordinal) {
+  if (ordinal == 0) return 0;
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    size_t pick;
+    if (rng_.Bernoulli(config_.locality_prob)) {
+      const size_t lo =
+          ordinal > config_.locality_window ? ordinal - config_.locality_window
+                                            : 0;
+      pick = lo + rng_.UniformInt(ordinal - lo);
+    } else {
+      pick = rng_.UniformInt(ordinal);
+    }
+    const uint64_t id = creation_order_[pick];
+    if (parts_.count(id) > 0) return id;
+  }
+  return 0;
+}
+
+Status OO1Generator::CreatePart(TraceSink* sink) {
+  const uint64_t id = next_id_++;
+  const uint64_t hint =
+      creation_order_.empty() ? index_head_ : creation_order_.back();
+  ODBGC_RETURN_IF_ERROR(sink->Append(TraceEvent::Alloc(
+      id, config_.part_size, config_.connections_per_part, hint, 0)));
+  allocated_bytes_ += config_.part_size;
+
+  Part part;
+  part.alive = true;
+  part.out.assign(config_.connections_per_part, 0);
+
+  auto index_slot = AcquireIndexSlot(sink);
+  ODBGC_RETURN_IF_ERROR(index_slot.status());
+  part.index_node = index_slot->first;
+  part.index_slot = index_slot->second;
+  ODBGC_RETURN_IF_ERROR(sink->Append(
+      TraceEvent::WriteSlot(index_slot->first, index_slot->second, id)));
+
+  const size_t ordinal = creation_order_.size();
+  creation_order_.push_back(id);
+  parts_.emplace(id, std::move(part));
+  ++live_parts_;
+
+  for (uint32_t c = 0; c < config_.connections_per_part; ++c) {
+    const uint64_t target = PickConnectionTarget(ordinal);
+    if (target == 0) continue;
+    ODBGC_RETURN_IF_ERROR(sink->Append(TraceEvent::WriteSlot(id, c, target)));
+    parts_.at(id).out[c] = target;
+    parts_.at(target).in.push_back(id);
+  }
+  return Status::Ok();
+}
+
+uint64_t OO1Generator::PickLivePart() {
+  if (live_parts_ == 0) return 0;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const uint64_t id =
+        creation_order_[rng_.UniformInt(creation_order_.size())];
+    if (parts_.count(id) > 0) return id;
+  }
+  return 0;
+}
+
+Result<bool> OO1Generator::DeleteRandomPart(TraceSink* sink) {
+  const uint64_t id = PickLivePart();
+  if (id == 0) return false;
+  Part& part = parts_.at(id);
+
+  // Unhook from the index (the only rooted path to the part).
+  ODBGC_RETURN_IF_ERROR(sink->Append(
+      TraceEvent::WriteSlot(part.index_node, part.index_slot, 0)));
+  free_index_slots_.push_back({part.index_node, part.index_slot});
+
+  // Clear the connections into the part (back-reference maintenance).
+  if (config_.clear_incoming_on_delete) {
+    for (uint64_t source : part.in) {
+      auto sit = parts_.find(source);
+      if (sit == parts_.end()) continue;
+      for (uint32_t s = 0; s < sit->second.out.size(); ++s) {
+        if (sit->second.out[s] == id) {
+          ODBGC_RETURN_IF_ERROR(
+              sink->Append(TraceEvent::WriteSlot(source, s, 0)));
+          sit->second.out[s] = 0;
+        }
+      }
+    }
+  }
+  // Drop our entries in the targets' in-lists.
+  for (uint64_t target : part.out) {
+    if (target == 0) continue;
+    auto tit = parts_.find(target);
+    if (tit == parts_.end()) continue;
+    auto& in = tit->second.in;
+    for (size_t i = 0; i < in.size(); ++i) {
+      if (in[i] == id) {
+        in[i] = in.back();
+        in.pop_back();
+        break;
+      }
+    }
+  }
+
+  parts_.erase(id);
+  --live_parts_;
+  return true;
+}
+
+Status OO1Generator::Lookup(TraceSink* sink) {
+  for (uint32_t i = 0; i < config_.lookup_count; ++i) {
+    const uint64_t id = PickLivePart();
+    if (id == 0) break;
+    const Part& part = parts_.at(id);
+    // The index probe reads the slot referencing the part, then the part.
+    ODBGC_RETURN_IF_ERROR(sink->Append(
+        TraceEvent::ReadSlot(part.index_node, part.index_slot)));
+    ODBGC_RETURN_IF_ERROR(sink->Append(TraceEvent::Visit(id)));
+  }
+  return Status::Ok();
+}
+
+Status OO1Generator::Traversal(TraceSink* sink) {
+  const uint64_t start = PickLivePart();
+  if (start == 0) return Status::Ok();
+  // Depth-bounded DFS over connections, with OO1's revisits.
+  std::vector<std::pair<uint64_t, uint32_t>> stack{{start, 0}};
+  while (!stack.empty()) {
+    const auto [id, depth] = stack.back();
+    stack.pop_back();
+    ODBGC_RETURN_IF_ERROR(sink->Append(TraceEvent::Visit(id)));
+    if (depth >= config_.traversal_depth) continue;
+    auto it = parts_.find(id);
+    if (it == parts_.end()) continue;
+    for (uint32_t s = 0; s < it->second.out.size(); ++s) {
+      const uint64_t target = it->second.out[s];
+      if (target == 0) continue;
+      ODBGC_RETURN_IF_ERROR(sink->Append(TraceEvent::ReadSlot(id, s)));
+      // Logically deleted but still-referenced parts are not descended.
+      if (parts_.count(target) > 0) stack.push_back({target, depth + 1});
+    }
+  }
+  return Status::Ok();
+}
+
+Status OO1Generator::RunTransaction(TraceSink* sink) {
+  if (!built_) ODBGC_RETURN_IF_ERROR(BuildInitialDatabase(sink));
+  ODBGC_RETURN_IF_ERROR(Lookup(sink));
+  ODBGC_RETURN_IF_ERROR(Traversal(sink));
+  for (uint32_t i = 0; i < config_.deletes_per_round; ++i) {
+    auto deleted = DeleteRandomPart(sink);
+    ODBGC_RETURN_IF_ERROR(deleted.status());
+    if (!*deleted) break;
+  }
+  for (uint32_t i = 0; i < config_.inserts_per_round &&
+                       allocated_bytes_ < config_.total_alloc_bytes;
+       ++i) {
+    ODBGC_RETURN_IF_ERROR(CreatePart(sink));
+  }
+  ++rounds_;
+  return Status::Ok();
+}
+
+}  // namespace odbgc

@@ -1,0 +1,137 @@
+#ifndef ODBGC_WORKLOAD_OO1_GENERATOR_H_
+#define ODBGC_WORKLOAD_OO1_GENERATOR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/event.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace odbgc {
+
+/// Parameters for the OO1-style workload (below).
+struct OO1Config {
+  /// Initial database: parts are created until this many live bytes exist.
+  uint64_t target_live_bytes = 5ull << 20;
+  /// The trace ends once this much has been allocated in total.
+  uint64_t total_alloc_bytes = 11ull << 20;
+
+  /// Part object footprint in bytes (OO1 parts are ~100 bytes).
+  uint32_t part_size = 100;
+  /// Outgoing connections per part (OO1 fixes 3).
+  uint32_t connections_per_part = 3;
+  /// Connection locality: with this probability a connection targets a
+  /// part created within +/- locality_window positions (OO1's "90% of
+  /// connections are to the closest parts"); otherwise uniform.
+  double locality_prob = 0.9;
+  uint32_t locality_window = 100;
+
+  /// Parts fetched by one Lookup operation (OO1: 1000; scaled down so a
+  /// full run stays in the paper's event-count ballpark).
+  uint32_t lookup_count = 100;
+  /// Traversal depth (OO1: 7 levels; 6 keeps one run near the paper's
+  /// 3-4M events).
+  uint32_t traversal_depth = 6;
+  /// Parts inserted / deleted per transaction round. OO1 has inserts but
+  /// no deletes; deletes are what make the workload exercise garbage
+  /// collection, so this generator pairs them.
+  uint32_t inserts_per_round = 25;
+  uint32_t deletes_per_round = 25;
+  /// If true (default), deleting a part also clears the connections
+  /// pointing at it (via the back-references an OO1 schema maintains);
+  /// those clears are exactly the overwritten-pointer hints the paper's
+  /// policies feed on. If false, deleted parts stay reachable from their
+  /// referents and almost nothing ever becomes garbage.
+  bool clear_incoming_on_delete = true;
+
+  /// Safety cap on transaction rounds.
+  uint64_t max_rounds = 1'000'000;
+
+  Status Validate() const;
+};
+
+/// An OO1-flavoured workload: a database of fixed-size *parts*, each with
+/// three outgoing *connections* biased to recently created parts, indexed
+/// by a rooted linked structure of index nodes, exercised by the OO1
+/// operation mix (Lookup, 7-level Traversal, Insert) plus Deletes.
+///
+/// Compared to the paper's augmented binary trees, this is a flat,
+/// moderately cyclic object graph whose garbage arrives as individual
+/// parts scattered across partitions — a deliberately harsher regime for
+/// partition selection, and a robustness check that the paper's
+/// conclusions are not an artifact of tree-shaped databases.
+///
+/// Deterministic per (config, seed), independent of the replaying heap.
+class OO1Generator {
+ public:
+  OO1Generator(const OO1Config& config, uint64_t seed);
+
+  /// Builds the database and runs transactions until done.
+  Status Generate(TraceSink* sink);
+
+  Status BuildInitialDatabase(TraceSink* sink);
+
+  /// One transaction round: a Lookup, a Traversal, deletes, inserts.
+  Status RunTransaction(TraceSink* sink);
+
+  bool Done() const;
+
+  uint64_t total_allocated_bytes() const { return allocated_bytes_; }
+  size_t live_part_count() const { return live_parts_; }
+  uint64_t rounds_run() const { return rounds_; }
+
+ private:
+  struct Part {
+    std::vector<uint64_t> out;        // Connection targets (by slot).
+    std::vector<uint64_t> in;         // Parts holding a connection to us.
+    uint64_t index_node = 0;          // Index node referencing this part.
+    uint32_t index_slot = 0;
+    bool alive = false;
+  };
+
+  static constexpr uint32_t kIndexFanout = 16;
+
+  // Creates one part (alloc + index registration + connections).
+  Status CreatePart(TraceSink* sink);
+
+  // Deletes one randomly chosen live part; false if none.
+  Result<bool> DeleteRandomPart(TraceSink* sink);
+
+  Status Lookup(TraceSink* sink);
+  Status Traversal(TraceSink* sink);
+
+  // Picks a connection target for the part at creation ordinal
+  // `ordinal`; 0 if none available.
+  uint64_t PickConnectionTarget(size_t ordinal);
+
+  // Returns a (node, slot) with a free index slot, creating a new index
+  // node if necessary.
+  Result<std::pair<uint64_t, uint32_t>> AcquireIndexSlot(TraceSink* sink);
+
+  // Picks a random live part id; 0 if none.
+  uint64_t PickLivePart();
+
+  const OO1Config config_;
+  Rng rng_;
+
+  std::unordered_map<uint64_t, Part> parts_;
+  std::vector<uint64_t> creation_order_;  // Part ids, tombstones stay.
+  size_t live_parts_ = 0;
+
+  // Index: id of the rooted head node, plus free (node, slot) pairs.
+  uint64_t index_head_ = 0;
+  uint64_t index_tail_ = 0;
+  std::vector<std::pair<uint64_t, uint32_t>> free_index_slots_;
+  std::unordered_map<uint64_t, uint32_t> index_fill_;  // node -> used slots.
+
+  uint64_t next_id_ = 1;
+  uint64_t allocated_bytes_ = 0;
+  uint64_t rounds_ = 0;
+  bool built_ = false;
+};
+
+}  // namespace odbgc
+
+#endif  // ODBGC_WORKLOAD_OO1_GENERATOR_H_

@@ -1,0 +1,78 @@
+#include "workload/workload_config.h"
+
+namespace odbgc {
+
+double WorkloadConfig::LargeObjectProbability() const {
+  if (large_space_fraction <= 0.0) return 0.0;
+  const double s = large_space_fraction;
+  const double a = MeanSmallObjectSize();
+  const double l = static_cast<double>(large_object_size);
+  // Solve f*l / (f*l + (1-f)*a) = s for the object-count fraction f.
+  return s * a / (l * (1.0 - s) + s * a);
+}
+
+WorkloadConfig WorkloadConfig::WithConnectivity(double c) const {
+  WorkloadConfig copy = *this;
+  copy.dense_edge_prob = c <= 1.0 ? 0.0 : c - 1.0;
+  return copy;
+}
+
+WorkloadConfig WorkloadConfig::WithTotalAllocation(
+    uint64_t total_bytes) const {
+  WorkloadConfig copy = *this;
+  const double scale = static_cast<double>(total_bytes) /
+                       static_cast<double>(total_alloc_bytes);
+  copy.total_alloc_bytes = total_bytes;
+  copy.target_live_bytes =
+      static_cast<uint64_t>(static_cast<double>(target_live_bytes) * scale);
+  return copy;
+}
+
+Status WorkloadConfig::Validate() const {
+  if (target_live_bytes == 0 || total_alloc_bytes < target_live_bytes) {
+    return Status::InvalidArgument(
+        "total_alloc_bytes must be >= target_live_bytes > 0");
+  }
+  if (min_object_size > max_object_size) {
+    return Status::InvalidArgument("min_object_size > max_object_size");
+  }
+  if (min_object_size < 20 + 8ull * slots_per_object) {
+    return Status::InvalidArgument(
+        "min_object_size too small for header + slots");
+  }
+  if (slots_per_object < 2) {
+    return Status::InvalidArgument("need at least 2 slots for tree children");
+  }
+  if (large_space_fraction < 0.0 || large_space_fraction >= 1.0) {
+    return Status::InvalidArgument("large_space_fraction outside [0,1)");
+  }
+  if (dense_edge_prob < 0.0 || dense_edge_prob > 1.0) {
+    return Status::InvalidArgument("dense_edge_prob outside [0,1]");
+  }
+  if (dense_local_fraction < 0.0 || dense_local_fraction > 1.0) {
+    return Status::InvalidArgument("dense_local_fraction outside [0,1]");
+  }
+  if (dense_window == 0) {
+    return Status::InvalidArgument("dense_window must be positive");
+  }
+  if (tree_nodes_min == 0 || tree_nodes_min > tree_nodes_max) {
+    return Status::InvalidArgument("bad tree node range");
+  }
+  if (grow_nodes_min == 0 || grow_nodes_min > grow_nodes_max) {
+    return Status::InvalidArgument("bad grow node range");
+  }
+  if (p_depth_first < 0.0 || p_breadth_first < 0.0 ||
+      p_depth_first + p_breadth_first > 1.0) {
+    return Status::InvalidArgument("bad traversal probabilities");
+  }
+  if (edge_skip_prob < 0.0 || edge_skip_prob > 1.0 ||
+      visit_modify_prob < 0.0 || visit_modify_prob > 1.0) {
+    return Status::InvalidArgument("bad per-edge/visit probabilities");
+  }
+  if (deletions_per_round < 0.0) {
+    return Status::InvalidArgument("deletions_per_round negative");
+  }
+  return Status::Ok();
+}
+
+}  // namespace odbgc

@@ -1,0 +1,97 @@
+#ifndef ODBGC_WORKLOAD_WORKLOAD_CONFIG_H_
+#define ODBGC_WORKLOAD_WORKLOAD_CONFIG_H_
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace odbgc {
+
+/// Parameters of the synthetic test database and application (paper,
+/// Section 5). Defaults reproduce the paper's base configuration: a forest
+/// of augmented binary trees totalling ~5 MB of live data, ~11 MB
+/// allocated over the run, 50-150 byte objects plus 64 KB large leaves at
+/// ~20% of space, connectivity ~1.08, edge read/write ratio ~15-20.
+struct WorkloadConfig {
+  // ---- Database size ------------------------------------------------------
+  /// Live-data target the mutation phase steers toward (bytes).
+  uint64_t target_live_bytes = 5ull << 20;
+  /// Total allocation volume at which the trace ends (bytes). The gap
+  /// between this and the live target is the garbage the run generates.
+  uint64_t total_alloc_bytes = 11ull << 20;
+
+  // ---- Object population --------------------------------------------------
+  /// Regular objects: total footprint uniform in [min, max] bytes.
+  uint32_t min_object_size = 50;
+  uint32_t max_object_size = 150;
+  /// Pointer slots per regular object: 2 tree children + 1 dense slot.
+  uint32_t slots_per_object = 3;
+  /// OO7-style large leaf documents.
+  uint32_t large_object_size = 64u << 10;
+  /// Fraction of all allocated space in large objects (~0.2). Converted
+  /// internally to a per-allocation probability.
+  double large_space_fraction = 0.20;
+
+  // ---- Connectivity -------------------------------------------------------
+  /// Probability a new node also receives a dense edge to a random node of
+  /// its tree. Database connectivity is ~1 + this value (each non-root
+  /// node has one tree in-edge). The paper varies 1.005 .. 1.167.
+  double dense_edge_prob = 0.083;
+  /// Dense-edge target locality: with this probability the target is drawn
+  /// from the `dense_window` most recently created nodes of the tree
+  /// (clustered connectivity, as in real object bases); otherwise uniform
+  /// over the whole tree. Pure-uniform (0.0) makes detached subtrees far
+  /// more likely to stay partially reachable through old dense edges,
+  /// inflating live retention and cross-partition nepotism well beyond
+  /// what the paper reports.
+  double dense_local_fraction = 0.9;
+  uint32_t dense_window = 32;
+
+  // ---- Tree shape ---------------------------------------------------------
+  /// Nodes per initially created tree, uniform in [min, max].
+  uint32_t tree_nodes_min = 500;
+  uint32_t tree_nodes_max = 2000;
+  /// Nodes per regrowth subtree, uniform in [min, max].
+  uint32_t grow_nodes_min = 8;
+  uint32_t grow_nodes_max = 24;
+
+  // ---- Application behaviour ---------------------------------------------
+  /// Traversal style odds per round (sum <= 1; remainder = no traversal).
+  double p_depth_first = 0.20;
+  double p_breadth_first = 0.50;
+  /// Per-edge probability a traversal skips the subtree below it.
+  double edge_skip_prob = 0.05;
+  /// Per-visit probability of a data modification.
+  double visit_modify_prob = 0.01;
+  /// Mean tree-edge deletions per round (garbage creation rate).
+  double deletions_per_round = 1.5;
+
+  /// Hard cap on rounds (safety against mis-tuned configs).
+  uint64_t max_rounds = 2'000'000;
+
+  // ---- Derived helpers ----------------------------------------------------
+  /// Probability that an allocation is a large leaf, derived from
+  /// large_space_fraction and the mean small size.
+  double LargeObjectProbability() const;
+
+  /// Mean regular-object size.
+  double MeanSmallObjectSize() const {
+    return (min_object_size + max_object_size) / 2.0;
+  }
+
+  /// Returns a copy tuned to database connectivity `c` (pointers per
+  /// object), as in the paper's Table 5 sweep.
+  WorkloadConfig WithConnectivity(double c) const;
+
+  /// Returns a copy scaled so the run allocates `total_bytes` in all
+  /// (live target scales proportionally), as in the Figure 6 sweep.
+  WorkloadConfig WithTotalAllocation(uint64_t total_bytes) const;
+
+  /// Validates ranges; InvalidArgument on nonsense (min > max, zero
+  /// sizes, probabilities outside [0,1]).
+  Status Validate() const;
+};
+
+}  // namespace odbgc
+
+#endif  // ODBGC_WORKLOAD_WORKLOAD_CONFIG_H_

@@ -1,0 +1,112 @@
+// Property tests: the buffer pool must behave exactly like a reference
+// model (a map of page contents plus an LRU list) under arbitrary access
+// sequences, for any frame count.
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "buffer/buffer_pool.h"
+#include "util/random.h"
+
+namespace odbgc {
+namespace {
+
+struct Params {
+  size_t frames;
+  uint64_t seed;
+};
+
+class BufferPoolPropertyTest : public ::testing::TestWithParam<Params> {};
+
+TEST_P(BufferPoolPropertyTest, MatchesReferenceModel) {
+  const Params params = GetParam();
+  constexpr size_t kPageSize = 32;
+  constexpr size_t kPages = 24;
+  constexpr int kSteps = 4000;
+
+  SimulatedDisk disk(kPageSize);
+  disk.AllocatePages(kPages);
+  BufferPool pool(&disk, params.frames);
+
+  // Reference model: logical content of every page (as the application
+  // sees it through the pool), plus an LRU queue.
+  std::map<PageId, uint8_t> content;  // First byte per page; 0 initially.
+  std::deque<PageId> lru;             // Front = most recent.
+  uint64_t model_misses = 0;
+
+  auto touch_lru = [&](PageId p) {
+    for (auto it = lru.begin(); it != lru.end(); ++it) {
+      if (*it == p) {
+        lru.erase(it);
+        break;
+      }
+    }
+    lru.push_front(p);
+    if (lru.size() > params.frames) lru.pop_back();
+  };
+  auto resident = [&](PageId p) {
+    for (PageId q : lru) {
+      if (q == p) return true;
+    }
+    return false;
+  };
+
+  Rng rng(params.seed);
+  for (int step = 0; step < kSteps; ++step) {
+    const PageId page = rng.UniformInt(kPages);
+    const bool write = rng.Bernoulli(0.4);
+
+    if (!resident(page)) ++model_misses;
+    touch_lru(page);
+
+    auto frame = pool.GetPage(
+        page, write ? AccessMode::kWrite : AccessMode::kRead);
+    ASSERT_TRUE(frame.ok());
+    // The pool must always present the logical content.
+    ASSERT_EQ(std::to_integer<uint8_t>((*frame)[0]), content[page])
+        << "page " << page << " at step " << step;
+    if (write) {
+      const uint8_t value = static_cast<uint8_t>(step & 0xff);
+      (*frame)[0] = static_cast<std::byte>(value);
+      content[page] = value;
+    }
+
+    // Residency and recency must match the model exactly (strict LRU).
+    ASSERT_EQ(pool.resident_pages(), lru.size());
+    const std::vector<PageId> order = pool.LruOrder();
+    ASSERT_EQ(order.size(), lru.size());
+    for (size_t i = 0; i < lru.size(); ++i) {
+      ASSERT_EQ(order[i], lru[i]) << "LRU position " << i << " at step "
+                                  << step;
+    }
+  }
+
+  EXPECT_EQ(pool.stats().misses, model_misses);
+  EXPECT_EQ(pool.stats().hits, static_cast<uint64_t>(kSteps) - model_misses);
+  // Every miss is a disk read; disk agrees with the pool.
+  EXPECT_EQ(disk.stats().page_reads, model_misses);
+
+  // After flushing, the disk holds the logical content of every page.
+  ASSERT_TRUE(pool.FlushAll().ok());
+  for (const auto& [page, value] : content) {
+    std::vector<std::byte> buf(kPageSize);
+    ASSERT_TRUE(disk.ReadPage(page, buf).ok());
+    EXPECT_EQ(std::to_integer<uint8_t>(buf[0]), value) << "page " << page;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FrameCountsAndSeeds, BufferPoolPropertyTest,
+    ::testing::Values(Params{1, 1}, Params{2, 2}, Params{3, 3}, Params{7, 4},
+                      Params{8, 5}, Params{16, 6}, Params{23, 7},
+                      Params{24, 8}, Params{64, 9}),
+    [](const ::testing::TestParamInfo<Params>& info) {
+      return "frames" + std::to_string(info.param.frames) + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace odbgc

@@ -1,0 +1,158 @@
+#include "buffer/buffer_pool.h"
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+namespace odbgc {
+namespace {
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  BufferPoolTest() : disk_(64), pool_(&disk_, 3) { disk_.AllocatePages(10); }
+
+  // Writes `value` into the first byte of `page` through the pool.
+  void Poke(PageId page, uint8_t value) {
+    auto frame = pool_.GetPage(page, AccessMode::kWrite);
+    ASSERT_TRUE(frame.ok());
+    (*frame)[0] = static_cast<std::byte>(value);
+  }
+
+  uint8_t PeekDisk(PageId page) {
+    std::vector<std::byte> buf(64);
+    EXPECT_TRUE(disk_.ReadPage(page, buf).ok());
+    return std::to_integer<uint8_t>(buf[0]);
+  }
+
+  SimulatedDisk disk_;
+  BufferPool pool_;
+};
+
+TEST_F(BufferPoolTest, MissThenHit) {
+  ASSERT_TRUE(pool_.GetPage(0, AccessMode::kRead).ok());
+  EXPECT_EQ(pool_.stats().misses, 1u);
+  EXPECT_EQ(pool_.stats().hits, 0u);
+  ASSERT_TRUE(pool_.GetPage(0, AccessMode::kRead).ok());
+  EXPECT_EQ(pool_.stats().hits, 1u);
+  EXPECT_EQ(pool_.stats().reads_app, 1u);
+}
+
+TEST_F(BufferPoolTest, LruOrderTracksRecency) {
+  for (PageId p : {0, 1, 2}) {
+    ASSERT_TRUE(pool_.GetPage(p, AccessMode::kRead).ok());
+  }
+  EXPECT_EQ(pool_.LruOrder(), (std::vector<PageId>{2, 1, 0}));
+  ASSERT_TRUE(pool_.GetPage(0, AccessMode::kRead).ok());
+  EXPECT_EQ(pool_.LruOrder(), (std::vector<PageId>{0, 2, 1}));
+}
+
+TEST_F(BufferPoolTest, EvictsLeastRecentlyUsed) {
+  for (PageId p : {0, 1, 2}) {
+    ASSERT_TRUE(pool_.GetPage(p, AccessMode::kRead).ok());
+  }
+  ASSERT_TRUE(pool_.GetPage(3, AccessMode::kRead).ok());  // Evicts 0.
+  EXPECT_FALSE(pool_.IsResident(0));
+  EXPECT_TRUE(pool_.IsResident(1));
+  EXPECT_TRUE(pool_.IsResident(3));
+  EXPECT_EQ(pool_.resident_pages(), 3u);
+}
+
+TEST_F(BufferPoolTest, CleanEvictionCostsNoWrite) {
+  for (PageId p : {0, 1, 2, 3}) {
+    ASSERT_TRUE(pool_.GetPage(p, AccessMode::kRead).ok());
+  }
+  EXPECT_EQ(pool_.stats().writes_app, 0u);
+  EXPECT_EQ(disk_.stats().page_writes, 0u);
+}
+
+TEST_F(BufferPoolTest, DirtyEvictionWritesBack) {
+  Poke(0, 0xaa);
+  EXPECT_EQ(PeekDisk(0), 0u) << "write-back must be deferred";
+  ASSERT_TRUE(pool_.GetPage(1, AccessMode::kRead).ok());
+  ASSERT_TRUE(pool_.GetPage(2, AccessMode::kRead).ok());
+  ASSERT_TRUE(pool_.GetPage(3, AccessMode::kRead).ok());  // Evicts dirty 0.
+  EXPECT_EQ(PeekDisk(0), 0xaa);
+  EXPECT_EQ(pool_.stats().writes_app, 1u);
+}
+
+TEST_F(BufferPoolTest, WriteIntentMarksDirty) {
+  ASSERT_TRUE(pool_.GetPage(0, AccessMode::kRead).ok());
+  EXPECT_FALSE(pool_.IsDirty(0));
+  ASSERT_TRUE(pool_.GetPage(0, AccessMode::kWrite).ok());
+  EXPECT_TRUE(pool_.IsDirty(0));
+}
+
+TEST_F(BufferPoolTest, FlushAllWritesDirtyAndKeepsResident) {
+  Poke(0, 1);
+  Poke(1, 2);
+  ASSERT_TRUE(pool_.GetPage(2, AccessMode::kRead).ok());
+  ASSERT_TRUE(pool_.FlushAll().ok());
+  EXPECT_EQ(PeekDisk(0), 1u);
+  EXPECT_EQ(PeekDisk(1), 2u);
+  EXPECT_EQ(pool_.stats().writes_app, 2u);
+  EXPECT_TRUE(pool_.IsResident(0));
+  EXPECT_FALSE(pool_.IsDirty(0));
+  // A second flush writes nothing.
+  ASSERT_TRUE(pool_.FlushAll().ok());
+  EXPECT_EQ(pool_.stats().writes_app, 2u);
+}
+
+TEST_F(BufferPoolTest, DiscardExtentDropsWithoutWriteback) {
+  Poke(0, 9);
+  Poke(1, 9);
+  pool_.DiscardExtent(PageExtent{0, 2});
+  EXPECT_FALSE(pool_.IsResident(0));
+  EXPECT_FALSE(pool_.IsResident(1));
+  EXPECT_EQ(PeekDisk(0), 0u) << "discard must not write back";
+  EXPECT_EQ(pool_.stats().writes_app, 0u);
+  // LRU list stays consistent afterwards.
+  ASSERT_TRUE(pool_.GetPage(5, AccessMode::kRead).ok());
+  EXPECT_EQ(pool_.resident_pages(), 1u);
+}
+
+TEST_F(BufferPoolTest, PhaseAccountingSplitsIo) {
+  ASSERT_TRUE(pool_.GetPage(0, AccessMode::kWrite).ok());
+  {
+    PhaseScope scope(&pool_, IoPhase::kCollector);
+    ASSERT_TRUE(pool_.GetPage(1, AccessMode::kRead).ok());
+    ASSERT_TRUE(pool_.GetPage(2, AccessMode::kRead).ok());
+    // Evicting dirty page 0 during the collector phase charges the
+    // collector (it caused the eviction).
+    ASSERT_TRUE(pool_.GetPage(3, AccessMode::kRead).ok());
+  }
+  EXPECT_EQ(pool_.phase(), IoPhase::kApplication);
+  EXPECT_EQ(pool_.stats().reads_app, 1u);
+  EXPECT_EQ(pool_.stats().reads_gc, 3u);
+  EXPECT_EQ(pool_.stats().writes_gc, 1u);
+  EXPECT_EQ(pool_.stats().writes_app, 0u);
+  EXPECT_EQ(pool_.stats().app_io(), 1u);
+  EXPECT_EQ(pool_.stats().gc_io(), 4u);
+  EXPECT_EQ(pool_.stats().total_io(), 5u);
+}
+
+TEST_F(BufferPoolTest, DataSurvivesEvictionRoundtrip) {
+  Poke(0, 0x5c);
+  // Push page 0 out and bring it back.
+  for (PageId p : {1, 2, 3}) {
+    ASSERT_TRUE(pool_.GetPage(p, AccessMode::kRead).ok());
+  }
+  auto frame = pool_.GetPage(0, AccessMode::kRead);
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(std::to_integer<uint8_t>((*frame)[0]), 0x5c);
+}
+
+TEST_F(BufferPoolTest, UnknownPageFails) {
+  auto frame = pool_.GetPage(99, AccessMode::kRead);
+  EXPECT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(BufferPoolTest, ResetStats) {
+  ASSERT_TRUE(pool_.GetPage(0, AccessMode::kRead).ok());
+  pool_.ResetStats();
+  EXPECT_EQ(pool_.stats().total_io(), 0u);
+  EXPECT_EQ(pool_.stats().hits + pool_.stats().misses, 0u);
+}
+
+}  // namespace
+}  // namespace odbgc

@@ -1,0 +1,186 @@
+#include "core/reachability.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+namespace odbgc {
+namespace {
+
+class ReachabilityTest : public ::testing::Test {
+ protected:
+  ReachabilityTest() {
+    StoreOptions options;
+    options.page_size = 256;
+    options.pages_per_partition = 8;
+    disk_ = std::make_unique<SimulatedDisk>(options.page_size);
+    buffer_ = std::make_unique<BufferPool>(disk_.get(), 64);
+    store_ = std::make_unique<ObjectStore>(options, disk_.get(),
+                                           buffer_.get());
+  }
+
+  ObjectId Alloc(ObjectId parent = kNullObjectId, uint32_t size = 100) {
+    auto id = store_->Allocate(size, 3, parent);
+    EXPECT_TRUE(id.ok());
+    return *id;
+  }
+
+  // Allocates an object guaranteed to live in a different partition than
+  // `avoid` by filling space with *live* filler objects (chained to a
+  // rooted anchor) until placement moves on. The returned object itself is
+  // not linked anywhere.
+  ObjectId AllocElsewhere(PartitionId avoid) {
+    if (filler_tail_.is_null()) {
+      filler_tail_ = Alloc();
+      EXPECT_TRUE(store_->AddRoot(filler_tail_).ok());
+    }
+    for (int i = 0; i < 64; ++i) {
+      const ObjectId id = Alloc();
+      if (store_->Lookup(id)->partition != avoid) return id;
+      // Keep the filler alive: chain it behind the anchor via slot 2.
+      EXPECT_TRUE(store_->WriteSlot(filler_tail_, 2, id).ok());
+      filler_tail_ = id;
+    }
+    ADD_FAILURE() << "could not place object outside partition " << avoid;
+    return kNullObjectId;
+  }
+
+  void Link(ObjectId a, uint32_t slot, ObjectId b) {
+    ASSERT_TRUE(store_->WriteSlot(a, slot, b).ok());
+  }
+
+  PartitionId PartOf(ObjectId id) { return store_->Lookup(id)->partition; }
+
+  std::unique_ptr<SimulatedDisk> disk_;
+  std::unique_ptr<BufferPool> buffer_;
+  std::unique_ptr<ObjectStore> store_;
+  ObjectId filler_tail_;
+};
+
+TEST_F(ReachabilityTest, LiveSetFollowsPointers) {
+  const ObjectId root = Alloc();
+  const ObjectId a = Alloc(root);
+  const ObjectId b = Alloc(root);
+  const ObjectId orphan = Alloc(root);
+  (void)orphan;
+  ASSERT_TRUE(store_->AddRoot(root).ok());
+  Link(root, 0, a);
+  Link(a, 0, b);
+
+  const auto live = ComputeLiveSet(*store_);
+  EXPECT_EQ(live.size(), 3u);
+  EXPECT_TRUE(live.count(root));
+  EXPECT_TRUE(live.count(a));
+  EXPECT_TRUE(live.count(b));
+}
+
+TEST_F(ReachabilityTest, CensusCountsPerPartition) {
+  const ObjectId root = Alloc();
+  ASSERT_TRUE(store_->AddRoot(root).ok());
+  const ObjectId garbage = Alloc(root, 120);
+  (void)garbage;
+
+  const GarbageCensus census = ComputeGarbageCensus(*store_);
+  EXPECT_EQ(census.total_live_objects, 1u);
+  EXPECT_EQ(census.total_live_bytes, 100u);
+  EXPECT_EQ(census.total_garbage_objects, 1u);
+  EXPECT_EQ(census.total_garbage_bytes, 120u);
+  const PartitionId p = PartOf(root);
+  EXPECT_EQ(census.garbage_bytes_per_partition[p], 120u);
+  EXPECT_EQ(census.collectable_bytes_per_partition[p], 120u);
+  EXPECT_EQ(census.total_collectable_bytes, 120u);
+}
+
+TEST_F(ReachabilityTest, EmptyDatabaseCensus) {
+  const GarbageCensus census = ComputeGarbageCensus(*store_);
+  EXPECT_EQ(census.total_garbage_bytes, 0u);
+  EXPECT_EQ(census.total_live_bytes, 0u);
+  const GarbageAnatomy anatomy = ComputeGarbageAnatomy(*store_);
+  EXPECT_EQ(anatomy.locally_collectable_bytes, 0u);
+  EXPECT_EQ(anatomy.nepotism_bytes, 0u);
+  EXPECT_EQ(anatomy.cross_partition_cycle_bytes, 0u);
+}
+
+TEST_F(ReachabilityTest, ProtectedGarbageNotCollectable) {
+  // Dead y (partition B) -> dead x (partition A): x is garbage but not
+  // collectable until B is collected; y itself is collectable.
+  const ObjectId x = Alloc();
+  const PartitionId part_a = PartOf(x);
+  const ObjectId y = AllocElsewhere(part_a);
+  Link(y, 0, x);
+
+  const GarbageCensus census = ComputeGarbageCensus(*store_);
+  EXPECT_EQ(census.total_garbage_bytes, 200u);
+  EXPECT_EQ(census.collectable_bytes_per_partition[part_a], 0u);
+  EXPECT_EQ(census.collectable_bytes_per_partition[PartOf(y)], 100u);
+
+  const GarbageAnatomy anatomy = ComputeGarbageAnatomy(*store_);
+  EXPECT_EQ(anatomy.locally_collectable_bytes, 100u);  // y.
+  EXPECT_EQ(anatomy.nepotism_bytes, 100u);             // x.
+  EXPECT_EQ(anatomy.cross_partition_cycle_bytes, 0u);
+}
+
+TEST_F(ReachabilityTest, IntraPartitionChainBehindProtectedObject) {
+  // y (B) -> x (A) -> z (A, intra edge): both x and z are kept when A is
+  // collected, because the collector traverses the kept x.
+  const ObjectId x = Alloc();
+  const ObjectId z = Alloc(x);
+  ASSERT_EQ(PartOf(x), PartOf(z));
+  const ObjectId y = AllocElsewhere(PartOf(x));
+  Link(y, 0, x);
+  Link(x, 0, z);
+
+  const GarbageCensus census = ComputeGarbageCensus(*store_);
+  EXPECT_EQ(census.collectable_bytes_per_partition[PartOf(x)], 0u);
+  const GarbageAnatomy anatomy = ComputeGarbageAnatomy(*store_);
+  EXPECT_EQ(anatomy.nepotism_bytes, 200u);  // x and z.
+  EXPECT_EQ(anatomy.locally_collectable_bytes, 100u);  // y.
+}
+
+TEST_F(ReachabilityTest, CrossPartitionDeadCycleIsStuck) {
+  // x (A) <-> y (B): a dead cross-partition cycle no collection order can
+  // reclaim, plus a victim z referenced from the cycle.
+  const ObjectId x = Alloc();
+  const ObjectId y = AllocElsewhere(PartOf(x));
+  const ObjectId z = Alloc(x);
+  Link(x, 0, y);
+  Link(y, 0, x);
+  Link(x, 1, z);
+
+  const GarbageAnatomy anatomy = ComputeGarbageAnatomy(*store_);
+  EXPECT_EQ(anatomy.cross_partition_cycle_bytes, 300u);
+  EXPECT_EQ(anatomy.locally_collectable_bytes, 0u);
+  EXPECT_EQ(anatomy.nepotism_bytes, 0u);
+}
+
+TEST_F(ReachabilityTest, IntraPartitionDeadCycleIsCollectable) {
+  const ObjectId x = Alloc();
+  const ObjectId y = Alloc(x);
+  ASSERT_EQ(PartOf(x), PartOf(y));
+  Link(x, 0, y);
+  Link(y, 0, x);
+
+  const GarbageAnatomy anatomy = ComputeGarbageAnatomy(*store_);
+  EXPECT_EQ(anatomy.locally_collectable_bytes, 200u);
+  EXPECT_EQ(anatomy.cross_partition_cycle_bytes, 0u);
+}
+
+TEST_F(ReachabilityTest, LiveReferencesDoNotProtectGarbage) {
+  // A live object pointing across partitions keeps its target LIVE, not
+  // garbage; garbage elsewhere stays collectable.
+  const ObjectId root = Alloc();
+  ASSERT_TRUE(store_->AddRoot(root).ok());
+  const ObjectId far = AllocElsewhere(PartOf(root));
+  Link(root, 0, far);
+  const ObjectId garbage = Alloc();
+  (void)garbage;
+
+  // Live: root, far, and the filler chain; garbage: just `garbage`, and
+  // all of it is collectable despite the live cross-partition reference.
+  const GarbageCensus census = ComputeGarbageCensus(*store_);
+  EXPECT_EQ(census.total_garbage_bytes, 100u);
+  EXPECT_EQ(census.total_garbage_bytes, census.total_collectable_bytes);
+}
+
+}  // namespace
+}  // namespace odbgc

@@ -1,0 +1,150 @@
+#include "core/weights.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+namespace odbgc {
+namespace {
+
+class WeightsTest : public ::testing::Test {
+ protected:
+  WeightsTest() {
+    StoreOptions options;
+    options.page_size = 256;
+    options.pages_per_partition = 8;
+    disk_ = std::make_unique<SimulatedDisk>(options.page_size);
+    buffer_ = std::make_unique<BufferPool>(disk_.get(), 64);
+    store_ = std::make_unique<ObjectStore>(options, disk_.get(),
+                                           buffer_.get());
+    weights_ = std::make_unique<WeightTracker>(store_.get(),
+                                               /*charge_io=*/false);
+  }
+
+  ObjectId Alloc() {
+    auto id = store_->Allocate(64, 4);
+    EXPECT_TRUE(id.ok());
+    return *id;
+  }
+
+  // Links a->b through `slot` and updates weights the way the heap does.
+  void Link(ObjectId a, ObjectId b, uint32_t slot = 0) {
+    ASSERT_TRUE(store_->WriteSlot(a, slot, b).ok());
+    ASSERT_TRUE(weights_->OnPointerStored(a, b).ok());
+  }
+
+  std::unique_ptr<SimulatedDisk> disk_;
+  std::unique_ptr<BufferPool> buffer_;
+  std::unique_ptr<ObjectStore> store_;
+  std::unique_ptr<WeightTracker> weights_;
+};
+
+TEST_F(WeightsTest, UnknownObjectsHaveMaxWeight) {
+  EXPECT_EQ(weights_->GetWeight(ObjectId{123}), WeightTracker::kMaxWeight);
+}
+
+TEST_F(WeightsTest, RootHasWeightOne) {
+  const ObjectId r = Alloc();
+  ASSERT_TRUE(weights_->OnRootAdded(r).ok());
+  EXPECT_EQ(weights_->GetWeight(r), 1);
+}
+
+TEST_F(WeightsTest, ChildIsParentPlusOne) {
+  const ObjectId r = Alloc(), a = Alloc(), b = Alloc();
+  ASSERT_TRUE(weights_->OnRootAdded(r).ok());
+  Link(r, a);
+  Link(a, b);
+  EXPECT_EQ(weights_->GetWeight(a), 2);
+  EXPECT_EQ(weights_->GetWeight(b), 3);
+}
+
+TEST_F(WeightsTest, MinimumOverInEdges) {
+  // Paper's Figure 3: the weight is 1 + min over incoming edges.
+  const ObjectId r = Alloc(), deep = Alloc(), x = Alloc();
+  ASSERT_TRUE(weights_->OnRootAdded(r).ok());
+  Link(r, deep);       // deep = 2
+  Link(deep, x);       // x = 3
+  EXPECT_EQ(weights_->GetWeight(x), 3);
+  Link(r, x, 1);       // A closer edge appears: x = 2.
+  EXPECT_EQ(weights_->GetWeight(x), 2);
+}
+
+TEST_F(WeightsTest, DecreasePropagatesTransitively) {
+  // Chain r -> a -> b -> c built bottom-up, then rooted: the relaxation
+  // must ripple down the chain.
+  const ObjectId r = Alloc(), a = Alloc(), b = Alloc(), c = Alloc();
+  Link(a, b);
+  Link(b, c);
+  Link(r, a);
+  // Nothing is rooted yet: all weights still near max.
+  EXPECT_EQ(weights_->GetWeight(c), WeightTracker::kMaxWeight);
+  ASSERT_TRUE(weights_->OnRootAdded(r).ok());
+  EXPECT_EQ(weights_->GetWeight(a), 2);
+  EXPECT_EQ(weights_->GetWeight(b), 3);
+  EXPECT_EQ(weights_->GetWeight(c), 4);
+}
+
+TEST_F(WeightsTest, IncreaseIsNotTracked) {
+  // One-sided maintenance (as in the paper): removing the cheap edge does
+  // not raise the weight back.
+  const ObjectId r = Alloc(), x = Alloc();
+  ASSERT_TRUE(weights_->OnRootAdded(r).ok());
+  Link(r, x);
+  EXPECT_EQ(weights_->GetWeight(x), 2);
+  ASSERT_TRUE(store_->WriteSlot(r, 0, kNullObjectId).ok());
+  EXPECT_EQ(weights_->GetWeight(x), 2) << "weights only ever decrease";
+}
+
+TEST_F(WeightsTest, ClampsAtMax) {
+  // A chain longer than kMaxWeight: tail stays at the max.
+  ObjectId prev = Alloc();
+  ASSERT_TRUE(weights_->OnRootAdded(prev).ok());
+  ObjectId tail = prev;
+  for (int i = 0; i < 20; ++i) {
+    const ObjectId next = Alloc();
+    Link(tail, next);
+    tail = next;
+  }
+  EXPECT_EQ(weights_->GetWeight(tail), WeightTracker::kMaxWeight);
+}
+
+TEST_F(WeightsTest, CycleTerminates) {
+  const ObjectId r = Alloc(), a = Alloc(), b = Alloc();
+  Link(a, b);
+  Link(b, a, 1);  // Cycle a <-> b.
+  ASSERT_TRUE(weights_->OnRootAdded(r).ok());
+  Link(r, a);  // Must terminate despite the cycle.
+  EXPECT_EQ(weights_->GetWeight(a), 2);
+  EXPECT_EQ(weights_->GetWeight(b), 3);
+}
+
+TEST_F(WeightsTest, DeathForgets) {
+  const ObjectId r = Alloc();
+  ASSERT_TRUE(weights_->OnRootAdded(r).ok());
+  EXPECT_EQ(weights_->tracked_count(), 1u);
+  weights_->OnObjectDied(r);
+  EXPECT_EQ(weights_->tracked_count(), 0u);
+  EXPECT_EQ(weights_->GetWeight(r), WeightTracker::kMaxWeight);
+}
+
+TEST_F(WeightsTest, ChargedUpdatesDirtyHeaderPage) {
+  WeightTracker charged(store_.get(), /*charge_io=*/true);
+  const ObjectId r = Alloc();
+  ASSERT_TRUE(buffer_->FlushAll().ok());
+  ASSERT_TRUE(charged.OnRootAdded(r).ok());
+  const auto* info = store_->Lookup(r);
+  const PageId header_page =
+      store_->partition(info->partition).extent().first_page +
+      info->offset / 256;
+  EXPECT_TRUE(buffer_->IsDirty(header_page))
+      << "a weight change must rewrite the header's page";
+}
+
+TEST_F(WeightsTest, NullPointerIgnored) {
+  const ObjectId r = Alloc();
+  ASSERT_TRUE(weights_->OnPointerStored(r, kNullObjectId).ok());
+  EXPECT_EQ(weights_->tracked_count(), 0u);
+}
+
+}  // namespace
+}  // namespace odbgc

@@ -1,0 +1,86 @@
+#include "odb/object_layout.h"
+
+#include <array>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace odbgc {
+namespace {
+
+TEST(ObjectLayoutTest, HeaderRoundtrip) {
+  ObjectHeader h;
+  h.id = ObjectId{0x1122334455667788ull};
+  h.size = 1234;
+  h.num_slots = 7;
+  h.weight = 5;
+  h.flags = kFlagLarge;
+
+  std::array<std::byte, kObjectHeaderSize> buf{};
+  EncodeObjectHeader(h, buf);
+  auto decoded = DecodeObjectHeader(buf);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->id, h.id);
+  EXPECT_EQ(decoded->size, h.size);
+  EXPECT_EQ(decoded->num_slots, h.num_slots);
+  EXPECT_EQ(decoded->weight, h.weight);
+  EXPECT_EQ(decoded->flags, h.flags);
+}
+
+TEST(ObjectLayoutTest, BadMagicRejected) {
+  ObjectHeader h;
+  h.id = ObjectId{1};
+  h.size = 100;
+  h.num_slots = 2;
+  std::array<std::byte, kObjectHeaderSize> buf{};
+  EncodeObjectHeader(h, buf);
+  buf[0] = std::byte{0x00};
+  auto decoded = DecodeObjectHeader(buf);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ObjectLayoutTest, TruncatedRejected) {
+  std::vector<std::byte> buf(kObjectHeaderSize - 1);
+  auto decoded = DecodeObjectHeader(buf);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ObjectLayoutTest, UndersizedObjectRejected) {
+  ObjectHeader h;
+  h.id = ObjectId{1};
+  h.num_slots = 4;
+  h.size = static_cast<uint32_t>(MinObjectSize(4)) - 1;
+  std::array<std::byte, kObjectHeaderSize> buf{};
+  EncodeObjectHeader(h, buf);
+  auto decoded = DecodeObjectHeader(buf);
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(ObjectLayoutTest, SlotRoundtrip) {
+  std::array<std::byte, kSlotSize> buf{};
+  EncodeSlot(ObjectId{0xdeadbeefcafef00dull}, buf);
+  EXPECT_EQ(DecodeSlot(buf), (ObjectId{0xdeadbeefcafef00dull}));
+  EncodeSlot(kNullObjectId, buf);
+  EXPECT_TRUE(DecodeSlot(buf).is_null());
+}
+
+TEST(ObjectLayoutTest, GeometryHelpers) {
+  EXPECT_EQ(MinObjectSize(0), kObjectHeaderSize);
+  EXPECT_EQ(MinObjectSize(3), kObjectHeaderSize + 3 * kSlotSize);
+  EXPECT_EQ(SlotOffset(0), kObjectHeaderSize);
+  EXPECT_EQ(SlotOffset(2), kObjectHeaderSize + 2 * kSlotSize);
+}
+
+TEST(ObjectIdTest, NullAndOrdering) {
+  EXPECT_TRUE(kNullObjectId.is_null());
+  EXPECT_FALSE(ObjectId{3}.is_null());
+  EXPECT_TRUE(ObjectId{1} < ObjectId{2});
+  EXPECT_EQ(ObjectId{7}, ObjectId{7});
+  EXPECT_FALSE(static_cast<bool>(kNullObjectId));
+  EXPECT_TRUE(static_cast<bool>(ObjectId{1}));
+}
+
+}  // namespace
+}  // namespace odbgc

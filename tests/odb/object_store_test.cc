@@ -1,0 +1,245 @@
+#include "odb/object_store.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace odbgc {
+namespace {
+
+class ObjectStoreTest : public ::testing::Test {
+ protected:
+  // Tiny store: 256-byte pages, 4-page (1 KB) partitions, big buffer.
+  ObjectStoreTest() {
+    options_.page_size = 256;
+    options_.pages_per_partition = 4;
+    disk_ = std::make_unique<SimulatedDisk>(options_.page_size);
+    buffer_ = std::make_unique<BufferPool>(disk_.get(), 64);
+    store_ = std::make_unique<ObjectStore>(options_, disk_.get(),
+                                           buffer_.get());
+  }
+
+  ObjectId MustAlloc(uint32_t size, uint32_t slots,
+                     ObjectId parent = kNullObjectId) {
+    auto id = store_->Allocate(size, slots, parent);
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+    return *id;
+  }
+
+  StoreOptions options_;
+  std::unique_ptr<SimulatedDisk> disk_;
+  std::unique_ptr<BufferPool> buffer_;
+  std::unique_ptr<ObjectStore> store_;
+};
+
+TEST_F(ObjectStoreTest, InitialLayout) {
+  EXPECT_EQ(store_->partition_count(), 2u);  // One normal + reserved empty.
+  EXPECT_EQ(store_->empty_partition(), 1u);
+  EXPECT_EQ(store_->partition_bytes(), 1024u);
+  EXPECT_EQ(store_->total_bytes(), 2048u);
+  EXPECT_EQ(store_->object_count(), 0u);
+}
+
+TEST_F(ObjectStoreTest, AllocateAssignsSequentialIds) {
+  const ObjectId a = MustAlloc(64, 2);
+  const ObjectId b = MustAlloc(64, 2);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(store_->object_count(), 2u);
+  EXPECT_EQ(store_->live_bytes(), 128u);
+}
+
+TEST_F(ObjectStoreTest, AllocateValidatesSize) {
+  auto too_small = store_->Allocate(10, 2);
+  EXPECT_EQ(too_small.status().code(), StatusCode::kInvalidArgument);
+  auto too_big = store_->Allocate(2000, 0);
+  EXPECT_EQ(too_big.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ObjectStoreTest, SlotsStartNull) {
+  const ObjectId a = MustAlloc(64, 3);
+  for (uint32_t s = 0; s < 3; ++s) {
+    auto v = store_->ReadSlot(a, s);
+    ASSERT_TRUE(v.ok());
+    EXPECT_TRUE(v->is_null());
+  }
+}
+
+TEST_F(ObjectStoreTest, WriteAndReadSlot) {
+  const ObjectId a = MustAlloc(64, 2);
+  const ObjectId b = MustAlloc(64, 2);
+  ASSERT_TRUE(store_->WriteSlot(a, 1, b).ok());
+  auto v = store_->ReadSlot(a, 1);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, b);
+  // Shadow state matches the serialized page bytes.
+  auto from_pages = store_->ReadSlotFromPages(a, 1);
+  ASSERT_TRUE(from_pages.ok());
+  EXPECT_EQ(*from_pages, b);
+}
+
+TEST_F(ObjectStoreTest, SlotErrors) {
+  const ObjectId a = MustAlloc(64, 2);
+  EXPECT_EQ(store_->WriteSlot(a, 5, kNullObjectId).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(store_->WriteSlot(ObjectId{999}, 0, a).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(store_->WriteSlot(a, 0, ObjectId{999}).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(store_->ReadSlot(a, 2).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(ObjectStoreTest, SerializedHeaderMatchesTable) {
+  const ObjectId a = MustAlloc(100, 3);
+  auto header = store_->ReadHeaderFromPages(a);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->id, a);
+  EXPECT_EQ(header->size, 100u);
+  EXPECT_EQ(header->num_slots, 3u);
+}
+
+TEST_F(ObjectStoreTest, PlacementNearParent) {
+  const ObjectId parent = MustAlloc(64, 2);
+  const ObjectId child = MustAlloc(64, 2, parent);
+  EXPECT_EQ(store_->Lookup(parent)->partition,
+            store_->Lookup(child)->partition);
+}
+
+TEST_F(ObjectStoreTest, NeverAllocatesInEmptyPartition) {
+  for (int i = 0; i < 40; ++i) {
+    const ObjectId id = MustAlloc(100, 2);
+    EXPECT_NE(store_->Lookup(id)->partition, store_->empty_partition());
+  }
+}
+
+TEST_F(ObjectStoreTest, GrowsWhenFull) {
+  // Partition holds 1024 bytes; 64-byte objects, so >16 allocations per
+  // partition force growth.
+  const size_t before = store_->partition_count();
+  for (int i = 0; i < 40; ++i) MustAlloc(64, 2);
+  EXPECT_GT(store_->partition_count(), before);
+  // Growth is one partition at a time: total bytes track partitions.
+  EXPECT_EQ(store_->total_bytes(),
+            store_->partition_count() * store_->partition_bytes());
+}
+
+TEST_F(ObjectStoreTest, RootSet) {
+  const ObjectId a = MustAlloc(64, 2);
+  const ObjectId b = MustAlloc(64, 2);
+  EXPECT_FALSE(store_->IsRoot(a));
+  ASSERT_TRUE(store_->AddRoot(a).ok());
+  ASSERT_TRUE(store_->AddRoot(b).ok());
+  ASSERT_TRUE(store_->AddRoot(a).ok());  // Idempotent.
+  EXPECT_TRUE(store_->IsRoot(a));
+  EXPECT_EQ(store_->roots().size(), 2u);
+  ASSERT_TRUE(store_->RemoveRoot(a).ok());
+  EXPECT_FALSE(store_->IsRoot(a));
+  EXPECT_EQ(store_->RemoveRoot(a).code(), StatusCode::kNotFound);
+  EXPECT_EQ(store_->AddRoot(ObjectId{999}).code(), StatusCode::kNotFound);
+}
+
+TEST_F(ObjectStoreTest, RelocatePreservesContents) {
+  const ObjectId a = MustAlloc(100, 2);
+  const ObjectId b = MustAlloc(64, 2);
+  ASSERT_TRUE(store_->WriteSlot(a, 0, b).ok());
+
+  const PartitionId from = store_->Lookup(a)->partition;
+  const PartitionId to = store_->empty_partition();
+  ASSERT_TRUE(store_->RelocateObject(a, to).ok());
+
+  EXPECT_EQ(store_->Lookup(a)->partition, to);
+  EXPECT_EQ(store_->partition(from).object_count(), 1u);  // Only b left.
+  EXPECT_EQ(store_->partition(to).object_count(), 1u);
+
+  // Identity, metadata and slots survive physically.
+  auto header = store_->ReadHeaderFromPages(a);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->id, a);
+  EXPECT_EQ(header->size, 100u);
+  auto slot = store_->ReadSlotFromPages(a, 0);
+  ASSERT_TRUE(slot.ok());
+  EXPECT_EQ(*slot, b);
+}
+
+TEST_F(ObjectStoreTest, RelocateFailsWhenTargetFull) {
+  const ObjectId a = MustAlloc(600, 0);
+  const ObjectId big = MustAlloc(600, 0);
+  // Fill the empty partition so the second relocation cannot fit.
+  ASSERT_TRUE(store_->RelocateObject(a, store_->empty_partition()).ok());
+  auto status = store_->RelocateObject(big, store_->empty_partition());
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(ObjectStoreTest, DropObject) {
+  const ObjectId a = MustAlloc(64, 2);
+  const PartitionId p = store_->Lookup(a)->partition;
+  ASSERT_TRUE(store_->DropObject(a).ok());
+  EXPECT_EQ(store_->Lookup(a), nullptr);
+  EXPECT_EQ(store_->partition(p).object_count(), 0u);
+  EXPECT_EQ(store_->live_bytes(), 0u);
+  EXPECT_EQ(store_->DropObject(a).code(), StatusCode::kNotFound);
+}
+
+TEST_F(ObjectStoreTest, DropRootRefused) {
+  const ObjectId a = MustAlloc(64, 2);
+  ASSERT_TRUE(store_->AddRoot(a).ok());
+  EXPECT_EQ(store_->DropObject(a).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ObjectStoreTest, SwapEmptyPartition) {
+  const ObjectId a = MustAlloc(64, 2);
+  const PartitionId old_empty = store_->empty_partition();
+  ASSERT_TRUE(store_->RelocateObject(a, old_empty).ok());
+  const PartitionId vacated = 0;
+  ASSERT_TRUE(store_->SwapEmptyPartition(vacated).ok());
+  EXPECT_EQ(store_->empty_partition(), vacated);
+  EXPECT_EQ(store_->partition(vacated).allocated_bytes(), 0u);
+  // The old empty partition is now allocatable again.
+  const ObjectId b = MustAlloc(64, 2);
+  EXPECT_NE(store_->Lookup(b)->partition, vacated);
+}
+
+TEST_F(ObjectStoreTest, SwapEmptyRefusesNonEmpty) {
+  MustAlloc(64, 2);
+  EXPECT_EQ(store_->SwapEmptyPartition(0).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ObjectStoreTest, WriteBarrierObserverSeesOldAndNew) {
+  struct Recorder : SlotWriteObserver {
+    std::vector<SlotWriteEvent> events;
+    void OnSlotWrite(const SlotWriteEvent& event) override {
+      events.push_back(event);
+    }
+  } recorder;
+  store_->set_slot_write_observer(&recorder);
+
+  const ObjectId a = MustAlloc(64, 2);
+  const ObjectId b = MustAlloc(64, 2);
+  const ObjectId c = MustAlloc(64, 2);
+  ASSERT_TRUE(store_->WriteSlot(a, 0, b).ok());
+  ASSERT_TRUE(store_->WriteSlot(a, 0, c).ok());
+  ASSERT_TRUE(store_->WriteSlot(a, 0, kNullObjectId).ok());
+
+  ASSERT_EQ(recorder.events.size(), 3u);
+  EXPECT_FALSE(recorder.events[0].is_overwrite());
+  EXPECT_EQ(recorder.events[0].new_target, b);
+  EXPECT_TRUE(recorder.events[1].is_overwrite());
+  EXPECT_EQ(recorder.events[1].old_target, b);
+  EXPECT_EQ(recorder.events[1].new_target, c);
+  EXPECT_TRUE(recorder.events[2].is_overwrite());
+  EXPECT_EQ(recorder.events[2].old_target, c);
+  EXPECT_TRUE(recorder.events[2].new_target.is_null());
+  store_->set_slot_write_observer(nullptr);
+}
+
+TEST_F(ObjectStoreTest, VisitAndWriteDataValidate) {
+  const ObjectId a = MustAlloc(64, 2);
+  EXPECT_TRUE(store_->VisitObject(a).ok());
+  EXPECT_TRUE(store_->WriteData(a).ok());
+  EXPECT_EQ(store_->VisitObject(ObjectId{999}).code(), StatusCode::kNotFound);
+  EXPECT_EQ(store_->WriteData(ObjectId{999}).code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace odbgc

@@ -1,0 +1,59 @@
+#include "odb/partition.h"
+
+#include <gtest/gtest.h>
+
+namespace odbgc {
+namespace {
+
+TEST(PartitionTest, Geometry) {
+  Partition p(3, PageExtent{8, 4}, 512);
+  EXPECT_EQ(p.id(), 3u);
+  EXPECT_EQ(p.capacity_bytes(), 2048u);
+  EXPECT_EQ(p.allocated_bytes(), 0u);
+  EXPECT_EQ(p.free_bytes(), 2048u);
+  EXPECT_TRUE(p.empty());
+}
+
+TEST(PartitionTest, BumpAllocation) {
+  Partition p(0, PageExtent{0, 1}, 256);
+  uint32_t at = 99;
+  ASSERT_TRUE(p.TryAllocate(100, &at));
+  EXPECT_EQ(at, 0u);
+  ASSERT_TRUE(p.TryAllocate(100, &at));
+  EXPECT_EQ(at, 100u);
+  EXPECT_EQ(p.free_bytes(), 56u);
+  EXPECT_FALSE(p.TryAllocate(57, &at));
+  ASSERT_TRUE(p.TryAllocate(56, &at));
+  EXPECT_EQ(p.free_bytes(), 0u);
+}
+
+TEST(PartitionTest, ObjectRoster) {
+  Partition p(0, PageExtent{0, 1}, 256);
+  p.AddObject(0, ObjectId{10});
+  p.AddObject(100, ObjectId{11});
+  p.AddObject(50, ObjectId{12});
+  EXPECT_EQ(p.object_count(), 3u);
+  // Iteration is by physical offset.
+  std::vector<uint64_t> order;
+  for (const auto& [offset, id] : p.objects_by_offset()) {
+    order.push_back(id.value);
+  }
+  EXPECT_EQ(order, (std::vector<uint64_t>{10, 12, 11}));
+  p.RemoveObject(50);
+  EXPECT_EQ(p.object_count(), 2u);
+}
+
+TEST(PartitionTest, ResetRestoresCapacity) {
+  Partition p(0, PageExtent{0, 1}, 256);
+  uint32_t at = 0;
+  ASSERT_TRUE(p.TryAllocate(200, &at));
+  p.AddObject(at, ObjectId{1});
+  p.RemoveObject(at);
+  p.Reset();
+  EXPECT_EQ(p.allocated_bytes(), 0u);
+  EXPECT_EQ(p.free_bytes(), 256u);
+  EXPECT_TRUE(p.empty());
+}
+
+}  // namespace
+}  // namespace odbgc

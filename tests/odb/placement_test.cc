@@ -1,0 +1,99 @@
+// Tests for the object placement alternatives (PlacementPolicy).
+
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "odb/object_store.h"
+
+namespace odbgc {
+namespace {
+
+class PlacementTest : public ::testing::Test {
+ protected:
+  void Init(PlacementPolicy placement) {
+    StoreOptions options;
+    options.page_size = 256;
+    options.pages_per_partition = 4;  // 1 KB: ~10 objects per partition.
+    options.placement = placement;
+    disk_ = std::make_unique<SimulatedDisk>(options.page_size);
+    buffer_ = std::make_unique<BufferPool>(disk_.get(), 64);
+    store_ = std::make_unique<ObjectStore>(options, disk_.get(),
+                                           buffer_.get());
+  }
+
+  ObjectId Alloc(ObjectId parent = kNullObjectId) {
+    auto id = store_->Allocate(100, 2, parent);
+    EXPECT_TRUE(id.ok());
+    return *id;
+  }
+
+  PartitionId PartOf(ObjectId id) { return store_->Lookup(id)->partition; }
+
+  std::unique_ptr<SimulatedDisk> disk_;
+  std::unique_ptr<BufferPool> buffer_;
+  std::unique_ptr<ObjectStore> store_;
+};
+
+TEST_F(PlacementTest, NearParentFollowsHint) {
+  Init(PlacementPolicy::kNearParent);
+  const ObjectId parent = Alloc();
+  // Fill the parent's partition to 900/1024 bytes (one 100-byte slot
+  // left), then push the allocation stream elsewhere with an object too
+  // big for the remaining space.
+  for (int i = 0; i < 8; ++i) Alloc();
+  auto big = store_->Allocate(200, 2);
+  ASSERT_TRUE(big.ok());
+  ASSERT_NE(PartOf(*big), PartOf(parent));
+  const ObjectId child = Alloc(parent);
+  EXPECT_EQ(PartOf(child), PartOf(parent))
+      << "child must go to the parent's partition while it has room";
+}
+
+TEST_F(PlacementTest, SequentialIgnoresHint) {
+  Init(PlacementPolicy::kSequential);
+  const ObjectId parent = Alloc();
+  // Move the allocation stream into a later partition.
+  ObjectId last = parent;
+  for (int i = 0; i < 12; ++i) last = Alloc();
+  ASSERT_NE(PartOf(last), PartOf(parent));
+  const ObjectId child = Alloc(parent);
+  EXPECT_EQ(PartOf(child), PartOf(last))
+      << "sequential placement streams into the current partition";
+}
+
+TEST_F(PlacementTest, RoundRobinSpreadsAllocations) {
+  Init(PlacementPolicy::kRoundRobin);
+  // Provide several partitions with room; rotation only has something to
+  // rotate over when more than one partition can accept the allocation.
+  store_->AddPartition();
+  store_->AddPartition();
+  store_->AddPartition();
+  std::set<PartitionId> used;
+  for (int i = 0; i < 8; ++i) used.insert(PartOf(Alloc()));
+  EXPECT_GE(used.size(), 3u) << "rotation must spread allocations";
+}
+
+TEST_F(PlacementTest, RoundRobinNeverUsesEmptyPartition) {
+  Init(PlacementPolicy::kRoundRobin);
+  for (int i = 0; i < 40; ++i) {
+    const ObjectId id = Alloc();
+    EXPECT_NE(PartOf(id), store_->empty_partition());
+  }
+}
+
+TEST_F(PlacementTest, AllPoliciesGrowWhenFull) {
+  for (PlacementPolicy placement :
+       {PlacementPolicy::kNearParent, PlacementPolicy::kSequential,
+        PlacementPolicy::kRoundRobin}) {
+    Init(placement);
+    const size_t before = store_->partition_count();
+    for (int i = 0; i < 40; ++i) Alloc();
+    EXPECT_GT(store_->partition_count(), before);
+    EXPECT_EQ(store_->object_count(), 40u);
+  }
+}
+
+}  // namespace
+}  // namespace odbgc

@@ -1,0 +1,120 @@
+// Edge cases of the object store's geometry and configuration.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "odb/object_store.h"
+
+namespace odbgc {
+namespace {
+
+struct Bundle {
+  std::unique_ptr<SimulatedDisk> disk;
+  std::unique_ptr<BufferPool> buffer;
+  std::unique_ptr<ObjectStore> store;
+};
+
+Bundle Make(StoreOptions options) {
+  Bundle bundle;
+  bundle.disk = std::make_unique<SimulatedDisk>(options.page_size);
+  bundle.buffer = std::make_unique<BufferPool>(bundle.disk.get(), 64);
+  bundle.store = std::make_unique<ObjectStore>(options, bundle.disk.get(),
+                                               bundle.buffer.get());
+  return bundle;
+}
+
+TEST(StoreEdgeTest, ObjectExactlyFillsPartition) {
+  StoreOptions options;
+  options.page_size = 256;
+  options.pages_per_partition = 4;  // 1024-byte partitions.
+  Bundle bundle = Make(options);
+
+  auto id = bundle.store->Allocate(1024, 2);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  const auto* info = bundle.store->Lookup(*id);
+  EXPECT_EQ(info->offset, 0u);
+  EXPECT_EQ(bundle.store->partition(info->partition).free_bytes(), 0u);
+  // The next allocation needs a fresh partition.
+  const size_t partitions = bundle.store->partition_count();
+  auto next = bundle.store->Allocate(100, 2);
+  ASSERT_TRUE(next.ok());
+  EXPECT_GT(bundle.store->partition_count(), partitions);
+}
+
+TEST(StoreEdgeTest, ObjectLargerThanPartitionRejected) {
+  StoreOptions options;
+  options.page_size = 256;
+  options.pages_per_partition = 4;
+  Bundle bundle = Make(options);
+  auto id = bundle.store->Allocate(1025, 0);
+  EXPECT_EQ(id.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StoreEdgeTest, MinimalSizedObject) {
+  StoreOptions options;
+  options.page_size = 256;
+  options.pages_per_partition = 4;
+  Bundle bundle = Make(options);
+  const uint32_t min_size = static_cast<uint32_t>(MinObjectSize(2));
+  auto id = bundle.store->Allocate(min_size, 2);
+  ASSERT_TRUE(id.ok());
+  auto header = bundle.store->ReadHeaderFromPages(*id);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->size, min_size);
+}
+
+TEST(StoreEdgeTest, ZeroSlotObject) {
+  StoreOptions options;
+  options.page_size = 256;
+  options.pages_per_partition = 4;
+  Bundle bundle = Make(options);
+  auto id = bundle.store->Allocate(100, 0);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(bundle.store->ReadSlot(*id, 0).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_TRUE(bundle.store->VisitObject(*id).ok());
+}
+
+TEST(StoreEdgeTest, NoReservedEmptyPartition) {
+  StoreOptions options;
+  options.page_size = 256;
+  options.pages_per_partition = 4;
+  options.reserve_empty_partition = false;
+  Bundle bundle = Make(options);
+  EXPECT_EQ(bundle.store->partition_count(), 1u);
+  EXPECT_EQ(bundle.store->empty_partition(), kInvalidPartition);
+  // Allocation works; all partitions are allocatable.
+  for (int i = 0; i < 15; ++i) {
+    ASSERT_TRUE(bundle.store->Allocate(100, 2).ok());
+  }
+  EXPECT_GE(bundle.store->partition_count(), 2u);
+}
+
+TEST(StoreEdgeTest, SequentialIdsNeverReused) {
+  StoreOptions options;
+  options.page_size = 256;
+  options.pages_per_partition = 8;
+  Bundle bundle = Make(options);
+  auto a = bundle.store->Allocate(100, 2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(bundle.store->DropObject(*a).ok());
+  auto b = bundle.store->Allocate(100, 2);
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(b->value, a->value) << "ids are never reused after death";
+}
+
+TEST(StoreEdgeTest, ParentHintToDeadObjectIgnored) {
+  StoreOptions options;
+  options.page_size = 256;
+  options.pages_per_partition = 8;
+  Bundle bundle = Make(options);
+  auto parent = bundle.store->Allocate(100, 2);
+  ASSERT_TRUE(parent.ok());
+  ASSERT_TRUE(bundle.store->DropObject(*parent).ok());
+  auto child = bundle.store->Allocate(100, 2, *parent);
+  ASSERT_TRUE(child.ok()) << "a stale hint must not fail the allocation";
+}
+
+}  // namespace
+}  // namespace odbgc

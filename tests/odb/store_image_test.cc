@@ -1,0 +1,196 @@
+#include "odb/store_image.h"
+
+#include <memory>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace odbgc {
+namespace {
+
+struct StoreBundle {
+  std::unique_ptr<SimulatedDisk> disk;
+  std::unique_ptr<BufferPool> buffer;
+  std::unique_ptr<ObjectStore> store;
+};
+
+StoreBundle MakeStore() {
+  StoreBundle bundle;
+  StoreOptions options;
+  options.page_size = 256;
+  options.pages_per_partition = 8;
+  bundle.disk = std::make_unique<SimulatedDisk>(options.page_size);
+  bundle.buffer = std::make_unique<BufferPool>(bundle.disk.get(), 64);
+  bundle.store = std::make_unique<ObjectStore>(options, bundle.disk.get(),
+                                               bundle.buffer.get());
+  return bundle;
+}
+
+// Populates a store with a small linked structure spanning partitions.
+std::vector<ObjectId> Populate(ObjectStore& store) {
+  std::vector<ObjectId> ids;
+  for (int i = 0; i < 50; ++i) {
+    auto id = store.Allocate(80 + (i % 3) * 20, 3);
+    EXPECT_TRUE(id.ok());
+    ids.push_back(*id);
+    if (i > 0) {
+      EXPECT_TRUE(store.WriteSlot(ids[i - 1], i % 3, ids[i]).ok());
+    }
+  }
+  EXPECT_TRUE(store.AddRoot(ids[0]).ok());
+  EXPECT_TRUE(store.AddRoot(ids[10]).ok());
+  return ids;
+}
+
+StoreBundle Roundtrip(const ObjectStore& original) {
+  std::stringstream stream;
+  EXPECT_TRUE(SaveStore(original, &stream).ok());
+  auto image = ReadStoreImage(&stream);
+  EXPECT_TRUE(image.ok()) << image.status().ToString();
+
+  StoreBundle bundle;
+  bundle.disk = std::make_unique<SimulatedDisk>(image->page_size);
+  bundle.buffer = std::make_unique<BufferPool>(bundle.disk.get(), 64);
+  auto restored =
+      ObjectStore::Restore(*image, bundle.disk.get(), bundle.buffer.get());
+  EXPECT_TRUE(restored.ok()) << restored.status().ToString();
+  bundle.store = std::move(restored).value();
+  return bundle;
+}
+
+TEST(StoreImageTest, RoundtripPreservesEverything) {
+  StoreBundle original = MakeStore();
+  const auto ids = Populate(*original.store);
+  StoreBundle restored = Roundtrip(*original.store);
+
+  EXPECT_EQ(restored.store->object_count(), original.store->object_count());
+  EXPECT_EQ(restored.store->live_bytes(), original.store->live_bytes());
+  EXPECT_EQ(restored.store->partition_count(),
+            original.store->partition_count());
+  EXPECT_EQ(restored.store->empty_partition(),
+            original.store->empty_partition());
+  EXPECT_EQ(restored.store->roots(), original.store->roots());
+
+  for (ObjectId id : ids) {
+    const auto* a = original.store->Lookup(id);
+    const auto* b = restored.store->Lookup(id);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->partition, a->partition);
+    EXPECT_EQ(b->offset, a->offset);
+    EXPECT_EQ(b->size, a->size);
+    EXPECT_EQ(b->slots, a->slots);
+  }
+}
+
+TEST(StoreImageTest, RestoredPagesDecodeCorrectly) {
+  StoreBundle original = MakeStore();
+  const auto ids = Populate(*original.store);
+  StoreBundle restored = Roundtrip(*original.store);
+
+  for (ObjectId id : ids) {
+    auto header = restored.store->ReadHeaderFromPages(id);
+    ASSERT_TRUE(header.ok());
+    EXPECT_EQ(header->id, id);
+    const auto* info = restored.store->Lookup(id);
+    for (uint32_t s = 0; s < info->num_slots; ++s) {
+      auto slot = restored.store->ReadSlotFromPages(id, s);
+      ASSERT_TRUE(slot.ok());
+      EXPECT_EQ(*slot, info->slots[s]);
+    }
+  }
+}
+
+TEST(StoreImageTest, RestoredStoreKeepsWorking) {
+  StoreBundle original = MakeStore();
+  const auto ids = Populate(*original.store);
+  StoreBundle restored = Roundtrip(*original.store);
+
+  // Ids continue past the image's next_id without collision.
+  auto fresh = restored.store->Allocate(100, 2, ids.back());
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_GT(fresh->value, ids.back().value);
+  ASSERT_TRUE(restored.store->WriteSlot(ids.back(), 0, *fresh).ok());
+  auto read = restored.store->ReadSlot(ids.back(), 0);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, *fresh);
+}
+
+TEST(StoreImageTest, BadMagicRejected) {
+  StoreBundle original = MakeStore();
+  Populate(*original.store);
+  std::stringstream stream;
+  ASSERT_TRUE(SaveStore(*original.store, &stream).ok());
+  std::string bytes = stream.str();
+  bytes[0] = 'X';
+  std::stringstream corrupt(bytes);
+  EXPECT_EQ(ReadStoreImage(&corrupt).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(StoreImageTest, TruncationsAreCleanErrors) {
+  StoreBundle original = MakeStore();
+  Populate(*original.store);
+  std::stringstream stream;
+  ASSERT_TRUE(SaveStore(*original.store, &stream).ok());
+  const std::string bytes = stream.str();
+  // Probe a spread of cut points, including every early byte.
+  for (size_t cut = 0; cut < bytes.size(); cut += (cut < 64 ? 1 : 97)) {
+    std::stringstream truncated(bytes.substr(0, cut));
+    auto image = ReadStoreImage(&truncated);
+    EXPECT_FALSE(image.ok()) << "cut at " << cut;
+  }
+}
+
+TEST(StoreImageTest, RestoreValidatesConsistency) {
+  StoreBundle original = MakeStore();
+  Populate(*original.store);
+  StoreImage image = original.store->ExtractImage();
+
+  {
+    StoreImage broken = image;
+    broken.objects[0].slots[0] = ObjectId{999999};  // Dangling reference.
+    auto bundle = MakeStore();
+    SimulatedDisk disk(broken.page_size);
+    BufferPool buffer(&disk, 8);
+    EXPECT_EQ(ObjectStore::Restore(broken, &disk, &buffer).status().code(),
+              StatusCode::kCorruption);
+  }
+  {
+    StoreImage broken = image;
+    broken.objects[1].offset = broken.objects[0].offset;  // Overlap.
+    SimulatedDisk disk(broken.page_size);
+    BufferPool buffer(&disk, 8);
+    EXPECT_EQ(ObjectStore::Restore(broken, &disk, &buffer).status().code(),
+              StatusCode::kCorruption);
+  }
+  {
+    StoreImage broken = image;
+    broken.roots.push_back(ObjectId{888888});  // Dangling root.
+    SimulatedDisk disk(broken.page_size);
+    BufferPool buffer(&disk, 8);
+    EXPECT_EQ(ObjectStore::Restore(broken, &disk, &buffer).status().code(),
+              StatusCode::kCorruption);
+  }
+  {
+    StoreImage broken = image;
+    broken.objects.push_back(broken.objects[0]);  // Duplicate id.
+    SimulatedDisk disk(broken.page_size);
+    BufferPool buffer(&disk, 8);
+    EXPECT_EQ(ObjectStore::Restore(broken, &disk, &buffer).status().code(),
+              StatusCode::kCorruption);
+  }
+}
+
+TEST(StoreImageTest, RestoreRequiresEmptyDisk) {
+  StoreBundle original = MakeStore();
+  Populate(*original.store);
+  const StoreImage image = original.store->ExtractImage();
+  // original.disk already has pages.
+  BufferPool buffer(original.disk.get(), 8);
+  EXPECT_EQ(
+      ObjectStore::Restore(image, original.disk.get(), &buffer).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace odbgc

@@ -1,0 +1,153 @@
+// Model-based differential test: the ObjectStore must agree with a plain
+// in-memory reference model under long random operation sequences —
+// allocation, slot writes (including overwrites and clears), drops,
+// relocations, and empty-partition swaps.
+
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "odb/object_store.h"
+#include "util/random.h"
+
+namespace odbgc {
+namespace {
+
+struct ModelObject {
+  uint32_t size = 0;
+  std::vector<uint64_t> slots;
+  bool root = false;
+};
+
+class StoreModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StoreModelTest, AgreesWithReferenceModel) {
+  StoreOptions options;
+  options.page_size = 256;
+  options.pages_per_partition = 8;
+  SimulatedDisk disk(options.page_size);
+  BufferPool buffer(&disk, 24);
+  ObjectStore store(options, &disk, &buffer);
+
+  std::map<uint64_t, ModelObject> model;
+  std::vector<uint64_t> ids;  // Live ids, insertion order.
+  Rng rng(GetParam());
+
+  auto pick = [&]() -> uint64_t {
+    return ids.empty() ? 0 : ids[rng.UniformInt(ids.size())];
+  };
+  auto forget = [&](uint64_t id) {
+    model.erase(id);
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (ids[i] == id) {
+        ids[i] = ids.back();
+        ids.pop_back();
+        break;
+      }
+    }
+  };
+
+  for (int step = 0; step < 3000; ++step) {
+    const int op = static_cast<int>(rng.UniformInt(100));
+    if (op < 30 || ids.empty()) {
+      // Allocate.
+      const uint32_t slots = static_cast<uint32_t>(rng.UniformInt(4));
+      const uint32_t size = static_cast<uint32_t>(
+          MinObjectSize(slots) + rng.UniformInt(120));
+      auto id = store.Allocate(size, slots, ObjectId{pick()});
+      ASSERT_TRUE(id.ok());
+      model[id->value] = {size, std::vector<uint64_t>(slots, 0), false};
+      ids.push_back(id->value);
+    } else if (op < 65) {
+      // Slot write (possibly null, possibly overwrite).
+      const uint64_t source = pick();
+      ModelObject& m = model.at(source);
+      if (m.slots.empty()) continue;
+      const uint32_t slot =
+          static_cast<uint32_t>(rng.UniformInt(m.slots.size()));
+      const uint64_t target = rng.Bernoulli(0.25) ? 0 : pick();
+      ASSERT_TRUE(
+          store.WriteSlot(ObjectId{source}, slot, ObjectId{target}).ok());
+      m.slots[slot] = target;
+    } else if (op < 75) {
+      // Toggle root status.
+      const uint64_t id = pick();
+      ModelObject& m = model.at(id);
+      if (m.root) {
+        ASSERT_TRUE(store.RemoveRoot(ObjectId{id}).ok());
+      } else {
+        ASSERT_TRUE(store.AddRoot(ObjectId{id}).ok());
+      }
+      m.root = !m.root;
+    } else if (op < 85) {
+      // Drop a non-root object. Clear inbound model pointers first, as a
+      // collector's bookkeeping would.
+      const uint64_t id = pick();
+      if (model.at(id).root) continue;
+      ASSERT_TRUE(store.DropObject(ObjectId{id}).ok());
+      for (auto& [other, m] : model) {
+        for (auto& slot : m.slots) {
+          if (slot == id) slot = 0;
+        }
+      }
+      // The store allows dangling shadow pointers only transiently; the
+      // reference model clears them, and reads below only check live ids.
+      forget(id);
+    } else if (op < 95) {
+      // Read back a slot and compare with the model.
+      const uint64_t source = pick();
+      const ModelObject& m = model.at(source);
+      if (m.slots.empty()) continue;
+      const uint32_t slot =
+          static_cast<uint32_t>(rng.UniformInt(m.slots.size()));
+      auto value = store.ReadSlot(ObjectId{source}, slot);
+      ASSERT_TRUE(value.ok());
+      if (m.slots[slot] != 0) {
+        ASSERT_EQ(value->value, m.slots[slot])
+            << "slot mismatch at step " << step;
+      }
+    } else {
+      // Relocate an object into the empty partition and swap if the
+      // vacated partition is empty (mimics a degenerate collection).
+      const uint64_t id = pick();
+      const auto* info = store.Lookup(ObjectId{id});
+      const PartitionId from = info->partition;
+      const PartitionId target = store.empty_partition();
+      if (store.partition(target).free_bytes() < info->size) continue;
+      ASSERT_TRUE(store.RelocateObject(ObjectId{id}, target).ok());
+      if (store.partition(from).object_count() == 0) {
+        ASSERT_TRUE(store.SwapEmptyPartition(from).ok());
+      }
+    }
+  }
+
+  // Final audit: every model object exists with matching metadata, shadow
+  // slots, and serialized bytes; counts agree.
+  ASSERT_EQ(store.object_count(), model.size());
+  uint64_t model_bytes = 0;
+  for (const auto& [id, m] : model) {
+    model_bytes += m.size;
+    const auto* info = store.Lookup(ObjectId{id});
+    ASSERT_NE(info, nullptr);
+    ASSERT_EQ(info->size, m.size);
+    ASSERT_EQ(info->num_slots, m.slots.size());
+    auto header = store.ReadHeaderFromPages(ObjectId{id});
+    ASSERT_TRUE(header.ok());
+    ASSERT_EQ(header->id.value, id);
+    for (uint32_t s = 0; s < m.slots.size(); ++s) {
+      if (m.slots[s] == 0) continue;  // Dropped targets cleared lazily.
+      auto from_pages = store.ReadSlotFromPages(ObjectId{id}, s);
+      ASSERT_TRUE(from_pages.ok());
+      ASSERT_EQ(from_pages->value, m.slots[s]);
+    }
+    ASSERT_EQ(store.IsRoot(ObjectId{id}), m.root);
+  }
+  ASSERT_EQ(store.live_bytes(), model_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreModelTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace odbgc

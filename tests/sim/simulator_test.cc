@@ -1,0 +1,111 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+namespace odbgc {
+namespace {
+
+SimulationConfig TinySim() {
+  SimulationConfig config;
+  config.heap.store.page_size = 512;
+  config.heap.store.pages_per_partition = 8;
+  config.heap.buffer_pages = 8;
+  config.heap.overwrite_trigger = 0;  // Manual only; traces below are tiny.
+  return config;
+}
+
+TEST(SimulatorTest, ReplaysHandWrittenTrace) {
+  Simulator simulator(TinySim());
+  ASSERT_TRUE(simulator.Append(TraceEvent::Alloc(10, 100, 2, 0, 0)).ok());
+  ASSERT_TRUE(simulator.Append(TraceEvent::AddRoot(10)).ok());
+  ASSERT_TRUE(simulator.Append(TraceEvent::Alloc(20, 100, 2, 10, 0)).ok());
+  ASSERT_TRUE(simulator.Append(TraceEvent::WriteSlot(10, 0, 20)).ok());
+  ASSERT_TRUE(simulator.Append(TraceEvent::Visit(20)).ok());
+  ASSERT_TRUE(simulator.Append(TraceEvent::ReadSlot(10, 0)).ok());
+  ASSERT_TRUE(simulator.Append(TraceEvent::WriteData(20)).ok());
+  ASSERT_TRUE(simulator.Append(TraceEvent::WriteSlot(10, 0, 0)).ok());
+  ASSERT_TRUE(simulator.Append(TraceEvent::RemoveRoot(10)).ok());
+
+  EXPECT_EQ(simulator.events_applied(), 9u);
+  const CollectedHeap& heap = simulator.heap();
+  EXPECT_EQ(heap.store().object_count(), 2u);
+  EXPECT_EQ(heap.stats().pointer_overwrites, 1u);
+  EXPECT_TRUE(heap.store().roots().empty());
+}
+
+TEST(SimulatorTest, LogicalIdsAreIndependentOfStoreIds) {
+  Simulator simulator(TinySim());
+  // Trace uses arbitrary sparse ids.
+  ASSERT_TRUE(
+      simulator.Append(TraceEvent::Alloc(0xdeadbeef, 100, 2, 0, 0)).ok());
+  ASSERT_TRUE(simulator.Append(TraceEvent::Alloc(7, 100, 2, 0, 0)).ok());
+  ASSERT_TRUE(simulator.Append(TraceEvent::WriteSlot(0xdeadbeef, 1, 7)).ok());
+  EXPECT_EQ(simulator.heap().store().object_count(), 2u);
+}
+
+TEST(SimulatorTest, UnknownObjectRejected) {
+  Simulator simulator(TinySim());
+  EXPECT_EQ(simulator.Append(TraceEvent::Visit(5)).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(simulator.Append(TraceEvent::WriteSlot(5, 0, 0)).code(),
+            StatusCode::kNotFound);
+  ASSERT_TRUE(simulator.Append(TraceEvent::Alloc(5, 100, 2, 0, 0)).ok());
+  EXPECT_EQ(simulator.Append(TraceEvent::WriteSlot(5, 0, 9)).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SimulatorTest, DuplicateAllocRejected) {
+  Simulator simulator(TinySim());
+  ASSERT_TRUE(simulator.Append(TraceEvent::Alloc(5, 100, 2, 0, 0)).ok());
+  EXPECT_EQ(simulator.Append(TraceEvent::Alloc(5, 100, 2, 0, 0)).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(SimulatorTest, SnapshotsProduceTimeSeries) {
+  SimulationConfig config = TinySim();
+  config.snapshot_interval = 3;
+  Simulator simulator(config);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        simulator.Append(TraceEvent::Alloc(100 + i, 100, 2, 0, 0)).ok());
+  }
+  SimulationResult result = simulator.Finish();
+  EXPECT_EQ(result.database_size_kb.points().size(), 3u);  // At 3, 6, 9.
+  EXPECT_EQ(result.unreclaimed_garbage_kb.points().size(), 3u);
+  EXPECT_DOUBLE_EQ(result.database_size_kb.points()[0].x, 3.0);
+}
+
+TEST(SimulatorTest, FinishComputesCensusAndAccounting) {
+  Simulator simulator(TinySim());
+  ASSERT_TRUE(simulator.Append(TraceEvent::Alloc(1, 100, 2, 0, 0)).ok());
+  ASSERT_TRUE(simulator.Append(TraceEvent::AddRoot(1)).ok());
+  ASSERT_TRUE(simulator.Append(TraceEvent::Alloc(2, 150, 2, 1, 0)).ok());
+
+  SimulationResult result = simulator.Finish();
+  EXPECT_EQ(result.app_events, 3u);
+  EXPECT_EQ(result.final_live_bytes, 100u);
+  EXPECT_EQ(result.unreclaimed_garbage_bytes, 150u);
+  EXPECT_EQ(result.actual_garbage_bytes(), 150u);
+  EXPECT_EQ(result.bytes_allocated, 250u);
+  EXPECT_EQ(result.total_io(), result.app_io + result.gc_io);
+}
+
+TEST(SimulatorTest, RunGeneratesConfiguredWorkload) {
+  SimulationConfig config = TinySim();
+  config.heap.overwrite_trigger = 25;
+  config.workload.target_live_bytes = 32ull << 10;
+  config.workload.total_alloc_bytes = 80ull << 10;
+  config.workload.tree_nodes_min = 40;
+  config.workload.tree_nodes_max = 120;
+  config.workload.large_object_size = 2048;
+  config.seed = 3;
+  Simulator simulator(config);
+  ASSERT_TRUE(simulator.Run().ok());
+  SimulationResult result = simulator.Finish();
+  EXPECT_GT(result.app_events, 1000u);
+  EXPECT_GT(result.collections, 0u);
+  EXPECT_GE(result.bytes_allocated, config.workload.total_alloc_bytes);
+}
+
+}  // namespace
+}  // namespace odbgc

@@ -1,0 +1,84 @@
+// Tests for the disk timing model (seek / rotational / transfer).
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "storage/disk.h"
+
+namespace odbgc {
+namespace {
+
+class DiskCostTest : public ::testing::Test {
+ protected:
+  DiskCostTest() : disk_(64) { disk_.AllocatePages(16); }
+
+  void Read(PageId page) {
+    std::vector<std::byte> buf(64);
+    ASSERT_TRUE(disk_.ReadPage(page, buf).ok());
+  }
+  void Write(PageId page) {
+    std::vector<std::byte> buf(64);
+    ASSERT_TRUE(disk_.WritePage(page, buf).ok());
+  }
+
+  SimulatedDisk disk_;
+};
+
+TEST_F(DiskCostTest, FirstAccessIsRandom) {
+  Read(0);
+  EXPECT_EQ(disk_.stats().random_transfers, 1u);
+  EXPECT_EQ(disk_.stats().sequential_transfers, 0u);
+}
+
+TEST_F(DiskCostTest, ConsecutivePagesAreSequential) {
+  Read(3);
+  Read(4);
+  Read(5);
+  EXPECT_EQ(disk_.stats().random_transfers, 1u);
+  EXPECT_EQ(disk_.stats().sequential_transfers, 2u);
+}
+
+TEST_F(DiskCostTest, BackwardOrRepeatedAccessIsRandom) {
+  Read(5);
+  Read(5);  // Same page: a full rotation away, counted random.
+  Read(4);  // Backward.
+  Read(9);  // Jump.
+  EXPECT_EQ(disk_.stats().random_transfers, 4u);
+  EXPECT_EQ(disk_.stats().sequential_transfers, 0u);
+}
+
+TEST_F(DiskCostTest, WritesClassifiedToo) {
+  Write(0);
+  Write(1);
+  Read(2);
+  EXPECT_EQ(disk_.stats().sequential_transfers, 2u);
+  EXPECT_EQ(disk_.stats().random_transfers, 1u);
+}
+
+TEST_F(DiskCostTest, TimeEstimateMatchesHandComputation) {
+  Read(0);  // Random.
+  Read(1);  // Sequential.
+  Read(2);  // Sequential.
+  Read(10);  // Random.
+  DiskCostParams params;
+  params.seek_ms = 10.0;
+  params.rotational_ms = 5.0;
+  params.transfer_ms_per_page = 2.0;
+  // 2 random * (10+5+2) + 2 sequential * 2 = 34 + 4.
+  EXPECT_DOUBLE_EQ(EstimateDiskTimeMs(disk_.stats(), params), 38.0);
+}
+
+TEST_F(DiskCostTest, DefaultParamsReasonable) {
+  Read(0);
+  const double ms = EstimateDiskTimeMs(disk_.stats());
+  EXPECT_GT(ms, 20.0);  // One random access on a ~1993 disk: ~26 ms.
+  EXPECT_LT(ms, 40.0);
+}
+
+TEST_F(DiskCostTest, EmptyStatsZeroTime) {
+  EXPECT_DOUBLE_EQ(EstimateDiskTimeMs(DiskStats{}), 0.0);
+}
+
+}  // namespace
+}  // namespace odbgc

@@ -1,0 +1,91 @@
+#include "storage/disk.h"
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace odbgc {
+namespace {
+
+std::vector<std::byte> Pattern(size_t size, uint8_t seed) {
+  std::vector<std::byte> data(size);
+  for (size_t i = 0; i < size; ++i) {
+    data[i] = static_cast<std::byte>((seed + i) & 0xff);
+  }
+  return data;
+}
+
+TEST(DiskTest, StartsEmpty) {
+  SimulatedDisk disk;
+  EXPECT_EQ(disk.num_pages(), 0u);
+  EXPECT_EQ(disk.page_size(), kDefaultPageSize);
+  EXPECT_EQ(disk.stats().total(), 0u);
+}
+
+TEST(DiskTest, AllocateReturnsContiguousExtents) {
+  SimulatedDisk disk(512);
+  PageExtent a = disk.AllocatePages(4);
+  PageExtent b = disk.AllocatePages(2);
+  EXPECT_EQ(a.first_page, 0u);
+  EXPECT_EQ(a.page_count, 4u);
+  EXPECT_EQ(b.first_page, 4u);
+  EXPECT_EQ(b.page_count, 2u);
+  EXPECT_EQ(disk.num_pages(), 6u);
+}
+
+TEST(DiskTest, FreshPagesAreZero) {
+  SimulatedDisk disk(64);
+  disk.AllocatePages(1);
+  std::vector<std::byte> buf(64, std::byte{0xff});
+  ASSERT_TRUE(disk.ReadPage(0, buf).ok());
+  for (std::byte b : buf) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST(DiskTest, WriteReadRoundtrip) {
+  SimulatedDisk disk(128);
+  disk.AllocatePages(3);
+  const auto data = Pattern(128, 7);
+  ASSERT_TRUE(disk.WritePage(1, data).ok());
+  std::vector<std::byte> buf(128);
+  ASSERT_TRUE(disk.ReadPage(1, buf).ok());
+  EXPECT_EQ(buf, data);
+  // Neighbors untouched.
+  ASSERT_TRUE(disk.ReadPage(0, buf).ok());
+  EXPECT_EQ(buf, std::vector<std::byte>(128, std::byte{0}));
+}
+
+TEST(DiskTest, CountsTransfers) {
+  SimulatedDisk disk(64);
+  disk.AllocatePages(2);
+  std::vector<std::byte> buf(64);
+  ASSERT_TRUE(disk.WritePage(0, buf).ok());
+  ASSERT_TRUE(disk.WritePage(1, buf).ok());
+  ASSERT_TRUE(disk.ReadPage(0, buf).ok());
+  EXPECT_EQ(disk.stats().page_writes, 2u);
+  EXPECT_EQ(disk.stats().page_reads, 1u);
+  EXPECT_EQ(disk.stats().total(), 3u);
+  disk.ResetStats();
+  EXPECT_EQ(disk.stats().total(), 0u);
+}
+
+TEST(DiskTest, OutOfRangeRejected) {
+  SimulatedDisk disk(64);
+  disk.AllocatePages(1);
+  std::vector<std::byte> buf(64);
+  EXPECT_EQ(disk.ReadPage(1, buf).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(disk.WritePage(5, buf).code(), StatusCode::kOutOfRange);
+  // Failed operations are not counted.
+  EXPECT_EQ(disk.stats().total(), 0u);
+}
+
+TEST(DiskTest, SizeMismatchRejected) {
+  SimulatedDisk disk(64);
+  disk.AllocatePages(1);
+  std::vector<std::byte> small(32), big(128);
+  EXPECT_EQ(disk.ReadPage(0, small).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(disk.WritePage(0, big).code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace odbgc

@@ -1,0 +1,36 @@
+#include "storage/extent.h"
+
+#include <gtest/gtest.h>
+
+namespace odbgc {
+namespace {
+
+TEST(PageExtentTest, DefaultInvalid) {
+  PageExtent e;
+  EXPECT_FALSE(e.valid());
+  EXPECT_FALSE(e.Contains(0));
+}
+
+TEST(PageExtentTest, ZeroCountInvalid) {
+  PageExtent e{5, 0};
+  EXPECT_FALSE(e.valid());
+}
+
+TEST(PageExtentTest, ContainsBoundaries) {
+  PageExtent e{10, 4};
+  EXPECT_TRUE(e.valid());
+  EXPECT_EQ(e.end_page(), 14u);
+  EXPECT_FALSE(e.Contains(9));
+  EXPECT_TRUE(e.Contains(10));
+  EXPECT_TRUE(e.Contains(13));
+  EXPECT_FALSE(e.Contains(14));
+}
+
+TEST(PageExtentTest, Equality) {
+  EXPECT_EQ((PageExtent{1, 2}), (PageExtent{1, 2}));
+  EXPECT_FALSE((PageExtent{1, 2}) == (PageExtent{1, 3}));
+  EXPECT_FALSE((PageExtent{0, 2}) == (PageExtent{1, 2}));
+}
+
+}  // namespace
+}  // namespace odbgc

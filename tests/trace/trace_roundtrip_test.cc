@@ -1,0 +1,134 @@
+#include <sstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "trace/trace_reader.h"
+#include "trace/trace_writer.h"
+#include "util/random.h"
+
+namespace odbgc {
+namespace {
+
+std::vector<TraceEvent> RandomEvents(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TraceEvent> events;
+  for (size_t i = 0; i < count; ++i) {
+    switch (rng.UniformInt(7)) {
+      case 0:
+        events.push_back(TraceEvent::Alloc(rng.Next(), 50 + rng.UniformInt(100),
+                                           rng.UniformInt(4), rng.Next(),
+                                           rng.UniformInt(2) ? 1 : 0));
+        break;
+      case 1:
+        events.push_back(
+            TraceEvent::WriteSlot(rng.Next(), rng.UniformInt(8), rng.Next()));
+        break;
+      case 2:
+        events.push_back(TraceEvent::ReadSlot(rng.Next(), rng.UniformInt(8)));
+        break;
+      case 3:
+        events.push_back(TraceEvent::Visit(rng.Next()));
+        break;
+      case 4:
+        events.push_back(TraceEvent::WriteData(rng.Next()));
+        break;
+      case 5:
+        events.push_back(TraceEvent::AddRoot(rng.Next()));
+        break;
+      default:
+        events.push_back(TraceEvent::RemoveRoot(rng.Next()));
+        break;
+    }
+  }
+  return events;
+}
+
+class TraceRoundtripTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(TraceRoundtripTest, WriteThenReadIdentical) {
+  const std::vector<TraceEvent> events = RandomEvents(GetParam(), GetParam());
+
+  std::stringstream stream;
+  TraceWriter writer(&stream);
+  for (const TraceEvent& event : events) {
+    ASSERT_TRUE(writer.Append(event).ok());
+  }
+  ASSERT_TRUE(writer.Flush().ok());
+  EXPECT_EQ(writer.events_written(), events.size());
+
+  TraceReader reader(&stream);
+  for (size_t i = 0; i < events.size(); ++i) {
+    auto next = reader.Next();
+    ASSERT_TRUE(next.ok()) << next.status().ToString();
+    ASSERT_TRUE(next->has_value()) << "premature end at " << i;
+    EXPECT_EQ(**next, events[i]) << "event " << i << ": "
+                                 << (*next)->ToString() << " vs "
+                                 << events[i].ToString();
+  }
+  auto end = reader.Next();
+  ASSERT_TRUE(end.ok());
+  EXPECT_FALSE(end->has_value());
+  EXPECT_EQ(reader.events_read(), events.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TraceRoundtripTest,
+                         ::testing::Values(0, 1, 2, 17, 256, 5000));
+
+TEST(TraceRoundtripTest, EmptyTraceHasHeaderOnly) {
+  std::stringstream stream;
+  TraceWriter writer(&stream);
+  ASSERT_TRUE(writer.Flush().ok());
+  EXPECT_EQ(stream.str().size(), 8u);
+  TraceReader reader(&stream);
+  auto next = reader.Next();
+  ASSERT_TRUE(next.ok());
+  EXPECT_FALSE(next->has_value());
+}
+
+TEST(TraceRoundtripTest, ReplayIntoSink) {
+  const auto events = RandomEvents(50, 7);
+  std::stringstream stream;
+  TraceWriter writer(&stream);
+  for (const auto& e : events) ASSERT_TRUE(writer.Append(e).ok());
+  ASSERT_TRUE(writer.Flush().ok());
+
+  TraceReader reader(&stream);
+  VectorTraceSink sink;
+  ASSERT_TRUE(reader.ReplayInto(&sink).ok());
+  ASSERT_EQ(sink.events().size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(sink.events()[i], events[i]);
+  }
+}
+
+TEST(TraceEventTest, ToStringCoversKinds) {
+  EXPECT_NE(TraceEvent::Alloc(1, 100, 2, 0, 0).ToString().find("Alloc"),
+            std::string::npos);
+  EXPECT_NE(TraceEvent::WriteSlot(1, 0, 2).ToString().find("WriteSlot"),
+            std::string::npos);
+  EXPECT_NE(TraceEvent::ReadSlot(1, 0).ToString().find("ReadSlot"),
+            std::string::npos);
+  EXPECT_NE(TraceEvent::AddRoot(1).ToString().find("AddRoot"),
+            std::string::npos);
+}
+
+TEST(TraceEventTest, VarintBoundaryValues) {
+  // Exercise multi-byte varints: values around 2^7, 2^14, 2^63.
+  std::stringstream stream;
+  TraceWriter writer(&stream);
+  const std::vector<uint64_t> ids = {0x7f, 0x80, 0x3fff, 0x4000,
+                                     0xffffffffffffffffull};
+  for (uint64_t id : ids) {
+    ASSERT_TRUE(writer.Append(TraceEvent::Visit(id)).ok());
+  }
+  TraceReader reader(&stream);
+  for (uint64_t id : ids) {
+    auto next = reader.Next();
+    ASSERT_TRUE(next.ok() && next->has_value());
+    EXPECT_EQ((*next)->object, id);
+  }
+}
+
+}  // namespace
+}  // namespace odbgc

@@ -1,0 +1,96 @@
+#include "trace/trace_stats.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace odbgc {
+namespace {
+
+TEST(TraceStatsTest, CountsEventKinds) {
+  TraceStatsCollector stats;
+  ASSERT_TRUE(stats.Append(TraceEvent::Alloc(1, 100, 2, 0, 0)).ok());
+  ASSERT_TRUE(stats.Append(TraceEvent::Alloc(2, 64000, 0, 1, 1)).ok());
+  ASSERT_TRUE(stats.Append(TraceEvent::WriteSlot(1, 0, 2)).ok());
+  ASSERT_TRUE(stats.Append(TraceEvent::ReadSlot(1, 0)).ok());
+  ASSERT_TRUE(stats.Append(TraceEvent::Visit(1)).ok());
+  ASSERT_TRUE(stats.Append(TraceEvent::WriteData(1)).ok());
+  ASSERT_TRUE(stats.Append(TraceEvent::AddRoot(1)).ok());
+  ASSERT_TRUE(stats.Append(TraceEvent::RemoveRoot(1)).ok());
+
+  const auto& s = stats.Finish();
+  EXPECT_EQ(s.events, 8u);
+  EXPECT_EQ(s.allocs, 2u);
+  EXPECT_EQ(s.large_allocs, 1u);
+  EXPECT_EQ(s.bytes_allocated, 64100u);
+  EXPECT_EQ(s.slot_writes, 1u);
+  EXPECT_EQ(s.slot_reads, 1u);
+  EXPECT_EQ(s.visits, 1u);
+  EXPECT_EQ(s.data_writes, 1u);
+  EXPECT_EQ(s.root_adds, 1u);
+  EXPECT_EQ(s.root_removes, 1u);
+}
+
+TEST(TraceStatsTest, ClassifiesOverwrites) {
+  TraceStatsCollector stats;
+  // Store, overwrite, clear, re-store.
+  ASSERT_TRUE(stats.Append(TraceEvent::WriteSlot(1, 0, 10)).ok());
+  ASSERT_TRUE(stats.Append(TraceEvent::WriteSlot(1, 0, 11)).ok());
+  ASSERT_TRUE(stats.Append(TraceEvent::WriteSlot(1, 0, 0)).ok());
+  ASSERT_TRUE(stats.Append(TraceEvent::WriteSlot(1, 0, 12)).ok());
+  // Clearing an already-empty slot is not an overwrite.
+  ASSERT_TRUE(stats.Append(TraceEvent::WriteSlot(2, 0, 0)).ok());
+
+  const auto& s = stats.Finish();
+  EXPECT_EQ(s.slot_writes, 5u);
+  EXPECT_EQ(s.pointer_stores, 3u);
+  EXPECT_EQ(s.pointer_overwrites, 2u);
+  EXPECT_EQ(s.null_clears, 1u);
+}
+
+TEST(TraceStatsTest, DerivedMetrics) {
+  TraceStatsCollector stats;
+  ASSERT_TRUE(stats.Append(TraceEvent::Alloc(1, 100, 3, 0, 0)).ok());
+  ASSERT_TRUE(stats.Append(TraceEvent::Alloc(2, 100, 3, 0, 0)).ok());
+  ASSERT_TRUE(stats.Append(TraceEvent::WriteSlot(1, 0, 2)).ok());
+  for (int i = 0; i < 15; ++i) {
+    ASSERT_TRUE(stats.Append(TraceEvent::ReadSlot(1, 0)).ok());
+  }
+  const auto& s = stats.Finish();
+  EXPECT_DOUBLE_EQ(s.MeanSmallObjectSize(), 100.0);
+  EXPECT_DOUBLE_EQ(s.EdgeReadWriteRatio(), 15.0);
+  // One live edge over two objects.
+  EXPECT_DOUBLE_EQ(s.Connectivity(), 0.5);
+  EXPECT_DOUBLE_EQ(s.LargeSpaceFraction(), 0.0);
+}
+
+TEST(TraceStatsTest, ConnectivityIgnoresClearedEdges) {
+  TraceStatsCollector stats;
+  ASSERT_TRUE(stats.Append(TraceEvent::Alloc(1, 100, 3, 0, 0)).ok());
+  ASSERT_TRUE(stats.Append(TraceEvent::WriteSlot(1, 0, 1)).ok());
+  ASSERT_TRUE(stats.Append(TraceEvent::WriteSlot(1, 1, 1)).ok());
+  ASSERT_TRUE(stats.Append(TraceEvent::WriteSlot(1, 1, 0)).ok());
+  const auto& s = stats.Finish();
+  EXPECT_DOUBLE_EQ(s.Connectivity(), 1.0);
+}
+
+TEST(TraceStatsTest, PrintSmoke) {
+  TraceStatsCollector stats;
+  ASSERT_TRUE(stats.Append(TraceEvent::Alloc(1, 100, 2, 0, 0)).ok());
+  std::ostringstream os;
+  stats.Print(os);
+  EXPECT_NE(os.str().find("objects allocated"), std::string::npos);
+  EXPECT_NE(os.str().find("connectivity"), std::string::npos);
+}
+
+TEST(TraceStatsTest, EmptyTrace) {
+  TraceStatsCollector stats;
+  const auto& s = stats.Finish();
+  EXPECT_EQ(s.events, 0u);
+  EXPECT_DOUBLE_EQ(s.MeanSmallObjectSize(), 0.0);
+  EXPECT_DOUBLE_EQ(s.EdgeReadWriteRatio(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Connectivity(), 0.0);
+}
+
+}  // namespace
+}  // namespace odbgc

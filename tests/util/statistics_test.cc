@@ -1,0 +1,94 @@
+#include "util/statistics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace odbgc {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStatTest, SingleSample) {
+  RunningStat s;
+  s.Add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStatTest, KnownValues) {
+  // Sample {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, sample stddev sqrt(32/7).
+  RunningStat s;
+  for (double x : {2, 4, 4, 4, 5, 5, 7, 9}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatTest, NegativeValues) {
+  RunningStat s;
+  for (double x : {-1.0, -5.0, 3.0}) s.Add(x);
+  EXPECT_NEAR(s.mean(), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), -5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(RunningStatTest, MergeMatchesSequential) {
+  RunningStat all, a, b;
+  for (int i = 0; i < 57; ++i) {
+    const double x = std::sin(i) * 10;
+    all.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.stddev(), all.stddev(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatTest, MergeWithEmpty) {
+  RunningStat a, empty;
+  a.Add(1.0);
+  a.Add(3.0);
+  const double mean = a.mean();
+  a.Merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  EXPECT_EQ(a.count(), 2u);
+
+  RunningStat b;
+  b.Merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(StatisticsTest, VectorHelpers) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({5.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_NEAR(StdDev({1.0, 2.0, 3.0}), 1.0, 1e-12);
+}
+
+TEST(RunningStatTest, LargeStreamStable) {
+  // Welford must not lose precision on an offset stream.
+  RunningStat s;
+  for (int i = 0; i < 100000; ++i) s.Add(1e9 + (i % 2));
+  EXPECT_NEAR(s.mean(), 1e9 + 0.5, 1e-3);
+  EXPECT_NEAR(s.stddev(), 0.5, 1e-3);
+}
+
+}  // namespace
+}  // namespace odbgc

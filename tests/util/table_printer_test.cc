@@ -1,0 +1,86 @@
+#include "util/table_printer.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace odbgc {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"Name", "Count"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"long-name", "12345"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Name       Count"), std::string::npos);
+  EXPECT_NE(out.find("a              1"), std::string::npos);
+  EXPECT_NE(out.find("long-name  12345"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter t({"A", "B", "C"});
+  t.AddRow({"x"});
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_NE(os.str().find('x'), std::string::npos);
+}
+
+TEST(TablePrinterTest, LongRowsTruncated) {
+  TablePrinter t({"A"});
+  t.AddRow({"x", "overflow"});
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_EQ(os.str().find("overflow"), std::string::npos);
+}
+
+TEST(TablePrinterTest, SeparatorRendersRule) {
+  TablePrinter t({"A"});
+  t.AddRow({"above"});
+  t.AddSeparator();
+  t.AddRow({"below"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  // Header rule plus the explicit separator: at least two dashed lines.
+  size_t dashes = 0, at = 0;
+  while ((at = out.find("-----", at)) != std::string::npos) {
+    ++dashes;
+    at = out.find('\n', at);
+  }
+  EXPECT_GE(dashes, 2u);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter t({"Policy", "IO"});
+  t.AddRow({"Random", "123"});
+  t.AddSeparator();
+  t.AddRow({"MostGarbage", "99"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "Policy,IO\nRandom,123\nMostGarbage,99\n");
+}
+
+TEST(TablePrinterTest, NumRowsCountsSeparators) {
+  TablePrinter t({"A"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow({"x"});
+  t.AddSeparator();
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(FormatTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatDouble(1.23456, 0), "1");
+  EXPECT_EQ(FormatDouble(-0.5, 3), "-0.500");
+}
+
+TEST(FormatTest, FormatCount) {
+  EXPECT_EQ(FormatCount(1234.4), "1234");
+  EXPECT_EQ(FormatCount(1234.6), "1235");
+  EXPECT_EQ(FormatCount(0.0), "0");
+}
+
+}  // namespace
+}  // namespace odbgc

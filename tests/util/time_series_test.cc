@@ -1,0 +1,80 @@
+#include "util/time_series.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace odbgc {
+namespace {
+
+TimeSeries Ramp(const std::string& name, int n) {
+  TimeSeries s(name);
+  for (int i = 0; i < n; ++i) s.Add(i, i * 2.0);
+  return s;
+}
+
+TEST(TimeSeriesTest, BasicAccessors) {
+  TimeSeries s("x");
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.MaxY(), 0.0);
+  EXPECT_DOUBLE_EQ(s.LastY(), 0.0);
+  s.Add(1, 10);
+  s.Add(2, 5);
+  EXPECT_FALSE(s.empty());
+  EXPECT_DOUBLE_EQ(s.MaxY(), 10.0);
+  EXPECT_DOUBLE_EQ(s.LastY(), 5.0);
+  EXPECT_EQ(s.name(), "x");
+}
+
+TEST(TimeSeriesTest, DownsampleKeepsEndpoints) {
+  TimeSeries s = Ramp("r", 1000);
+  TimeSeries d = s.Downsample(50);
+  ASSERT_LE(d.points().size(), 50u);
+  EXPECT_DOUBLE_EQ(d.points().front().x, 0.0);
+  EXPECT_DOUBLE_EQ(d.points().back().x, 999.0);
+}
+
+TEST(TimeSeriesTest, DownsampleNoOpWhenSmall) {
+  TimeSeries s = Ramp("r", 10);
+  TimeSeries d = s.Downsample(50);
+  EXPECT_EQ(d.points().size(), 10u);
+}
+
+TEST(TimeSeriesTest, GnuplotFormat) {
+  std::ostringstream os;
+  WriteGnuplot({Ramp("a", 2), Ramp("b", 2)}, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("# a"), std::string::npos);
+  EXPECT_NE(out.find("# b"), std::string::npos);
+  EXPECT_NE(out.find("1 2"), std::string::npos);
+  // Series separated by a blank line (gnuplot "index" convention).
+  EXPECT_NE(out.find("\n\n"), std::string::npos);
+}
+
+TEST(TimeSeriesTest, CsvMergesByX) {
+  TimeSeries a("a"), b("b");
+  a.Add(1, 10);
+  a.Add(2, 20);
+  b.Add(2, 200);
+  b.Add(3, 300);
+  std::ostringstream os;
+  WriteCsv({a, b}, os);
+  EXPECT_EQ(os.str(), "x,a,b\n1,10,\n2,20,200\n3,,300\n");
+}
+
+TEST(TimeSeriesTest, AsciiRenderSmoke) {
+  std::ostringstream os;
+  RenderAscii({Ramp("r", 100)}, os, 40, 10);
+  const std::string out = os.str();
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("r"), std::string::npos);
+}
+
+TEST(TimeSeriesTest, AsciiRenderEmpty) {
+  std::ostringstream os;
+  RenderAscii({}, os);
+  EXPECT_NE(os.str().find("empty"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace odbgc

@@ -1,0 +1,151 @@
+#include "workload/oo1_generator.h"
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "trace/trace_stats.h"
+
+namespace odbgc {
+namespace {
+
+OO1Config TinyOO1() {
+  OO1Config config;
+  config.target_live_bytes = 64ull << 10;
+  config.total_alloc_bytes = 140ull << 10;
+  config.lookup_count = 10;
+  config.traversal_depth = 4;
+  config.inserts_per_round = 10;
+  config.deletes_per_round = 10;
+  return config;
+}
+
+TEST(OO1ConfigTest, ValidatesDefaults) {
+  EXPECT_TRUE(OO1Config().Validate().ok());
+  EXPECT_TRUE(TinyOO1().Validate().ok());
+}
+
+TEST(OO1ConfigTest, RejectsNonsense) {
+  OO1Config config = TinyOO1();
+  config.part_size = 30;
+  EXPECT_FALSE(config.Validate().ok());
+  config = TinyOO1();
+  config.total_alloc_bytes = config.target_live_bytes - 1;
+  EXPECT_FALSE(config.Validate().ok());
+  config = TinyOO1();
+  config.locality_prob = 2.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = TinyOO1();
+  config.traversal_depth = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = TinyOO1();
+  config.connections_per_part = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(OO1GeneratorTest, DeterministicPerSeed) {
+  VectorTraceSink a, b;
+  OO1Generator ga(TinyOO1(), 42);
+  OO1Generator gb(TinyOO1(), 42);
+  ASSERT_TRUE(ga.Generate(&a).ok());
+  ASSERT_TRUE(gb.Generate(&b).ok());
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (size_t i = 0; i < a.events().size(); ++i) {
+    ASSERT_EQ(a.events()[i], b.events()[i]);
+  }
+}
+
+TEST(OO1GeneratorTest, RespectsBudget) {
+  OO1Generator generator(TinyOO1(), 7);
+  VectorTraceSink sink;
+  ASSERT_TRUE(generator.Generate(&sink).ok());
+  EXPECT_TRUE(generator.Done());
+  EXPECT_GE(generator.total_allocated_bytes(),
+            TinyOO1().total_alloc_bytes);
+}
+
+TEST(OO1GeneratorTest, TraceIsWellFormed) {
+  VectorTraceSink sink;
+  OO1Generator generator(TinyOO1(), 3);
+  ASSERT_TRUE(generator.Generate(&sink).ok());
+
+  std::map<uint64_t, uint32_t> slots_of;
+  std::set<std::pair<uint64_t, uint32_t>> set_slots;
+  size_t overwrites = 0;
+  for (const TraceEvent& event : sink.events()) {
+    switch (event.kind) {
+      case EventKind::kAlloc:
+        ASSERT_EQ(slots_of.count(event.object), 0u);
+        slots_of[event.object] = event.num_slots;
+        break;
+      case EventKind::kWriteSlot:
+        ASSERT_TRUE(slots_of.count(event.object));
+        ASSERT_LT(event.slot, slots_of[event.object]);
+        if (event.target != 0) {
+          ASSERT_TRUE(slots_of.count(event.target));
+          set_slots.insert({event.object, event.slot});
+        } else {
+          ASSERT_TRUE(set_slots.count({event.object, event.slot}));
+          set_slots.erase({event.object, event.slot});
+          ++overwrites;
+        }
+        break;
+      case EventKind::kReadSlot:
+        ASSERT_TRUE(slots_of.count(event.object));
+        ASSERT_LT(event.slot, slots_of[event.object]);
+        break;
+      default:
+        ASSERT_TRUE(slots_of.count(event.object));
+        break;
+    }
+  }
+  EXPECT_GT(overwrites, 50u) << "deletes must clear pointers";
+}
+
+TEST(OO1GeneratorTest, WithoutIncomingClearsAlmostNoOverwrites) {
+  OO1Config config = TinyOO1();
+  config.clear_incoming_on_delete = false;
+  VectorTraceSink sink;
+  OO1Generator generator(config, 5);
+  ASSERT_TRUE(generator.Generate(&sink).ok());
+  TraceStatsCollector stats;
+  for (const auto& event : sink.events()) {
+    ASSERT_TRUE(stats.Append(event).ok());
+  }
+  // Only index-slot clears remain (one per delete).
+  OO1Generator with(TinyOO1(), 5);
+  TraceStatsCollector with_stats;
+  ASSERT_TRUE(with.Generate(&with_stats).ok());
+  EXPECT_LT(stats.Finish().pointer_overwrites,
+            with_stats.Finish().pointer_overwrites);
+}
+
+TEST(OO1GeneratorTest, WorkloadShape) {
+  OO1Generator generator(TinyOO1(), 11);
+  TraceStatsCollector stats;
+  ASSERT_TRUE(generator.Generate(&stats).ok());
+  const auto& s = stats.Finish();
+  // The tiny test config is build-dominated; transaction reads must still
+  // be plentiful (full-size configs are read-dominated overall).
+  EXPECT_GT(s.slot_reads, 1000u);
+  EXPECT_GT(s.visits, 0u);
+  // Parts carry up to 3 connections plus an index reference.
+  EXPECT_GT(s.Connectivity(), 0.5);
+  EXPECT_LT(s.Connectivity(), 4.0);
+  EXPECT_GT(generator.live_part_count(), 100u);
+}
+
+TEST(OO1GeneratorTest, LivePartCountStaysNearTarget) {
+  const OO1Config config = TinyOO1();
+  OO1Generator generator(config, 13);
+  VectorTraceSink sink;
+  ASSERT_TRUE(generator.Generate(&sink).ok());
+  const size_t target_parts =
+      config.target_live_bytes / config.part_size;
+  EXPECT_GT(generator.live_part_count(), target_parts / 2);
+  EXPECT_LT(generator.live_part_count(), target_parts * 2);
+}
+
+}  // namespace
+}  // namespace odbgc
