@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odbgc_storage.dir/storage/disk.cc.o"
+  "CMakeFiles/odbgc_storage.dir/storage/disk.cc.o.d"
+  "libodbgc_storage.a"
+  "libodbgc_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odbgc_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
