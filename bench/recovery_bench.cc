@@ -1,0 +1,159 @@
+// Durability-layer throughput: how much does making a run restartable
+// cost? Measures the three hot paths of src/recovery/ and emits the
+// numbers both as a table and as BENCH_recovery.json (for CI trending):
+//
+//   checkpoint_write_mb_per_s     full-state snapshot serialization
+//   wal_append_ns_per_record      per-event logging overhead
+//   recovery_replay_events_per_s  crash-recovery replay speed
+//
+// Run:  ./build/bench/recovery_bench [output.json]
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "bench/bench_common.h"
+#include "recovery/checkpoint_manager.h"
+#include "recovery/recover.h"
+#include "recovery/wal.h"
+#include "sim/simulator.h"
+#include "storage/disk.h"
+#include "workload/generator.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Seconds(Clock::time_point start, Clock::time_point end) {
+  return std::chrono::duration<double>(end - start).count();
+}
+
+odbgc::SimulationConfig BenchConfig() {
+  odbgc::SimulationConfig config = odbgc::bench::BaseConfig();
+  // A mid-size database: big enough that snapshots are megabytes, small
+  // enough that the whole bench finishes in seconds.
+  config.workload = config.workload.WithTotalAllocation(
+      odbgc::bench::FastMode() ? (1ull << 20) : (4ull << 20));
+  config.heap.store.pages_per_partition = 24;
+  config.heap.buffer_pages = 24;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace odbgc;
+  const char* json_path = argc > 1 ? argv[1] : "BENCH_recovery.json";
+  bench::PrintHeader(
+      "Recovery engine throughput (checkpoint / WAL / replay)",
+      "Durability layer (src/recovery/) — not part of the paper");
+
+  const SimulationConfig config = BenchConfig();
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "odbgc_recovery_bench")
+          .string();
+  std::filesystem::remove_all(dir);
+
+  // Shared fixture: a database mid-run, the state every measurement below
+  // snapshots, logs or replays.
+  Simulator simulator(config);
+  WorkloadGenerator generator(config.workload, config.seed);
+  if (Status s = generator.BuildInitialDatabase(&simulator); !s.ok()) {
+    bench::Fail(s, "build");
+  }
+  for (int i = 0; i < 200 && !generator.Done(); ++i) {
+    if (Status s = generator.RunRound(&simulator); !s.ok()) {
+      bench::Fail(s, "round");
+    }
+  }
+
+  // 1. Checkpoint write throughput.
+  CheckpointManager manager(dir);
+  if (Status s = manager.Init(); !s.ok()) bench::Fail(s, "init");
+  const int kSnapshots = bench::FastMode() ? 4 : 16;
+  uint64_t snapshot_bytes = 0;
+  const auto ckpt_start = Clock::now();
+  for (int i = 0; i < kSnapshots; ++i) {
+    const uint64_t round = generator.rounds_run() + i;  // Distinct files.
+    if (Status s = manager.WriteSnapshot(round, simulator, generator);
+        !s.ok()) {
+      bench::Fail(s, "snapshot");
+    }
+    snapshot_bytes += std::filesystem::file_size(manager.SnapshotPath(round));
+  }
+  const double ckpt_seconds = Seconds(ckpt_start, Clock::now());
+  const double ckpt_mb_per_s =
+      static_cast<double>(snapshot_bytes) / (1024.0 * 1024.0) / ckpt_seconds;
+
+  // 2. WAL append latency. Realistic record mix: the workload's own
+  // events, streamed through a writer like the durable engine does.
+  const int kWalRecords = bench::FastMode() ? 100000 : 400000;
+  const std::string wal_path = dir + "/bench.odbl";
+  auto writer = WalWriter::Create(wal_path);
+  if (!writer.ok()) bench::Fail(writer.status(), "wal create");
+  TraceEvent event;
+  event.kind = EventKind::kWriteSlot;
+  event.object = 12345;
+  event.slot = 2;
+  event.target = 67890;
+  const auto wal_start = Clock::now();
+  for (int i = 0; i < kWalRecords; ++i) {
+    event.object = static_cast<uint64_t>(i);
+    if (Status s = writer->Append(WalRecord::Event(event)); !s.ok()) {
+      bench::Fail(s, "wal append");
+    }
+  }
+  if (Status s = writer->Sync(); !s.ok()) bench::Fail(s, "wal sync");
+  const double wal_seconds = Seconds(wal_start, Clock::now());
+  const double wal_ns_per_record = wal_seconds * 1e9 / kWalRecords;
+
+  // 3. Recovery replay speed: kill a durable run mid-flight (no
+  // snapshots, so recovery is pure WAL-verified re-execution), then time
+  // Open(), which replays every committed event.
+  SimulationConfig durable = config;
+  durable.wal_dir = dir + "/replay";
+  durable.checkpoint_every_rounds = 0;
+  {
+    auto engine = DurableSimulation::Open(durable);
+    if (!engine.ok()) bench::Fail(engine.status(), "open");
+    Simulator probe(config);
+    if (Status s = probe.Run(); !s.ok()) bench::Fail(s, "probe");
+    FaultPlan plan;
+    plan.fail_after_writes = probe.Finish().disk_stats.page_writes / 2;
+    (*engine)->simulator().heap().mutable_disk().InjectFaults(plan);
+    if ((*engine)->Run().ok()) {
+      std::fprintf(stderr, "kill point beyond end of run\n");
+      return 1;
+    }
+  }
+  const auto replay_start = Clock::now();
+  auto recovered = DurableSimulation::Open(durable);
+  const double replay_seconds = Seconds(replay_start, Clock::now());
+  if (!recovered.ok()) bench::Fail(recovered.status(), "reopen");
+  const uint64_t replayed = (*recovered)->run_stats().events_replayed;
+  const double replay_events_per_s =
+      static_cast<double>(replayed) / replay_seconds;
+
+  std::printf("checkpoint write:  %8.1f MB/s  (%d snapshots, %.1f MB total)\n",
+              ckpt_mb_per_s, kSnapshots,
+              static_cast<double>(snapshot_bytes) / (1024.0 * 1024.0));
+  std::printf("WAL append:        %8.1f ns/record  (%d records)\n",
+              wal_ns_per_record, kWalRecords);
+  std::printf("recovery replay:   %8.0f events/s  (%llu events in %.2f s)\n",
+              replay_events_per_s, static_cast<unsigned long long>(replayed),
+              replay_seconds);
+
+  std::ofstream json(json_path);
+  json << "{\n"
+       << "  \"bench\": \"recovery\",\n"
+       << "  \"checkpoint_write_mb_per_s\": " << ckpt_mb_per_s << ",\n"
+       << "  \"wal_append_ns_per_record\": " << wal_ns_per_record << ",\n"
+       << "  \"recovery_replay_events_per_s\": " << replay_events_per_s
+       << "\n}\n";
+  json.close();
+  std::printf("\nwrote %s\n", json_path);
+
+  std::filesystem::remove_all(dir);
+  return json.good() ? 0 : 1;
+}

@@ -1,8 +1,15 @@
-// Checkpointing a live database: run part of the paper's workload, save
-// the heap to a binary image, restore it into a brand-new heap (rebuilding
-// the remembered sets from the object graph), and keep working.
+// Durable simulation runs: the recovery engine (src/recovery/) makes a
+// long experiment killable and restartable. This example runs the paper's
+// workload under the durable engine, kills it mid-run with an injected
+// disk fault, reopens the same directory, and shows the run resuming from
+// its last checkpoint to the exact result an uninterrupted run produces.
 //
-// Run:  ./build/examples/checkpoint [image-file]
+// A second phase demonstrates the raw layer underneath: saving a live
+// heap's StoreImage by hand and restoring it into a fresh heap. The
+// durable engine wraps exactly this (plus runtime state, a CRC'd
+// container and a write-ahead log) — see CheckpointManager.
+//
+// Run:  ./build/examples/checkpoint [state-dir]
 
 #include <cstdio>
 #include <fstream>
@@ -10,23 +17,98 @@
 #include "core/heap.h"
 #include "core/reachability.h"
 #include "odb/store_image.h"
+#include "recovery/recover.h"
 #include "sim/config.h"
 #include "sim/simulator.h"
+#include "storage/disk.h"
 #include "workload/generator.h"
 
-int main(int argc, char** argv) {
-  using namespace odbgc;
-  const char* path = argc > 1 ? argv[1] : "heap_checkpoint.odbs";
+namespace {
 
-  SimulationConfig config = PaperBaseConfig();
+odbgc::SimulationConfig ExampleConfig() {
+  odbgc::SimulationConfig config = odbgc::PaperBaseConfig();
   config.workload = config.workload.WithTotalAllocation(3ull << 20);
   config.heap.store.pages_per_partition = 24;
   config.heap.buffer_pages = 24;
   config.heap.overwrite_trigger = 100;
+  return config;
+}
 
-  // Phase 1: build the database and run some of the workload.
-  Simulator simulator(config);
-  WorkloadGenerator generator(config.workload, config.seed);
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace odbgc;
+  const char* dir = argc > 1 ? argv[1] : "checkpoint_state";
+
+  SimulationConfig config = ExampleConfig();
+  config.wal_dir = dir;
+  config.checkpoint_every_rounds = 200;
+
+  // The reference: an ordinary, uninterrupted in-memory run.
+  SimulationConfig plain = config;
+  plain.wal_dir.clear();
+  Simulator reference(plain);
+  if (Status s = reference.Run(); !s.ok()) {
+    std::fprintf(stderr, "reference run: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const SimulationResult expected = reference.Finish();
+
+  // Phase 1: a durable run, killed mid-flight. The fault plan fails the
+  // Nth simulated-disk write, which surfaces as IoError mid-round — the
+  // moral equivalent of the process dying there.
+  {
+    auto engine = DurableSimulation::Open(config);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "open: %s\n", engine.status().ToString().c_str());
+      return 1;
+    }
+    FaultPlan plan;
+    plan.fail_after_writes = expected.disk_stats.page_writes / 2;
+    (*engine)->simulator().heap().mutable_disk().InjectFaults(plan);
+    const Status died = (*engine)->Run();
+    std::printf("first attempt died as planned: %s\n",
+                died.ToString().c_str());
+  }
+
+  // Phase 2: reopen the same directory. Open() finds the newest valid
+  // snapshot, drops the uncommitted WAL tail, and replays the committed
+  // rounds — verifying every regenerated event against the log.
+  auto engine = DurableSimulation::Open(config);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "reopen: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  const DurableRunStats& stats = (*engine)->run_stats();
+  std::printf("recovered: resumed=%s from round %llu, "
+              "%llu rounds / %llu events replayed from the WAL\n",
+              stats.resumed ? "yes" : "no",
+              static_cast<unsigned long long>(stats.resumed_from_round),
+              static_cast<unsigned long long>(stats.rounds_replayed),
+              static_cast<unsigned long long>(stats.events_replayed));
+  if (Status s = (*engine)->Run(); !s.ok()) {
+    std::fprintf(stderr, "resumed run: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const SimulationResult resumed = (*engine)->Finish();
+  const bool identical =
+      resumed.app_io == expected.app_io && resumed.gc_io == expected.gc_io &&
+      resumed.collections == expected.collections &&
+      resumed.bytes_allocated == expected.bytes_allocated &&
+      resumed.disk_stats.page_writes == expected.disk_stats.page_writes;
+  std::printf("resumed run vs uninterrupted run: %s "
+              "(app_io=%llu gc_io=%llu collections=%llu)\n",
+              identical ? "identical" : "DIVERGED",
+              static_cast<unsigned long long>(resumed.app_io),
+              static_cast<unsigned long long>(resumed.gc_io),
+              static_cast<unsigned long long>(resumed.collections));
+
+  // Phase 3: the raw layer — checkpoint a live heap by hand with
+  // StoreImage and restore it into a brand-new heap (remembered sets are
+  // rebuilt from the object graph). This is what CheckpointManager wraps.
+  const std::string image_path = std::string(dir) + "/manual.odbs";
+  Simulator simulator(plain);
+  WorkloadGenerator generator(plain.workload, plain.seed);
   if (Status s = generator.BuildInitialDatabase(&simulator); !s.ok()) {
     std::fprintf(stderr, "build: %s\n", s.ToString().c_str());
     return 1;
@@ -37,32 +119,21 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  CollectedHeap& original = simulator.heap();
-  std::printf("before checkpoint: %zu objects, %zu partitions, "
-              "%llu collections so far\n",
-              original.store().object_count(),
-              original.store().partition_count(),
-              static_cast<unsigned long long>(original.stats().collections));
-
-  // Phase 2: checkpoint to disk.
   {
-    std::ofstream file(path, std::ios::binary);
-    if (Status s = WriteStoreImage(original.ExtractImage(), &file);
+    std::ofstream file(image_path, std::ios::binary);
+    if (Status s = WriteStoreImage(simulator.heap().ExtractImage(), &file);
         !s.ok()) {
       std::fprintf(stderr, "save: %s\n", s.ToString().c_str());
       return 1;
     }
   }
-  std::printf("checkpoint written to %s\n", path);
-
-  // Phase 3: restore into a fresh heap.
-  std::ifstream file(path, std::ios::binary);
+  std::ifstream file(image_path, std::ios::binary);
   auto image = ReadStoreImage(&file);
   if (!image.ok()) {
     std::fprintf(stderr, "read: %s\n", image.status().ToString().c_str());
     return 1;
   }
-  auto restored = CollectedHeap::FromImage(config.heap, *image);
+  auto restored = CollectedHeap::FromImage(plain.heap, *image);
   if (!restored.ok()) {
     std::fprintf(stderr, "restore: %s\n",
                  restored.status().ToString().c_str());
@@ -70,13 +141,13 @@ int main(int argc, char** argv) {
   }
   CollectedHeap& heap = **restored;
   std::printf(
-      "restored: %zu objects, %zu remembered-set entries rebuilt, "
-      "%llu KB garbage carried over\n",
+      "manual image roundtrip: %zu objects, %zu remembered-set entries "
+      "rebuilt, %llu KB garbage carried over\n",
       heap.store().object_count(), heap.index().entry_count(),
       static_cast<unsigned long long>(
           ComputeGarbageCensus(heap.store()).total_garbage_bytes / 1024));
 
-  // Phase 4: the restored heap is fully operational — collect on it.
+  // The restored heap is fully operational — collect on it.
   auto result = heap.CollectNow();
   if (result.ok()) {
     std::printf("first post-restore collection: partition %u, reclaimed "
@@ -88,5 +159,5 @@ int main(int argc, char** argv) {
     std::printf("post-restore collection declined: %s\n",
                 result.status().ToString().c_str());
   }
-  return 0;
+  return identical ? 0 : 1;
 }

@@ -1,6 +1,10 @@
 #include "buffer/buffer_pool.h"
 
+#include <algorithm>
 #include <cassert>
+#include <utility>
+
+#include "util/serde.h"
 
 namespace odbgc {
 
@@ -85,6 +89,89 @@ bool BufferPool::IsDirty(PageId page) const {
 
 std::vector<PageId> BufferPool::LruOrder() const {
   return std::vector<PageId>(lru_.begin(), lru_.end());
+}
+
+void BufferPool::SaveState(std::ostream& out) const {
+  PutVarint(out, frame_count_);
+  PutVarint(out, frames_.size());
+  for (PageId page : lru_) {  // Most recent first.
+    PutVarint(out, page);
+    PutBool(out, frames_.at(page).dirty);
+  }
+  PutVarint(out, stats_.hits);
+  PutVarint(out, stats_.misses);
+  PutVarint(out, stats_.reads_app);
+  PutVarint(out, stats_.reads_gc);
+  PutVarint(out, stats_.writes_app);
+  PutVarint(out, stats_.writes_gc);
+}
+
+Status BufferPool::LoadState(std::istream& in) {
+  auto frame_count = GetVarint(in);
+  ODBGC_RETURN_IF_ERROR(frame_count.status());
+  if (*frame_count != frame_count_) {
+    return Status::Corruption("buffer state frame count mismatch");
+  }
+  auto resident = GetVarint(in);
+  ODBGC_RETURN_IF_ERROR(resident.status());
+  if (*resident > frame_count_) {
+    return Status::Corruption("buffer state resident count exceeds capacity");
+  }
+  std::vector<std::pair<PageId, bool>> entries;
+  entries.reserve(*resident);
+  for (uint64_t i = 0; i < *resident; ++i) {
+    auto page = GetVarint(in);
+    ODBGC_RETURN_IF_ERROR(page.status());
+    auto dirty = GetBool(in);
+    ODBGC_RETURN_IF_ERROR(dirty.status());
+    entries.emplace_back(*page, *dirty);
+  }
+  BufferStats stats;
+  auto get = [&in](uint64_t* out_value) -> Status {
+    auto v = GetVarint(in);
+    ODBGC_RETURN_IF_ERROR(v.status());
+    *out_value = *v;
+    return Status::Ok();
+  };
+  ODBGC_RETURN_IF_ERROR(get(&stats.hits));
+  ODBGC_RETURN_IF_ERROR(get(&stats.misses));
+  ODBGC_RETURN_IF_ERROR(get(&stats.reads_app));
+  ODBGC_RETURN_IF_ERROR(get(&stats.reads_gc));
+  ODBGC_RETURN_IF_ERROR(get(&stats.writes_app));
+  ODBGC_RETURN_IF_ERROR(get(&stats.writes_gc));
+
+  // Persist current dirty frames so the disk holds their rematerialized
+  // bytes before residency changes. Sorted order keeps restoration
+  // deterministic; transfers are issued raw because the caller restores
+  // the disk's counters after this.
+  std::vector<PageId> dirty_pages;
+  for (const auto& [page, frame] : frames_) {
+    if (frame.dirty) dirty_pages.push_back(page);
+  }
+  std::sort(dirty_pages.begin(), dirty_pages.end());
+  for (PageId page : dirty_pages) {
+    ODBGC_RETURN_IF_ERROR(disk_->WritePage(
+        page, std::span<const std::byte>(frames_.at(page).data)));
+  }
+  frames_.clear();
+  lru_.clear();
+
+  // Re-fault the checkpointed residency set, least recent first, so the
+  // LRU list front ends up at the checkpoint's most recent page.
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    Frame frame;
+    frame.data.resize(disk_->page_size());
+    ODBGC_RETURN_IF_ERROR(
+        disk_->ReadPage(it->first, std::span<std::byte>(frame.data)));
+    frame.dirty = it->second;
+    lru_.push_front(it->first);
+    frame.lru_pos = lru_.begin();
+    if (!frames_.emplace(it->first, std::move(frame)).second) {
+      return Status::Corruption("buffer state duplicate resident page");
+    }
+  }
+  stats_ = stats;
+  return Status::Ok();
 }
 
 }  // namespace odbgc

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <list>
 #include <span>
 #include <unordered_map>
@@ -91,6 +92,20 @@ class BufferPool {
 
   /// Pages in LRU order, most recent first (test/inspection helper).
   std::vector<PageId> LruOrder() const;
+
+  /// Serializes the replacement state — (page, dirty) pairs in LRU order
+  /// plus the counters — without touching frames or counters. Frame bytes
+  /// are not included: page contents are rematerialized from the store
+  /// image, and no component reads object data back out of page bytes.
+  void SaveState(std::ostream& out) const;
+
+  /// Restores state written by SaveState: current dirty frames are written
+  /// to disk (in page order, uncounted — the caller restores disk counters
+  /// afterwards), the pool is emptied, and the recorded residency set is
+  /// re-faulted least-recent-first so LRU order, dirty flags and counters
+  /// all match the checkpointed pool. Corruption on a malformed stream or a
+  /// mismatched frame count.
+  Status LoadState(std::istream& in);
 
  private:
   struct Frame {

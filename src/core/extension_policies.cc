@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "core/policies.h"
+#include "util/serde.h"
+
 namespace odbgc {
 
 PartitionId LeastRecentlyCollectedPolicy::Select(
@@ -27,6 +30,18 @@ double LeastRecentlyCollectedPolicy::Score(PartitionId partition) const {
              : static_cast<double>(clock_ - it->second);
 }
 
+void LeastRecentlyCollectedPolicy::SaveState(std::ostream& out) const {
+  PutVarint(out, clock_);
+  SavePartitionMap(out, last_collected_);
+}
+
+Status LeastRecentlyCollectedPolicy::LoadState(std::istream& in) {
+  auto clock = GetVarint(in);
+  ODBGC_RETURN_IF_ERROR(clock.status());
+  clock_ = *clock;
+  return LoadPartitionMap(in, &last_collected_);
+}
+
 void CostBenefitPolicy::OnPointerStore(const SlotWriteEvent& event,
                                        uint8_t /*old_target_weight*/) {
   if (event.is_overwrite() &&
@@ -50,6 +65,14 @@ double CostBenefitPolicy::Score(PartitionId partition) const {
   // benefit/cost; a fully-garbage prediction is unbeatable.
   if (live <= 0.0) return 1e18;
   return predicted_garbage / live;
+}
+
+void CostBenefitPolicy::SaveState(std::ostream& out) const {
+  SavePartitionMap(out, overwrites_into_);
+}
+
+Status CostBenefitPolicy::LoadState(std::istream& in) {
+  return LoadPartitionMap(in, &overwrites_into_);
 }
 
 PartitionId CostBenefitPolicy::Select(const SelectionContext& context) {

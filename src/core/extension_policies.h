@@ -26,6 +26,8 @@ class LeastRecentlyCollectedPolicy : public SelectionPolicy {
   }
   PartitionId Select(const SelectionContext& context) override;
   double Score(PartitionId partition) const override;
+  void SaveState(std::ostream& out) const override;
+  Status LoadState(std::istream& in) override;
 
  private:
   uint64_t clock_ = 0;
@@ -64,6 +66,8 @@ class CostBenefitPolicy : public SelectionPolicy {
   }
   PartitionId Select(const SelectionContext& context) override;
   double Score(PartitionId partition) const override;
+  void SaveState(std::ostream& out) const override;
+  Status LoadState(std::istream& in) override;
 
  private:
   const ObjectStore* const* store_;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
@@ -185,6 +186,7 @@ class CollectedHeap : private SlotWriteObserver {
   const BufferPool& buffer() const { return *buffer_; }
   BufferPool& mutable_buffer() { return *buffer_; }
   const SimulatedDisk& disk() const { return *disk_; }
+  SimulatedDisk& mutable_disk() { return *disk_; }
   const InterPartitionIndex& index() const { return index_; }
   const WriteBarrier& barrier() const { return *barrier_; }
   const WeightTracker* weights() const { return weights_.get(); }
@@ -212,6 +214,20 @@ class CollectedHeap : private SlotWriteObserver {
   /// Used for warm-start experiments (paper, Section 5): build the
   /// database, reset, and measure only the mutation phase.
   void ResetMeasurement();
+
+  /// Serializes all heap runtime state that is NOT derivable from the
+  /// store image: measurement counters, trigger progress, policy hints,
+  /// weights, deferred barrier work, buffer residency and disk counters.
+  /// Together with ExtractImage this captures the heap exactly — a heap
+  /// restored via FromImage + LoadRuntimeState behaves bit-identically to
+  /// the checkpointed one on any further event sequence. The collection
+  /// log (introspection only) is intentionally excluded.
+  void SaveRuntimeState(std::ostream& out) const;
+
+  /// Restores state written by SaveRuntimeState on a heap rebuilt from the
+  /// matching store image with the same HeapOptions. Corruption on a
+  /// malformed stream or an options/geometry mismatch.
+  Status LoadRuntimeState(std::istream& in);
 
  private:
   struct RestoreTag {};

@@ -1,9 +1,11 @@
 #include "core/policies.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
 #include "core/weights.h"
+#include "util/serde.h"
 
 namespace odbgc {
 
@@ -26,6 +28,37 @@ PartitionId ArgMax(const std::vector<PartitionId>& candidates,
 }
 
 }  // namespace
+
+// Hint maps are serialized sorted by partition id so the byte stream is a
+// deterministic function of the logical state.
+void SavePartitionMap(std::ostream& out,
+                      const std::unordered_map<PartitionId, uint64_t>& map) {
+  std::vector<std::pair<PartitionId, uint64_t>> entries(map.begin(),
+                                                        map.end());
+  std::sort(entries.begin(), entries.end());
+  PutVarint(out, entries.size());
+  for (const auto& [partition, value] : entries) {
+    PutVarint(out, partition);
+    PutVarint(out, value);
+  }
+}
+
+Status LoadPartitionMap(std::istream& in,
+                        std::unordered_map<PartitionId, uint64_t>* map) {
+  auto count = GetVarint(in);
+  ODBGC_RETURN_IF_ERROR(count.status());
+  map->clear();
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto partition = GetVarint(in);
+    ODBGC_RETURN_IF_ERROR(partition.status());
+    auto value = GetVarint(in);
+    ODBGC_RETURN_IF_ERROR(value.status());
+    if (!map->emplace(static_cast<PartitionId>(*partition), *value).second) {
+      return Status::Corruption("policy state duplicate partition");
+    }
+  }
+  return Status::Ok();
+}
 
 // ---------------------------------------------------------------- Mutated
 
@@ -55,6 +88,14 @@ PartitionId MutatedPartitionPolicy::Select(const SelectionContext& context) {
                 [this](PartitionId p) { return Score(p); });
 }
 
+void MutatedPartitionPolicy::SaveState(std::ostream& out) const {
+  SavePartitionMap(out, stores_into_partition_);
+}
+
+Status MutatedPartitionPolicy::LoadState(std::istream& in) {
+  return LoadPartitionMap(in, &stores_into_partition_);
+}
+
 // ---------------------------------------------------------------- Updated
 
 void UpdatedPointerPolicy::OnPointerStore(const SlotWriteEvent& event,
@@ -79,6 +120,14 @@ double UpdatedPointerPolicy::Score(PartitionId partition) const {
 PartitionId UpdatedPointerPolicy::Select(const SelectionContext& context) {
   return ArgMax(context.candidates,
                 [this](PartitionId p) { return Score(p); });
+}
+
+void UpdatedPointerPolicy::SaveState(std::ostream& out) const {
+  SavePartitionMap(out, overwrites_into_partition_);
+}
+
+Status UpdatedPointerPolicy::LoadState(std::istream& in) {
+  return LoadPartitionMap(in, &overwrites_into_partition_);
 }
 
 // --------------------------------------------------------------- Weighted
@@ -108,11 +157,54 @@ PartitionId WeightedPointerPolicy::Select(const SelectionContext& context) {
                 [this](PartitionId p) { return Score(p); });
 }
 
+void WeightedPointerPolicy::SaveState(std::ostream& out) const {
+  std::vector<std::pair<PartitionId, double>> entries(weighted_sum_.begin(),
+                                                      weighted_sum_.end());
+  std::sort(entries.begin(), entries.end());
+  PutVarint(out, entries.size());
+  for (const auto& [partition, sum] : entries) {
+    PutVarint(out, partition);
+    PutDouble(out, sum);
+  }
+}
+
+Status WeightedPointerPolicy::LoadState(std::istream& in) {
+  auto count = GetVarint(in);
+  ODBGC_RETURN_IF_ERROR(count.status());
+  weighted_sum_.clear();
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto partition = GetVarint(in);
+    ODBGC_RETURN_IF_ERROR(partition.status());
+    auto sum = GetDouble(in);
+    ODBGC_RETURN_IF_ERROR(sum.status());
+    if (!weighted_sum_.emplace(static_cast<PartitionId>(*partition), *sum)
+             .second) {
+      return Status::Corruption("policy state duplicate partition");
+    }
+  }
+  return Status::Ok();
+}
+
 // ----------------------------------------------------------------- Random
 
 PartitionId RandomPolicy::Select(const SelectionContext& context) {
   if (context.candidates.empty()) return kInvalidPartition;
   return context.candidates[rng_.UniformInt(context.candidates.size())];
+}
+
+void RandomPolicy::SaveState(std::ostream& out) const {
+  for (uint64_t word : rng_.GetState()) PutU64(out, word);
+}
+
+Status RandomPolicy::LoadState(std::istream& in) {
+  std::array<uint64_t, 4> state;
+  for (auto& word : state) {
+    auto w = GetU64(in);
+    ODBGC_RETURN_IF_ERROR(w.status());
+    word = *w;
+  }
+  rng_.SetState(state);
+  return Status::Ok();
 }
 
 // ------------------------------------------------------------ MostGarbage

@@ -1,12 +1,21 @@
 #ifndef ODBGC_CORE_POLICIES_H_
 #define ODBGC_CORE_POLICIES_H_
 
+#include <iosfwd>
 #include <unordered_map>
 
 #include "core/selection_policy.h"
 #include "util/random.h"
 
 namespace odbgc {
+
+/// (De)serializes a per-partition counter map for checkpointing, sorted by
+/// partition id so the bytes are a deterministic function of the state.
+/// Shared by the hint-counting policies here and in extension_policies.h.
+void SavePartitionMap(std::ostream& out,
+                      const std::unordered_map<PartitionId, uint64_t>& map);
+Status LoadPartitionMap(std::istream& in,
+                        std::unordered_map<PartitionId, uint64_t>* map);
 
 /// Selects the partition into which the most pointers were stored since
 /// its last collection. Counts *every* pointer store (including slot
@@ -21,6 +30,8 @@ class MutatedPartitionPolicy : public SelectionPolicy {
   void OnPartitionCollected(PartitionId partition) override;
   PartitionId Select(const SelectionContext& context) override;
   double Score(PartitionId partition) const override;
+  void SaveState(std::ostream& out) const override;
+  Status LoadState(std::istream& in) override;
 
  private:
   std::unordered_map<PartitionId, uint64_t> stores_into_partition_;
@@ -38,6 +49,8 @@ class UpdatedPointerPolicy : public SelectionPolicy {
   void OnPartitionCollected(PartitionId partition) override;
   PartitionId Select(const SelectionContext& context) override;
   double Score(PartitionId partition) const override;
+  void SaveState(std::ostream& out) const override;
+  Status LoadState(std::istream& in) override;
 
  private:
   std::unordered_map<PartitionId, uint64_t> overwrites_into_partition_;
@@ -55,6 +68,8 @@ class WeightedPointerPolicy : public SelectionPolicy {
   void OnPartitionCollected(PartitionId partition) override;
   PartitionId Select(const SelectionContext& context) override;
   double Score(PartitionId partition) const override;
+  void SaveState(std::ostream& out) const override;
+  Status LoadState(std::istream& in) override;
 
  private:
   std::unordered_map<PartitionId, double> weighted_sum_;
@@ -67,6 +82,8 @@ class RandomPolicy : public SelectionPolicy {
   explicit RandomPolicy(uint64_t seed) : rng_(seed) {}
   PolicyKind kind() const override { return PolicyKind::kRandom; }
   PartitionId Select(const SelectionContext& context) override;
+  void SaveState(std::ostream& out) const override;
+  Status LoadState(std::istream& in) override;
 
  private:
   Rng rng_;

@@ -2,6 +2,7 @@
 #define ODBGC_CORE_SELECTION_POLICY_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -91,6 +92,16 @@ class SelectionPolicy {
   virtual double Score(PartitionId partition) const {
     (void)partition;
     return 0.0;
+  }
+
+  /// Serializes the policy's accumulated hint state for checkpointing.
+  /// Stateless policies write nothing.
+  virtual void SaveState(std::ostream& out) const { (void)out; }
+
+  /// Restores state written by SaveState on a policy of the same kind.
+  virtual Status LoadState(std::istream& in) {
+    (void)in;
+    return Status::Ok();
   }
 };
 

@@ -1,6 +1,11 @@
 #include "core/weights.h"
 
+#include <algorithm>
 #include <deque>
+#include <utility>
+#include <vector>
+
+#include "util/serde.h"
 
 namespace odbgc {
 
@@ -43,6 +48,39 @@ Status WeightTracker::Relax(ObjectId object, uint8_t w) {
       if (!child.is_null() && next < GetWeight(child)) {
         queue.push_back({child, next});
       }
+    }
+  }
+  return Status::Ok();
+}
+
+void WeightTracker::SaveState(std::ostream& out) const {
+  std::vector<std::pair<uint64_t, uint8_t>> entries;
+  entries.reserve(weights_.size());
+  for (const auto& [object, weight] : weights_) {
+    entries.emplace_back(object.value, weight);
+  }
+  std::sort(entries.begin(), entries.end());
+  PutVarint(out, entries.size());
+  for (const auto& [object, weight] : entries) {
+    PutVarint(out, object);
+    PutU8(out, weight);
+  }
+}
+
+Status WeightTracker::LoadState(std::istream& in) {
+  auto count = GetVarint(in);
+  ODBGC_RETURN_IF_ERROR(count.status());
+  weights_.clear();
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto object = GetVarint(in);
+    ODBGC_RETURN_IF_ERROR(object.status());
+    auto weight = GetU8(in);
+    ODBGC_RETURN_IF_ERROR(weight.status());
+    if (*weight < kRootWeight || *weight > kMaxWeight) {
+      return Status::Corruption("weight out of range");
+    }
+    if (!weights_.emplace(ObjectId{*object}, *weight).second) {
+      return Status::Corruption("weight state duplicate object");
     }
   }
   return Status::Ok();

@@ -52,11 +52,13 @@ StoreImage ObjectStore::ExtractImage() const {
 }
 
 Result<std::unique_ptr<ObjectStore>> ObjectStore::Restore(
-    const StoreImage& image, SimulatedDisk* disk, BufferPool* buffer) {
+    const StoreImage& image, SimulatedDisk* disk, BufferPool* buffer,
+    PlacementPolicy placement) {
   StoreOptions options;
   options.page_size = image.page_size;
   options.pages_per_partition = image.pages_per_partition;
   options.reserve_empty_partition = image.reserve_empty_partition;
+  options.placement = placement;
   if (options.page_size == 0 || options.pages_per_partition == 0) {
     return Status::Corruption("image: bad geometry");
   }
@@ -163,6 +165,16 @@ Result<std::unique_ptr<ObjectStore>> ObjectStore::Restore(
         store->WriteBytes(object.partition, object.offset, bytes));
   }
   return store;
+}
+
+Status ObjectStore::RestoreAllocCursors(PartitionId current,
+                                        PartitionId round_robin) {
+  if (current >= partitions_.size() || round_robin >= partitions_.size()) {
+    return Status::Corruption("allocation cursor names unknown partition");
+  }
+  current_alloc_partition_ = current;
+  round_robin_cursor_ = round_robin;
+  return Status::Ok();
 }
 
 PartitionId ObjectStore::AddPartition() {

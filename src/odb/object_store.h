@@ -281,11 +281,28 @@ class ObjectStore {
   /// Reconstructs a store from an image onto a fresh disk/buffer pair
   /// (both must be empty and outlive the store). Object headers and slots
   /// are re-materialized into pages (charging buffer I/O; callers
-  /// typically reset statistics afterwards). Fails with Corruption on an
+  /// typically reset statistics afterwards). `placement` is behavioral
+  /// configuration, not database state, so it comes from the caller's
+  /// options rather than the image. Fails with Corruption on an
   /// inconsistent image (out-of-bounds or overlapping objects, dangling
   /// slots or roots, duplicate ids).
   static Result<std::unique_ptr<ObjectStore>> Restore(
-      const StoreImage& image, SimulatedDisk* disk, BufferPool* buffer);
+      const StoreImage& image, SimulatedDisk* disk, BufferPool* buffer,
+      PlacementPolicy placement = PlacementPolicy::kNearParent);
+
+  /// Placement cursors — behavioral state that the image does not carry
+  /// (it is not derivable from the object layout): which partition most
+  /// recently accepted an allocation, and the round-robin rotation point.
+  /// Checkpointing saves them so a restored store places the next
+  /// allocation exactly where the original would have.
+  PartitionId current_alloc_partition() const {
+    return current_alloc_partition_;
+  }
+  PartitionId round_robin_cursor() const { return round_robin_cursor_; }
+
+  /// Restores the placement cursors captured by the accessors above.
+  /// Both must name existing partitions.
+  Status RestoreAllocCursors(PartitionId current, PartitionId round_robin);
 
  private:
   // Restore path: constructs an empty store without the initial

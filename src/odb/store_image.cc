@@ -1,46 +1,8 @@
 #include "odb/store_image.h"
 
+#include "util/serde.h"
+
 namespace odbgc {
-
-namespace {
-
-void PutVarint(std::ostream& out, uint64_t v) {
-  while (v >= 0x80) {
-    out.put(static_cast<char>((v & 0x7f) | 0x80));
-    v >>= 7;
-  }
-  out.put(static_cast<char>(v));
-}
-
-Result<uint64_t> GetVarint(std::istream& in) {
-  uint64_t v = 0;
-  int shift = 0;
-  for (;;) {
-    const int c = in.get();
-    if (c == EOF) return Status::Corruption("image truncated inside varint");
-    v |= static_cast<uint64_t>(c & 0x7f) << shift;
-    if ((c & 0x80) == 0) break;
-    shift += 7;
-    if (shift >= 64) return Status::Corruption("image varint too long");
-  }
-  return v;
-}
-
-void PutU32(std::ostream& out, uint32_t v) {
-  for (int i = 0; i < 4; ++i) out.put(static_cast<char>((v >> (8 * i)) & 0xff));
-}
-
-Result<uint32_t> GetU32(std::istream& in) {
-  uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) {
-    const int c = in.get();
-    if (c == EOF) return Status::Corruption("image truncated");
-    v |= static_cast<uint32_t>(c) << (8 * i);
-  }
-  return v;
-}
-
-}  // namespace
 
 Status WriteStoreImage(const StoreImage& image, std::ostream* out) {
   PutU32(*out, kStoreImageMagic);
@@ -48,7 +10,7 @@ Status WriteStoreImage(const StoreImage& image, std::ostream* out) {
 
   PutVarint(*out, image.page_size);
   PutVarint(*out, image.pages_per_partition);
-  out->put(image.reserve_empty_partition ? 1 : 0);
+  PutBool(*out, image.reserve_empty_partition);
 
   PutVarint(*out, image.partitions.size());
   for (const auto& partition : image.partitions) {
@@ -66,7 +28,7 @@ Status WriteStoreImage(const StoreImage& image, std::ostream* out) {
     PutVarint(*out, object.offset);
     PutVarint(*out, object.size);
     PutVarint(*out, object.num_slots);
-    out->put(static_cast<char>(object.flags));
+    PutU8(*out, object.flags);
     for (ObjectId slot : object.slots) PutVarint(*out, slot.value);
   }
 
@@ -104,9 +66,9 @@ Result<StoreImage> ReadStoreImage(std::istream* in) {
   ODBGC_RETURN_IF_ERROR(get(&tmp));
   image.pages_per_partition = static_cast<size_t>(tmp);
   {
-    const int c = in->get();
-    if (c == EOF) return Status::Corruption("image truncated");
-    image.reserve_empty_partition = (c != 0);
+    auto reserve = GetBool(*in);
+    ODBGC_RETURN_IF_ERROR(reserve.status());
+    image.reserve_empty_partition = *reserve;
   }
 
   ODBGC_RETURN_IF_ERROR(get(&tmp));
@@ -137,9 +99,9 @@ Result<StoreImage> ReadStoreImage(std::istream* in) {
     if (object.num_slots > 1u << 16) {
       return Status::Corruption("image: slot count");
     }
-    const int flags = in->get();
-    if (flags == EOF) return Status::Corruption("image truncated");
-    object.flags = static_cast<uint8_t>(flags);
+    auto flags = GetU8(*in);
+    ODBGC_RETURN_IF_ERROR(flags.status());
+    object.flags = *flags;
     object.slots.resize(object.num_slots);
     for (auto& slot : object.slots) {
       ODBGC_RETURN_IF_ERROR(get(&slot.value));

@@ -1,0 +1,265 @@
+#include "recovery/checkpoint_manager.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "util/crc32.h"
+#include "util/serde.h"
+
+namespace odbgc {
+
+namespace {
+
+constexpr char kSnapshotPrefix[] = "ckpt-";
+constexpr char kSnapshotSuffix[] = ".odbc";
+constexpr char kWalPrefix[] = "wal-";
+constexpr char kWalSuffix[] = ".odbl";
+
+/// Parses `<prefix><round><suffix>` filenames; false on any other shape.
+bool ParseRound(const std::string& name, const char* prefix,
+                const char* suffix, uint64_t* round) {
+  const size_t prefix_len = std::strlen(prefix);
+  const size_t suffix_len = std::strlen(suffix);
+  if (name.size() <= prefix_len + suffix_len) return false;
+  if (name.compare(0, prefix_len, prefix) != 0) return false;
+  if (name.compare(name.size() - suffix_len, suffix_len, suffix) != 0) {
+    return false;
+  }
+  const std::string digits =
+      name.substr(prefix_len, name.size() - prefix_len - suffix_len);
+  uint64_t value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    if (value > (UINT64_MAX - 9) / 10) return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *round = value;
+  return true;
+}
+
+Result<std::vector<uint64_t>> ListRounds(const std::string& dir,
+                                         const char* prefix,
+                                         const char* suffix) {
+  std::vector<uint64_t> rounds;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot list durability directory " + dir + ": " +
+                           ec.message());
+  }
+  for (const auto& entry : it) {
+    uint64_t round = 0;
+    if (ParseRound(entry.path().filename().string(), prefix, suffix, &round)) {
+      rounds.push_back(round);
+    }
+  }
+  std::sort(rounds.begin(), rounds.end());
+  return rounds;
+}
+
+}  // namespace
+
+CheckpointManager::CheckpointManager(std::string dir, int keep)
+    : dir_(std::move(dir)), keep_(keep < 1 ? 1 : keep) {}
+
+Status CheckpointManager::Init() const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    return Status::IoError("cannot create durability directory " + dir_ +
+                           ": " + ec.message());
+  }
+  return Status::Ok();
+}
+
+std::string CheckpointManager::SnapshotPath(uint64_t round) const {
+  return dir_ + "/" + kSnapshotPrefix + std::to_string(round) +
+         kSnapshotSuffix;
+}
+
+std::string CheckpointManager::WalPath(uint64_t round) const {
+  return dir_ + "/" + kWalPrefix + std::to_string(round) + kWalSuffix;
+}
+
+Result<std::vector<uint64_t>> CheckpointManager::ListSnapshots() const {
+  return ListRounds(dir_, kSnapshotPrefix, kSnapshotSuffix);
+}
+
+Status CheckpointManager::WriteSnapshot(
+    uint64_t round, const Simulator& simulator,
+    const WorkloadGenerator& generator) const {
+  std::ostringstream payload_out;
+  PutVarint(payload_out, round);
+  // Run identity, cross-checked on load: resuming under a different seed
+  // or policy would silently produce a franken-run.
+  PutVarint(payload_out, simulator.heap().options().seed);
+  PutU8(payload_out,
+        static_cast<uint8_t>(simulator.heap().options().policy));
+  ODBGC_RETURN_IF_ERROR(simulator.SaveCheckpointState(payload_out));
+  generator.SaveState(payload_out);
+  if (!payload_out.good()) {
+    return Status::IoError("checkpoint serialization failed");
+  }
+  const std::string payload = payload_out.str();
+
+  const std::string final_path = SnapshotPath(round);
+  const std::string tmp_path = final_path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) {
+      return Status::IoError("cannot create checkpoint: " + tmp_path);
+    }
+    PutU32(out, kCheckpointMagic);
+    PutU16(out, kCheckpointVersion);
+    PutU16(out, 0);  // Reserved.
+    PutU64(out, payload.size());
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    PutU32(out, Crc32(payload));
+    out.flush();
+    if (!out.good()) {
+      return Status::IoError("checkpoint write failed: " + tmp_path);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) {
+    return Status::IoError("cannot publish checkpoint " + final_path + ": " +
+                           ec.message());
+  }
+  return Status::Ok();
+}
+
+Result<CheckpointManager::LoadedSnapshot> CheckpointManager::LoadSnapshot(
+    uint64_t round, const SimulationConfig& config) const {
+  const std::string path = SnapshotPath(round);
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::NotFound("no checkpoint: " + path);
+  }
+
+  auto magic = GetU32(in);
+  if (!magic.ok()) return Status::Corruption("checkpoint header truncated");
+  if (*magic != kCheckpointMagic) {
+    return Status::Corruption("bad checkpoint magic");
+  }
+  auto version = GetU16(in);
+  if (!version.ok()) return Status::Corruption("checkpoint header truncated");
+  if (*version != kCheckpointVersion) {
+    return Status::Corruption("unsupported checkpoint version " +
+                              std::to_string(*version));
+  }
+  auto reserved = GetU16(in);
+  if (!reserved.ok()) return Status::Corruption("checkpoint header truncated");
+  auto payload_size = GetU64(in);
+  if (!payload_size.ok()) {
+    return Status::Corruption("checkpoint header truncated");
+  }
+  // The store image alone can be megabytes; only reject sizes that cannot
+  // be a real snapshot.
+  if (*payload_size > (uint64_t{1} << 34)) {
+    return Status::Corruption("checkpoint payload size implausible");
+  }
+
+  std::string payload(*payload_size, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (in.gcount() != static_cast<std::streamsize>(payload.size())) {
+    return Status::Corruption("checkpoint payload truncated");
+  }
+  auto expected_crc = GetU32(in);
+  if (!expected_crc.ok()) return Status::Corruption("checkpoint CRC missing");
+  if (Crc32(payload) != *expected_crc) {
+    return Status::Corruption("checkpoint CRC mismatch");
+  }
+
+  std::istringstream payload_in(payload);
+  auto stored_round = GetVarint(payload_in);
+  ODBGC_RETURN_IF_ERROR(stored_round.status());
+  if (*stored_round != round) {
+    return Status::Corruption("checkpoint round does not match its filename");
+  }
+  auto stored_seed = GetVarint(payload_in);
+  ODBGC_RETURN_IF_ERROR(stored_seed.status());
+  if (*stored_seed != config.seed) {
+    return Status::Corruption("checkpoint seed does not match configuration");
+  }
+  auto stored_policy = GetU8(payload_in);
+  ODBGC_RETURN_IF_ERROR(stored_policy.status());
+  if (*stored_policy != static_cast<uint8_t>(config.heap.policy)) {
+    return Status::Corruption(
+        "checkpoint policy does not match configuration");
+  }
+
+  LoadedSnapshot loaded;
+  loaded.round = round;
+  auto simulator = Simulator::FromCheckpoint(config, payload_in);
+  ODBGC_RETURN_IF_ERROR(simulator.status());
+  loaded.simulator = std::move(simulator).value();
+  loaded.generator =
+      std::make_unique<WorkloadGenerator>(config.workload, config.seed);
+  ODBGC_RETURN_IF_ERROR(loaded.generator->LoadState(payload_in));
+  return loaded;
+}
+
+Result<CheckpointManager::LoadedSnapshot> CheckpointManager::LoadNewestValid(
+    const SimulationConfig& config) const {
+  auto rounds = ListSnapshots();
+  ODBGC_RETURN_IF_ERROR(rounds.status());
+  for (auto it = rounds->rbegin(); it != rounds->rend(); ++it) {
+    auto loaded = LoadSnapshot(*it, config);
+    if (loaded.ok()) return loaded;
+    // A corrupt newest snapshot (crash mid-rename is impossible, but bit
+    // rot is not) falls back to an older one.
+  }
+  return Status::NotFound("no valid checkpoint in " + dir_);
+}
+
+Status CheckpointManager::GarbageCollect() const {
+  auto rounds = ListSnapshots();
+  ODBGC_RETURN_IF_ERROR(rounds.status());
+
+  std::set<uint64_t> kept;
+  for (auto it = rounds->rbegin();
+       it != rounds->rend() && kept.size() < static_cast<size_t>(keep_);
+       ++it) {
+    kept.insert(*it);
+  }
+  const uint64_t oldest_kept = kept.empty() ? 0 : *kept.begin();
+
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir_, ec);
+  if (ec) {
+    return Status::IoError("cannot list durability directory " + dir_ + ": " +
+                           ec.message());
+  }
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    bool remove = false;
+    uint64_t round = 0;
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      // Leftover from an interrupted atomic write.
+      remove = true;
+    } else if (ParseRound(name, kSnapshotPrefix, kSnapshotSuffix, &round)) {
+      remove = kept.count(round) == 0;
+    } else if (ParseRound(name, kWalPrefix, kWalSuffix, &round)) {
+      // A WAL segment older than every kept snapshot can never be
+      // replayed again. (With no snapshots yet, wal-0 is the whole run.)
+      remove = !kept.empty() && round < oldest_kept;
+    }
+    if (remove) {
+      std::error_code remove_ec;
+      std::filesystem::remove(entry.path(), remove_ec);
+      if (remove_ec) {
+        return Status::IoError("cannot remove " + entry.path().string() +
+                               ": " + remove_ec.message());
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace odbgc

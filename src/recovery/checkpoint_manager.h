@@ -1,0 +1,79 @@
+#ifndef ODBGC_RECOVERY_CHECKPOINT_MANAGER_H_
+#define ODBGC_RECOVERY_CHECKPOINT_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/config.h"
+#include "sim/simulator.h"
+#include "util/status.h"
+#include "workload/generator.h"
+
+namespace odbgc {
+
+/// Checkpoint file format identification.
+inline constexpr uint32_t kCheckpointMagic = 0x4342444fu;  // "ODBC" LE.
+inline constexpr uint16_t kCheckpointVersion = 1;
+
+/// Writes, lists, validates and garbage-collects simulation snapshots in a
+/// durability directory, alongside the WAL segments they anchor.
+///
+/// Layout: `ckpt-<round>.odbc` is the full simulation state (store image +
+/// heap runtime state + simulator state + generator state) sealed with a
+/// whole-payload CRC32 and written atomically (tmp + rename);
+/// `wal-<round>.odbl` is the WAL segment recording everything after that
+/// snapshot. A fresh run starts with the implicit empty state at round 0
+/// and `wal-0.odbl`.
+class CheckpointManager {
+ public:
+  /// `dir` is created lazily by Init(). `keep` newest snapshots survive
+  /// GarbageCollect (>= 1; 2 tolerates corruption of the newest).
+  explicit CheckpointManager(std::string dir, int keep = 2);
+
+  /// Creates the durability directory (and parents) if missing.
+  Status Init() const;
+
+  std::string SnapshotPath(uint64_t round) const;
+  std::string WalPath(uint64_t round) const;
+  const std::string& dir() const { return dir_; }
+
+  /// Rounds with a snapshot file present, ascending. (Presence only — a
+  /// listed snapshot may still fail validation when loaded.)
+  Result<std::vector<uint64_t>> ListSnapshots() const;
+
+  /// Atomically writes the snapshot for `round`: serialize to
+  /// `ckpt-<round>.odbc.tmp`, seal with CRC, rename into place.
+  Status WriteSnapshot(uint64_t round, const Simulator& simulator,
+                       const WorkloadGenerator& generator) const;
+
+  struct LoadedSnapshot {
+    uint64_t round = 0;
+    std::unique_ptr<Simulator> simulator;
+    std::unique_ptr<WorkloadGenerator> generator;
+  };
+
+  /// Strictly loads the snapshot for `round`: bad magic/version/CRC or a
+  /// payload mismatch with `config` (seed, policy) is Corruption.
+  Result<LoadedSnapshot> LoadSnapshot(uint64_t round,
+                                      const SimulationConfig& config) const;
+
+  /// Loads the newest snapshot that validates, skipping corrupt ones (the
+  /// reason `keep` >= 2). NotFound if no usable snapshot exists — the
+  /// caller starts fresh from round 0.
+  Result<LoadedSnapshot> LoadNewestValid(const SimulationConfig& config) const;
+
+  /// Deletes snapshots beyond the `keep` newest, WAL segments older than
+  /// the oldest kept snapshot, and stray .tmp files from interrupted
+  /// writes.
+  Status GarbageCollect() const;
+
+ private:
+  const std::string dir_;
+  const int keep_;
+};
+
+}  // namespace odbgc
+
+#endif  // ODBGC_RECOVERY_CHECKPOINT_MANAGER_H_

@@ -1,0 +1,291 @@
+#include "recovery/recover.h"
+
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace odbgc {
+
+namespace {
+
+/// The decision ordinal base: heap stats count every partition collection
+/// ever (within the current measurement window), the in-memory log only
+/// those since restore/reset — the difference anchors log indices to
+/// global ordinals. Both counters move in lockstep, so this is stable for
+/// the lifetime of a sink.
+uint64_t DecisionBase(const Simulator& sim) {
+  return sim.heap().stats().collections - sim.heap().collection_log().size();
+}
+
+/// Live-run sink: logs each event to the WAL, applies it, then logs any
+/// collection decisions the event triggered.
+class TeeSink : public TraceSink {
+ public:
+  TeeSink(Simulator* sim, WalWriter* wal) : sim_(sim), wal_(wal) { Rebase(); }
+
+  /// Re-anchors the decision cursor after a measurement reset cleared the
+  /// heap's collection log and counters.
+  void Rebase() {
+    decisions_seen_ = sim_->heap().collection_log().size();
+    decision_base_ = DecisionBase(*sim_);
+  }
+
+  Status Append(const TraceEvent& event) override {
+    ODBGC_RETURN_IF_ERROR(wal_->Append(WalRecord::Event(event)));
+    ODBGC_RETURN_IF_ERROR(sim_->Append(event));
+    const auto& log = sim_->heap().collection_log();
+    while (decisions_seen_ < log.size()) {
+      ODBGC_RETURN_IF_ERROR(wal_->Append(WalRecord::Collection(
+          decision_base_ + decisions_seen_, log[decisions_seen_].collected)));
+      ++decisions_seen_;
+    }
+    return Status::Ok();
+  }
+
+ private:
+  Simulator* sim_;
+  WalWriter* wal_;
+  size_t decisions_seen_ = 0;
+  uint64_t decision_base_ = 0;
+};
+
+/// Replay sink: checks each regenerated event against the next logged one
+/// (the generator is deterministic, so any difference means the log and
+/// this process disagree about the run), applies it, and checks that the
+/// heap makes exactly the logged collection decisions.
+class VerifyingSink : public TraceSink {
+ public:
+  VerifyingSink(Simulator* sim, const std::vector<WalRecord>* records,
+                size_t* cursor, DurableRunStats* stats)
+      : sim_(sim), records_(records), cursor_(cursor), stats_(stats) {
+    Rebase();
+  }
+
+  void Rebase() {
+    decisions_seen_ = sim_->heap().collection_log().size();
+    decision_base_ = DecisionBase(*sim_);
+  }
+
+  Status Append(const TraceEvent& event) override {
+    if (*cursor_ >= records_->size()) {
+      return Status::Corruption(
+          "WAL replay divergence: generator produced events past the log");
+    }
+    const WalRecord& logged = (*records_)[*cursor_];
+    if (logged.type != WalRecordType::kEvent || !(logged.event == event)) {
+      return Status::Corruption(
+          "WAL replay divergence: regenerated event does not match log");
+    }
+    ++*cursor_;
+    ODBGC_RETURN_IF_ERROR(sim_->Append(event));
+    ++stats_->events_replayed;
+
+    const auto& log = sim_->heap().collection_log();
+    while (*cursor_ < records_->size() &&
+           (*records_)[*cursor_].type == WalRecordType::kCollection) {
+      const WalRecord& decision = (*records_)[*cursor_];
+      if (decisions_seen_ >= log.size()) {
+        return Status::Corruption(
+            "WAL replay divergence: logged collection did not recur");
+      }
+      if (decision.decision_index != decision_base_ + decisions_seen_ ||
+          decision.victim != log[decisions_seen_].collected) {
+        return Status::Corruption(
+            "WAL replay divergence: collection decision mismatch");
+      }
+      ++decisions_seen_;
+      ++*cursor_;
+    }
+    if (log.size() != decisions_seen_) {
+      return Status::Corruption(
+          "WAL replay divergence: unlogged collection on replay");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  Simulator* sim_;
+  const std::vector<WalRecord>* records_;
+  size_t* cursor_;
+  DurableRunStats* stats_;
+  size_t decisions_seen_ = 0;
+  uint64_t decision_base_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<DurableSimulation>> DurableSimulation::Open(
+    const SimulationConfig& config) {
+  if (config.wal_dir.empty()) {
+    return Status::InvalidArgument(
+        "durable simulation requires config.wal_dir");
+  }
+  auto engine =
+      std::unique_ptr<DurableSimulation>(new DurableSimulation(config));
+  ODBGC_RETURN_IF_ERROR(engine->manager_.Init());
+
+  auto loaded = engine->manager_.LoadNewestValid(config);
+  if (loaded.ok()) {
+    engine->simulator_ = std::move(loaded->simulator);
+    engine->generator_ = std::move(loaded->generator);
+    engine->base_round_ = loaded->round;
+    engine->last_checkpoint_round_ = loaded->round;
+    engine->fresh_ = false;
+    engine->build_done_ = true;
+    engine->stats_.resumed = true;
+    engine->stats_.resumed_from_round = loaded->round;
+  } else if (loaded.status().code() == StatusCode::kNotFound) {
+    engine->simulator_ = std::make_unique<Simulator>(config);
+    engine->generator_ =
+        std::make_unique<WorkloadGenerator>(config.workload, config.seed);
+  } else {
+    return loaded.status();
+  }
+
+  const std::string wal_path = engine->manager_.WalPath(engine->base_round_);
+  std::error_code ec;
+  const bool wal_exists = std::filesystem::exists(wal_path, ec);
+  if (ec) return Status::IoError("cannot stat WAL: " + wal_path);
+
+  if (wal_exists) {
+    auto contents = RecoverWal(wal_path);
+    ODBGC_RETURN_IF_ERROR(contents.status());
+    // Keep only records up to (and including) the last round commit: a
+    // partially logged round is re-executed live, not replayed.
+    size_t keep = 0;
+    uint64_t keep_offset = contents->header_end_offset;
+    for (size_t i = 0; i < contents->records.size(); ++i) {
+      if (contents->records[i].type == WalRecordType::kRoundCommit) {
+        keep = i + 1;
+        keep_offset = contents->record_end_offsets[i];
+      }
+    }
+    if (keep < contents->records.size()) {
+      ODBGC_RETURN_IF_ERROR(TruncateWal(wal_path, keep_offset));
+      contents->records.resize(keep);
+    }
+    ODBGC_RETURN_IF_ERROR(engine->Replay(contents->records));
+    auto writer = WalWriter::OpenForAppend(wal_path);
+    ODBGC_RETURN_IF_ERROR(writer.status());
+    engine->wal_ = std::make_unique<WalWriter>(std::move(writer).value());
+  } else {
+    auto writer = WalWriter::Create(wal_path);
+    ODBGC_RETURN_IF_ERROR(writer.status());
+    engine->wal_ = std::make_unique<WalWriter>(std::move(writer).value());
+  }
+  return engine;
+}
+
+Status DurableSimulation::Replay(const std::vector<WalRecord>& records) {
+  size_t cursor = 0;
+  VerifyingSink sink(simulator_.get(), &records, &cursor, &stats_);
+  while (cursor < records.size()) {
+    uint64_t expected_round = 0;
+    if (fresh_ && !build_done_) {
+      // The first committed round of a fresh run is the build phase.
+      ODBGC_RETURN_IF_ERROR(generator_->BuildInitialDatabase(&sink));
+      build_done_ = true;
+      if (config_.warm_start) {
+        simulator_->ResetMeasurementForWarmStart();
+        sink.Rebase();
+      }
+    } else {
+      ODBGC_RETURN_IF_ERROR(generator_->RunRound(&sink));
+      expected_round = generator_->rounds_run();
+    }
+
+    if (cursor >= records.size() ||
+        records[cursor].type != WalRecordType::kRoundCommit) {
+      return Status::Corruption(
+          "WAL replay divergence: round ended without a commit record");
+    }
+    const WalRecord& commit = records[cursor];
+    if (commit.round != expected_round) {
+      return Status::Corruption("WAL replay divergence: round commit for " +
+                                std::to_string(commit.round) + ", expected " +
+                                std::to_string(expected_round));
+    }
+    if (commit.events_applied != simulator_->events_applied() ||
+        commit.collections != simulator_->heap().stats().collections ||
+        commit.pointer_overwrites !=
+            simulator_->heap().stats().pointer_overwrites) {
+      return Status::Corruption(
+          "WAL replay divergence: round fingerprint mismatch");
+    }
+    ++cursor;
+    ++stats_.rounds_replayed;
+  }
+  return Status::Ok();
+}
+
+Status DurableSimulation::CommitRound(uint64_t round) {
+  ODBGC_RETURN_IF_ERROR(wal_->Append(WalRecord::RoundCommit(
+      round, simulator_->events_applied(),
+      simulator_->heap().stats().collections,
+      simulator_->heap().stats().pointer_overwrites)));
+  return wal_->Sync();
+}
+
+Status DurableSimulation::Checkpoint(uint64_t round) {
+  ODBGC_RETURN_IF_ERROR(manager_.WriteSnapshot(round, *simulator_,
+                                               *generator_));
+  auto writer = WalWriter::Create(manager_.WalPath(round));
+  ODBGC_RETURN_IF_ERROR(writer.status());
+  wal_ = std::make_unique<WalWriter>(std::move(writer).value());
+  base_round_ = round;
+  last_checkpoint_round_ = round;
+  ++stats_.checkpoints_written;
+  return manager_.GarbageCollect();
+}
+
+Status DurableSimulation::Run() {
+  TeeSink tee(simulator_.get(), wal_.get());
+
+  if (fresh_ && !build_done_) {
+    ODBGC_RETURN_IF_ERROR(generator_->BuildInitialDatabase(&tee));
+    build_done_ = true;
+    if (config_.warm_start) {
+      simulator_->ResetMeasurementForWarmStart();
+      tee.Rebase();
+    }
+    ODBGC_RETURN_IF_ERROR(CommitRound(0));
+  }
+
+  while (!generator_->Done()) {
+    ODBGC_RETURN_IF_ERROR(generator_->RunRound(&tee));
+    const uint64_t round = generator_->rounds_run();
+    ODBGC_RETURN_IF_ERROR(CommitRound(round));
+    if (config_.checkpoint_every_rounds != 0 &&
+        round >= last_checkpoint_round_ + config_.checkpoint_every_rounds) {
+      ODBGC_RETURN_IF_ERROR(Checkpoint(round));
+      // A new segment means a new writer; re-point the sink.
+      tee = TeeSink(simulator_.get(), wal_.get());
+    }
+  }
+  return Status::Ok();
+}
+
+Result<SimulationResult> RunDurableSimulation(const SimulationConfig& config) {
+  auto engine = DurableSimulation::Open(config);
+  ODBGC_RETURN_IF_ERROR(engine.status());
+  ODBGC_RETURN_IF_ERROR((*engine)->Run());
+  return (*engine)->Finish();
+}
+
+Result<Experiment> RunExperimentDurable(const ExperimentSpec& spec) {
+  if (spec.base.wal_dir.empty()) {
+    return Status::InvalidArgument(
+        "durable experiment requires spec.base.wal_dir");
+  }
+  const std::string root = spec.base.wal_dir;
+  return RunExperimentWith(
+      spec, [root](const SimulationConfig& config) -> Result<SimulationResult> {
+        SimulationConfig run_config = config;
+        run_config.wal_dir = root + "/" + PolicyName(config.heap.policy) +
+                             "-s" + std::to_string(config.seed);
+        return RunDurableSimulation(run_config);
+      });
+}
+
+}  // namespace odbgc

@@ -1,0 +1,104 @@
+#ifndef ODBGC_RECOVERY_RECOVER_H_
+#define ODBGC_RECOVERY_RECOVER_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "recovery/checkpoint_manager.h"
+#include "recovery/wal.h"
+#include "sim/config.h"
+#include "sim/runner.h"
+#include "sim/simulator.h"
+#include "util/status.h"
+#include "workload/generator.h"
+
+namespace odbgc {
+
+/// What DurableSimulation::Open/Run did, for tests and progress reporting.
+struct DurableRunStats {
+  /// True if Open restored a snapshot instead of starting fresh.
+  bool resumed = false;
+  /// Round of the restored snapshot (0 when not resumed).
+  uint64_t resumed_from_round = 0;
+  /// Committed rounds re-executed from the WAL during Open.
+  uint64_t rounds_replayed = 0;
+  /// Application events verified against the WAL during replay.
+  uint64_t events_replayed = 0;
+  /// Snapshots written by this Run (WAL rotations).
+  uint64_t checkpoints_written = 0;
+};
+
+/// A Simulator run made durable and restartable. Every application event
+/// and collection decision is appended to a write-ahead log, every
+/// completed workload round is committed (with a state fingerprint) and
+/// synced, and every `checkpoint_every_rounds` rounds the full simulation
+/// state is snapshotted and the WAL rotated.
+///
+/// Open() recovers automatically: it restores the newest valid snapshot
+/// (or starts fresh), truncates the WAL's uncommitted tail, and replays
+/// the committed rounds by re-running the deterministic workload generator
+/// — verifying each regenerated event and collection decision against the
+/// log, so any divergence (config drift, nondeterminism, corruption) is
+/// Corruption rather than a silently wrong result. A run killed mid-round
+/// therefore resumes exactly at its last committed round and finishes
+/// bit-identical to an uninterrupted run (see tests/recovery/).
+class DurableSimulation {
+ public:
+  /// Opens (and recovers, if prior state exists) a durable run in
+  /// `config.wal_dir`. InvalidArgument if wal_dir is empty.
+  static Result<std::unique_ptr<DurableSimulation>> Open(
+      const SimulationConfig& config);
+
+  /// Runs the workload to completion from wherever Open left off,
+  /// logging, committing and checkpointing along the way.
+  Status Run();
+
+  /// Finalizes and returns the result (see Simulator::Finish).
+  SimulationResult Finish() { return simulator_->Finish(); }
+
+  Simulator& simulator() { return *simulator_; }
+  const WorkloadGenerator& generator() const { return *generator_; }
+  const DurableRunStats& run_stats() const { return stats_; }
+
+ private:
+  explicit DurableSimulation(const SimulationConfig& config)
+      : config_(config),
+        manager_(config.wal_dir) {}
+
+  /// Re-executes the committed rounds in `records` against the restored
+  /// state, verifying against the log.
+  Status Replay(const std::vector<WalRecord>& records);
+
+  /// Appends and syncs the commit record for `round`.
+  Status CommitRound(uint64_t round);
+
+  /// Snapshots at `round`, rotates the WAL, garbage-collects old state.
+  Status Checkpoint(uint64_t round);
+
+  const SimulationConfig config_;
+  CheckpointManager manager_;
+  std::unique_ptr<Simulator> simulator_;
+  std::unique_ptr<WorkloadGenerator> generator_;
+  std::unique_ptr<WalWriter> wal_;
+  /// Round anchoring the current WAL segment (snapshot round; 0 = fresh).
+  uint64_t base_round_ = 0;
+  uint64_t last_checkpoint_round_ = 0;
+  bool fresh_ = true;
+  /// Whether the initial database build has been executed (live or via
+  /// replay) this process.
+  bool build_done_ = false;
+  DurableRunStats stats_;
+};
+
+/// Convenience: Open + Run + Finish.
+Result<SimulationResult> RunDurableSimulation(const SimulationConfig& config);
+
+/// RunExperiment with durable runs: each (policy, seed) run lives in its
+/// own subdirectory `<wal_dir>/<policy>-s<seed>` of spec.base.wal_dir and
+/// resumes from its own checkpoints, so a killed experiment re-run skips
+/// already-finished work up to the last checkpoint of each run.
+Result<Experiment> RunExperimentDurable(const ExperimentSpec& spec);
+
+}  // namespace odbgc
+
+#endif  // ODBGC_RECOVERY_RECOVER_H_

@@ -1,0 +1,237 @@
+#include "recovery/wal.h"
+
+#include <filesystem>
+#include <sstream>
+
+#include "util/crc32.h"
+#include "util/serde.h"
+
+namespace odbgc {
+
+namespace {
+
+Status WritePayload(std::ostream& out, const WalRecord& record) {
+  PutU8(out, static_cast<uint8_t>(record.type));
+  switch (record.type) {
+    case WalRecordType::kEvent:
+      return WriteEventBody(out, record.event);
+    case WalRecordType::kRoundCommit:
+      PutVarint(out, record.round);
+      PutVarint(out, record.events_applied);
+      PutVarint(out, record.collections);
+      PutVarint(out, record.pointer_overwrites);
+      return Status::Ok();
+    case WalRecordType::kCollection:
+      PutVarint(out, record.decision_index);
+      PutVarint(out, record.victim == kInvalidPartition
+                         ? 0
+                         : static_cast<uint64_t>(record.victim) + 1);
+      return Status::Ok();
+  }
+  return Status::InvalidArgument("unknown WAL record type");
+}
+
+Result<WalRecord> ParsePayload(std::istream& in) {
+  auto type = GetU8(in);
+  ODBGC_RETURN_IF_ERROR(type.status());
+  WalRecord record;
+  record.type = static_cast<WalRecordType>(*type);
+  switch (record.type) {
+    case WalRecordType::kEvent: {
+      auto event = ReadEventBody(in);
+      ODBGC_RETURN_IF_ERROR(event.status());
+      record.event = *event;
+      return record;
+    }
+    case WalRecordType::kRoundCommit: {
+      auto get = [&in](uint64_t* out_value) -> Status {
+        auto v = GetVarint(in);
+        ODBGC_RETURN_IF_ERROR(v.status());
+        *out_value = *v;
+        return Status::Ok();
+      };
+      ODBGC_RETURN_IF_ERROR(get(&record.round));
+      ODBGC_RETURN_IF_ERROR(get(&record.events_applied));
+      ODBGC_RETURN_IF_ERROR(get(&record.collections));
+      ODBGC_RETURN_IF_ERROR(get(&record.pointer_overwrites));
+      return record;
+    }
+    case WalRecordType::kCollection: {
+      auto index = GetVarint(in);
+      ODBGC_RETURN_IF_ERROR(index.status());
+      record.decision_index = *index;
+      auto victim = GetVarint(in);
+      ODBGC_RETURN_IF_ERROR(victim.status());
+      record.victim = *victim == 0 ? kInvalidPartition
+                                   : static_cast<PartitionId>(*victim - 1);
+      return record;
+    }
+  }
+  return Status::Corruption("unknown WAL record type " +
+                            std::to_string(*type));
+}
+
+/// Reads records after the header. In lenient mode a damaged tail ends
+/// parsing (recording nothing for the bad suffix); in strict mode it is
+/// Corruption.
+Result<WalContents> ReadRecords(std::ifstream& in, uint64_t file_size,
+                                bool lenient) {
+  WalContents contents;
+  contents.header_end_offset = 8;
+  uint64_t offset = contents.header_end_offset;
+  while (offset < file_size) {
+    // A complete frame needs 8 bytes of framing plus the payload.
+    if (file_size - offset < 8) {
+      if (lenient) break;
+      return Status::Corruption("WAL truncated inside record framing");
+    }
+    auto length = GetU32(in);
+    ODBGC_RETURN_IF_ERROR(length.status());
+    auto expected_crc = GetU32(in);
+    ODBGC_RETURN_IF_ERROR(expected_crc.status());
+    if (*length == 0 || *length > (1u << 24)) {
+      if (lenient) break;
+      return Status::Corruption("WAL record length implausible");
+    }
+    if (file_size - offset - 8 < *length) {
+      if (lenient) break;
+      return Status::Corruption("WAL truncated inside record payload");
+    }
+    std::string payload(*length, '\0');
+    in.read(payload.data(), static_cast<std::streamsize>(*length));
+    if (in.gcount() != static_cast<std::streamsize>(*length)) {
+      if (lenient) break;
+      return Status::Corruption("WAL truncated inside record payload");
+    }
+    if (Crc32(payload) != *expected_crc) {
+      if (lenient) break;
+      return Status::Corruption("WAL record CRC mismatch");
+    }
+    std::istringstream payload_in(payload);
+    auto record = ParsePayload(payload_in);
+    if (!record.ok()) {
+      if (lenient) break;
+      return record.status();
+    }
+    offset += 8 + *length;
+    contents.records.push_back(*record);
+    contents.record_end_offsets.push_back(offset);
+  }
+  return contents;
+}
+
+Result<WalContents> ReadWalImpl(const std::string& path, bool lenient) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IoError("cannot open WAL: " + path);
+  std::error_code ec;
+  const uint64_t file_size = std::filesystem::file_size(path, ec);
+  if (ec) return Status::IoError("cannot stat WAL: " + path);
+
+  auto magic = GetU32(in);
+  if (!magic.ok()) return Status::Corruption("WAL header truncated");
+  if (*magic != kWalMagic) return Status::Corruption("bad WAL magic");
+  auto version = GetU16(in);
+  if (!version.ok()) return Status::Corruption("WAL header truncated");
+  if (*version != kWalVersion) {
+    return Status::Corruption("unsupported WAL version " +
+                              std::to_string(*version));
+  }
+  auto reserved = GetU16(in);
+  if (!reserved.ok()) return Status::Corruption("WAL header truncated");
+
+  return ReadRecords(in, file_size, lenient);
+}
+
+}  // namespace
+
+WalRecord WalRecord::Event(const TraceEvent& event) {
+  WalRecord record;
+  record.type = WalRecordType::kEvent;
+  record.event = event;
+  return record;
+}
+
+WalRecord WalRecord::RoundCommit(uint64_t round, uint64_t events_applied,
+                                 uint64_t collections,
+                                 uint64_t pointer_overwrites) {
+  WalRecord record;
+  record.type = WalRecordType::kRoundCommit;
+  record.round = round;
+  record.events_applied = events_applied;
+  record.collections = collections;
+  record.pointer_overwrites = pointer_overwrites;
+  return record;
+}
+
+WalRecord WalRecord::Collection(uint64_t decision_index, PartitionId victim) {
+  WalRecord record;
+  record.type = WalRecordType::kCollection;
+  record.decision_index = decision_index;
+  record.victim = victim;
+  return record;
+}
+
+Result<WalWriter> WalWriter::Create(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return Status::IoError("cannot create WAL: " + path);
+  PutU32(out, kWalMagic);
+  PutU16(out, kWalVersion);
+  PutU16(out, 0);  // Reserved.
+  out.flush();
+  if (!out.good()) return Status::IoError("WAL header write failed: " + path);
+  return WalWriter(std::move(out));
+}
+
+Result<WalWriter> WalWriter::OpenForAppend(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out.is_open()) return Status::IoError("cannot open WAL: " + path);
+  return WalWriter(std::move(out));
+}
+
+Status WalWriter::Append(const WalRecord& record) {
+  std::ostringstream payload_out;
+  ODBGC_RETURN_IF_ERROR(WritePayload(payload_out, record));
+  const std::string payload = payload_out.str();
+  PutU32(out_, static_cast<uint32_t>(payload.size()));
+  PutU32(out_, Crc32(payload));
+  out_.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (!out_.good()) return Status::IoError("WAL append failed");
+  ++records_appended_;
+  return Status::Ok();
+}
+
+Status WalWriter::Sync() {
+  out_.flush();
+  return out_.good() ? Status::Ok() : Status::IoError("WAL sync failed");
+}
+
+Result<WalContents> ReadWal(const std::string& path) {
+  return ReadWalImpl(path, /*lenient=*/false);
+}
+
+Result<WalContents> RecoverWal(const std::string& path) {
+  auto contents = ReadWalImpl(path, /*lenient=*/true);
+  ODBGC_RETURN_IF_ERROR(contents.status());
+  const uint64_t keep = contents->record_end_offsets.empty()
+                            ? contents->header_end_offset
+                            : contents->record_end_offsets.back();
+  std::error_code ec;
+  const uint64_t file_size = std::filesystem::file_size(path, ec);
+  if (ec) return Status::IoError("cannot stat WAL: " + path);
+  if (file_size > keep) {
+    ODBGC_RETURN_IF_ERROR(TruncateWal(path, keep));
+  }
+  return contents;
+}
+
+Status TruncateWal(const std::string& path, uint64_t offset) {
+  std::error_code ec;
+  std::filesystem::resize_file(path, offset, ec);
+  if (ec) {
+    return Status::IoError("cannot truncate WAL " + path + ": " +
+                           ec.message());
+  }
+  return Status::Ok();
+}
+
+}  // namespace odbgc

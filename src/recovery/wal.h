@@ -1,0 +1,114 @@
+#ifndef ODBGC_RECOVERY_WAL_H_
+#define ODBGC_RECOVERY_WAL_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "odb/object_id.h"
+#include "trace/event.h"
+#include "util/status.h"
+
+namespace odbgc {
+
+/// WAL file format identification.
+inline constexpr uint32_t kWalMagic = 0x4c42444fu;  // "ODBL" LE bytes.
+inline constexpr uint16_t kWalVersion = 1;
+
+/// Record framing: [u32 payload_len][u32 crc32(payload)][payload], payload
+/// = type byte + type-specific fields. The CRC plus the length prefix make
+/// a torn tail (partial last record, from a crash mid-append) detectable
+/// and cleanly truncatable, and bit rot detectable as Corruption.
+enum class WalRecordType : uint8_t {
+  /// One application trace event (the wire format of trace/event.h).
+  kEvent = 1,
+  /// A workload round completed and everything before this record is
+  /// consistent; carries a fingerprint of the simulation state for replay
+  /// verification. Recovery resumes from the last such record.
+  kRoundCommit = 2,
+  /// A collection decision: which victim the policy picked. Redundant
+  /// given deterministic replay — recorded so recovery can verify the
+  /// resumed run makes the identical decisions.
+  kCollection = 3,
+};
+
+/// One decoded WAL record (tagged union over the types above).
+struct WalRecord {
+  WalRecordType type = WalRecordType::kEvent;
+  /// kEvent.
+  TraceEvent event;
+  /// kRoundCommit: the completed round number (0 = initial build phase).
+  uint64_t round = 0;
+  /// kRoundCommit fingerprint: simulator events applied, heap collections
+  /// and pointer overwrites at commit time.
+  uint64_t events_applied = 0;
+  uint64_t collections = 0;
+  uint64_t pointer_overwrites = 0;
+  /// kCollection: ordinal of the decision (index into the run's decision
+  /// sequence) and the selected victim.
+  uint64_t decision_index = 0;
+  PartitionId victim = kInvalidPartition;
+
+  static WalRecord Event(const TraceEvent& event);
+  static WalRecord RoundCommit(uint64_t round, uint64_t events_applied,
+                               uint64_t collections,
+                               uint64_t pointer_overwrites);
+  static WalRecord Collection(uint64_t decision_index, PartitionId victim);
+};
+
+/// Appends records to a WAL segment file.
+class WalWriter {
+ public:
+  /// Creates (truncating) a new segment at `path` and writes the header.
+  static Result<WalWriter> Create(const std::string& path);
+
+  /// Opens an existing segment for appending. The caller is expected to
+  /// have run RecoverWal first so the tail is clean.
+  static Result<WalWriter> OpenForAppend(const std::string& path);
+
+  WalWriter(WalWriter&&) = default;
+  WalWriter& operator=(WalWriter&&) = default;
+
+  /// Appends one record (buffered; call Sync to reach the file).
+  Status Append(const WalRecord& record);
+
+  /// Flushes buffered appends to the file.
+  Status Sync();
+
+  uint64_t records_appended() const { return records_appended_; }
+
+ private:
+  explicit WalWriter(std::ofstream out) : out_(std::move(out)) {}
+
+  std::ofstream out_;
+  uint64_t records_appended_ = 0;
+};
+
+/// A parsed WAL segment. `record_end_offsets[i]` is the absolute file
+/// offset just past record i — the truncation point that keeps records
+/// 0..i.
+struct WalContents {
+  std::vector<WalRecord> records;
+  std::vector<uint64_t> record_end_offsets;
+  /// Offset just past the header (the truncation point keeping nothing).
+  uint64_t header_end_offset = 0;
+};
+
+/// Strict read: any framing violation, CRC mismatch, or truncated record
+/// is Corruption. For integrity checks and tests.
+Result<WalContents> ReadWal(const std::string& path);
+
+/// Crash-tolerant read: parses valid records up to the first torn or
+/// corrupt one, truncates the file there, and returns what survived. Only
+/// a missing/unreadable file or a bad header is an error — a damaged tail
+/// is the expected crash outcome, not Corruption.
+Result<WalContents> RecoverWal(const std::string& path);
+
+/// Truncates the segment to `offset` (from WalContents offsets): used to
+/// drop records after the last round commit before resuming appends.
+Status TruncateWal(const std::string& path, uint64_t offset);
+
+}  // namespace odbgc
+
+#endif  // ODBGC_RECOVERY_WAL_H_

@@ -2,6 +2,7 @@
 #define ODBGC_SIM_CONFIG_H_
 
 #include <cstdint>
+#include <string>
 
 #include "core/heap.h"
 #include "workload/workload_config.h"
@@ -27,6 +28,13 @@ struct SimulationConfig {
   /// starts and argued the choice only lessens policy differentiation —
   /// the warm_start ablation checks that claim.
   bool warm_start = false;
+  /// Durability (src/recovery/): snapshot the full simulation state every
+  /// this-many workload rounds and rotate the write-ahead log. 0 disables
+  /// checkpointing (the WAL alone still allows replay from the start).
+  uint32_t checkpoint_every_rounds = 0;
+  /// Directory for WAL segments and checkpoint files. Empty disables
+  /// durability entirely (the default: plain in-memory simulation).
+  std::string wal_dir;
 };
 
 /// The paper's base configuration (Tables 2-4): 48-page partitions and

@@ -16,6 +16,16 @@ const PolicyRuns* Experiment::Find(PolicyKind policy) const {
 }
 
 Result<Experiment> RunExperiment(const ExperimentSpec& spec) {
+  return RunExperimentWith(
+      spec, [](const SimulationConfig& config) -> Result<SimulationResult> {
+        Simulator simulator(config);
+        ODBGC_RETURN_IF_ERROR(simulator.Run());
+        return simulator.Finish();
+      });
+}
+
+Result<Experiment> RunExperimentWith(const ExperimentSpec& spec,
+                                     const RunSimulationFn& run_one) {
   struct Task {
     size_t set_index;
     size_t run_index;
@@ -57,15 +67,14 @@ Result<Experiment> RunExperiment(const ExperimentSpec& spec) {
       config.seed = task.seed;
       config.heap.policy = task.policy;
 
-      Simulator simulator(config);
-      const Status status = simulator.Run();
-      if (!status.ok()) {
+      auto result = run_one(config);
+      if (!result.ok()) {
         std::lock_guard<std::mutex> lock(error_mutex);
-        if (first_error.ok()) first_error = status;
+        if (first_error.ok()) first_error = result.status();
         return;
       }
       experiment.sets[task.set_index].runs[task.run_index] =
-          simulator.Finish();
+          std::move(result).value();
     }
   };
 

@@ -2,6 +2,7 @@
 #define ODBGC_SIM_RUNNER_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/selection_policy.h"
@@ -42,6 +43,19 @@ struct Experiment {
 /// Executes the experiment (parallel across runs). Returns the first
 /// error if any run fails.
 Result<Experiment> RunExperiment(const ExperimentSpec& spec);
+
+/// Executes one fully specified simulation run (policy and seed already
+/// set on `config`). RunExperiment's default; RunExperimentWith swaps it
+/// for a durable engine (see recovery/recover.h) without a dependency
+/// cycle between the layers.
+using RunSimulationFn =
+    std::function<Result<SimulationResult>(const SimulationConfig& config)>;
+
+/// RunExperiment with a custom per-run engine: `run_one` is invoked for
+/// every (policy, seed) combination, possibly concurrently — it must be
+/// thread-safe.
+Result<Experiment> RunExperimentWith(const ExperimentSpec& spec,
+                                     const RunSimulationFn& run_one);
 
 }  // namespace odbgc
 

@@ -2,6 +2,7 @@
 #define ODBGC_SIM_SIMULATOR_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <unordered_map>
 
@@ -40,7 +41,29 @@ class Simulator : public TraceSink {
   const CollectedHeap& heap() const { return *heap_; }
   uint64_t events_applied() const { return events_; }
 
+  /// The warm-start measurement reset Run() performs after the build
+  /// phase, exposed so a durable engine driving the generator round by
+  /// round (src/recovery/) can reproduce Run()'s behaviour exactly.
+  void ResetMeasurementForWarmStart();
+
+  /// Serializes the complete simulation state — the heap's store image and
+  /// runtime state, the logical-id map, event/snapshot counters and the
+  /// time series — such that FromCheckpoint yields a simulator whose
+  /// remaining run is bit-identical to this one's. IoError on stream
+  /// failure.
+  Status SaveCheckpointState(std::ostream& out) const;
+
+  /// Reconstructs a simulator from SaveCheckpointState bytes. `config`
+  /// must match the checkpointed run's configuration (geometry and policy
+  /// are cross-checked; the rest is the caller's contract, as with any
+  /// seed-determinism argument). Corruption on malformed bytes.
+  static Result<std::unique_ptr<Simulator>> FromCheckpoint(
+      const SimulationConfig& config, std::istream& in);
+
  private:
+  struct RestoreTag {};
+  Simulator(const SimulationConfig& config, RestoreTag) : config_(config) {}
+
   void MaybeSnapshot();
 
   SimulationConfig config_;

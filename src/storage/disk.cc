@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "util/serde.h"
+
 namespace odbgc {
 
 SimulatedDisk::SimulatedDisk(size_t page_size) : page_size_(page_size) {
@@ -28,6 +30,7 @@ Status SimulatedDisk::ReadPage(PageId page, std::span<std::byte> out) {
   if (out.size() != page_size_) {
     return Status::InvalidArgument("ReadPage: buffer size mismatch");
   }
+  ODBGC_RETURN_IF_ERROR(CheckFault(/*is_write=*/false));
   std::memcpy(out.data(), pages_[page].get(), page_size_);
   ++stats_.page_reads;
   NoteAccess(page);
@@ -43,9 +46,78 @@ Status SimulatedDisk::WritePage(PageId page, std::span<const std::byte> in) {
   if (in.size() != page_size_) {
     return Status::InvalidArgument("WritePage: buffer size mismatch");
   }
+  ODBGC_RETURN_IF_ERROR(CheckFault(/*is_write=*/true));
   std::memcpy(pages_[page].get(), in.data(), page_size_);
   ++stats_.page_writes;
   NoteAccess(page);
+  return Status::Ok();
+}
+
+void SimulatedDisk::InjectFaults(const FaultPlan& plan) {
+  faults_ = plan;
+  fault_rng_.emplace(plan.seed);
+  fault_writes_seen_ = 0;
+  fault_reads_seen_ = 0;
+}
+
+void SimulatedDisk::ClearFaults() {
+  faults_.reset();
+  fault_rng_.reset();
+}
+
+Status SimulatedDisk::CheckFault(bool is_write) {
+  if (!faults_) return Status::Ok();
+  uint64_t& seen = is_write ? fault_writes_seen_ : fault_reads_seen_;
+  const uint64_t trigger =
+      is_write ? faults_->fail_after_writes : faults_->fail_after_reads;
+  ++seen;
+  if (trigger != 0 && seen == trigger) {
+    ++faults_fired_;
+    return Status::IoError(std::string("injected fault on ") +
+                           (is_write ? "write #" : "read #") +
+                           std::to_string(seen));
+  }
+  if (faults_->error_prob > 0.0 &&
+      fault_rng_->Bernoulli(faults_->error_prob)) {
+    ++faults_fired_;
+    return Status::IoError("injected probabilistic fault");
+  }
+  return Status::Ok();
+}
+
+void SimulatedDisk::SaveState(std::ostream& out) const {
+  PutVarint(out, page_size_);
+  PutVarint(out, pages_.size());
+  PutVarint(out, stats_.page_reads);
+  PutVarint(out, stats_.page_writes);
+  PutVarint(out, stats_.sequential_transfers);
+  PutVarint(out, stats_.random_transfers);
+  PutU64(out, last_accessed_);
+}
+
+Status SimulatedDisk::LoadState(std::istream& in) {
+  auto get = [&in](uint64_t* out_value) -> Status {
+    auto v = GetVarint(in);
+    ODBGC_RETURN_IF_ERROR(v.status());
+    *out_value = *v;
+    return Status::Ok();
+  };
+  uint64_t page_size = 0;
+  uint64_t num_pages = 0;
+  ODBGC_RETURN_IF_ERROR(get(&page_size));
+  ODBGC_RETURN_IF_ERROR(get(&num_pages));
+  if (page_size != page_size_ || num_pages != pages_.size()) {
+    return Status::Corruption("disk state geometry mismatch");
+  }
+  DiskStats stats;
+  ODBGC_RETURN_IF_ERROR(get(&stats.page_reads));
+  ODBGC_RETURN_IF_ERROR(get(&stats.page_writes));
+  ODBGC_RETURN_IF_ERROR(get(&stats.sequential_transfers));
+  ODBGC_RETURN_IF_ERROR(get(&stats.random_transfers));
+  auto last = GetU64(in);
+  ODBGC_RETURN_IF_ERROR(last.status());
+  stats_ = stats;
+  last_accessed_ = *last;
   return Status::Ok();
 }
 

@@ -3,12 +3,15 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "storage/extent.h"
 #include "storage/page.h"
+#include "util/random.h"
 #include "util/status.h"
 
 namespace odbgc {
@@ -41,6 +44,21 @@ struct DiskCostParams {
 /// pay only the media rate; random ones add a seek and half a rotation.
 double EstimateDiskTimeMs(const DiskStats& stats,
                           const DiskCostParams& params = DiskCostParams{});
+
+/// Fault-injection schedule for crash-recovery testing. Scripted triggers
+/// fire exactly once on the Nth transfer after InjectFaults; the
+/// probabilistic trigger draws from its own Rng stream, so arming it never
+/// perturbs simulation randomness.
+struct FaultPlan {
+  /// Fail the Nth write after injection (1-based). 0 disables.
+  uint64_t fail_after_writes = 0;
+  /// Fail the Nth read after injection (1-based). 0 disables.
+  uint64_t fail_after_reads = 0;
+  /// Independently fail each transfer with this probability.
+  double error_prob = 0.0;
+  /// Seed for the probabilistic stream.
+  uint64_t seed = 0;
+};
 
 /// A simulated secondary-memory device holding fixed-size pages.
 ///
@@ -76,9 +94,32 @@ class SimulatedDisk {
   /// Zeroes the transfer counters (e.g., after a warm-up phase).
   void ResetStats() { stats_ = DiskStats{}; }
 
+  /// Arms fault injection. Replaces any previously armed plan and restarts
+  /// the transfer counters the scripted triggers count against.
+  void InjectFaults(const FaultPlan& plan);
+
+  /// Disarms fault injection.
+  void ClearFaults();
+
+  /// Number of transfers failed by the armed plan(s) so far.
+  uint64_t faults_fired() const { return faults_fired_; }
+
+  /// Serializes the timing-model state (transfer counters plus the
+  /// last-accessed page that drives sequential/random classification) so a
+  /// restored run reproduces the same disk-time estimate. Page contents are
+  /// not included — the store image rematerializes them.
+  void SaveState(std::ostream& out) const;
+
+  /// Restores state written by SaveState. Corruption if the stream is
+  /// malformed or describes a different disk geometry.
+  Status LoadState(std::istream& in);
+
  private:
   // Classifies an access as sequential or random relative to the last one.
   void NoteAccess(PageId page);
+
+  // Returns the injected fault for this transfer, if the plan fires.
+  Status CheckFault(bool is_write);
 
   const size_t page_size_;
   // One buffer per page. unique_ptr keeps page addresses stable across
@@ -86,6 +127,12 @@ class SimulatedDisk {
   std::vector<std::unique_ptr<std::byte[]>> pages_;
   DiskStats stats_;
   PageId last_accessed_ = kInvalidPageId;
+
+  std::optional<FaultPlan> faults_;
+  std::optional<Rng> fault_rng_;
+  uint64_t fault_writes_seen_ = 0;
+  uint64_t fault_reads_seen_ = 0;
+  uint64_t faults_fired_ = 0;
 };
 
 }  // namespace odbgc

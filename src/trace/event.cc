@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "util/serde.h"
+
 namespace odbgc {
 
 const char* EventKindName(EventKind kind) {
@@ -73,6 +75,90 @@ TraceEvent TraceEvent::RemoveRoot(uint64_t object) {
   e.kind = EventKind::kRemoveRoot;
   e.object = object;
   return e;
+}
+
+Status WriteEventBody(std::ostream& out, const TraceEvent& event) {
+  PutU8(out, static_cast<uint8_t>(event.kind));
+  switch (event.kind) {
+    case EventKind::kAlloc:
+      PutVarint(out, event.object);
+      PutVarint(out, event.size);
+      PutVarint(out, event.num_slots);
+      PutVarint(out, event.parent_hint);
+      PutU8(out, event.flags);
+      break;
+    case EventKind::kWriteSlot:
+      PutVarint(out, event.object);
+      PutVarint(out, event.slot);
+      PutVarint(out, event.target);
+      break;
+    case EventKind::kReadSlot:
+      PutVarint(out, event.object);
+      PutVarint(out, event.slot);
+      break;
+    case EventKind::kVisit:
+    case EventKind::kWriteData:
+    case EventKind::kAddRoot:
+    case EventKind::kRemoveRoot:
+      PutVarint(out, event.object);
+      break;
+    default:
+      return Status::InvalidArgument("unknown event kind");
+  }
+  if (!out.good()) return Status::IoError("event write failed");
+  return Status::Ok();
+}
+
+Result<TraceEvent> ReadEventBody(std::istream& in) {
+  const int kind_byte = in.get();
+  if (kind_byte == EOF) return Status::Corruption("truncated event record");
+
+  TraceEvent event;
+  event.kind = static_cast<EventKind>(kind_byte);
+
+  auto get = [&in](uint64_t* out) -> Status {
+    auto v = GetVarint(in);
+    ODBGC_RETURN_IF_ERROR(v.status());
+    *out = *v;
+    return Status::Ok();
+  };
+
+  uint64_t tmp = 0;
+  switch (event.kind) {
+    case EventKind::kAlloc: {
+      ODBGC_RETURN_IF_ERROR(get(&event.object));
+      ODBGC_RETURN_IF_ERROR(get(&tmp));
+      event.size = static_cast<uint32_t>(tmp);
+      ODBGC_RETURN_IF_ERROR(get(&tmp));
+      event.num_slots = static_cast<uint32_t>(tmp);
+      ODBGC_RETURN_IF_ERROR(get(&event.parent_hint));
+      auto flags = GetU8(in);
+      ODBGC_RETURN_IF_ERROR(flags.status());
+      event.flags = *flags;
+      break;
+    }
+    case EventKind::kWriteSlot:
+      ODBGC_RETURN_IF_ERROR(get(&event.object));
+      ODBGC_RETURN_IF_ERROR(get(&tmp));
+      event.slot = static_cast<uint32_t>(tmp);
+      ODBGC_RETURN_IF_ERROR(get(&event.target));
+      break;
+    case EventKind::kReadSlot:
+      ODBGC_RETURN_IF_ERROR(get(&event.object));
+      ODBGC_RETURN_IF_ERROR(get(&tmp));
+      event.slot = static_cast<uint32_t>(tmp);
+      break;
+    case EventKind::kVisit:
+    case EventKind::kWriteData:
+    case EventKind::kAddRoot:
+    case EventKind::kRemoveRoot:
+      ODBGC_RETURN_IF_ERROR(get(&event.object));
+      break;
+    default:
+      return Status::Corruption("unknown event kind byte " +
+                                std::to_string(kind_byte));
+  }
+  return event;
 }
 
 bool operator==(const TraceEvent& a, const TraceEvent& b) {

@@ -2,6 +2,8 @@
 #define ODBGC_TRACE_EVENT_H_
 
 #include <cstdint>
+#include <istream>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -56,6 +58,15 @@ struct TraceEvent {
   /// Debug rendering, e.g. "WriteSlot obj=12 slot=1 target=7".
   std::string ToString() const;
 };
+
+/// Serializes one event record (kind byte + varint-encoded fields) — the
+/// wire format shared by trace files and the recovery WAL. IoError if the
+/// stream fails.
+Status WriteEventBody(std::ostream& out, const TraceEvent& event);
+
+/// Parses one event record. Corruption on an unknown kind byte or a record
+/// truncated mid-field; the caller handles clean EOF before the kind byte.
+Result<TraceEvent> ReadEventBody(std::istream& in);
 
 /// Consumer of a stream of trace events. The workload generator emits into
 /// a sink; TraceWriter (file capture), the Simulator (live replay) and

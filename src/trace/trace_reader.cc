@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "trace/trace_writer.h"
+#include "util/serde.h"
 
 namespace odbgc {
 
@@ -10,39 +11,19 @@ TraceReader::TraceReader(std::istream* in) : in_(in) {
   assert(in_ != nullptr);
 }
 
-Result<uint64_t> TraceReader::GetVarint() {
-  uint64_t v = 0;
-  int shift = 0;
-  for (;;) {
-    const int c = in_->get();
-    if (c == EOF) return Status::Corruption("trace truncated inside varint");
-    v |= static_cast<uint64_t>(c & 0x7f) << shift;
-    if ((c & 0x80) == 0) break;
-    shift += 7;
-    if (shift >= 64) return Status::Corruption("varint too long");
-  }
-  return v;
-}
-
 Status TraceReader::ReadHeaderIfNeeded() {
   if (header_read_) return Status::Ok();
-  uint8_t raw[8];
-  for (auto& b : raw) {
-    const int c = in_->get();
-    if (c == EOF) return Status::Corruption("trace header truncated");
-    b = static_cast<uint8_t>(c);
-  }
-  const uint32_t magic = static_cast<uint32_t>(raw[0]) |
-                         (static_cast<uint32_t>(raw[1]) << 8) |
-                         (static_cast<uint32_t>(raw[2]) << 16) |
-                         (static_cast<uint32_t>(raw[3]) << 24);
-  if (magic != kTraceMagic) return Status::Corruption("bad trace magic");
-  const uint16_t version =
-      static_cast<uint16_t>(raw[4] | (static_cast<uint16_t>(raw[5]) << 8));
-  if (version != kTraceVersion) {
+  auto magic = GetU32(*in_);
+  if (!magic.ok()) return Status::Corruption("trace header truncated");
+  if (*magic != kTraceMagic) return Status::Corruption("bad trace magic");
+  auto version = GetU16(*in_);
+  if (!version.ok()) return Status::Corruption("trace header truncated");
+  if (*version != kTraceVersion) {
     return Status::Corruption("unsupported trace version " +
-                              std::to_string(version));
+                              std::to_string(*version));
   }
+  auto reserved = GetU16(*in_);
+  if (!reserved.ok()) return Status::Corruption("trace header truncated");
   header_read_ = true;
   return Status::Ok();
 }
@@ -50,56 +31,12 @@ Status TraceReader::ReadHeaderIfNeeded() {
 Result<std::optional<TraceEvent>> TraceReader::Next() {
   ODBGC_RETURN_IF_ERROR(ReadHeaderIfNeeded());
 
-  const int kind_byte = in_->get();
-  if (kind_byte == EOF) return std::optional<TraceEvent>{};  // Clean end.
+  if (in_->peek() == EOF) return std::optional<TraceEvent>{};  // Clean end.
 
-  TraceEvent event;
-  event.kind = static_cast<EventKind>(kind_byte);
-
-  auto get = [this](uint64_t* out) -> Status {
-    auto v = GetVarint();
-    ODBGC_RETURN_IF_ERROR(v.status());
-    *out = *v;
-    return Status::Ok();
-  };
-
-  uint64_t tmp = 0;
-  switch (event.kind) {
-    case EventKind::kAlloc: {
-      ODBGC_RETURN_IF_ERROR(get(&event.object));
-      ODBGC_RETURN_IF_ERROR(get(&tmp));
-      event.size = static_cast<uint32_t>(tmp);
-      ODBGC_RETURN_IF_ERROR(get(&tmp));
-      event.num_slots = static_cast<uint32_t>(tmp);
-      ODBGC_RETURN_IF_ERROR(get(&event.parent_hint));
-      const int flags = in_->get();
-      if (flags == EOF) return Status::Corruption("trace truncated in Alloc");
-      event.flags = static_cast<uint8_t>(flags);
-      break;
-    }
-    case EventKind::kWriteSlot:
-      ODBGC_RETURN_IF_ERROR(get(&event.object));
-      ODBGC_RETURN_IF_ERROR(get(&tmp));
-      event.slot = static_cast<uint32_t>(tmp);
-      ODBGC_RETURN_IF_ERROR(get(&event.target));
-      break;
-    case EventKind::kReadSlot:
-      ODBGC_RETURN_IF_ERROR(get(&event.object));
-      ODBGC_RETURN_IF_ERROR(get(&tmp));
-      event.slot = static_cast<uint32_t>(tmp);
-      break;
-    case EventKind::kVisit:
-    case EventKind::kWriteData:
-    case EventKind::kAddRoot:
-    case EventKind::kRemoveRoot:
-      ODBGC_RETURN_IF_ERROR(get(&event.object));
-      break;
-    default:
-      return Status::Corruption("unknown event kind byte " +
-                                std::to_string(kind_byte));
-  }
+  auto event = ReadEventBody(*in_);
+  ODBGC_RETURN_IF_ERROR(event.status());
   ++events_read_;
-  return std::optional<TraceEvent>{event};
+  return std::optional<TraceEvent>{*event};
 }
 
 Status TraceReader::ReplayInto(TraceSink* sink) {

@@ -32,7 +32,6 @@ class TraceReader {
 
  private:
   Status ReadHeaderIfNeeded();
-  Result<uint64_t> GetVarint();
 
   std::istream* const in_;
   bool header_read_ = false;

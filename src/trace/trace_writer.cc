@@ -2,33 +2,9 @@
 
 #include <cassert>
 
+#include "util/serde.h"
+
 namespace odbgc {
-
-namespace {
-
-void PutVarint(std::ostream& out, uint64_t v) {
-  while (v >= 0x80) {
-    out.put(static_cast<char>((v & 0x7f) | 0x80));
-    v >>= 7;
-  }
-  out.put(static_cast<char>(v));
-}
-
-void PutByte(std::ostream& out, uint8_t b) {
-  out.put(static_cast<char>(b));
-}
-
-void PutU16(std::ostream& out, uint16_t v) {
-  out.put(static_cast<char>(v & 0xff));
-  out.put(static_cast<char>((v >> 8) & 0xff));
-}
-
-void PutU32(std::ostream& out, uint32_t v) {
-  PutU16(out, static_cast<uint16_t>(v & 0xffff));
-  PutU16(out, static_cast<uint16_t>(v >> 16));
-}
-
-}  // namespace
 
 TraceWriter::TraceWriter(std::ostream* out) : out_(out) {
   assert(out_ != nullptr);
@@ -46,34 +22,7 @@ Status TraceWriter::WriteHeaderIfNeeded() {
 
 Status TraceWriter::Append(const TraceEvent& event) {
   ODBGC_RETURN_IF_ERROR(WriteHeaderIfNeeded());
-  PutByte(*out_, static_cast<uint8_t>(event.kind));
-  switch (event.kind) {
-    case EventKind::kAlloc:
-      PutVarint(*out_, event.object);
-      PutVarint(*out_, event.size);
-      PutVarint(*out_, event.num_slots);
-      PutVarint(*out_, event.parent_hint);
-      PutByte(*out_, event.flags);
-      break;
-    case EventKind::kWriteSlot:
-      PutVarint(*out_, event.object);
-      PutVarint(*out_, event.slot);
-      PutVarint(*out_, event.target);
-      break;
-    case EventKind::kReadSlot:
-      PutVarint(*out_, event.object);
-      PutVarint(*out_, event.slot);
-      break;
-    case EventKind::kVisit:
-    case EventKind::kWriteData:
-    case EventKind::kAddRoot:
-    case EventKind::kRemoveRoot:
-      PutVarint(*out_, event.object);
-      break;
-    default:
-      return Status::InvalidArgument("unknown event kind");
-  }
-  if (!out_->good()) return Status::IoError("trace event write failed");
+  ODBGC_RETURN_IF_ERROR(WriteEventBody(*out_, event));
   ++events_written_;
   return Status::Ok();
 }

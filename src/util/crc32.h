@@ -1,0 +1,21 @@
+#ifndef ODBGC_UTIL_CRC32_H_
+#define ODBGC_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace odbgc {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, reflected). Used to frame
+/// WAL records and to seal checkpoint files so that torn writes and bit
+/// rot are detected as Corruption instead of being replayed.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view s, uint32_t seed = 0) {
+  return Crc32(s.data(), s.size(), seed);
+}
+
+}  // namespace odbgc
+
+#endif  // ODBGC_UTIL_CRC32_H_

@@ -1,0 +1,216 @@
+#include "recovery/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/event.h"
+
+namespace odbgc {
+namespace {
+
+std::string TestPath(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "odbgc_wal_test";
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/" + name;
+  std::filesystem::remove(path);
+  return path;
+}
+
+std::vector<WalRecord> SampleRecords() {
+  return {
+      WalRecord::Event(TraceEvent::Alloc(1, 100, 3, 0, 0)),
+      WalRecord::Event(TraceEvent::WriteSlot(1, 0, 2)),
+      WalRecord::Event(TraceEvent::ReadSlot(1, 1)),
+      WalRecord::Event(TraceEvent::Visit(2)),
+      WalRecord::Event(TraceEvent::AddRoot(1)),
+      WalRecord::Collection(0, 7),
+      WalRecord::Collection(1, kInvalidPartition),
+      WalRecord::RoundCommit(3, 1234, 2, 99),
+  };
+}
+
+void WriteSample(const std::string& path,
+                 const std::vector<WalRecord>& records) {
+  auto writer = WalWriter::Create(path);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  for (const auto& record : records) {
+    ASSERT_TRUE(writer->Append(record).ok());
+  }
+  ASSERT_TRUE(writer->Sync().ok());
+}
+
+void ExpectSameRecord(const WalRecord& a, const WalRecord& b) {
+  ASSERT_EQ(a.type, b.type);
+  switch (a.type) {
+    case WalRecordType::kEvent:
+      EXPECT_TRUE(a.event == b.event)
+          << a.event.ToString() << " vs " << b.event.ToString();
+      break;
+    case WalRecordType::kRoundCommit:
+      EXPECT_EQ(a.round, b.round);
+      EXPECT_EQ(a.events_applied, b.events_applied);
+      EXPECT_EQ(a.collections, b.collections);
+      EXPECT_EQ(a.pointer_overwrites, b.pointer_overwrites);
+      break;
+    case WalRecordType::kCollection:
+      EXPECT_EQ(a.decision_index, b.decision_index);
+      EXPECT_EQ(a.victim, b.victim);
+      break;
+  }
+}
+
+TEST(WalTest, RoundTripAllRecordTypes) {
+  const std::string path = TestPath("roundtrip.odbl");
+  const auto records = SampleRecords();
+  WriteSample(path, records);
+
+  auto contents = ReadWal(path);
+  ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+  ASSERT_EQ(contents->records.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    ExpectSameRecord(contents->records[i], records[i]);
+  }
+  // Offsets are strictly increasing, starting past the 8-byte header.
+  EXPECT_EQ(contents->header_end_offset, 8u);
+  uint64_t prev = contents->header_end_offset;
+  for (uint64_t offset : contents->record_end_offsets) {
+    EXPECT_GT(offset, prev);
+    prev = offset;
+  }
+  EXPECT_EQ(prev, std::filesystem::file_size(path));
+}
+
+TEST(WalTest, EmptySegmentIsValid) {
+  const std::string path = TestPath("empty.odbl");
+  WriteSample(path, {});
+  auto contents = ReadWal(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_TRUE(contents->records.empty());
+}
+
+TEST(WalTest, OpenForAppendContinuesSegment) {
+  const std::string path = TestPath("append.odbl");
+  WriteSample(path, {WalRecord::RoundCommit(1, 10, 0, 5)});
+  {
+    auto writer = WalWriter::OpenForAppend(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->Append(WalRecord::RoundCommit(2, 20, 1, 9)).ok());
+    ASSERT_TRUE(writer->Sync().ok());
+  }
+  auto contents = ReadWal(path);
+  ASSERT_TRUE(contents.ok());
+  ASSERT_EQ(contents->records.size(), 2u);
+  EXPECT_EQ(contents->records[1].round, 2u);
+}
+
+TEST(WalTest, TornTailIsTruncatedByRecover) {
+  const std::string path = TestPath("torn.odbl");
+  const auto records = SampleRecords();
+  WriteSample(path, records);
+  const uint64_t clean_size = std::filesystem::file_size(path);
+
+  // Simulate a crash mid-append: half a record's framing.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out.write("\x05\x00\x00", 3);
+  }
+  ASSERT_GT(std::filesystem::file_size(path), clean_size);
+
+  // Strict read refuses.
+  EXPECT_EQ(ReadWal(path).status().code(), StatusCode::kCorruption);
+
+  // Recovery keeps the records and truncates the tail in place.
+  auto recovered = RecoverWal(path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->records.size(), records.size());
+  EXPECT_EQ(std::filesystem::file_size(path), clean_size);
+  // After truncation the segment is strictly valid again.
+  EXPECT_TRUE(ReadWal(path).ok());
+}
+
+TEST(WalTest, CorruptPayloadDetectedByCrc) {
+  const std::string path = TestPath("crc.odbl");
+  const auto records = SampleRecords();
+  WriteSample(path, records);
+
+  // Flip one byte inside the last record's payload.
+  const uint64_t size = std::filesystem::file_size(path);
+  {
+    std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekg(static_cast<std::streamoff>(size - 1));
+    char byte = 0;
+    file.read(&byte, 1);
+    byte ^= 0x40;
+    file.seekp(static_cast<std::streamoff>(size - 1));
+    file.write(&byte, 1);
+  }
+
+  EXPECT_EQ(ReadWal(path).status().code(), StatusCode::kCorruption);
+  auto recovered = RecoverWal(path);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->records.size(), records.size() - 1);
+  EXPECT_LT(std::filesystem::file_size(path), size);
+}
+
+TEST(WalTest, BadMagicRejectedEvenByRecover) {
+  const std::string path = TestPath("magic.odbl");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write("NOPE\x01\x00\x00\x00", 8);
+  }
+  EXPECT_EQ(ReadWal(path).status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(RecoverWal(path).status().code(), StatusCode::kCorruption);
+}
+
+TEST(WalTest, TruncatedHeaderRejected) {
+  const std::string path = TestPath("header.odbl");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write("OD", 2);
+  }
+  EXPECT_EQ(ReadWal(path).status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(RecoverWal(path).status().code(), StatusCode::kCorruption);
+}
+
+TEST(WalTest, MissingFileIsIoError) {
+  EXPECT_EQ(ReadWal(TestPath("missing.odbl")).status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(WalTest, EveryTruncationPointFailsCleanly) {
+  const std::string path = TestPath("truncsweep.odbl");
+  WriteSample(path, SampleRecords());
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  const std::string trunc_path = TestPath("truncsweep_cut.odbl");
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    {
+      std::ofstream out(trunc_path, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(cut));
+    }
+    auto strict = ReadWal(trunc_path);
+    if (strict.ok()) {
+      // Only clean record boundaries parse strictly.
+      EXPECT_TRUE(strict->record_end_offsets.empty()
+                      ? cut == 8
+                      : strict->record_end_offsets.back() == cut);
+    } else {
+      EXPECT_EQ(strict.status().code(), StatusCode::kCorruption);
+    }
+    // Lenient recovery never fails on a truncated tail (header permitting).
+    if (cut >= 8) {
+      EXPECT_TRUE(RecoverWal(trunc_path).ok()) << "cut=" << cut;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace odbgc

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "storage/disk.h"
+
+namespace odbgc {
+namespace {
+
+constexpr size_t kPageSize = 256;
+
+std::vector<std::byte> PageBuffer() {
+  return std::vector<std::byte>(kPageSize);
+}
+
+TEST(DiskFaultTest, NthWriteFailsExactlyOnce) {
+  SimulatedDisk disk(kPageSize);
+  disk.AllocatePages(4);
+  auto buf = PageBuffer();
+
+  FaultPlan plan;
+  plan.fail_after_writes = 3;
+  disk.InjectFaults(plan);
+
+  EXPECT_TRUE(disk.WritePage(0, buf).ok());
+  EXPECT_TRUE(disk.WritePage(1, buf).ok());
+  const Status fault = disk.WritePage(2, buf);
+  EXPECT_EQ(fault.code(), StatusCode::kIoError);
+  EXPECT_EQ(disk.faults_fired(), 1u);
+  // Scripted triggers fire once; the device then works again (the crash
+  // being simulated is the *process* dying from the error, not the disk
+  // staying broken).
+  EXPECT_TRUE(disk.WritePage(2, buf).ok());
+  // Reads were never armed.
+  EXPECT_TRUE(disk.ReadPage(0, buf).ok());
+}
+
+TEST(DiskFaultTest, NthReadFailsIndependentlyOfWrites) {
+  SimulatedDisk disk(kPageSize);
+  disk.AllocatePages(2);
+  auto buf = PageBuffer();
+
+  FaultPlan plan;
+  plan.fail_after_reads = 2;
+  disk.InjectFaults(plan);
+
+  EXPECT_TRUE(disk.WritePage(0, buf).ok());
+  EXPECT_TRUE(disk.ReadPage(0, buf).ok());
+  EXPECT_EQ(disk.ReadPage(1, buf).code(), StatusCode::kIoError);
+  EXPECT_EQ(disk.faults_fired(), 1u);
+}
+
+TEST(DiskFaultTest, FaultedTransferLeavesNoTrace) {
+  SimulatedDisk disk(kPageSize);
+  disk.AllocatePages(2);
+  auto buf = PageBuffer();
+  buf[0] = std::byte{0xaa};
+  ASSERT_TRUE(disk.WritePage(0, buf).ok());
+  const DiskStats before = disk.stats();
+
+  FaultPlan plan;
+  plan.fail_after_writes = 1;
+  disk.InjectFaults(plan);
+  buf[0] = std::byte{0xbb};
+  ASSERT_FALSE(disk.WritePage(0, buf).ok());
+
+  // The failed write neither counted as a transfer nor touched the page.
+  EXPECT_EQ(disk.stats().page_writes, before.page_writes);
+  auto read_back = PageBuffer();
+  ASSERT_TRUE(disk.ReadPage(0, read_back).ok());
+  EXPECT_EQ(read_back[0], std::byte{0xaa});
+}
+
+TEST(DiskFaultTest, ProbabilisticFaultsUseOwnStream) {
+  SimulatedDisk disk(kPageSize);
+  disk.AllocatePages(1);
+  auto buf = PageBuffer();
+
+  FaultPlan plan;
+  plan.error_prob = 1.0;
+  plan.seed = 99;
+  disk.InjectFaults(plan);
+  EXPECT_EQ(disk.WritePage(0, buf).code(), StatusCode::kIoError);
+  EXPECT_EQ(disk.ReadPage(0, buf).code(), StatusCode::kIoError);
+  EXPECT_EQ(disk.faults_fired(), 2u);
+
+  disk.ClearFaults();
+  EXPECT_TRUE(disk.WritePage(0, buf).ok());
+  EXPECT_TRUE(disk.ReadPage(0, buf).ok());
+}
+
+TEST(DiskFaultTest, RearmingRestartsCounters) {
+  SimulatedDisk disk(kPageSize);
+  disk.AllocatePages(1);
+  auto buf = PageBuffer();
+
+  FaultPlan plan;
+  plan.fail_after_writes = 2;
+  disk.InjectFaults(plan);
+  EXPECT_TRUE(disk.WritePage(0, buf).ok());
+  disk.InjectFaults(plan);  // Restart: the count begins again.
+  EXPECT_TRUE(disk.WritePage(0, buf).ok());
+  EXPECT_EQ(disk.WritePage(0, buf).code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace odbgc
