@@ -1,10 +1,27 @@
 // Microbenchmarks (google-benchmark) for the simulated I/O substrate:
 // buffer pool hit, miss and dirty-eviction paths, and the object store's
 // slot-write path (the hottest operation in a trace replay).
+//
+// Passing a *.json argument additionally runs the I/O-subsystem sweep —
+// every replacement policy crossed with every device backend over one
+// fixed access trace — and writes the hit rates, evictions and estimated
+// device times to that file (CI uploads it as BENCH_io.json):
+//
+//   ./build/bench/micro_buffer_pool BENCH_io.json [benchmark flags...]
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "buffer/buffer_pool.h"
+#include "buffer/replacement_policy.h"
+#include "storage/disk.h"
+#include "storage/page_device.h"
+#include "storage/ssd_device.h"
 #include "odb/object_store.h"
 #include "util/random.h"
 
@@ -87,7 +104,155 @@ void BM_StoreVisitObject(benchmark::State& state) {
 }
 BENCHMARK(BM_StoreVisitObject);
 
+// ---------------------------------------------------------------------------
+// I/O-subsystem sweep: replacement policies x device backends over one
+// fixed trace, reported as BENCH_io.json.
+
+struct SweepRow {
+  const char* policy;
+  const char* device;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t device_writes = 0;
+  double device_time_ms = 0.0;
+  // SSD only (0 on the disk backend).
+  uint64_t erases = 0;
+  double write_amplification = 0.0;
+};
+
+SweepRow RunSweepConfig(ReplacementPolicyKind policy, DeviceKind device) {
+  constexpr size_t kPageSize = 4096;
+  constexpr size_t kPages = 512;
+  constexpr size_t kFrames = 64;
+  constexpr int kSteps = 200000;
+  constexpr size_t kHotSet = 48;  // Fits the pool; scans evict it under LRU.
+
+  std::unique_ptr<PageDevice> dev = MakePageDevice(
+      device, kPageSize, nullptr, DiskCostParams{}, SsdCostParams{});
+  dev->AllocatePages(kPages);
+  BufferPool pool(dev.get(), kFrames, policy);
+
+  // The trace mixes a hot working set, uniform cold traffic and periodic
+  // sequential sweeps (a collector scanning partitions) — the pattern that
+  // separates scan-resistant policies from strict LRU.
+  Rng rng(42);
+  PageId scan_cursor = 0;
+  for (int step = 0; step < kSteps; ++step) {
+    PageId page;
+    const uint64_t draw = rng.UniformInt(100);
+    if (draw < 70) {
+      page = rng.UniformInt(kHotSet);
+    } else if (draw < 90) {
+      page = rng.UniformInt(kPages);
+    } else {
+      page = scan_cursor;
+      scan_cursor = (scan_cursor + 1) % kPages;
+    }
+    const AccessMode mode =
+        rng.Bernoulli(0.3) ? AccessMode::kWrite : AccessMode::kRead;
+    auto frame = pool.GetPage(page, mode);
+    if (!frame.ok()) {
+      std::fprintf(stderr, "sweep GetPage failed: %s\n",
+                   frame.status().ToString().c_str());
+      std::exit(1);
+    }
+    if (mode == AccessMode::kWrite) {
+      (*frame)[0] = static_cast<std::byte>(step);
+    }
+  }
+
+  SweepRow row;
+  row.policy = ReplacementPolicyName(policy);
+  row.device = DeviceKindName(device);
+  const BufferStats stats = pool.stats();
+  row.hits = stats.hits;
+  row.misses = stats.misses;
+  row.evictions = stats.misses - pool.resident_pages();
+  row.device_writes = dev->stats().page_writes;
+  row.device_time_ms = dev->EstimateTimeMs();
+  if (auto* ssd = dynamic_cast<SsdDevice*>(dev.get())) {
+    row.erases = ssd->erases();
+    row.write_amplification = ssd->WriteAmplification();
+  }
+  return row;
+}
+
+int RunIoSweep(const char* json_path) {
+  const ReplacementPolicyKind policies[] = {ReplacementPolicyKind::kLru,
+                                            ReplacementPolicyKind::kClock,
+                                            ReplacementPolicyKind::kTwoQ};
+  const DeviceKind devices[] = {DeviceKind::kSimulatedDisk, DeviceKind::kSsd};
+
+  std::vector<SweepRow> rows;
+  std::printf("I/O sweep: %zu policies x %zu devices, fixed trace\n\n",
+              std::size(policies), std::size(devices));
+  std::printf("%-6s %-15s %10s %9s %10s %14s %7s %6s\n", "policy", "device",
+              "hit_rate", "misses", "evictions", "device_ms", "erases", "WA");
+  for (ReplacementPolicyKind policy : policies) {
+    for (DeviceKind device : devices) {
+      const SweepRow row = RunSweepConfig(policy, device);
+      const double hit_rate =
+          static_cast<double>(row.hits) /
+          static_cast<double>(row.hits + row.misses);
+      std::printf("%-6s %-15s %9.4f%% %9llu %10llu %14.1f %7llu %6.2f\n",
+                  row.policy, row.device, 100.0 * hit_rate,
+                  static_cast<unsigned long long>(row.misses),
+                  static_cast<unsigned long long>(row.evictions),
+                  row.device_time_ms,
+                  static_cast<unsigned long long>(row.erases),
+                  row.write_amplification);
+      rows.push_back(row);
+    }
+  }
+
+  std::ofstream json(json_path);
+  json << "{\n  \"bench\": \"io\",\n  \"configs\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& row = rows[i];
+    const double hit_rate = static_cast<double>(row.hits) /
+                            static_cast<double>(row.hits + row.misses);
+    json << "    {\"policy\": \"" << row.policy << "\", \"device\": \""
+         << row.device << "\", \"hit_rate\": " << hit_rate
+         << ", \"hits\": " << row.hits << ", \"misses\": " << row.misses
+         << ", \"evictions\": " << row.evictions
+         << ", \"device_writes\": " << row.device_writes
+         << ", \"estimated_device_time_ms\": " << row.device_time_ms
+         << ", \"erases\": " << row.erases
+         << ", \"write_amplification\": " << row.write_amplification << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  json.close();
+  std::printf("\nwrote %s\n", json_path);
+  return json.good() ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace odbgc
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus the JSON sweep when a *.json argument is present
+// (stripped before google-benchmark sees the command line).
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  std::vector<char*> bench_args;
+  for (int i = 0; i < argc; ++i) {
+    const size_t len = std::strlen(argv[i]);
+    if (i > 0 && len > 5 && std::strcmp(argv[i] + len - 5, ".json") == 0) {
+      json_path = argv[i];
+    } else {
+      bench_args.push_back(argv[i]);
+    }
+  }
+  if (json_path != nullptr) {
+    if (int rc = odbgc::RunIoSweep(json_path); rc != 0) return rc;
+  }
+  int bench_argc = static_cast<int>(bench_args.size());
+  benchmark::Initialize(&bench_argc, bench_args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/policies.h"
+#include "storage/disk.h"
 #include "core/remembered_set.h"
 #include "core/weights.h"
 #include "util/random.h"

@@ -8,45 +8,71 @@
 
 namespace odbgc {
 
-BufferPool::BufferPool(SimulatedDisk* disk, size_t frame_count)
-    : disk_(disk), frame_count_(frame_count) {
-  assert(disk_ != nullptr);
+namespace {
+
+MetricPhase ToMetricPhase(IoPhase phase) {
+  return phase == IoPhase::kApplication ? MetricPhase::kApplication
+                                        : MetricPhase::kCollector;
+}
+
+IoPhase FromMetricPhase(MetricPhase phase) {
+  return phase == MetricPhase::kApplication ? IoPhase::kApplication
+                                            : IoPhase::kCollector;
+}
+
+}  // namespace
+
+BufferPool::BufferPool(PageDevice* device, size_t frame_count,
+                       ReplacementPolicyKind policy)
+    : device_(device),
+      registry_(device ? device->metrics() : nullptr),
+      frame_count_(frame_count),
+      policy_(MakeReplacementPolicy(policy, frame_count)),
+      hits_(registry_->Register("buffer.hits")),
+      misses_(registry_->Register("buffer.misses")),
+      reads_(registry_->Register("buffer.disk_reads")),
+      writes_(registry_->Register("buffer.disk_writes")) {
+  assert(device_ != nullptr);
   assert(frame_count_ > 0);
+}
+
+void BufferPool::set_phase(IoPhase phase) {
+  registry_->set_phase(ToMetricPhase(phase));
+}
+
+IoPhase BufferPool::phase() const {
+  return FromMetricPhase(registry_->phase());
 }
 
 Result<std::span<std::byte>> BufferPool::GetPage(PageId page,
                                                  AccessMode mode) {
   auto it = frames_.find(page);
   if (it != frames_.end()) {
-    ++stats_.hits;
-    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    registry_->Count(hits_);
+    policy_->OnHit(page);
     if (mode == AccessMode::kWrite) it->second.dirty = true;
     return std::span<std::byte>(it->second.data);
   }
 
-  ++stats_.misses;
+  registry_->Count(misses_);
 
-  // Evict LRU frame if the pool is full.
+  // Evict the policy's victim if the pool is full.
   if (frames_.size() >= frame_count_) {
-    const PageId victim = lru_.back();
+    const PageId victim = policy_->ChooseVictim();
     auto victim_it = frames_.find(victim);
     assert(victim_it != frames_.end());
     ODBGC_RETURN_IF_ERROR(WriteBack(victim, victim_it->second));
-    lru_.pop_back();
+    policy_->OnEvict(victim);
     frames_.erase(victim_it);
   }
 
   Frame frame;
-  frame.data.resize(disk_->page_size());
-  ODBGC_RETURN_IF_ERROR(disk_->ReadPage(page, std::span<std::byte>(frame.data)));
-  if (phase_ == IoPhase::kApplication) {
-    ++stats_.reads_app;
-  } else {
-    ++stats_.reads_gc;
-  }
+  frame.data.resize(device_->page_size());
+  ODBGC_RETURN_IF_ERROR(
+      device_->ReadPage(page, std::span<std::byte>(frame.data)));
+  registry_->Count(reads_);
   frame.dirty = (mode == AccessMode::kWrite);
-  lru_.push_front(page);
-  frame.lru_pos = lru_.begin();
+  policy_->OnInsert(page);
   auto [ins, ok] = frames_.emplace(page, std::move(frame));
   assert(ok);
   (void)ok;
@@ -56,12 +82,8 @@ Result<std::span<std::byte>> BufferPool::GetPage(PageId page,
 Status BufferPool::WriteBack(PageId page, Frame& frame) {
   if (!frame.dirty) return Status::Ok();
   ODBGC_RETURN_IF_ERROR(
-      disk_->WritePage(page, std::span<const std::byte>(frame.data)));
-  if (phase_ == IoPhase::kApplication) {
-    ++stats_.writes_app;
-  } else {
-    ++stats_.writes_gc;
-  }
+      device_->WritePage(page, std::span<const std::byte>(frame.data)));
+  registry_->Count(writes_);
   frame.dirty = false;
   return Status::Ok();
 }
@@ -77,9 +99,27 @@ void BufferPool::DiscardExtent(const PageExtent& extent) {
   for (PageId p = extent.first_page; p < extent.end_page(); ++p) {
     auto it = frames_.find(p);
     if (it == frames_.end()) continue;
-    lru_.erase(it->second.lru_pos);
+    policy_->OnErase(p);
     frames_.erase(it);
   }
+}
+
+BufferStats BufferPool::stats() const {
+  BufferStats stats;
+  stats.hits = hits_->total();
+  stats.misses = misses_->total();
+  stats.reads_app = reads_->value(MetricPhase::kApplication);
+  stats.reads_gc = reads_->value(MetricPhase::kCollector);
+  stats.writes_app = writes_->value(MetricPhase::kApplication);
+  stats.writes_gc = writes_->value(MetricPhase::kCollector);
+  return stats;
+}
+
+void BufferPool::ResetStats() {
+  hits_->Reset();
+  misses_->Reset();
+  reads_->Reset();
+  writes_->Reset();
 }
 
 bool BufferPool::IsDirty(PageId page) const {
@@ -87,23 +127,21 @@ bool BufferPool::IsDirty(PageId page) const {
   return it != frames_.end() && it->second.dirty;
 }
 
-std::vector<PageId> BufferPool::LruOrder() const {
-  return std::vector<PageId>(lru_.begin(), lru_.end());
-}
+std::vector<PageId> BufferPool::LruOrder() const { return policy_->Order(); }
 
 void BufferPool::SaveState(std::ostream& out) const {
   PutVarint(out, frame_count_);
-  PutVarint(out, frames_.size());
-  for (PageId page : lru_) {  // Most recent first.
+  PutU8(out, static_cast<uint8_t>(policy_->kind()));
+  std::vector<PageId> resident;
+  resident.reserve(frames_.size());
+  for (const auto& [page, frame] : frames_) resident.push_back(page);
+  std::sort(resident.begin(), resident.end());
+  PutVarint(out, resident.size());
+  for (PageId page : resident) {
     PutVarint(out, page);
     PutBool(out, frames_.at(page).dirty);
   }
-  PutVarint(out, stats_.hits);
-  PutVarint(out, stats_.misses);
-  PutVarint(out, stats_.reads_app);
-  PutVarint(out, stats_.reads_gc);
-  PutVarint(out, stats_.writes_app);
-  PutVarint(out, stats_.writes_gc);
+  policy_->Save(out);
 }
 
 Status BufferPool::LoadState(std::istream& in) {
@@ -111,6 +149,11 @@ Status BufferPool::LoadState(std::istream& in) {
   ODBGC_RETURN_IF_ERROR(frame_count.status());
   if (*frame_count != frame_count_) {
     return Status::Corruption("buffer state frame count mismatch");
+  }
+  auto kind = GetU8(in);
+  ODBGC_RETURN_IF_ERROR(kind.status());
+  if (*kind != static_cast<uint8_t>(policy_->kind())) {
+    return Status::Corruption("buffer state replacement policy mismatch");
   }
   auto resident = GetVarint(in);
   ODBGC_RETURN_IF_ERROR(resident.status());
@@ -126,51 +169,47 @@ Status BufferPool::LoadState(std::istream& in) {
     ODBGC_RETURN_IF_ERROR(dirty.status());
     entries.emplace_back(*page, *dirty);
   }
-  BufferStats stats;
-  auto get = [&in](uint64_t* out_value) -> Status {
-    auto v = GetVarint(in);
-    ODBGC_RETURN_IF_ERROR(v.status());
-    *out_value = *v;
-    return Status::Ok();
-  };
-  ODBGC_RETURN_IF_ERROR(get(&stats.hits));
-  ODBGC_RETURN_IF_ERROR(get(&stats.misses));
-  ODBGC_RETURN_IF_ERROR(get(&stats.reads_app));
-  ODBGC_RETURN_IF_ERROR(get(&stats.reads_gc));
-  ODBGC_RETURN_IF_ERROR(get(&stats.writes_app));
-  ODBGC_RETURN_IF_ERROR(get(&stats.writes_gc));
 
-  // Persist current dirty frames so the disk holds their rematerialized
+  // Persist current dirty frames so the device holds their rematerialized
   // bytes before residency changes. Sorted order keeps restoration
-  // deterministic; transfers are issued raw because the caller restores
-  // the disk's counters after this.
+  // deterministic; the transfers perturb device-model state and counters,
+  // which the heap restores after this call.
   std::vector<PageId> dirty_pages;
   for (const auto& [page, frame] : frames_) {
     if (frame.dirty) dirty_pages.push_back(page);
   }
   std::sort(dirty_pages.begin(), dirty_pages.end());
   for (PageId page : dirty_pages) {
-    ODBGC_RETURN_IF_ERROR(disk_->WritePage(
+    ODBGC_RETURN_IF_ERROR(device_->WritePage(
         page, std::span<const std::byte>(frames_.at(page).data)));
   }
   frames_.clear();
-  lru_.clear();
+  policy_->Clear();
 
-  // Re-fault the checkpointed residency set, least recent first, so the
-  // LRU list front ends up at the checkpoint's most recent page.
-  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+  // Re-fault the checkpointed residency set in page order. The policy does
+  // not see these inserts — its exact state is loaded below.
+  for (const auto& [page, dirty] : entries) {
     Frame frame;
-    frame.data.resize(disk_->page_size());
+    frame.data.resize(device_->page_size());
     ODBGC_RETURN_IF_ERROR(
-        disk_->ReadPage(it->first, std::span<std::byte>(frame.data)));
-    frame.dirty = it->second;
-    lru_.push_front(it->first);
-    frame.lru_pos = lru_.begin();
-    if (!frames_.emplace(it->first, std::move(frame)).second) {
+        device_->ReadPage(page, std::span<std::byte>(frame.data)));
+    frame.dirty = dirty;
+    if (!frames_.emplace(page, std::move(frame)).second) {
       return Status::Corruption("buffer state duplicate resident page");
     }
   }
-  stats_ = stats;
+  ODBGC_RETURN_IF_ERROR(policy_->Load(in));
+
+  // The loaded replacement state must track exactly the resident set.
+  const std::vector<PageId> tracked = policy_->Order();
+  if (tracked.size() != frames_.size()) {
+    return Status::Corruption("buffer state policy/residency size mismatch");
+  }
+  for (PageId page : tracked) {
+    if (frames_.count(page) == 0) {
+      return Status::Corruption("buffer state policy tracks non-resident page");
+    }
+  }
   return Status::Ok();
 }
 

@@ -4,34 +4,38 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
-#include <list>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
-#include "storage/disk.h"
+#include "buffer/replacement_policy.h"
 #include "storage/extent.h"
 #include "storage/page.h"
+#include "storage/page_device.h"
+#include "util/metrics_registry.h"
 #include "util/status.h"
 
 namespace odbgc {
 
 /// Who is driving I/O right now. The paper reports "Application I/Os" and
-/// "Collector I/Os" separately (Table 2); the pool attributes each disk
+/// "Collector I/Os" separately (Table 2); the pool attributes each device
 /// transfer to the phase that was active when it happened.
 enum class IoPhase { kApplication, kCollector };
 
 /// Access intent for a page fetch.
 enum class AccessMode { kRead, kWrite };
 
-/// Cumulative buffer pool counters, split by phase.
+/// Snapshot of the pool's counters, split by phase. Derived from the
+/// metrics registry on each call to `stats()`; kept as a struct so report
+/// code and tests read plain fields.
 struct BufferStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
-  /// Disk page reads (fills on miss), per phase.
+  /// Device page reads (fills on miss), per phase.
   uint64_t reads_app = 0;
   uint64_t reads_gc = 0;
-  /// Disk page writes (write-back of dirty pages), per phase.
+  /// Device page writes (write-back of dirty pages), per phase.
   uint64_t writes_app = 0;
   uint64_t writes_gc = 0;
 
@@ -40,32 +44,36 @@ struct BufferStats {
   uint64_t total_io() const { return app_io() + gc_io(); }
 };
 
-/// A fixed-capacity database I/O buffer with strict LRU replacement and
-/// write-back (dirty pages are written to disk only on eviction or flush),
-/// as specified in the paper's cost model (Section 4.2).
+/// A fixed-capacity database I/O buffer with pluggable replacement and
+/// write-back (dirty pages reach the device only on eviction or flush).
+/// Strict LRU is the default and matches the paper's cost model
+/// (Section 4.2) exactly.
 ///
 /// The pool owns frame memory; `GetPage` returns a span into the frame,
 /// valid only until the next call that may evict (any GetPage). This is the
 /// single point through which the object store and collector touch pages,
-/// so BufferStats is the experiment's I/O measurement.
+/// so its counters are the experiment's I/O measurement. Counters live in
+/// the device's MetricsRegistry ("buffer.*" names); `stats()` snapshots
+/// them.
 class BufferPool {
  public:
-  /// `disk` must outlive the pool. `frame_count` > 0 frames of
-  /// disk->page_size() bytes each.
-  BufferPool(SimulatedDisk* disk, size_t frame_count);
+  /// `device` must outlive the pool. `frame_count` > 0 frames of
+  /// device->page_size() bytes each.
+  BufferPool(PageDevice* device, size_t frame_count,
+             ReplacementPolicyKind policy = ReplacementPolicyKind::kLru);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Fetches `page` into the pool (reading from disk on a miss, evicting
-  /// the LRU frame if full), marks it most-recently-used, marks it dirty if
-  /// `mode` is kWrite, and returns its bytes.
+  /// Fetches `page` into the pool (reading from the device on a miss,
+  /// evicting the policy's victim if full), notifies the replacement
+  /// policy, marks it dirty if `mode` is kWrite, and returns its bytes.
   ///
-  /// Returns OutOfRange if the page does not exist on disk.
+  /// Returns OutOfRange if the page does not exist on the device.
   Result<std::span<std::byte>> GetPage(PageId page, AccessMode mode);
 
-  /// Writes all dirty frames back to disk (counted in the current phase).
-  /// Frames stay resident and become clean.
+  /// Writes all dirty frames back to the device (counted in the current
+  /// phase). Frames stay resident and become clean.
   Status FlushAll();
 
   /// Drops any resident frames covering `extent` *without* write-back.
@@ -73,56 +81,68 @@ class BufferPool {
   /// garbage does not deserve the write I/O). Dirty data is lost by design.
   void DiscardExtent(const PageExtent& extent);
 
-  /// Sets the accounting phase for subsequent transfers.
-  void set_phase(IoPhase phase) { phase_ = phase; }
-  IoPhase phase() const { return phase_; }
+  /// Sets the accounting phase for subsequent transfers. The phase lives in
+  /// the metrics registry, so device-level counters attribute to the same
+  /// phase.
+  void set_phase(IoPhase phase);
+  IoPhase phase() const;
 
-  const BufferStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = BufferStats{}; }
+  BufferStats stats() const;
+  void ResetStats();
+
+  ReplacementPolicyKind replacement() const { return policy_->kind(); }
+  MetricsRegistry* metrics() const { return registry_; }
 
   size_t frame_count() const { return frame_count_; }
   size_t resident_pages() const { return frames_.size(); }
 
   /// True if `page` is currently resident (test/inspection helper; does not
-  /// touch LRU order or counters).
+  /// touch replacement order or counters).
   bool IsResident(PageId page) const { return frames_.count(page) > 0; }
 
   /// True if `page` is resident and dirty (test/inspection helper).
   bool IsDirty(PageId page) const;
 
-  /// Pages in LRU order, most recent first (test/inspection helper).
+  /// Resident pages in the policy's replacement order (for strict LRU,
+  /// most recent first — see ReplacementPolicy::Order).
   std::vector<PageId> LruOrder() const;
 
-  /// Serializes the replacement state — (page, dirty) pairs in LRU order
-  /// plus the counters — without touching frames or counters. Frame bytes
-  /// are not included: page contents are rematerialized from the store
-  /// image, and no component reads object data back out of page bytes.
+  /// Serializes the residency set and the replacement policy's state
+  /// without touching frames or counters. Counters are NOT included — they
+  /// live in the metrics registry, which the heap checkpoints separately.
+  /// Frame bytes are not included either: page contents are rematerialized
+  /// from the store image, and no component reads object data back out of
+  /// page bytes.
   void SaveState(std::ostream& out) const;
 
   /// Restores state written by SaveState: current dirty frames are written
-  /// to disk (in page order, uncounted — the caller restores disk counters
-  /// afterwards), the pool is emptied, and the recorded residency set is
-  /// re-faulted least-recent-first so LRU order, dirty flags and counters
-  /// all match the checkpointed pool. Corruption on a malformed stream or a
-  /// mismatched frame count.
+  /// to the device (in page order), the pool is emptied, the recorded
+  /// residency set is re-faulted in page order, and the replacement state
+  /// is loaded. The transfers this issues perturb device-model state and
+  /// counters; the caller (heap) restores the device state and the metrics
+  /// registry *after* this, in that order. Corruption on a malformed
+  /// stream, a mismatched frame count, or a mismatched policy kind.
   Status LoadState(std::istream& in);
 
  private:
   struct Frame {
     std::vector<std::byte> data;
     bool dirty = false;
-    std::list<PageId>::iterator lru_pos;
   };
 
   // Writes back `frame` if dirty (charging the current phase).
   Status WriteBack(PageId page, Frame& frame);
 
-  SimulatedDisk* const disk_;
+  PageDevice* const device_;
+  MetricsRegistry* const registry_;
   const size_t frame_count_;
-  IoPhase phase_ = IoPhase::kApplication;
+  std::unique_ptr<ReplacementPolicy> policy_;
   std::unordered_map<PageId, Frame> frames_;
-  std::list<PageId> lru_;  // Front = most recently used.
-  BufferStats stats_;
+
+  MetricCounter* const hits_;
+  MetricCounter* const misses_;
+  MetricCounter* const reads_;
+  MetricCounter* const writes_;
 };
 
 /// RAII helper that switches the pool's accounting phase and restores the

@@ -1,0 +1,360 @@
+#include "buffer/replacement_policy.h"
+
+#include <cassert>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+#include "util/serde.h"
+
+namespace odbgc {
+
+const char* ReplacementPolicyName(ReplacementPolicyKind kind) {
+  switch (kind) {
+    case ReplacementPolicyKind::kLru:
+      return "lru";
+    case ReplacementPolicyKind::kClock:
+      return "clock";
+    case ReplacementPolicyKind::kTwoQ:
+      return "2q";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Strict LRU: a recency list spliced on every access — bit-identical to
+/// the pool's original hard-wired behavior (verified by the buffer pool
+/// property tests).
+class LruPolicy : public ReplacementPolicy {
+ public:
+  ReplacementPolicyKind kind() const override {
+    return ReplacementPolicyKind::kLru;
+  }
+
+  void OnInsert(PageId page) override {
+    order_.push_front(page);
+    pos_[page] = order_.begin();
+  }
+
+  void OnHit(PageId page) override {
+    order_.splice(order_.begin(), order_, pos_.at(page));
+  }
+
+  PageId ChooseVictim() override {
+    assert(!order_.empty());
+    return order_.back();
+  }
+
+  void OnErase(PageId page) override {
+    auto it = pos_.find(page);
+    if (it == pos_.end()) return;
+    order_.erase(it->second);
+    pos_.erase(it);
+  }
+
+  std::vector<PageId> Order() const override {
+    return std::vector<PageId>(order_.begin(), order_.end());
+  }
+
+  void Clear() override {
+    order_.clear();
+    pos_.clear();
+  }
+
+  void Save(std::ostream& out) const override {
+    PutVarint(out, order_.size());
+    for (PageId page : order_) PutVarint(out, page);  // MRU first.
+  }
+
+  Status Load(std::istream& in) override {
+    Clear();
+    auto count = GetVarint(in);
+    ODBGC_RETURN_IF_ERROR(count.status());
+    for (uint64_t i = 0; i < *count; ++i) {
+      auto page = GetVarint(in);
+      ODBGC_RETURN_IF_ERROR(page.status());
+      order_.push_back(*page);
+      if (!pos_.emplace(*page, std::prev(order_.end())).second) {
+        return Status::Corruption("lru state duplicate page");
+      }
+    }
+    return Status::Ok();
+  }
+
+ private:
+  std::list<PageId> order_;  // Front = most recently used.
+  std::unordered_map<PageId, std::list<PageId>::iterator> pos_;
+};
+
+/// Second-chance clock: pages sit on a ring; a hit sets the ref bit; the
+/// hand sweeps, clearing ref bits, and evicts the first unreferenced
+/// page. New pages enter just behind the hand with their ref bit set.
+class ClockPolicy : public ReplacementPolicy {
+ public:
+  ReplacementPolicyKind kind() const override {
+    return ReplacementPolicyKind::kClock;
+  }
+
+  void OnInsert(PageId page) override {
+    if (ring_.empty()) {
+      ring_.push_back(page);
+      hand_ = ring_.begin();
+      entries_[page] = {ring_.begin(), true};
+      return;
+    }
+    // Inserting before the hand makes the new page the last one the next
+    // sweep examines.
+    auto it = ring_.insert(hand_, page);
+    entries_[page] = {it, true};
+  }
+
+  void OnHit(PageId page) override { entries_.at(page).referenced = true; }
+
+  PageId ChooseVictim() override {
+    assert(!ring_.empty());
+    for (;;) {
+      if (hand_ == ring_.end()) hand_ = ring_.begin();
+      Entry& entry = entries_.at(*hand_);
+      if (entry.referenced) {
+        entry.referenced = false;
+        ++hand_;
+      } else {
+        return *hand_;
+      }
+    }
+  }
+
+  void OnErase(PageId page) override {
+    auto it = entries_.find(page);
+    if (it == entries_.end()) return;
+    if (hand_ == it->second.pos) ++hand_;
+    ring_.erase(it->second.pos);
+    entries_.erase(it);
+  }
+
+  /// Ring order starting at the hand (the next sweep's examination
+  /// order).
+  std::vector<PageId> Order() const override {
+    std::vector<PageId> order;
+    order.reserve(ring_.size());
+    for (auto it = hand_; it != ring_.end(); ++it) order.push_back(*it);
+    for (auto it = ring_.begin(); it != hand_; ++it) order.push_back(*it);
+    return order;
+  }
+
+  void Clear() override {
+    ring_.clear();
+    entries_.clear();
+    hand_ = ring_.end();
+  }
+
+  void Save(std::ostream& out) const override {
+    // Hand-first ring order; Load re-anchors the hand at the front.
+    const std::vector<PageId> order = Order();
+    PutVarint(out, order.size());
+    for (PageId page : order) {
+      PutVarint(out, page);
+      PutBool(out, entries_.at(page).referenced);
+    }
+  }
+
+  Status Load(std::istream& in) override {
+    Clear();
+    auto count = GetVarint(in);
+    ODBGC_RETURN_IF_ERROR(count.status());
+    for (uint64_t i = 0; i < *count; ++i) {
+      auto page = GetVarint(in);
+      ODBGC_RETURN_IF_ERROR(page.status());
+      auto referenced = GetBool(in);
+      ODBGC_RETURN_IF_ERROR(referenced.status());
+      ring_.push_back(*page);
+      if (!entries_.emplace(*page, Entry{std::prev(ring_.end()), *referenced})
+               .second) {
+        return Status::Corruption("clock state duplicate page");
+      }
+    }
+    hand_ = ring_.begin();
+    return Status::Ok();
+  }
+
+ private:
+  struct Entry {
+    std::list<PageId>::iterator pos;
+    bool referenced = false;
+  };
+  std::list<PageId> ring_;
+  std::list<PageId>::iterator hand_ = ring_.end();
+  std::unordered_map<PageId, Entry> entries_;
+};
+
+/// 2Q (Johnson & Shasha): first-touch pages enter a small FIFO probation
+/// queue (A1in); pages evicted from probation are remembered in a ghost
+/// list (A1out, ids only); a page re-fetched while on the ghost list is
+/// promoted to the protected LRU main queue (Am). One collection's
+/// partition scan therefore churns probation without displacing the
+/// application's hot set.
+class TwoQPolicy : public ReplacementPolicy {
+ public:
+  explicit TwoQPolicy(size_t frame_count)
+      : kin_(frame_count / 4 > 0 ? frame_count / 4 : 1),
+        kout_(frame_count / 2 > 0 ? frame_count / 2 : 1) {}
+
+  ReplacementPolicyKind kind() const override {
+    return ReplacementPolicyKind::kTwoQ;
+  }
+
+  void OnInsert(PageId page) override {
+    auto ghost = ghost_pos_.find(page);
+    if (ghost != ghost_pos_.end()) {
+      ghost_.erase(ghost->second);
+      ghost_pos_.erase(ghost);
+      am_.push_front(page);
+      entries_[page] = {Queue::kAm, am_.begin()};
+      return;
+    }
+    a1in_.push_front(page);
+    entries_[page] = {Queue::kA1in, a1in_.begin()};
+  }
+
+  void OnHit(PageId page) override {
+    Entry& entry = entries_.at(page);
+    // Classic 2Q: hits inside probation do not promote (that would make
+    // A1in an LRU and defeat scan resistance); hits in Am refresh
+    // recency.
+    if (entry.queue == Queue::kAm) {
+      am_.splice(am_.begin(), am_, entry.pos);
+      entry.pos = am_.begin();
+    }
+  }
+
+  PageId ChooseVictim() override {
+    assert(!a1in_.empty() || !am_.empty());
+    if (a1in_.size() > kin_ || am_.empty()) return a1in_.back();
+    return am_.back();
+  }
+
+  void OnEvict(PageId page) override {
+    auto it = entries_.find(page);
+    if (it == entries_.end()) return;
+    const bool was_probation = it->second.queue == Queue::kA1in;
+    Remove(it);
+    if (was_probation) {
+      // Remember the evictee: a quick second fetch proves it deserves the
+      // protected queue.
+      ghost_.push_front(page);
+      ghost_pos_[page] = ghost_.begin();
+      if (ghost_.size() > kout_) {
+        ghost_pos_.erase(ghost_.back());
+        ghost_.pop_back();
+      }
+    }
+  }
+
+  void OnErase(PageId page) override {
+    auto it = entries_.find(page);
+    if (it == entries_.end()) return;
+    Remove(it);
+  }
+
+  /// Protected pages (MRU first), then probation (newest first).
+  std::vector<PageId> Order() const override {
+    std::vector<PageId> order;
+    order.reserve(am_.size() + a1in_.size());
+    order.insert(order.end(), am_.begin(), am_.end());
+    order.insert(order.end(), a1in_.begin(), a1in_.end());
+    return order;
+  }
+
+  void Clear() override {
+    a1in_.clear();
+    am_.clear();
+    ghost_.clear();
+    entries_.clear();
+    ghost_pos_.clear();
+  }
+
+  void Save(std::ostream& out) const override {
+    auto save_list = [&out](const std::list<PageId>& list) {
+      PutVarint(out, list.size());
+      for (PageId page : list) PutVarint(out, page);
+    };
+    save_list(a1in_);
+    save_list(am_);
+    save_list(ghost_);
+  }
+
+  Status Load(std::istream& in) override {
+    Clear();
+    auto load_list = [&in](std::list<PageId>& list) -> Status {
+      auto count = GetVarint(in);
+      ODBGC_RETURN_IF_ERROR(count.status());
+      for (uint64_t i = 0; i < *count; ++i) {
+        auto page = GetVarint(in);
+        ODBGC_RETURN_IF_ERROR(page.status());
+        list.push_back(*page);
+      }
+      return Status::Ok();
+    };
+    ODBGC_RETURN_IF_ERROR(load_list(a1in_));
+    ODBGC_RETURN_IF_ERROR(load_list(am_));
+    ODBGC_RETURN_IF_ERROR(load_list(ghost_));
+    for (auto it = a1in_.begin(); it != a1in_.end(); ++it) {
+      if (!entries_.emplace(*it, Entry{Queue::kA1in, it}).second) {
+        return Status::Corruption("2q state duplicate page");
+      }
+    }
+    for (auto it = am_.begin(); it != am_.end(); ++it) {
+      if (!entries_.emplace(*it, Entry{Queue::kAm, it}).second) {
+        return Status::Corruption("2q state duplicate page");
+      }
+    }
+    for (auto it = ghost_.begin(); it != ghost_.end(); ++it) {
+      if (!ghost_pos_.emplace(*it, it).second) {
+        return Status::Corruption("2q state duplicate ghost page");
+      }
+    }
+    return Status::Ok();
+  }
+
+ private:
+  enum class Queue : uint8_t { kA1in, kAm };
+  struct Entry {
+    Queue queue;
+    std::list<PageId>::iterator pos;
+  };
+
+  void Remove(std::unordered_map<PageId, Entry>::iterator it) {
+    if (it->second.queue == Queue::kA1in) {
+      a1in_.erase(it->second.pos);
+    } else {
+      am_.erase(it->second.pos);
+    }
+    entries_.erase(it);
+  }
+
+  const size_t kin_;
+  const size_t kout_;
+  std::list<PageId> a1in_;   // Probation FIFO, front = newest.
+  std::list<PageId> am_;     // Protected LRU, front = MRU.
+  std::list<PageId> ghost_;  // Evicted-from-probation ids, front = newest.
+  std::unordered_map<PageId, Entry> entries_;
+  std::unordered_map<PageId, std::list<PageId>::iterator> ghost_pos_;
+};
+
+}  // namespace
+
+std::unique_ptr<ReplacementPolicy> MakeReplacementPolicy(
+    ReplacementPolicyKind kind, size_t frame_count) {
+  switch (kind) {
+    case ReplacementPolicyKind::kLru:
+      return std::make_unique<LruPolicy>();
+    case ReplacementPolicyKind::kClock:
+      return std::make_unique<ClockPolicy>();
+    case ReplacementPolicyKind::kTwoQ:
+      return std::make_unique<TwoQPolicy>(frame_count);
+  }
+  return std::make_unique<LruPolicy>();
+}
+
+}  // namespace odbgc

@@ -1,0 +1,86 @@
+#ifndef ODBGC_BUFFER_REPLACEMENT_POLICY_H_
+#define ODBGC_BUFFER_REPLACEMENT_POLICY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <vector>
+
+#include "storage/page.h"
+#include "util/status.h"
+
+namespace odbgc {
+
+/// Which eviction decision the buffer pool runs. Strict LRU is the
+/// paper's cost model (Section 4.2) and the default; the alternatives
+/// exist because cache behavior interacts with the collector's access
+/// pattern (a collection scans a whole partition, which pollutes an LRU
+/// buffer but not a scan-resistant one).
+enum class ReplacementPolicyKind : uint8_t {
+  kLru = 0,    ///< Strict least-recently-used (the paper).
+  kClock = 1,  ///< Second-chance clock (one ref bit, sweeping hand).
+  kTwoQ = 2,   ///< 2Q: FIFO probation + ghost list + protected LRU.
+};
+
+const char* ReplacementPolicyName(ReplacementPolicyKind kind);
+
+/// The eviction decision of a BufferPool, extracted so backends can be
+/// swapped without touching the pool's fetch/write-back machinery. The
+/// pool owns frames, dirty bits and I/O; the policy only tracks which
+/// resident page to victimize next.
+///
+/// The pool guarantees: OnInsert for every page becoming resident, OnHit
+/// for every access to a resident page, exactly one of OnEvict/OnErase
+/// when a page leaves, and ChooseVictim only when at least one page is
+/// resident. Implementations must be deterministic — runs are replayed
+/// for crash recovery and compared across thread counts.
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+
+  virtual ReplacementPolicyKind kind() const = 0;
+
+  /// `page` became resident (miss fill).
+  virtual void OnInsert(PageId page) = 0;
+
+  /// Resident `page` was accessed again.
+  virtual void OnHit(PageId page) = 0;
+
+  /// Picks the page to evict. May mutate scan state (the clock hand) but
+  /// must leave the chosen page tracked until OnEvict/OnErase removes it.
+  virtual PageId ChooseVictim() = 0;
+
+  /// `page` was evicted by replacement (2Q remembers it in the ghost
+  /// list). Default: same as OnErase.
+  virtual void OnEvict(PageId page) { OnErase(page); }
+
+  /// `page` was removed without eviction semantics (DiscardExtent,
+  /// restore rebuilds).
+  virtual void OnErase(PageId page) = 0;
+
+  /// Resident pages, most-recently-valuable first. For LRU this is exact
+  /// MRU→LRU order; other policies document their own order. The last
+  /// entry is always the current victim candidate's region.
+  virtual std::vector<PageId> Order() const = 0;
+
+  size_t tracked() const { return Order().size(); }
+
+  /// Drops all state (residency went away wholesale).
+  virtual void Clear() = 0;
+
+  /// Serializes the full replacement state (exactly enough for Load to
+  /// reproduce future decisions bit-for-bit).
+  virtual void Save(std::ostream& out) const = 0;
+
+  /// Restores state written by Save onto an empty policy.
+  virtual Status Load(std::istream& in) = 0;
+};
+
+/// Constructs the given policy for a pool of `frame_count` frames.
+std::unique_ptr<ReplacementPolicy> MakeReplacementPolicy(
+    ReplacementPolicyKind kind, size_t frame_count);
+
+}  // namespace odbgc
+
+#endif  // ODBGC_BUFFER_REPLACEMENT_POLICY_H_

@@ -8,17 +8,25 @@
 namespace odbgc {
 
 CollectedHeap::CollectedHeap(const HeapOptions& options) : options_(options) {
-  disk_ = std::make_unique<SimulatedDisk>(options_.store.page_size);
-  buffer_ = std::make_unique<BufferPool>(disk_.get(), options_.buffer_pages);
-  store_ = std::make_unique<ObjectStore>(options_.store, disk_.get(),
+  metrics_ = std::make_unique<MetricsRegistry>();
+  device_ = MakePageDevice(options_.device, options_.store.page_size,
+                           metrics_.get(), options_.disk_cost,
+                           options_.ssd_cost);
+  buffer_ = std::make_unique<BufferPool>(device_.get(), options_.buffer_pages,
+                                         options_.replacement);
+  store_ = std::make_unique<ObjectStore>(options_.store, device_.get(),
                                          buffer_.get());
   WireComponents();
 }
 
 CollectedHeap::CollectedHeap(const HeapOptions& options, RestoreTag)
     : options_(options) {
-  disk_ = std::make_unique<SimulatedDisk>(options_.store.page_size);
-  buffer_ = std::make_unique<BufferPool>(disk_.get(), options_.buffer_pages);
+  metrics_ = std::make_unique<MetricsRegistry>();
+  device_ = MakePageDevice(options_.device, options_.store.page_size,
+                           metrics_.get(), options_.disk_cost,
+                           options_.ssd_cost);
+  buffer_ = std::make_unique<BufferPool>(device_.get(), options_.buffer_pages,
+                                         options_.replacement);
 }
 
 void CollectedHeap::WireComponents() {
@@ -57,7 +65,7 @@ Result<std::unique_ptr<CollectedHeap>> CollectedHeap::FromImage(
   auto heap = std::unique_ptr<CollectedHeap>(
       new CollectedHeap(effective, RestoreTag{}));
   auto store =
-      ObjectStore::Restore(image, heap->disk_.get(), heap->buffer_.get(),
+      ObjectStore::Restore(image, heap->device_.get(), heap->buffer_.get(),
                            effective.store.placement);
   ODBGC_RETURN_IF_ERROR(store.status());
   heap->store_ = std::move(store).value();
@@ -312,7 +320,7 @@ Result<GlobalCollectionResult> CollectedHeap::CollectFullDatabase() {
 
 void CollectedHeap::ResetMeasurement() {
   buffer_->ResetStats();
-  disk_->ResetStats();
+  device_->ResetStats();
   stats_ = HeapStats{};
   collection_log_.clear();
   NoteFootprint();
@@ -355,9 +363,11 @@ void CollectedHeap::SaveRuntimeState(std::ostream& out) const {
   if (weights_ != nullptr) weights_->SaveState(out);
   barrier_->SaveState(out);
   buffer_->SaveState(out);
-  // Disk counters go last so LoadRuntimeState can restore them after the
-  // buffer reconstruction's uncounted transfers.
-  disk_->SaveState(out);
+  // Device-model state, then the registry, go last: buffer reconstruction
+  // issues real transfers (perturbing both), so LoadRuntimeState restores
+  // the device model after the buffer and every counter after that.
+  device_->SaveState(out);
+  metrics_->Save(out);
 }
 
 Status CollectedHeap::LoadRuntimeState(std::istream& in) {
@@ -410,7 +420,8 @@ Status CollectedHeap::LoadRuntimeState(std::istream& in) {
   }
   ODBGC_RETURN_IF_ERROR(barrier_->LoadState(in));
   ODBGC_RETURN_IF_ERROR(buffer_->LoadState(in));
-  ODBGC_RETURN_IF_ERROR(disk_->LoadState(in));
+  ODBGC_RETURN_IF_ERROR(device_->LoadState(in));
+  ODBGC_RETURN_IF_ERROR(metrics_->Load(in));
 
   stats_ = stats;
   overwrites_since_collection_ = static_cast<uint32_t>(overwrites);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "buffer/buffer_pool.h"
+#include "buffer/replacement_policy.h"
 #include "core/copying_collector.h"
 #include "core/global_collector.h"
 #include "core/remembered_set.h"
@@ -16,6 +17,9 @@
 #include "core/write_barrier.h"
 #include "odb/object_store.h"
 #include "storage/disk.h"
+#include "storage/page_device.h"
+#include "storage/ssd_device.h"
+#include "util/metrics_registry.h"
 #include "util/status.h"
 
 namespace odbgc {
@@ -53,6 +57,15 @@ struct HeapOptions {
   /// I/O buffer capacity in pages. The paper sets it equal to the
   /// partition size.
   size_t buffer_pages = 48;
+  /// Storage backend the heap runs on. The default reproduces the paper's
+  /// seek/rotation/transfer disk.
+  DeviceKind device = DeviceKind::kSimulatedDisk;
+  /// Timing model for DeviceKind::kSimulatedDisk.
+  DiskCostParams disk_cost;
+  /// Geometry/timing model for DeviceKind::kSsd.
+  SsdCostParams ssd_cost;
+  /// Buffer replacement policy. Strict LRU is the paper's cost model.
+  ReplacementPolicyKind replacement = ReplacementPolicyKind::kLru;
   /// Partition selection policy.
   PolicyKind policy = PolicyKind::kUpdatedPointer;
   /// Optional: construct a custom SelectionPolicy instead of the built-in
@@ -185,8 +198,12 @@ class CollectedHeap : private SlotWriteObserver {
   ObjectStore& mutable_store() { return *store_; }
   const BufferPool& buffer() const { return *buffer_; }
   BufferPool& mutable_buffer() { return *buffer_; }
-  const SimulatedDisk& disk() const { return *disk_; }
-  SimulatedDisk& mutable_disk() { return *disk_; }
+  const PageDevice& disk() const { return *device_; }
+  PageDevice& mutable_disk() { return *device_; }
+  const PageDevice& device() const { return *device_; }
+  PageDevice& mutable_device() { return *device_; }
+  /// The stack-wide metrics registry (device + buffer counters, phases).
+  MetricsRegistry* metrics() const { return metrics_.get(); }
   const InterPartitionIndex& index() const { return index_; }
   const WriteBarrier& barrier() const { return *barrier_; }
   const WeightTracker* weights() const { return weights_.get(); }
@@ -217,7 +234,8 @@ class CollectedHeap : private SlotWriteObserver {
 
   /// Serializes all heap runtime state that is NOT derivable from the
   /// store image: measurement counters, trigger progress, policy hints,
-  /// weights, deferred barrier work, buffer residency and disk counters.
+  /// weights, deferred barrier work, buffer residency, device-model state
+  /// and the metrics registry.
   /// Together with ExtractImage this captures the heap exactly — a heap
   /// restored via FromImage + LoadRuntimeState behaves bit-identically to
   /// the checkpointed one on any further event sequence. The collection
@@ -253,7 +271,8 @@ class CollectedHeap : private SlotWriteObserver {
   void CheckTriggers();
 
   HeapOptions options_;
-  std::unique_ptr<SimulatedDisk> disk_;
+  std::unique_ptr<MetricsRegistry> metrics_;
+  std::unique_ptr<PageDevice> device_;
   std::unique_ptr<BufferPool> buffer_;
   std::unique_ptr<ObjectStore> store_;
   InterPartitionIndex index_;

@@ -6,7 +6,7 @@
 
 namespace odbgc {
 
-ObjectStore::ObjectStore(const StoreOptions& options, SimulatedDisk* disk,
+ObjectStore::ObjectStore(const StoreOptions& options, PageDevice* disk,
                          BufferPool* buffer)
     : options_(options), disk_(disk), buffer_(buffer) {
   assert(disk_ != nullptr && buffer_ != nullptr);
@@ -17,7 +17,7 @@ ObjectStore::ObjectStore(const StoreOptions& options, SimulatedDisk* disk,
   }
 }
 
-ObjectStore::ObjectStore(const StoreOptions& options, SimulatedDisk* disk,
+ObjectStore::ObjectStore(const StoreOptions& options, PageDevice* disk,
                          BufferPool* buffer, RestoreTag)
     : options_(options), disk_(disk), buffer_(buffer) {
   assert(disk_ != nullptr && buffer_ != nullptr);
@@ -52,7 +52,7 @@ StoreImage ObjectStore::ExtractImage() const {
 }
 
 Result<std::unique_ptr<ObjectStore>> ObjectStore::Restore(
-    const StoreImage& image, SimulatedDisk* disk, BufferPool* buffer,
+    const StoreImage& image, PageDevice* disk, BufferPool* buffer,
     PlacementPolicy placement) {
   StoreOptions options;
   options.page_size = image.page_size;

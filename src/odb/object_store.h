@@ -9,7 +9,7 @@
 #include "odb/object_id.h"
 #include "odb/object_layout.h"
 #include "odb/partition.h"
-#include "storage/disk.h"
+#include "storage/page_device.h"
 #include "util/status.h"
 
 namespace odbgc {
@@ -129,7 +129,7 @@ class ObjectStore {
   /// `disk` and `buffer` must outlive the store and `buffer` must wrap
   /// `disk`. Creates one allocatable partition, plus the reserved empty
   /// partition if configured.
-  ObjectStore(const StoreOptions& options, SimulatedDisk* disk,
+  ObjectStore(const StoreOptions& options, PageDevice* disk,
               BufferPool* buffer);
 
   ObjectStore(const ObjectStore&) = delete;
@@ -287,7 +287,7 @@ class ObjectStore {
   /// inconsistent image (out-of-bounds or overlapping objects, dangling
   /// slots or roots, duplicate ids).
   static Result<std::unique_ptr<ObjectStore>> Restore(
-      const StoreImage& image, SimulatedDisk* disk, BufferPool* buffer,
+      const StoreImage& image, PageDevice* disk, BufferPool* buffer,
       PlacementPolicy placement = PlacementPolicy::kNearParent);
 
   /// Placement cursors — behavioral state that the image does not carry
@@ -308,7 +308,7 @@ class ObjectStore {
   // Restore path: constructs an empty store without the initial
   // partitions.
   struct RestoreTag {};
-  ObjectStore(const StoreOptions& options, SimulatedDisk* disk,
+  ObjectStore(const StoreOptions& options, PageDevice* disk,
               BufferPool* buffer, RestoreTag);
 
   // Bump-allocates in `partition`; returns true and sets *offset on success.
@@ -329,7 +329,7 @@ class ObjectStore {
   ObjectInfo* MutableLookup(ObjectId object);
 
   const StoreOptions options_;
-  SimulatedDisk* const disk_;
+  PageDevice* const disk_;
   BufferPool* const buffer_;
   SlotWriteObserver* observer_ = nullptr;
 

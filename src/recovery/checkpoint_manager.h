@@ -13,9 +13,12 @@
 
 namespace odbgc {
 
-/// Checkpoint file format identification.
+/// Checkpoint file format identification. Version 2: buffer state carries
+/// the replacement-policy kind and serialized policy state, device-model
+/// state replaces raw disk counters, and the whole metrics registry
+/// (named per-phase counters) is serialized after it.
 inline constexpr uint32_t kCheckpointMagic = 0x4342444fu;  // "ODBC" LE.
-inline constexpr uint16_t kCheckpointVersion = 1;
+inline constexpr uint16_t kCheckpointVersion = 2;
 
 /// Writes, lists, validates and garbage-collects simulation snapshots in a
 /// durability directory, alongside the WAL segments they anchor.

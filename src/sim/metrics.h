@@ -2,11 +2,15 @@
 #define ODBGC_SIM_METRICS_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "buffer/buffer_pool.h"
+#include "buffer/replacement_policy.h"
 #include "core/heap.h"
 #include "core/selection_policy.h"
 #include "storage/disk.h"
+#include "storage/page_device.h"
+#include "util/metrics_registry.h"
 #include "util/time_series.h"
 
 namespace odbgc {
@@ -16,6 +20,10 @@ namespace odbgc {
 struct SimulationResult {
   PolicyKind policy = PolicyKind::kUpdatedPointer;
   uint64_t seed = 0;
+
+  /// I/O subsystem configuration the run used.
+  DeviceKind device = DeviceKind::kSimulatedDisk;
+  ReplacementPolicyKind replacement = ReplacementPolicyKind::kLru;
 
   /// Application events replayed (the paper's time axis).
   uint64_t app_events = 0;
@@ -70,10 +78,20 @@ struct SimulationResult {
   TimeSeries unreclaimed_garbage_kb;
   TimeSeries database_size_kb;
 
+  /// Estimated wall time of all device transfers under the backend's own
+  /// cost model (seek/rotation/transfer for the disk; read/program/erase
+  /// for the SSD) — the "more detailed cost model" of Section 4.2.
+  double estimated_device_time_ms = 0.0;
+
   /// Full component stats for deeper inspection.
   HeapStats heap_stats;
   BufferStats buffer_stats;
   DiskStats disk_stats;
+
+  /// Every named counter in the run's metrics registry, with per-phase
+  /// attribution (sorted by name; includes device-specific counters like
+  /// the SSD's erases).
+  std::vector<MetricSample> metrics;
 };
 
 }  // namespace odbgc

@@ -28,6 +28,7 @@ std::vector<PolicySummary> Summarize(const Experiment& experiment) {
       s.collections.Add(static_cast<double>(run.collections));
       s.actual_garbage_kb.Add(static_cast<double>(run.actual_garbage_bytes()) /
                               1024.0);
+      s.device_time_ms.Add(run.estimated_device_time_ms);
 
       if (baseline != nullptr && i < baseline->runs.size()) {
         const SimulationResult& ref = baseline->runs[i];
@@ -43,6 +44,10 @@ std::vector<PolicySummary> Summarize(const Experiment& experiment) {
         if (ref.EfficiencyKbPerIo() > 0) {
           s.relative_efficiency.Add(run.EfficiencyKbPerIo() /
                                     ref.EfficiencyKbPerIo());
+        }
+        if (ref.estimated_device_time_ms > 0) {
+          s.relative_device_time.Add(run.estimated_device_time_ms /
+                                     ref.estimated_device_time_ms);
         }
       }
     }
@@ -105,6 +110,20 @@ void PrintEfficiencyTable(const std::vector<PolicySummary>& summaries,
     const PolicySummary& any = summaries.front();
     t.AddRow({"Actual Garbage", FormatCount(any.actual_garbage_kb.mean()),
               FormatCount(any.actual_garbage_kb.stddev()), "", "", "", ""});
+  }
+  t.Print(os);
+}
+
+void PrintDeviceTimeTable(const std::vector<PolicySummary>& summaries,
+                          std::ostream& os) {
+  os << "Estimated Device Time (Relative is MostGarbage = 1)\n";
+  TablePrinter t({"Selection Policy", "Device Time (ms) Mean", "Std Dev",
+                  "Relative Mean", "Std Dev"});
+  for (const PolicySummary& s : summaries) {
+    t.AddRow({PolicyName(s.policy), FormatCount(s.device_time_ms.mean()),
+              FormatCount(s.device_time_ms.stddev()),
+              FormatDouble(s.relative_device_time.mean(), 3),
+              FormatDouble(s.relative_device_time.stddev(), 3)});
   }
   t.Print(os);
 }

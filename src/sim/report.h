@@ -27,6 +27,10 @@ struct PolicySummary {
   RunningStat relative_efficiency;  // vs MostGarbage, same seed.
   RunningStat collections;
   RunningStat actual_garbage_kb;  // Trace property; same for all policies.
+  /// Estimated device time under the backend's cost model (see
+  /// SimulationResult::estimated_device_time_ms).
+  RunningStat device_time_ms;
+  RunningStat relative_device_time;  // vs MostGarbage, same seed.
 };
 
 /// Builds per-policy summaries from an experiment (preserves set order).
@@ -44,6 +48,12 @@ void PrintStorageTable(const std::vector<PolicySummary>& summaries,
 /// Table 4: collector effectiveness and efficiency, with the
 /// "Actual Garbage" reference row.
 void PrintEfficiencyTable(const std::vector<PolicySummary>& summaries,
+                          std::ostream& os);
+
+/// Estimated device time under the configured backend's cost model
+/// (beyond the paper: policies re-ranked by a device's actual economics
+/// rather than raw I/O counts).
+void PrintDeviceTimeTable(const std::vector<PolicySummary>& summaries,
                           std::ostream& os);
 
 }  // namespace odbgc

@@ -218,13 +218,17 @@ SimulationResult Simulator::Finish() {
   SimulationResult result;
   result.policy = heap_->options().policy;
   result.seed = config_.seed;
+  result.device = heap_->options().device;
+  result.replacement = heap_->options().replacement;
   result.app_events = events_;
 
-  const BufferStats& buffer = heap_->buffer().stats();
+  const BufferStats buffer = heap_->buffer().stats();
   result.app_io = buffer.app_io();
   result.gc_io = buffer.gc_io();
   result.buffer_stats = buffer;
   result.disk_stats = heap_->disk().stats();
+  result.estimated_device_time_ms = heap_->disk().EstimateTimeMs();
+  result.metrics = heap_->metrics()->Snapshot();
 
   const HeapStats& heap_stats = heap_->stats();
   result.heap_stats = heap_stats;

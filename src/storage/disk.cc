@@ -7,15 +7,17 @@
 
 namespace odbgc {
 
-SimulatedDisk::SimulatedDisk(size_t page_size) : page_size_(page_size) {
-  assert(page_size_ > 0);
+SimulatedDisk::SimulatedDisk(size_t page_size, MetricsRegistry* registry,
+                             const DiskCostParams& cost)
+    : PageDevice(page_size, registry), cost_(cost) {
+  assert(page_size > 0);
 }
 
 PageExtent SimulatedDisk::AllocatePages(size_t count) {
   PageExtent extent{static_cast<PageId>(pages_.size()), count};
   for (size_t i = 0; i < count; ++i) {
-    auto page = std::make_unique<std::byte[]>(page_size_);
-    std::memset(page.get(), 0, page_size_);
+    auto page = std::make_unique<std::byte[]>(page_size());
+    std::memset(page.get(), 0, page_size());
     pages_.push_back(std::move(page));
   }
   return extent;
@@ -27,13 +29,12 @@ Status SimulatedDisk::ReadPage(PageId page, std::span<std::byte> out) {
                               " beyond disk end " +
                               std::to_string(pages_.size()));
   }
-  if (out.size() != page_size_) {
+  if (out.size() != page_size()) {
     return Status::InvalidArgument("ReadPage: buffer size mismatch");
   }
   ODBGC_RETURN_IF_ERROR(CheckFault(/*is_write=*/false));
-  std::memcpy(out.data(), pages_[page].get(), page_size_);
-  ++stats_.page_reads;
-  NoteAccess(page);
+  std::memcpy(out.data(), pages_[page].get(), page_size());
+  CountRead(page);
   return Status::Ok();
 }
 
@@ -43,91 +44,40 @@ Status SimulatedDisk::WritePage(PageId page, std::span<const std::byte> in) {
                               " beyond disk end " +
                               std::to_string(pages_.size()));
   }
-  if (in.size() != page_size_) {
+  if (in.size() != page_size()) {
     return Status::InvalidArgument("WritePage: buffer size mismatch");
   }
   ODBGC_RETURN_IF_ERROR(CheckFault(/*is_write=*/true));
-  std::memcpy(pages_[page].get(), in.data(), page_size_);
-  ++stats_.page_writes;
-  NoteAccess(page);
-  return Status::Ok();
-}
-
-void SimulatedDisk::InjectFaults(const FaultPlan& plan) {
-  faults_ = plan;
-  fault_rng_.emplace(plan.seed);
-  fault_writes_seen_ = 0;
-  fault_reads_seen_ = 0;
-}
-
-void SimulatedDisk::ClearFaults() {
-  faults_.reset();
-  fault_rng_.reset();
-}
-
-Status SimulatedDisk::CheckFault(bool is_write) {
-  if (!faults_) return Status::Ok();
-  uint64_t& seen = is_write ? fault_writes_seen_ : fault_reads_seen_;
-  const uint64_t trigger =
-      is_write ? faults_->fail_after_writes : faults_->fail_after_reads;
-  ++seen;
-  if (trigger != 0 && seen == trigger) {
-    ++faults_fired_;
-    return Status::IoError(std::string("injected fault on ") +
-                           (is_write ? "write #" : "read #") +
-                           std::to_string(seen));
-  }
-  if (faults_->error_prob > 0.0 &&
-      fault_rng_->Bernoulli(faults_->error_prob)) {
-    ++faults_fired_;
-    return Status::IoError("injected probabilistic fault");
-  }
+  std::memcpy(pages_[page].get(), in.data(), page_size());
+  CountWrite(page);
   return Status::Ok();
 }
 
 void SimulatedDisk::SaveState(std::ostream& out) const {
-  PutVarint(out, page_size_);
+  PutU8(out, static_cast<uint8_t>(kind()));
+  PutVarint(out, page_size());
   PutVarint(out, pages_.size());
-  PutVarint(out, stats_.page_reads);
-  PutVarint(out, stats_.page_writes);
-  PutVarint(out, stats_.sequential_transfers);
-  PutVarint(out, stats_.random_transfers);
-  PutU64(out, last_accessed_);
+  PutU64(out, last_accessed());
 }
 
 Status SimulatedDisk::LoadState(std::istream& in) {
-  auto get = [&in](uint64_t* out_value) -> Status {
-    auto v = GetVarint(in);
-    ODBGC_RETURN_IF_ERROR(v.status());
-    *out_value = *v;
-    return Status::Ok();
-  };
-  uint64_t page_size = 0;
-  uint64_t num_pages = 0;
-  ODBGC_RETURN_IF_ERROR(get(&page_size));
-  ODBGC_RETURN_IF_ERROR(get(&num_pages));
-  if (page_size != page_size_ || num_pages != pages_.size()) {
+  auto stored_kind = GetU8(in);
+  ODBGC_RETURN_IF_ERROR(stored_kind.status());
+  if (*stored_kind != static_cast<uint8_t>(kind())) {
+    return Status::Corruption("device state kind mismatch");
+  }
+  auto stored_page_size = GetVarint(in);
+  ODBGC_RETURN_IF_ERROR(stored_page_size.status());
+  auto stored_num_pages = GetVarint(in);
+  ODBGC_RETURN_IF_ERROR(stored_num_pages.status());
+  if (*stored_page_size != page_size() ||
+      *stored_num_pages != pages_.size()) {
     return Status::Corruption("disk state geometry mismatch");
   }
-  DiskStats stats;
-  ODBGC_RETURN_IF_ERROR(get(&stats.page_reads));
-  ODBGC_RETURN_IF_ERROR(get(&stats.page_writes));
-  ODBGC_RETURN_IF_ERROR(get(&stats.sequential_transfers));
-  ODBGC_RETURN_IF_ERROR(get(&stats.random_transfers));
   auto last = GetU64(in);
   ODBGC_RETURN_IF_ERROR(last.status());
-  stats_ = stats;
-  last_accessed_ = *last;
+  set_last_accessed(*last);
   return Status::Ok();
-}
-
-void SimulatedDisk::NoteAccess(PageId page) {
-  if (last_accessed_ != kInvalidPageId && page == last_accessed_ + 1) {
-    ++stats_.sequential_transfers;
-  } else {
-    ++stats_.random_transfers;
-  }
-  last_accessed_ = page;
 }
 
 double EstimateDiskTimeMs(const DiskStats& stats,

@@ -5,33 +5,16 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <optional>
-#include <span>
 #include <vector>
 
-#include "storage/extent.h"
-#include "storage/page.h"
-#include "util/random.h"
+#include "storage/page_device.h"
 #include "util/status.h"
 
 namespace odbgc {
 
-/// Cumulative disk transfer counters.
-struct DiskStats {
-  uint64_t page_reads = 0;
-  uint64_t page_writes = 0;
-  /// Transfers whose page immediately follows the previously accessed
-  /// page (no head movement); the rest pay a seek + rotational delay
-  /// under the timing model below.
-  uint64_t sequential_transfers = 0;
-  uint64_t random_transfers = 0;
-
-  uint64_t total() const { return page_reads + page_writes; }
-};
-
-/// A simple device timing model — the "more detailed cost model" the
-/// paper's Section 4.2 suggests ("actual disk costs in terms of head seek,
-/// rotational delay, and transfer times"). Defaults approximate an
+/// A simple magnetic-disk timing model — the "more detailed cost model"
+/// the paper's Section 4.2 suggests ("actual disk costs in terms of head
+/// seek, rotational delay, and transfer times"). Defaults approximate an
 /// early-90s SCSI disk (the paper's DECstation era): ~16 ms average seek,
 /// 3600 RPM (8.3 ms half-rotation), ~4 MB/s media rate.
 struct DiskCostParams {
@@ -45,94 +28,44 @@ struct DiskCostParams {
 double EstimateDiskTimeMs(const DiskStats& stats,
                           const DiskCostParams& params = DiskCostParams{});
 
-/// Fault-injection schedule for crash-recovery testing. Scripted triggers
-/// fire exactly once on the Nth transfer after InjectFaults; the
-/// probabilistic trigger draws from its own Rng stream, so arming it never
-/// perturbs simulation randomness.
-struct FaultPlan {
-  /// Fail the Nth write after injection (1-based). 0 disables.
-  uint64_t fail_after_writes = 0;
-  /// Fail the Nth read after injection (1-based). 0 disables.
-  uint64_t fail_after_reads = 0;
-  /// Independently fail each transfer with this probability.
-  double error_prob = 0.0;
-  /// Seed for the probabilistic stream.
-  uint64_t seed = 0;
-};
-
-/// A simulated secondary-memory device holding fixed-size pages.
-///
-/// The disk stores real bytes (the object store serializes objects into
-/// pages, and the collector physically copies them), and counts every page
-/// transfer. The trace-driven cost model of the paper is "number of page
-/// I/O operations"; those operations are issued against this class by the
-/// BufferPool — client code never reads the disk directly.
-class SimulatedDisk {
+/// The paper's secondary-memory model: a magnetic disk whose random
+/// transfers pay a seek plus half a rotation and whose sequential
+/// transfers pay only the media rate. The default PageDevice backend.
+class SimulatedDisk : public PageDevice {
  public:
   /// Creates an empty disk with the given page size in bytes (> 0).
-  explicit SimulatedDisk(size_t page_size = kDefaultPageSize);
+  /// `registry` may be nullptr (the device then owns a private one).
+  explicit SimulatedDisk(size_t page_size = kDefaultPageSize,
+                         MetricsRegistry* registry = nullptr,
+                         const DiskCostParams& cost = DiskCostParams{});
 
-  SimulatedDisk(const SimulatedDisk&) = delete;
-  SimulatedDisk& operator=(const SimulatedDisk&) = delete;
+  DeviceKind kind() const override { return DeviceKind::kSimulatedDisk; }
 
-  /// Appends `count` zero-filled pages; returns the extent covering them.
-  /// This is how the database grows by one partition at a time.
-  PageExtent AllocatePages(size_t count);
+  PageExtent AllocatePages(size_t count) override;
+  Status ReadPage(PageId page, std::span<std::byte> out) override;
+  Status WritePage(PageId page, std::span<const std::byte> in) override;
+  size_t num_pages() const override { return pages_.size(); }
 
-  /// Copies page `page` into `out` (size must equal page_size()).
-  /// Counts one page read.
-  Status ReadPage(PageId page, std::span<std::byte> out);
+  double EstimateTimeMs() const override {
+    return EstimateDiskTimeMs(stats(), cost_);
+  }
+  const DiskCostParams& cost_params() const { return cost_; }
 
-  /// Overwrites page `page` from `in` (size must equal page_size()).
-  /// Counts one page write.
-  Status WritePage(PageId page, std::span<const std::byte> in);
-
-  size_t page_size() const { return page_size_; }
-  size_t num_pages() const { return pages_.size(); }
-  const DiskStats& stats() const { return stats_; }
-
-  /// Zeroes the transfer counters (e.g., after a warm-up phase).
-  void ResetStats() { stats_ = DiskStats{}; }
-
-  /// Arms fault injection. Replaces any previously armed plan and restarts
-  /// the transfer counters the scripted triggers count against.
-  void InjectFaults(const FaultPlan& plan);
-
-  /// Disarms fault injection.
-  void ClearFaults();
-
-  /// Number of transfers failed by the armed plan(s) so far.
-  uint64_t faults_fired() const { return faults_fired_; }
-
-  /// Serializes the timing-model state (transfer counters plus the
-  /// last-accessed page that drives sequential/random classification) so a
-  /// restored run reproduces the same disk-time estimate. Page contents are
-  /// not included — the store image rematerializes them.
-  void SaveState(std::ostream& out) const;
+  /// Serializes the timing-model state (the last-accessed page that drives
+  /// sequential/random classification) plus the geometry for a
+  /// cross-check. Counters live in the metrics registry; page contents are
+  /// rematerialized by the store image.
+  void SaveState(std::ostream& out) const override;
 
   /// Restores state written by SaveState. Corruption if the stream is
   /// malformed or describes a different disk geometry.
-  Status LoadState(std::istream& in);
+  Status LoadState(std::istream& in) override;
 
  private:
-  // Classifies an access as sequential or random relative to the last one.
-  void NoteAccess(PageId page);
-
-  // Returns the injected fault for this transfer, if the plan fires.
-  Status CheckFault(bool is_write);
-
-  const size_t page_size_;
+  const DiskCostParams cost_;
   // One buffer per page. unique_ptr keeps page addresses stable across
   // growth and avoids a multi-megabyte relocation on each new partition.
   std::vector<std::unique_ptr<std::byte[]>> pages_;
-  DiskStats stats_;
-  PageId last_accessed_ = kInvalidPageId;
-
-  std::optional<FaultPlan> faults_;
-  std::optional<Rng> fault_rng_;
-  uint64_t fault_writes_seen_ = 0;
-  uint64_t fault_reads_seen_ = 0;
-  uint64_t faults_fired_ = 0;
 };
 
 }  // namespace odbgc

@@ -1,0 +1,126 @@
+#include "storage/page_device.h"
+
+#include <string>
+
+#include "storage/disk.h"
+#include "storage/ssd_device.h"
+
+namespace odbgc {
+
+const char* DeviceKindName(DeviceKind kind) {
+  switch (kind) {
+    case DeviceKind::kSimulatedDisk:
+      return "disk";
+    case DeviceKind::kSsd:
+      return "ssd";
+  }
+  return "unknown";
+}
+
+namespace {
+
+MetricsRegistry* ResolveRegistry(MetricsRegistry* registry,
+                                 std::unique_ptr<MetricsRegistry>* owned) {
+  if (registry != nullptr) return registry;
+  *owned = std::make_unique<MetricsRegistry>();
+  return owned->get();
+}
+
+}  // namespace
+
+PageDevice::PageDevice(size_t page_size, MetricsRegistry* registry)
+    : page_size_(page_size),
+      registry_(ResolveRegistry(registry, &owned_registry_)),
+      reads_(registry_->Register("device.page_reads")),
+      writes_(registry_->Register("device.page_writes")),
+      sequential_(registry_->Register("device.sequential_transfers")),
+      random_(registry_->Register("device.random_transfers")) {
+  device_counters_ = {reads_, writes_, sequential_, random_};
+}
+
+PageDevice::~PageDevice() = default;
+
+DiskStats PageDevice::stats() const {
+  DiskStats stats;
+  stats.page_reads = reads_->total();
+  stats.page_writes = writes_->total();
+  stats.sequential_transfers = sequential_->total();
+  stats.random_transfers = random_->total();
+  return stats;
+}
+
+void PageDevice::ResetStats() {
+  for (MetricCounter* counter : device_counters_) counter->Reset();
+}
+
+MetricCounter* PageDevice::RegisterDeviceCounter(const std::string& name) {
+  MetricCounter* counter = registry_->Register(name);
+  device_counters_.push_back(counter);
+  return counter;
+}
+
+void PageDevice::CountRead(PageId page) {
+  registry_->Count(reads_);
+  NoteAccess(page);
+}
+
+void PageDevice::CountWrite(PageId page) {
+  registry_->Count(writes_);
+  NoteAccess(page);
+}
+
+void PageDevice::NoteAccess(PageId page) {
+  if (last_accessed_ != kInvalidPageId && page == last_accessed_ + 1) {
+    registry_->Count(sequential_);
+  } else {
+    registry_->Count(random_);
+  }
+  last_accessed_ = page;
+}
+
+void PageDevice::InjectFaults(const FaultPlan& plan) {
+  faults_ = plan;
+  fault_rng_.emplace(plan.seed);
+  fault_writes_seen_ = 0;
+  fault_reads_seen_ = 0;
+}
+
+void PageDevice::ClearFaults() {
+  faults_.reset();
+  fault_rng_.reset();
+}
+
+Status PageDevice::CheckFault(bool is_write) {
+  if (!faults_) return Status::Ok();
+  uint64_t& seen = is_write ? fault_writes_seen_ : fault_reads_seen_;
+  const uint64_t trigger =
+      is_write ? faults_->fail_after_writes : faults_->fail_after_reads;
+  ++seen;
+  if (trigger != 0 && seen == trigger) {
+    ++faults_fired_;
+    return Status::IoError(std::string("injected fault on ") +
+                           (is_write ? "write #" : "read #") +
+                           std::to_string(seen));
+  }
+  if (faults_->error_prob > 0.0 &&
+      fault_rng_->Bernoulli(faults_->error_prob)) {
+    ++faults_fired_;
+    return Status::IoError("injected probabilistic fault");
+  }
+  return Status::Ok();
+}
+
+std::unique_ptr<PageDevice> MakePageDevice(DeviceKind kind, size_t page_size,
+                                           MetricsRegistry* registry,
+                                           const DiskCostParams& disk_cost,
+                                           const SsdCostParams& ssd_cost) {
+  switch (kind) {
+    case DeviceKind::kSimulatedDisk:
+      return std::make_unique<SimulatedDisk>(page_size, registry, disk_cost);
+    case DeviceKind::kSsd:
+      return std::make_unique<SsdDevice>(page_size, registry, ssd_cost);
+  }
+  return std::make_unique<SimulatedDisk>(page_size, registry, disk_cost);
+}
+
+}  // namespace odbgc

@@ -1,0 +1,189 @@
+#ifndef ODBGC_STORAGE_PAGE_DEVICE_H_
+#define ODBGC_STORAGE_PAGE_DEVICE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "storage/extent.h"
+#include "storage/page.h"
+#include "util/metrics_registry.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace odbgc {
+
+/// The simulated storage backends. The paper fixes one device model (a
+/// seek/rotation/transfer magnetic disk, Section 4.2); device economics
+/// invert policy rankings on other media, so the backend is a first-class
+/// experiment axis.
+enum class DeviceKind : uint8_t {
+  kSimulatedDisk = 0,  ///< Seek + rotation + transfer (the paper's model).
+  kSsd = 1,            ///< Flash with erase-block GC amplification.
+};
+
+const char* DeviceKindName(DeviceKind kind);
+
+/// Cumulative device transfer counters (snapshot built from the metrics
+/// registry — see PageDevice::stats).
+struct DiskStats {
+  uint64_t page_reads = 0;
+  uint64_t page_writes = 0;
+  /// Transfers whose page immediately follows the previously accessed
+  /// page (no head movement); the rest pay the device's random-access
+  /// cost under its timing model.
+  uint64_t sequential_transfers = 0;
+  uint64_t random_transfers = 0;
+
+  uint64_t total() const { return page_reads + page_writes; }
+};
+
+/// Fault-injection schedule for crash-recovery testing. Scripted triggers
+/// fire exactly once on the Nth transfer after InjectFaults; the
+/// probabilistic trigger draws from its own Rng stream, so arming it never
+/// perturbs simulation randomness.
+struct FaultPlan {
+  /// Fail the Nth write after injection (1-based). 0 disables.
+  uint64_t fail_after_writes = 0;
+  /// Fail the Nth read after injection (1-based). 0 disables.
+  uint64_t fail_after_reads = 0;
+  /// Independently fail each transfer with this probability.
+  double error_prob = 0.0;
+  /// Seed for the probabilistic stream.
+  uint64_t seed = 0;
+};
+
+/// A simulated secondary-memory device holding fixed-size pages: the seam
+/// between the buffer pool and whatever medium the experiment models.
+///
+/// Devices store real bytes (the object store serializes objects into
+/// pages, and the collector physically copies them), and count every page
+/// transfer in the shared MetricsRegistry — under the phase that was
+/// active when the transfer happened. The trace-driven cost model of the
+/// paper is "number of page I/O operations"; EstimateTimeMs maps those
+/// operations onto the device's own timing model. Transfers are issued by
+/// the BufferPool — client code never reads a device directly.
+///
+/// The base class owns what every backend shares: transfer counters,
+/// sequential/random classification, and the fault-injection surface.
+class PageDevice {
+ public:
+  /// `registry` is the stack-wide metrics registry; pass nullptr to let
+  /// the device own a private one (standalone/test use).
+  PageDevice(size_t page_size, MetricsRegistry* registry);
+  virtual ~PageDevice();
+
+  PageDevice(const PageDevice&) = delete;
+  PageDevice& operator=(const PageDevice&) = delete;
+
+  virtual DeviceKind kind() const = 0;
+
+  /// Appends `count` zero-filled pages; returns the extent covering them.
+  /// This is how the database grows by one partition at a time.
+  virtual PageExtent AllocatePages(size_t count) = 0;
+
+  /// Copies page `page` into `out` (size must equal page_size()).
+  /// Counts one page read.
+  virtual Status ReadPage(PageId page, std::span<std::byte> out) = 0;
+
+  /// Overwrites page `page` from `in` (size must equal page_size()).
+  /// Counts one page write.
+  virtual Status WritePage(PageId page, std::span<const std::byte> in) = 0;
+
+  virtual size_t num_pages() const = 0;
+
+  /// Estimated device time for all transfers recorded so far, under this
+  /// device's own cost model (the "more detailed cost model" the paper's
+  /// Section 4.2 invites).
+  virtual double EstimateTimeMs() const = 0;
+
+  /// Serializes the device-model state that is NOT derivable from page
+  /// contents (access-classification cursor, FTL state, ...). Counters are
+  /// not included — the registry serializes those once for the whole
+  /// stack. Page contents are not included either: the store image
+  /// rematerializes them.
+  virtual void SaveState(std::ostream& out) const = 0;
+
+  /// Restores state written by SaveState. Corruption if the stream is
+  /// malformed or describes a different device/geometry.
+  virtual Status LoadState(std::istream& in) = 0;
+
+  size_t page_size() const { return page_size_; }
+
+  /// The registry this device (and the pool above it) charge into.
+  MetricsRegistry* metrics() const { return registry_; }
+
+  /// Transfer counters as the classic snapshot struct.
+  DiskStats stats() const;
+
+  /// Zeroes this device's transfer counters (e.g., after a warm-up
+  /// phase). The access-classification cursor is left untouched.
+  void ResetStats();
+
+  /// Arms fault injection. Replaces any previously armed plan and restarts
+  /// the transfer counters the scripted triggers count against.
+  void InjectFaults(const FaultPlan& plan);
+
+  /// Disarms fault injection.
+  void ClearFaults();
+
+  /// Number of transfers failed by the armed plan(s) so far.
+  uint64_t faults_fired() const { return faults_fired_; }
+
+ protected:
+  // Counts one read/write plus its sequential/random classification,
+  // charged to the registry's current phase.
+  void CountRead(PageId page);
+  void CountWrite(PageId page);
+
+  // Returns the injected fault for this transfer, if the plan fires.
+  Status CheckFault(bool is_write);
+
+  // Registers an extra backend-specific counter that ResetStats should
+  // also zero (e.g. the SSD's erase count).
+  MetricCounter* RegisterDeviceCounter(const std::string& name);
+
+  PageId last_accessed() const { return last_accessed_; }
+  void set_last_accessed(PageId page) { last_accessed_ = page; }
+
+ private:
+  void NoteAccess(PageId page);
+
+  const size_t page_size_;
+  // Set when the device was constructed without a shared registry.
+  std::unique_ptr<MetricsRegistry> owned_registry_;
+  MetricsRegistry* const registry_;
+
+  MetricCounter* const reads_;
+  MetricCounter* const writes_;
+  MetricCounter* const sequential_;
+  MetricCounter* const random_;
+  std::vector<MetricCounter*> device_counters_;
+
+  PageId last_accessed_ = kInvalidPageId;
+
+  std::optional<FaultPlan> faults_;
+  std::optional<Rng> fault_rng_;
+  uint64_t fault_writes_seen_ = 0;
+  uint64_t fault_reads_seen_ = 0;
+  uint64_t faults_fired_ = 0;
+};
+
+struct DiskCostParams;
+struct SsdCostParams;
+
+/// Constructs the configured backend. `registry` may be nullptr (the
+/// device then owns a private registry).
+std::unique_ptr<PageDevice> MakePageDevice(DeviceKind kind, size_t page_size,
+                                           MetricsRegistry* registry,
+                                           const DiskCostParams& disk_cost,
+                                           const SsdCostParams& ssd_cost);
+
+}  // namespace odbgc
+
+#endif  // ODBGC_STORAGE_PAGE_DEVICE_H_

@@ -1,0 +1,284 @@
+#include "storage/ssd_device.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "util/serde.h"
+
+namespace odbgc {
+
+namespace {
+
+// +1 encoding so kUnmapped (UINT64_MAX) serializes as a single 0 byte.
+void PutMapping(std::ostream& out, uint64_t value) {
+  PutVarint(out, value == UINT64_MAX ? 0 : value + 1);
+}
+
+Result<uint64_t> GetMapping(std::istream& in) {
+  auto v = GetVarint(in);
+  ODBGC_RETURN_IF_ERROR(v.status());
+  return *v == 0 ? UINT64_MAX : *v - 1;
+}
+
+SsdCostParams Sanitize(SsdCostParams cost) {
+  if (cost.pages_per_block == 0) cost.pages_per_block = 64;
+  if (cost.spare_blocks < 2) cost.spare_blocks = 2;
+  return cost;
+}
+
+}  // namespace
+
+SsdDevice::SsdDevice(size_t page_size, MetricsRegistry* registry,
+                     const SsdCostParams& cost)
+    : PageDevice(page_size, registry),
+      cost_(Sanitize(cost)),
+      erases_(RegisterDeviceCounter("ssd.erases")),
+      gc_copies_(RegisterDeviceCounter("ssd.gc_page_copies")) {
+  assert(page_size > 0);
+}
+
+PageExtent SsdDevice::AllocatePages(size_t count) {
+  PageExtent extent{static_cast<PageId>(pages_.size()), count};
+  for (size_t i = 0; i < count; ++i) {
+    auto page = std::make_unique<std::byte[]>(page_size());
+    std::memset(page.get(), 0, page_size());
+    pages_.push_back(std::move(page));
+    map_.push_back(kUnmapped);
+  }
+  GrowFlash();
+  return extent;
+}
+
+void SsdDevice::GrowFlash() {
+  const size_t ppb = cost_.pages_per_block;
+  const size_t needed_blocks =
+      (pages_.size() + ppb - 1) / ppb + cost_.spare_blocks;
+  while (block_state_.size() < needed_blocks) {
+    const uint32_t block = static_cast<uint32_t>(block_state_.size());
+    block_state_.push_back(kErased);
+    block_valid_.push_back(0);
+    owner_.resize(owner_.size() + ppb, kUnmapped);
+    erased_fifo_.push_back(block);
+  }
+}
+
+uint64_t SsdDevice::WritableSlots() const {
+  uint64_t slots = erased_fifo_.size() * cost_.pages_per_block;
+  if (open_block_ != kNoBlock) {
+    slots += cost_.pages_per_block - open_offset_;
+  }
+  return slots;
+}
+
+void SsdDevice::Invalidate(PageId logical) {
+  const uint64_t flash = map_[logical];
+  if (flash == kUnmapped) return;
+  map_[logical] = kUnmapped;
+  owner_[flash] = kUnmapped;
+  --block_valid_[flash / cost_.pages_per_block];
+}
+
+void SsdDevice::Program(PageId logical) {
+  const size_t ppb = cost_.pages_per_block;
+  if (open_block_ == kNoBlock || open_offset_ == ppb) {
+    if (open_block_ != kNoBlock) block_state_[open_block_] = kClosed;
+    assert(!erased_fifo_.empty());
+    open_block_ = erased_fifo_.front();
+    erased_fifo_.pop_front();
+    block_state_[open_block_] = kOpen;
+    open_offset_ = 0;
+  }
+  const uint64_t flash =
+      static_cast<uint64_t>(open_block_) * ppb + open_offset_++;
+  owner_[flash] = logical;
+  map_[logical] = flash;
+  ++block_valid_[open_block_];
+}
+
+bool SsdDevice::CollectOneBlock() {
+  const size_t ppb = cost_.pages_per_block;
+  uint32_t victim = kNoBlock;
+  uint32_t victim_valid = 0;
+  for (uint32_t b = 0; b < block_state_.size(); ++b) {
+    if (block_state_[b] != kClosed) continue;
+    if (victim == kNoBlock || block_valid_[b] < victim_valid) {
+      victim = b;
+      victim_valid = block_valid_[b];
+    }
+  }
+  // No closed block, or a fully valid victim: collecting frees nothing.
+  if (victim == kNoBlock || victim_valid == ppb) return false;
+
+  for (uint64_t f = static_cast<uint64_t>(victim) * ppb;
+       f < static_cast<uint64_t>(victim + 1) * ppb; ++f) {
+    const uint64_t logical = owner_[f];
+    if (logical == kUnmapped) continue;
+    Invalidate(static_cast<PageId>(logical));
+    Program(static_cast<PageId>(logical));
+    metrics()->Count(gc_copies_);
+  }
+  block_state_[victim] = kErased;
+  erased_fifo_.push_back(victim);
+  metrics()->Count(erases_);
+  return true;
+}
+
+void SsdDevice::EnsureSpace() {
+  // Keep a block's worth of headroom so a GC cycle's copies always fit:
+  // when this triggers, WritableSlots() >= pages_per_block (the previous
+  // EnsureSpace left >= pages_per_block + 1 and one host program ran), and
+  // a victim has at most pages_per_block valid pages to relocate.
+  while (WritableSlots() < cost_.pages_per_block + 1) {
+    if (!CollectOneBlock()) break;
+  }
+}
+
+Status SsdDevice::ReadPage(PageId page, std::span<std::byte> out) {
+  if (page >= pages_.size()) {
+    return Status::OutOfRange("ReadPage: page " + std::to_string(page) +
+                              " beyond ssd end " +
+                              std::to_string(pages_.size()));
+  }
+  if (out.size() != page_size()) {
+    return Status::InvalidArgument("ReadPage: buffer size mismatch");
+  }
+  ODBGC_RETURN_IF_ERROR(CheckFault(/*is_write=*/false));
+  std::memcpy(out.data(), pages_[page].get(), page_size());
+  CountRead(page);
+  return Status::Ok();
+}
+
+Status SsdDevice::WritePage(PageId page, std::span<const std::byte> in) {
+  if (page >= pages_.size()) {
+    return Status::OutOfRange("WritePage: page " + std::to_string(page) +
+                              " beyond ssd end " +
+                              std::to_string(pages_.size()));
+  }
+  if (in.size() != page_size()) {
+    return Status::InvalidArgument("WritePage: buffer size mismatch");
+  }
+  ODBGC_RETURN_IF_ERROR(CheckFault(/*is_write=*/true));
+  std::memcpy(pages_[page].get(), in.data(), page_size());
+  EnsureSpace();
+  Invalidate(page);
+  Program(page);
+  CountWrite(page);
+  return Status::Ok();
+}
+
+double SsdDevice::EstimateTimeMs() const {
+  const DiskStats transfer = stats();
+  return static_cast<double>(transfer.page_reads) * cost_.read_ms_per_page +
+         static_cast<double>(transfer.page_writes + gc_copies_->total()) *
+             cost_.program_ms_per_page +
+         static_cast<double>(erases_->total()) * cost_.erase_ms_per_block;
+}
+
+double SsdDevice::WriteAmplification() const {
+  const uint64_t host = stats().page_writes;
+  if (host == 0) return 0.0;
+  return static_cast<double>(host + gc_copies_->total()) /
+         static_cast<double>(host);
+}
+
+void SsdDevice::SaveState(std::ostream& out) const {
+  PutU8(out, static_cast<uint8_t>(kind()));
+  PutVarint(out, page_size());
+  PutVarint(out, pages_.size());
+  PutVarint(out, block_state_.size());
+  for (uint64_t m : map_) PutMapping(out, m);
+  for (uint64_t o : owner_) PutMapping(out, o);
+  for (uint8_t s : block_state_) PutU8(out, s);
+  for (uint32_t v : block_valid_) PutVarint(out, v);
+  PutVarint(out, erased_fifo_.size());
+  for (uint32_t b : erased_fifo_) PutVarint(out, b);
+  PutVarint(out, open_block_ == kNoBlock ? 0 : open_block_ + 1);
+  PutVarint(out, open_offset_);
+  PutU64(out, last_accessed());
+}
+
+Status SsdDevice::LoadState(std::istream& in) {
+  auto stored_kind = GetU8(in);
+  ODBGC_RETURN_IF_ERROR(stored_kind.status());
+  if (*stored_kind != static_cast<uint8_t>(kind())) {
+    return Status::Corruption("device state kind mismatch");
+  }
+  auto stored_page_size = GetVarint(in);
+  ODBGC_RETURN_IF_ERROR(stored_page_size.status());
+  auto stored_num_pages = GetVarint(in);
+  ODBGC_RETURN_IF_ERROR(stored_num_pages.status());
+  auto stored_blocks = GetVarint(in);
+  ODBGC_RETURN_IF_ERROR(stored_blocks.status());
+  if (*stored_page_size != page_size() ||
+      *stored_num_pages != pages_.size() ||
+      *stored_blocks != block_state_.size()) {
+    return Status::Corruption("ssd state geometry mismatch");
+  }
+
+  std::vector<uint64_t> map(map_.size());
+  for (uint64_t& m : map) {
+    auto v = GetMapping(in);
+    ODBGC_RETURN_IF_ERROR(v.status());
+    m = *v;
+  }
+  std::vector<uint64_t> owner(owner_.size());
+  for (uint64_t& o : owner) {
+    auto v = GetMapping(in);
+    ODBGC_RETURN_IF_ERROR(v.status());
+    o = *v;
+  }
+  std::vector<uint8_t> state(block_state_.size());
+  for (uint8_t& s : state) {
+    auto v = GetU8(in);
+    ODBGC_RETURN_IF_ERROR(v.status());
+    if (*v > kClosed) return Status::Corruption("ssd block state invalid");
+    s = *v;
+  }
+  std::vector<uint32_t> valid(block_valid_.size());
+  for (uint32_t& c : valid) {
+    auto v = GetVarint(in);
+    ODBGC_RETURN_IF_ERROR(v.status());
+    if (*v > cost_.pages_per_block) {
+      return Status::Corruption("ssd block valid count out of range");
+    }
+    c = static_cast<uint32_t>(*v);
+  }
+  auto fifo_size = GetVarint(in);
+  ODBGC_RETURN_IF_ERROR(fifo_size.status());
+  if (*fifo_size > block_state_.size()) {
+    return Status::Corruption("ssd erased fifo too long");
+  }
+  std::deque<uint32_t> fifo;
+  for (uint64_t i = 0; i < *fifo_size; ++i) {
+    auto b = GetVarint(in);
+    ODBGC_RETURN_IF_ERROR(b.status());
+    if (*b >= block_state_.size()) {
+      return Status::Corruption("ssd erased fifo block out of range");
+    }
+    fifo.push_back(static_cast<uint32_t>(*b));
+  }
+  auto open = GetVarint(in);
+  ODBGC_RETURN_IF_ERROR(open.status());
+  if (*open > block_state_.size()) {
+    return Status::Corruption("ssd open block out of range");
+  }
+  auto offset = GetVarint(in);
+  ODBGC_RETURN_IF_ERROR(offset.status());
+  if (*offset > cost_.pages_per_block) {
+    return Status::Corruption("ssd open offset out of range");
+  }
+  auto last = GetU64(in);
+  ODBGC_RETURN_IF_ERROR(last.status());
+
+  map_ = std::move(map);
+  owner_ = std::move(owner);
+  block_state_ = std::move(state);
+  block_valid_ = std::move(valid);
+  erased_fifo_ = std::move(fifo);
+  open_block_ = *open == 0 ? kNoBlock : static_cast<uint32_t>(*open - 1);
+  open_offset_ = static_cast<uint32_t>(*offset);
+  set_last_accessed(*last);
+  return Status::Ok();
+}
+
+}  // namespace odbgc

@@ -1,0 +1,70 @@
+#include "util/metrics_registry.h"
+
+#include <ostream>
+
+#include "util/serde.h"
+
+namespace odbgc {
+
+MetricCounter* MetricsRegistry::Register(const std::string& name) {
+  return &counters_[name];
+}
+
+const MetricCounter* MetricsRegistry::Find(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::ResetCounters() {
+  for (auto& [name, counter] : counters_) counter.Reset();
+}
+
+std::vector<MetricSample> MetricsRegistry::Snapshot() const {
+  std::vector<MetricSample> samples;
+  samples.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    samples.push_back({name, counter.value(MetricPhase::kApplication),
+                       counter.value(MetricPhase::kCollector)});
+  }
+  return samples;
+}
+
+void MetricsRegistry::Save(std::ostream& out) const {
+  PutVarint(out, counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    PutVarint(out, name.size());
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    PutVarint(out, counter.value(MetricPhase::kApplication));
+    PutVarint(out, counter.value(MetricPhase::kCollector));
+  }
+}
+
+Status MetricsRegistry::Load(std::istream& in) {
+  auto count = GetVarint(in);
+  ODBGC_RETURN_IF_ERROR(count.status());
+  ResetCounters();
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto name_size = GetVarint(in);
+    ODBGC_RETURN_IF_ERROR(name_size.status());
+    if (*name_size > 256) {
+      return Status::Corruption("metric name implausibly long");
+    }
+    std::string name(*name_size, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name.size()));
+    if (in.gcount() != static_cast<std::streamsize>(name.size())) {
+      return Status::Corruption("truncated metric name");
+    }
+    auto application = GetVarint(in);
+    ODBGC_RETURN_IF_ERROR(application.status());
+    auto collector = GetVarint(in);
+    ODBGC_RETURN_IF_ERROR(collector.status());
+    MetricCounter* counter = Register(name);
+    counter->values_[static_cast<size_t>(MetricPhase::kApplication)] =
+        *application;
+    counter->values_[static_cast<size_t>(MetricPhase::kCollector)] =
+        *collector;
+  }
+  return Status::Ok();
+}
+
+}  // namespace odbgc

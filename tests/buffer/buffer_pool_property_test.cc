@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "buffer/buffer_pool.h"
+#include "storage/disk.h"
 #include "util/random.h"
 
 namespace odbgc {

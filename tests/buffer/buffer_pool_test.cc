@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "storage/disk.h"
+
 namespace odbgc {
 namespace {
 

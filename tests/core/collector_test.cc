@@ -1,4 +1,5 @@
 #include "core/copying_collector.h"
+#include "storage/disk.h"
 
 #include <memory>
 

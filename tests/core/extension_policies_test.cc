@@ -1,4 +1,5 @@
 #include "core/extension_policies.h"
+#include "storage/disk.h"
 
 #include <memory>
 

@@ -1,4 +1,5 @@
 #include "core/reachability.h"
+#include "storage/disk.h"
 
 #include <memory>
 

@@ -1,4 +1,5 @@
 #include "core/weights.h"
+#include "storage/disk.h"
 
 #include <memory>
 

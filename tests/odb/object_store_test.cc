@@ -1,4 +1,5 @@
 #include "odb/object_store.h"
+#include "storage/disk.h"
 
 #include <memory>
 #include <vector>

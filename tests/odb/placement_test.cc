@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "odb/object_store.h"
+#include "storage/disk.h"
 
 namespace odbgc {
 namespace {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "odb/object_store.h"
+#include "storage/disk.h"
 #include "odb/store_image.h"
 #include "util/random.h"
 

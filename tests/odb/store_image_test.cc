@@ -1,4 +1,5 @@
 #include "odb/store_image.h"
+#include "storage/disk.h"
 
 #include <memory>
 #include <sstream>

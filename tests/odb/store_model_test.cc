@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "odb/object_store.h"
+#include "storage/disk.h"
 #include "util/random.h"
 
 namespace odbgc {

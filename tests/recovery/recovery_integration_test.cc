@@ -234,7 +234,7 @@ TEST(RecoveryIntegrationTest, DurableExperimentMatchesPlainExperiment) {
 TEST(RecoveryIntegrationTest, FaultInjectionScriptedAndProbabilistic) {
   SimulationConfig config = TinyConfig();
   Simulator simulator(config);
-  SimulatedDisk& disk = simulator.heap().mutable_disk();
+  PageDevice& disk = simulator.heap().mutable_disk();
 
   FaultPlan plan;
   plan.fail_after_writes = 1;

@@ -1,0 +1,117 @@
+#include "util/metrics_registry.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace odbgc {
+namespace {
+
+TEST(MetricsRegistryTest, RegisterIsIdempotentAndStable) {
+  MetricsRegistry registry;
+  MetricCounter* a = registry.Register("device.page_reads");
+  MetricCounter* b = registry.Register("device.page_reads");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(registry.size(), 1u);
+
+  // Pointers stay valid as more counters are registered (node-based map).
+  registry.Register("aaa");
+  registry.Register("zzz");
+  a->Add(MetricPhase::kApplication, 3);
+  EXPECT_EQ(registry.Find("device.page_reads")->total(), 3u);
+}
+
+TEST(MetricsRegistryTest, FindUnknownReturnsNull) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.Find("nope"), nullptr);
+}
+
+TEST(MetricsRegistryTest, CountChargesCurrentPhase) {
+  MetricsRegistry registry;
+  MetricCounter* c = registry.Register("io");
+  registry.Count(c);
+  registry.set_phase(MetricPhase::kCollector);
+  registry.Count(c, 5);
+  registry.set_phase(MetricPhase::kApplication);
+  registry.Count(c);
+
+  EXPECT_EQ(c->value(MetricPhase::kApplication), 2u);
+  EXPECT_EQ(c->value(MetricPhase::kCollector), 5u);
+  EXPECT_EQ(c->total(), 7u);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedByName) {
+  MetricsRegistry registry;
+  registry.Register("zeta")->Add(MetricPhase::kApplication, 1);
+  registry.Register("alpha")->Add(MetricPhase::kCollector, 2);
+  registry.Register("mid")->Add(MetricPhase::kApplication, 3);
+
+  const std::vector<MetricSample> snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].name, "alpha");
+  EXPECT_EQ(snapshot[0].collector, 2u);
+  EXPECT_EQ(snapshot[1].name, "mid");
+  EXPECT_EQ(snapshot[2].name, "zeta");
+  EXPECT_EQ(snapshot[2].total(), 1u);
+}
+
+TEST(MetricsRegistryTest, ResetCountersKeepsHandles) {
+  MetricsRegistry registry;
+  MetricCounter* c = registry.Register("io");
+  c->Add(MetricPhase::kApplication, 9);
+  registry.ResetCounters();
+  EXPECT_EQ(c->total(), 0u);
+  EXPECT_EQ(registry.size(), 1u);
+  c->Add(MetricPhase::kCollector, 1);
+  EXPECT_EQ(registry.Find("io")->total(), 1u);
+}
+
+TEST(MetricsRegistryTest, SaveLoadRoundTrip) {
+  MetricsRegistry registry;
+  registry.Register("buffer.hits")->Add(MetricPhase::kApplication, 10);
+  registry.Register("buffer.hits")->Add(MetricPhase::kCollector, 4);
+  registry.Register("device.page_reads")->Add(MetricPhase::kCollector, 7);
+
+  std::stringstream stream;
+  registry.Save(stream);
+
+  MetricsRegistry restored;
+  ASSERT_TRUE(restored.Load(stream).ok());
+  ASSERT_NE(restored.Find("buffer.hits"), nullptr);
+  EXPECT_EQ(restored.Find("buffer.hits")->value(MetricPhase::kApplication),
+            10u);
+  EXPECT_EQ(restored.Find("buffer.hits")->value(MetricPhase::kCollector), 4u);
+  EXPECT_EQ(restored.Find("device.page_reads")->total(), 7u);
+}
+
+TEST(MetricsRegistryTest, LoadZeroesCountersAbsentFromStream) {
+  MetricsRegistry source;
+  source.Register("a")->Add(MetricPhase::kApplication, 1);
+  std::stringstream stream;
+  source.Save(stream);
+
+  // The destination has an extra counter with live state; after Load it
+  // must reflect exactly the checkpointed registry (extra counter zeroed).
+  MetricsRegistry dest;
+  MetricCounter* extra = dest.Register("extra");
+  extra->Add(MetricPhase::kCollector, 99);
+  ASSERT_TRUE(dest.Load(stream).ok());
+  EXPECT_EQ(dest.Find("a")->total(), 1u);
+  EXPECT_EQ(extra->total(), 0u);
+}
+
+TEST(MetricsRegistryTest, LoadRejectsTruncatedStream) {
+  MetricsRegistry source;
+  source.Register("counter")->Add(MetricPhase::kApplication, 1);
+  std::stringstream stream;
+  source.Save(stream);
+  std::string bytes = stream.str();
+  bytes.resize(bytes.size() / 2);
+
+  std::stringstream truncated(bytes);
+  MetricsRegistry dest;
+  EXPECT_FALSE(dest.Load(truncated).ok());
+}
+
+}  // namespace
+}  // namespace odbgc
