@@ -1,0 +1,180 @@
+// Self-profiling harness for the simulator's hot paths. Runs three probe
+// configurations that stress different subsystems:
+//
+//   census_heavy   kMostGarbage + census at every 1000-event snapshot —
+//                  dominated by whole-database reachability marking
+//   index_heavy    kUpdatedPointer + round-robin placement — maximizes
+//                  inter-partition pointers, stressing the remembered-set
+//                  index and the write barrier
+//   no_collection  kNoCollection — pure trace-apply throughput; the
+//                  instrumentation itself must not slow this down
+//
+// Each probe reports events/sec plus the per-phase wall-clock breakdown
+// from the heap's wall-timer registry. The coarse phases (census,
+// collection) are always timed; --profile additionally enables the
+// per-event timers (index maintenance, trace apply), which cost a few
+// clock reads per event and therefore distort the headline events/sec —
+// leave it off when comparing throughput numbers. Everything is written
+// to a JSON file for the CI artifact.
+//
+// Usage: hotpath [output.json] [--check baseline.json] [--profile]
+//
+// With --check, exits 1 if any probe's events/sec falls below 80% of the
+// baseline's value for that probe (a >20% regression). The checked-in
+// baseline holds deliberately conservative floors so routine CI-hardware
+// variance does not trip it; a trip means a real hot-path regression.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "sim/simulator.h"
+#include "util/metrics_registry.h"
+
+namespace odbgc {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ProbeResult {
+  std::string name;
+  uint64_t events = 0;
+  double wall_seconds = 0;
+  double events_per_sec = 0;
+  std::vector<MetricSample> wall_phases;
+};
+
+bool g_profile = false;
+
+ProbeResult RunProbe(const char* name, SimulationConfig config) {
+  config.heap.profile_hot_paths = g_profile;
+  Simulator sim(config);
+  const auto start = Clock::now();
+  if (Status status = sim.Run(); !status.ok()) bench::Fail(status, name);
+  SimulationResult result = sim.Finish();
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  ProbeResult probe;
+  probe.name = name;
+  probe.events = result.app_events;
+  probe.wall_seconds = seconds;
+  probe.events_per_sec =
+      seconds > 0 ? static_cast<double>(result.app_events) / seconds : 0;
+  probe.wall_phases = sim.heap().wall_metrics()->Snapshot();
+
+  std::printf("%-14s events=%-10llu wall=%8.3fs  events/sec=%12.0f\n", name,
+              static_cast<unsigned long long>(probe.events), seconds,
+              probe.events_per_sec);
+  for (const MetricSample& sample : probe.wall_phases) {
+    if (sample.total() == 0) continue;
+    std::printf("    %-24s %10.1f ms\n", sample.name.c_str(),
+                static_cast<double>(sample.total()) / 1e6);
+  }
+  return probe;
+}
+
+/// Pulls `"<probe>_events_per_sec": <number>` out of a baseline JSON file
+/// by plain string scanning (no JSON library in the repo; the file is
+/// machine-written with known key names).
+double BaselineEventsPerSec(const std::string& text, const std::string& probe) {
+  const std::string key = "\"" + probe + "_events_per_sec\":";
+  const size_t at = text.find(key);
+  if (at == std::string::npos) return -1;
+  return std::strtod(text.c_str() + at + key.size(), nullptr);
+}
+
+}  // namespace
+}  // namespace odbgc
+
+int main(int argc, char** argv) {
+  using namespace odbgc;
+
+  const char* json_path = "BENCH_hotpath.json";
+  const char* baseline_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      g_profile = true;
+    } else {
+      json_path = argv[i];
+    }
+  }
+
+  bench::PrintHeader("Hot-path throughput probes",
+                     "simulator engineering (no paper table)");
+
+  std::vector<ProbeResult> probes;
+  {
+    SimulationConfig c = bench::BaseConfig();
+    c.heap.policy = PolicyKind::kMostGarbage;
+    c.snapshot_interval = 1000;
+    c.census_at_snapshots = true;
+    probes.push_back(RunProbe("census_heavy", c));
+  }
+  {
+    SimulationConfig c = bench::BaseConfig();
+    c.heap.policy = PolicyKind::kUpdatedPointer;
+    c.heap.store.placement = PlacementPolicy::kRoundRobin;
+    probes.push_back(RunProbe("index_heavy", c));
+  }
+  {
+    SimulationConfig c = bench::BaseConfig();
+    c.heap.policy = PolicyKind::kNoCollection;
+    probes.push_back(RunProbe("no_collection", c));
+  }
+
+  std::ofstream json(json_path);
+  json << "{\n  \"bench\": \"hotpath\",\n";
+  json << "  \"fast_mode\": " << (bench::FastMode() ? "true" : "false")
+       << ",\n  \"probes\": [\n";
+  for (size_t i = 0; i < probes.size(); ++i) {
+    const ProbeResult& p = probes[i];
+    json << "    {\n      \"name\": \"" << p.name << "\",\n";
+    json << "      \"events\": " << p.events << ",\n";
+    json << "      \"wall_seconds\": " << p.wall_seconds << ",\n";
+    json << "      \"events_per_sec\": " << p.events_per_sec << ",\n";
+    json << "      \"wall_phases_ns\": {";
+    bool first = true;
+    for (const MetricSample& sample : p.wall_phases) {
+      if (sample.total() == 0) continue;
+      if (!first) json << ", ";
+      first = false;
+      json << "\"" << sample.name << "\": " << sample.total();
+    }
+    json << "}\n    }" << (i + 1 < probes.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  json.close();
+  std::printf("\nWrote %s\n", json_path);
+
+  if (baseline_path != nullptr) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open baseline %s\n", baseline_path);
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+
+    bool ok = true;
+    for (const ProbeResult& probe : probes) {
+      const double baseline = BaselineEventsPerSec(text, probe.name);
+      if (baseline <= 0) continue;  // Probe not covered by the baseline.
+      const double floor = baseline * 0.8;  // >20% regression fails.
+      const bool pass = probe.events_per_sec >= floor;
+      std::printf("check %-14s %12.0f ev/s vs floor %12.0f (baseline %.0f) %s\n",
+                  probe.name.c_str(), probe.events_per_sec, floor, baseline,
+                  pass ? "OK" : "REGRESSION");
+      ok = ok && pass;
+    }
+    if (!ok) return 1;
+  }
+  return json.good() ? 0 : 1;
+}

@@ -4,8 +4,8 @@
 //
 // Examples:
 //   ./build/examples/run_experiment --seeds=5
-//   ./build/examples/run_experiment --policies=UpdatedPointer,MostGarbage \
-//       --alloc-mb=22 --partition-pages=64 --trigger=300 --csv
+//   ./build/examples/run_experiment --policies=UpdatedPointer,MostGarbage
+//       --alloc-mb=22 --partition-pages=64 --trigger=300 --csv  (one line)
 //   ./build/examples/run_experiment --connectivity=1.167 --seeds=3
 
 #include <cstdio>

@@ -1,8 +1,8 @@
 #include "core/copying_collector.h"
 
+#include <algorithm>
 #include <cassert>
-#include <deque>
-#include <unordered_set>
+#include <span>
 #include <vector>
 
 namespace odbgc {
@@ -17,6 +17,16 @@ CopyingCollector::CopyingCollector(ObjectStore* store, BufferPool* buffer,
       weights_(weights),
       order_(order) {
   assert(store_ != nullptr && buffer_ != nullptr && index_ != nullptr);
+}
+
+void CopyingCollector::BeginCopyEpoch() {
+  ++copy_epoch_;
+  if (copy_epoch_ == 0) {
+    std::fill(copied_stamp_.begin(), copied_stamp_.end(), 0);
+    copy_epoch_ = 1;
+  }
+  const size_t limit = static_cast<size_t>(store_->id_limit());
+  if (copied_stamp_.size() < limit) copied_stamp_.resize(limit, 0);
 }
 
 Result<CollectionResult> CopyingCollector::Collect(
@@ -41,8 +51,13 @@ Result<CollectionResult> CopyingCollector::Collect(
   result.collected = victim;
   result.copy_target = target;
 
-  std::unordered_set<ObjectId> copied;
-  std::deque<ObjectId> work;
+  // "Copied" marks are epoch stamps over the dense id space (no per-
+  // collection set allocation; collection never issues new ids, so the
+  // stamp array cannot need growing mid-traversal).
+  BeginCopyEpoch();
+  const auto is_copied = [&](ObjectId id) {
+    return copied_stamp_[id.value] == copy_epoch_;
+  };
 
   // Copies `id` into the target partition, charging read+write I/O.
   auto copy_object = [&](ObjectId id) -> Status {
@@ -57,52 +72,59 @@ Result<CollectionResult> CopyingCollector::Collect(
 
   // Roots one at a time, as the paper describes ("iterating over the
   // roots one at a time"): database roots in the victim first, then
-  // remembered-set targets (snapshot — copying re-buckets entries).
-  std::vector<ObjectId> partition_roots;
+  // remembered-set targets (snapshot — copying re-buckets entries, so the
+  // index's zero-copy span cannot be iterated live).
+  roots_.clear();
   for (ObjectId root : store_->roots()) {
     const ObjectStore::ObjectInfo* info = store_->Lookup(root);
     if (info != nullptr && info->partition == victim) {
-      partition_roots.push_back(root);
+      roots_.push_back(root);
     }
   }
   for (ObjectId extra : extra_roots) {
     const ObjectStore::ObjectInfo* info = store_->Lookup(extra);
     if (info != nullptr && info->partition == victim) {
-      partition_roots.push_back(extra);
+      roots_.push_back(extra);
     }
   }
-  for (ObjectId ext : index_->ExternalTargetsInPartition(victim)) {
-    partition_roots.push_back(ext);
+  {
+    const std::span<const ObjectId> external = index_->ExternalTargets(victim);
+    roots_.insert(roots_.end(), external.begin(), external.end());
   }
 
   // Objects are copied when dequeued, so the physical order in the copy
   // target is the traversal order: FIFO gives the paper's breadth-first
   // layout (Cheney-style — children are found in the already-copied
   // parent image, so scanning costs no extra I/O), LIFO gives the
-  // depth-first ablation.
-  for (ObjectId root : partition_roots) {
-    if (copied.count(root) > 0) continue;
-    work.push_back(root);
-    while (!work.empty()) {
+  // depth-first ablation. The worklist is a reused vector: BFS consumes
+  // it through a head cursor (identical order to the old deque), DFS off
+  // the back.
+  work_.clear();
+  size_t head = 0;
+  for (ObjectId root : roots_) {
+    if (is_copied(root)) continue;
+    work_.push_back(root);
+    while (order_ == TraversalOrder::kBreadthFirst ? head < work_.size()
+                                                   : !work_.empty()) {
       ObjectId id;
       if (order_ == TraversalOrder::kBreadthFirst) {
-        id = work.front();
-        work.pop_front();
+        id = work_[head++];
       } else {
-        id = work.back();
-        work.pop_back();
+        id = work_.back();
+        work_.pop_back();
       }
-      if (!copied.insert(id).second) continue;
+      if (is_copied(id)) continue;
+      copied_stamp_[id.value] = copy_epoch_;
       ODBGC_RETURN_IF_ERROR(copy_object(id));
 
       const ObjectStore::ObjectInfo* obj = store_->Lookup(id);
       assert(obj != nullptr);
       auto enqueue = [&](ObjectId child) {
-        if (child.is_null() || copied.count(child) > 0) return;
+        if (child.is_null() || is_copied(child)) return;
         const ObjectStore::ObjectInfo* child_info = store_->Lookup(child);
         // Pointers leaving the collected partition are not traversed.
         if (child_info == nullptr || child_info->partition != victim) return;
-        work.push_back(child);
+        work_.push_back(child);
       };
       if (order_ == TraversalOrder::kBreadthFirst) {
         for (ObjectId child : obj->slots) enqueue(child);
@@ -117,12 +139,13 @@ Result<CollectionResult> CopyingCollector::Collect(
 
   // Everything still resident in the victim is garbage. Snapshot in
   // physical (offset) order for determinism.
-  std::vector<ObjectId> garbage;
+  garbage_.clear();
+  garbage_.reserve(store_->partition(victim).objects_by_offset().size());
   for (const auto& [offset, id] :
        store_->partition(victim).objects_by_offset()) {
-    garbage.push_back(id);
+    garbage_.push_back(id);
   }
-  for (ObjectId id : garbage) {
+  for (ObjectId id : garbage_) {
     const ObjectStore::ObjectInfo* info = store_->Lookup(id);
     assert(info != nullptr);
     result.garbage_bytes_reclaimed += info->size;

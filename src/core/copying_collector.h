@@ -70,11 +70,25 @@ class CopyingCollector {
       PartitionId victim, const std::vector<ObjectId>& extra_roots = {});
 
  private:
+  // Starts a new "copied" mark generation (see copied_stamp_).
+  void BeginCopyEpoch();
+
   ObjectStore* const store_;
   BufferPool* const buffer_;
   InterPartitionIndex* const index_;
   WeightTracker* const weights_;
   const TraversalOrder order_;
+
+  // Per-collection scratch, reused across collections so the hot path
+  // allocates only when a high-water mark grows. "Copied" is an
+  // epoch-stamped dense mark vector indexed by ObjectId value (same
+  // technique as ReachabilityAnalyzer); the worklist vector serves as a
+  // FIFO via head cursor (breadth-first) or a stack (depth-first).
+  uint32_t copy_epoch_ = 0;
+  std::vector<uint32_t> copied_stamp_;
+  std::vector<ObjectId> work_;
+  std::vector<ObjectId> roots_;
+  std::vector<ObjectId> garbage_;
 };
 
 }  // namespace odbgc

@@ -54,6 +54,8 @@ Result<GlobalCollectionResult> GlobalMarkCollector::CollectAll(
 
   // --- 2. Retire the dead set's inter-partition entries wholesale.
   std::vector<std::pair<ObjectId, PartitionId>> dead;
+  const size_t total_objects = store_->object_count();
+  dead.reserve(total_objects > live.size() ? total_objects - live.size() : 0);
   for (size_t pid = 0; pid < store_->partition_count(); ++pid) {
     for (const auto& [offset, id] :
          store_->partition(pid).objects_by_offset()) {
@@ -86,6 +88,7 @@ Result<GlobalCollectionResult> GlobalMarkCollector::CollectAll(
 
     // Snapshot (copying mutates the roster).
     std::vector<ObjectId> residents;
+    residents.reserve(store_->partition(victim).objects_by_offset().size());
     for (const auto& [offset, id] :
          store_->partition(victim).objects_by_offset()) {
       residents.push_back(id);

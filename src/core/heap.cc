@@ -30,6 +30,8 @@ CollectedHeap::CollectedHeap(const HeapOptions& options, RestoreTag)
 }
 
 void CollectedHeap::WireComponents() {
+  wall_metrics_ = std::make_unique<MetricsRegistry>();
+  wall_timers_ = std::make_unique<WallPhaseTimers>(wall_metrics_.get());
   if (options_.policy_factory) {
     policy_ = options_.policy_factory();
     options_.policy = policy_->kind();
@@ -161,7 +163,12 @@ void CollectedHeap::OnSlotWrite(const SlotWriteEvent& event) {
   // Remembered-set maintenance: the write barrier sees inter-partition
   // references created and destroyed (synchronously or deferred,
   // depending on the configured BarrierMode).
-  barrier_->OnSlotWrite(event);
+  {
+    ScopedWallTimer timer(options_.profile_hot_paths
+                              ? wall_timers_->index_maintenance
+                              : nullptr);
+    barrier_->OnSlotWrite(event);
+  }
 
   CheckTriggers();
 }
@@ -210,32 +217,40 @@ Status CollectedHeap::MaybeCollect() {
   return Status::Ok();
 }
 
-std::vector<PartitionId> CollectedHeap::CollectionCandidates() const {
-  std::vector<PartitionId> candidates;
+void CollectedHeap::AppendCollectionCandidates(
+    std::vector<PartitionId>* out) const {
   for (size_t pid = 0; pid < store_->partition_count(); ++pid) {
     const PartitionId id = static_cast<PartitionId>(pid);
     if (id == store_->empty_partition()) continue;
     if (store_->partition(id).allocated_bytes() == 0) continue;
-    candidates.push_back(id);
+    out->push_back(id);
   }
+}
+
+std::vector<PartitionId> CollectedHeap::CollectionCandidates() const {
+  std::vector<PartitionId> candidates;
+  AppendCollectionCandidates(&candidates);
   return candidates;
 }
 
-SelectionContext CollectedHeap::MakeSelectionContext() const {
-  SelectionContext context;
-  context.candidates = CollectionCandidates();
+const SelectionContext& CollectedHeap::MakeSelectionContext() const {
+  selection_scratch_.candidates.clear();
+  AppendCollectionCandidates(&selection_scratch_.candidates);
+  selection_scratch_.garbage_bytes_per_partition.clear();
   if (options_.policy == PolicyKind::kMostGarbage) {
     // The oracle ranks partitions by garbage a collection would actually
     // reclaim now (excluding remembered-set-protected garbage) — ranking
     // by raw garbage would keep re-selecting protected partitions.
-    context.garbage_bytes_per_partition =
-        ComputeGarbageCensus(*store_).collectable_bytes_per_partition;
+    ScopedWallTimer timer(wall_timers_->census);
+    census_engine_.CensusInto(*store_, &census_scratch_);
+    selection_scratch_.garbage_bytes_per_partition =
+        census_scratch_.collectable_bytes_per_partition;
   }
-  return context;
+  return selection_scratch_;
 }
 
 Result<CollectionResult> CollectedHeap::CollectNow() {
-  SelectionContext context = MakeSelectionContext();
+  const SelectionContext& context = MakeSelectionContext();
   const PartitionId victim = policy_->Select(context);
   if (victim == kInvalidPartition) {
     return Status::FailedPrecondition(
@@ -250,19 +265,25 @@ Result<CollectionResult> CollectedHeap::CollectPartition(PartitionId victim) {
   if (!newborn_.is_null() && store_->Exists(newborn_)) {
     extra_roots.push_back(newborn_);
   }
-  in_collection_ = true;
-  {
-    // Deferred barrier modes catch the index up now, charging their
-    // catch-up I/O to the collector.
-    PhaseScope phase(buffer_.get(), IoPhase::kCollector);
-    const Status prepared = barrier_->PrepareForCollection();
-    if (!prepared.ok()) {
-      in_collection_ = false;
-      return prepared;
+  // The lambda scopes the wall timer to the collection proper: a chained
+  // full collection below must land in wall.full_collection_ns only.
+  auto result = [&]() -> Result<CollectionResult> {
+    ScopedWallTimer timer(wall_timers_->collection);
+    in_collection_ = true;
+    {
+      // Deferred barrier modes catch the index up now, charging their
+      // catch-up I/O to the collector.
+      PhaseScope phase(buffer_.get(), IoPhase::kCollector);
+      const Status prepared = barrier_->PrepareForCollection();
+      if (!prepared.ok()) {
+        in_collection_ = false;
+        return prepared;
+      }
     }
-  }
-  auto result = collector_->Collect(victim, extra_roots);
-  in_collection_ = false;
+    auto collected = collector_->Collect(victim, extra_roots);
+    in_collection_ = false;
+    return collected;
+  }();
   if (!result.ok()) return result;
   barrier_->OnPartitionEmptied(victim);
 
@@ -288,17 +309,21 @@ Result<GlobalCollectionResult> CollectedHeap::CollectFullDatabase() {
   if (!newborn_.is_null() && store_->Exists(newborn_)) {
     extra_roots.push_back(newborn_);
   }
-  in_collection_ = true;
-  {
-    PhaseScope phase(buffer_.get(), IoPhase::kCollector);
-    const Status prepared = barrier_->PrepareForCollection();
-    if (!prepared.ok()) {
-      in_collection_ = false;
-      return prepared;
+  auto result = [&]() -> Result<GlobalCollectionResult> {
+    ScopedWallTimer timer(wall_timers_->full_collection);
+    in_collection_ = true;
+    {
+      PhaseScope phase(buffer_.get(), IoPhase::kCollector);
+      const Status prepared = barrier_->PrepareForCollection();
+      if (!prepared.ok()) {
+        in_collection_ = false;
+        return prepared;
+      }
     }
-  }
-  auto result = global_collector_->CollectAll(extra_roots);
-  in_collection_ = false;
+    auto collected = global_collector_->CollectAll(extra_roots);
+    in_collection_ = false;
+    return collected;
+  }();
   if (!result.ok()) return result;
   // Every partition's contents moved or died; all cards are stale-clean.
   for (size_t pid = 0; pid < store_->partition_count(); ++pid) {
@@ -321,6 +346,7 @@ Result<GlobalCollectionResult> CollectedHeap::CollectFullDatabase() {
 void CollectedHeap::ResetMeasurement() {
   buffer_->ResetStats();
   device_->ResetStats();
+  wall_metrics_->ResetCounters();
   stats_ = HeapStats{};
   collection_log_.clear();
   NoteFootprint();

@@ -11,6 +11,7 @@
 #include "buffer/replacement_policy.h"
 #include "core/copying_collector.h"
 #include "core/global_collector.h"
+#include "core/reachability.h"
 #include "core/remembered_set.h"
 #include "core/selection_policy.h"
 #include "core/weights.h"
@@ -20,6 +21,7 @@
 #include "storage/page_device.h"
 #include "storage/ssd_device.h"
 #include "util/metrics_registry.h"
+#include "util/phase_timer.h"
 #include "util/status.h"
 
 namespace odbgc {
@@ -101,6 +103,12 @@ struct HeapOptions {
   uint32_t card_size = 512;
   /// Seed for policy randomness (Random).
   uint64_t seed = 1;
+  /// Enables per-event wall-clock timers (index maintenance, trace apply).
+  /// The coarse per-phase timers (census, collection) are always on; the
+  /// per-event ones cost two clock reads per pointer store, so they are
+  /// opt-in for the profiling harness. Wall timings never affect simulated
+  /// results (see wall_metrics()).
+  bool profile_hot_paths = false;
 };
 
 /// Aggregate heap statistics.
@@ -204,6 +212,13 @@ class CollectedHeap : private SlotWriteObserver {
   PageDevice& mutable_device() { return *device_; }
   /// The stack-wide metrics registry (device + buffer counters, phases).
   MetricsRegistry* metrics() const { return metrics_.get(); }
+  /// Wall-clock self-profiling counters ("wall.*_ns"): how long the
+  /// *simulator itself* spends in each phase. Deliberately a separate
+  /// registry — the main one feeds SimulationResult and checkpoints, both
+  /// bit-identical across runs, which wall time never is.
+  MetricsRegistry* wall_metrics() const { return wall_metrics_.get(); }
+  /// Pre-registered handles into wall_metrics() for hot-path scopes.
+  WallPhaseTimers* wall_timers() const { return wall_timers_.get(); }
   const InterPartitionIndex& index() const { return index_; }
   const WriteBarrier& barrier() const { return *barrier_; }
   const WeightTracker* weights() const { return weights_.get(); }
@@ -264,14 +279,21 @@ class CollectedHeap : private SlotWriteObserver {
   // Updates the storage high-water mark.
   void NoteFootprint();
 
-  // Builds the selection context (runs the oracle census for MostGarbage).
-  SelectionContext MakeSelectionContext() const;
+  // Builds the selection context (runs the oracle census for MostGarbage)
+  // into reused scratch; the reference is valid until the next call.
+  const SelectionContext& MakeSelectionContext() const;
+
+  // Appends CollectionCandidates() into caller-owned storage.
+  void AppendCollectionCandidates(std::vector<PartitionId>* out) const;
 
   // Arms the pending-collection flag according to the trigger kind.
   void CheckTriggers();
 
   HeapOptions options_;
   std::unique_ptr<MetricsRegistry> metrics_;
+  // Wall-clock self-profiling (see wall_metrics()); never checkpointed.
+  std::unique_ptr<MetricsRegistry> wall_metrics_;
+  std::unique_ptr<WallPhaseTimers> wall_timers_;
   std::unique_ptr<PageDevice> device_;
   std::unique_ptr<BufferPool> buffer_;
   std::unique_ptr<ObjectStore> store_;
@@ -293,6 +315,13 @@ class CollectedHeap : private SlotWriteObserver {
   bool collection_pending_ = false;
   bool in_collection_ = false;
   std::vector<CollectionResult> collection_log_;
+
+  // Census/selection machinery reused across collections (mutable: the
+  // oracle census runs from const MakeSelectionContext; these are pure
+  // scratch, not observable heap state).
+  mutable ReachabilityAnalyzer census_engine_;
+  mutable GarbageCensus census_scratch_;
+  mutable SelectionContext selection_scratch_;
 };
 
 }  // namespace odbgc

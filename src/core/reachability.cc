@@ -1,60 +1,85 @@
 #include "core/reachability.h"
 
 #include <algorithm>
+#include <cassert>
 #include <deque>
-#include <unordered_map>
 
 namespace odbgc {
 
-std::unordered_set<ObjectId> ComputeLiveSet(const ObjectStore& store) {
-  std::unordered_set<ObjectId> live;
-  std::deque<ObjectId> queue;
-  for (ObjectId root : store.roots()) {
-    if (live.insert(root).second) queue.push_back(root);
+void ReachabilityAnalyzer::BeginEpoch(const ObjectStore& store) {
+  ++epoch_;
+  if (epoch_ == 0) {
+    // uint32 epoch wrapped (one wrap per ~4 billion censuses): stale
+    // stamps could alias the new epoch, so clear once and restart at 1.
+    std::fill(live_stamp_.begin(), live_stamp_.end(), 0);
+    std::fill(aux_stamp_.begin(), aux_stamp_.end(), 0);
+    epoch_ = 1;
   }
-  while (!queue.empty()) {
-    const ObjectId id = queue.front();
-    queue.pop_front();
-    const ObjectStore::ObjectInfo* info = store.Lookup(id);
-    if (info == nullptr) continue;
-    for (ObjectId child : info->slots) {
-      if (!child.is_null() && store.Exists(child) &&
-          live.insert(child).second) {
-        queue.push_back(child);
-      }
-    }
+  const size_t limit = static_cast<size_t>(store.id_limit());
+  if (live_stamp_.size() < limit) {
+    // Zero-fill is correct for any epoch: 0 is never a live epoch value.
+    live_stamp_.resize(limit, 0);
+    aux_stamp_.resize(limit, 0);
+    aux_value_.resize(limit, 0);
   }
-  return live;
 }
 
-GarbageCensus ComputeGarbageCensus(const ObjectStore& store) {
-  const std::unordered_set<ObjectId> live = ComputeLiveSet(store);
+void ReachabilityAnalyzer::MarkLiveSet(const ObjectStore& store) {
+  BeginEpoch(store);
+  worklist_.clear();
+  worklist_.reserve(store.object_count());
+  for (ObjectId root : store.roots()) {
+    assert(root.value < live_stamp_.size());
+    uint32_t& stamp = live_stamp_[root.value];
+    if (stamp == epoch_) continue;
+    stamp = epoch_;
+    worklist_.push_back(root);
+  }
+  while (!worklist_.empty()) {
+    const ObjectId id = worklist_.back();
+    worklist_.pop_back();
+    const ObjectStore::ObjectInfo* info = store.Lookup(id);
+    if (info == nullptr) continue;  // Dangling root.
+    for (ObjectId child : info->slots) {
+      if (child.is_null()) continue;
+      uint32_t& stamp = live_stamp_[child.value];
+      if (stamp == epoch_) continue;
+      if (!store.Exists(child)) continue;
+      stamp = epoch_;
+      worklist_.push_back(child);
+    }
+  }
+}
 
-  GarbageCensus census;
-  census.garbage_bytes_per_partition.assign(store.partition_count(), 0);
-  census.garbage_objects_per_partition.assign(store.partition_count(), 0);
-  census.collectable_bytes_per_partition.assign(store.partition_count(), 0);
+void ReachabilityAnalyzer::CensusInto(const ObjectStore& store,
+                                      GarbageCensus* census) {
+  MarkLiveSet(store);
 
-  struct DeadEntry {
-    PartitionId partition;
-    uint32_t size;
-  };
-  std::unordered_map<ObjectId, DeadEntry> dead;
+  const size_t partition_count = store.partition_count();
+  census->garbage_bytes_per_partition.assign(partition_count, 0);
+  census->garbage_objects_per_partition.assign(partition_count, 0);
+  census->collectable_bytes_per_partition.assign(partition_count, 0);
+  census->total_garbage_bytes = 0;
+  census->total_garbage_objects = 0;
+  census->total_collectable_bytes = 0;
+  census->total_live_bytes = 0;
+  census->total_live_objects = 0;
 
-  for (size_t pid = 0; pid < store.partition_count(); ++pid) {
+  dead_.clear();
+  for (size_t pid = 0; pid < partition_count; ++pid) {
     for (const auto& [offset, id] : store.partition(pid).objects_by_offset()) {
       const ObjectStore::ObjectInfo* info = store.Lookup(id);
       if (info == nullptr) continue;
-      if (live.count(id) > 0) {
-        census.total_live_bytes += info->size;
-        ++census.total_live_objects;
+      if (IsLive(id)) {
+        census->total_live_bytes += info->size;
+        ++census->total_live_objects;
       } else {
-        census.garbage_bytes_per_partition[pid] += info->size;
-        ++census.garbage_objects_per_partition[pid];
-        census.total_garbage_bytes += info->size;
-        ++census.total_garbage_objects;
-        dead.emplace(id,
-                     DeadEntry{static_cast<PartitionId>(pid), info->size});
+        census->garbage_bytes_per_partition[pid] += info->size;
+        ++census->garbage_objects_per_partition[pid];
+        census->total_garbage_bytes += info->size;
+        ++census->total_garbage_objects;
+        dead_.push_back(
+            {id, static_cast<PartitionId>(pid), info->size});
       }
     }
   }
@@ -63,76 +88,58 @@ GarbageCensus ComputeGarbageCensus(const ObjectStore& store) {
   // dead object (only dead sources can reference garbage), plus everything
   // those objects reach through intra-partition dead edges — the
   // collector's conservative remembered-set treatment keeps all of it.
-  std::unordered_set<ObjectId> kept;
-  std::deque<ObjectId> queue;
-  for (const auto& [id, entry] : dead) {
-    const ObjectStore::ObjectInfo* info = store.Lookup(id);
+  // "Dead" membership is (resident && !live), so the aux stamps replace
+  // the old per-census kept-set allocation.
+  worklist_.clear();
+  for (const DeadObject& dead : dead_) {
+    const ObjectStore::ObjectInfo* info = store.Lookup(dead.id);
     for (ObjectId child : info->slots) {
       if (child.is_null()) continue;
-      auto cit = dead.find(child);
-      if (cit == dead.end() || cit->second.partition == entry.partition) {
+      const ObjectStore::ObjectInfo* child_info = store.Lookup(child);
+      if (child_info == nullptr || IsLive(child) ||
+          child_info->partition == dead.partition) {
         continue;
       }
-      if (kept.insert(child).second) queue.push_back(child);
+      if (AuxMark(child)) worklist_.push_back(child);
     }
   }
-  while (!queue.empty()) {
-    const ObjectId id = queue.front();
-    queue.pop_front();
-    const PartitionId partition = dead.at(id).partition;
+  while (!worklist_.empty()) {
+    const ObjectId id = worklist_.back();
+    worklist_.pop_back();
     const ObjectStore::ObjectInfo* info = store.Lookup(id);
     for (ObjectId child : info->slots) {
       if (child.is_null()) continue;
-      auto cit = dead.find(child);
-      if (cit == dead.end() || cit->second.partition != partition) continue;
-      if (kept.insert(child).second) queue.push_back(child);
+      const ObjectStore::ObjectInfo* child_info = store.Lookup(child);
+      if (child_info == nullptr || IsLive(child) ||
+          child_info->partition != info->partition) {
+        continue;
+      }
+      if (AuxMark(child)) worklist_.push_back(child);
     }
   }
 
-  for (const auto& [id, entry] : dead) {
-    if (kept.count(id) > 0) continue;
-    census.collectable_bytes_per_partition[entry.partition] += entry.size;
-    census.total_collectable_bytes += entry.size;
+  for (const DeadObject& dead : dead_) {
+    if (AuxMarked(dead.id)) continue;
+    census->collectable_bytes_per_partition[dead.partition] += dead.size;
+    census->total_collectable_bytes += dead.size;
   }
+}
+
+GarbageCensus ReachabilityAnalyzer::Census(const ObjectStore& store) {
+  GarbageCensus census;
+  CensusInto(store, &census);
   return census;
 }
 
 namespace {
 
-// Dense view of the dead-object subgraph used by ComputeGarbageAnatomy.
+// Dense view of the dead-object subgraph used by Anatomy.
 struct DeadGraph {
   std::vector<ObjectId> ids;
   std::vector<PartitionId> partitions;
   std::vector<uint32_t> sizes;
   std::vector<std::vector<uint32_t>> out_edges;  // Dead -> dead only.
-  std::unordered_map<ObjectId, uint32_t> index_of;
 };
-
-DeadGraph BuildDeadGraph(const ObjectStore& store,
-                         const std::unordered_set<ObjectId>& live) {
-  DeadGraph g;
-  for (size_t pid = 0; pid < store.partition_count(); ++pid) {
-    for (const auto& [offset, id] : store.partition(pid).objects_by_offset()) {
-      if (live.count(id) > 0) continue;
-      const ObjectStore::ObjectInfo* info = store.Lookup(id);
-      if (info == nullptr) continue;
-      g.index_of.emplace(id, static_cast<uint32_t>(g.ids.size()));
-      g.ids.push_back(id);
-      g.partitions.push_back(static_cast<PartitionId>(pid));
-      g.sizes.push_back(info->size);
-    }
-  }
-  g.out_edges.resize(g.ids.size());
-  for (uint32_t i = 0; i < g.ids.size(); ++i) {
-    const ObjectStore::ObjectInfo* info = store.Lookup(g.ids[i]);
-    for (ObjectId child : info->slots) {
-      if (child.is_null()) continue;
-      auto it = g.index_of.find(child);
-      if (it != g.index_of.end()) g.out_edges[i].push_back(it->second);
-    }
-  }
-  return g;
-}
 
 // Iterative Tarjan SCC over the dead graph; returns component id per node.
 std::vector<uint32_t> StronglyConnectedComponents(const DeadGraph& g,
@@ -195,11 +202,35 @@ std::vector<uint32_t> StronglyConnectedComponents(const DeadGraph& g,
 
 }  // namespace
 
-GarbageAnatomy ComputeGarbageAnatomy(const ObjectStore& store) {
-  const std::unordered_set<ObjectId> live = ComputeLiveSet(store);
-  const DeadGraph g = BuildDeadGraph(store, live);
-  const uint32_t n = static_cast<uint32_t>(g.ids.size());
+GarbageAnatomy ReachabilityAnalyzer::Anatomy(const ObjectStore& store) {
+  MarkLiveSet(store);
 
+  // Dense dead graph; the aux stamps map id -> dead-graph index without a
+  // per-call hash map. (Anatomy itself is a cold path — ablations and
+  // tests — but it shares the hot marking core.)
+  DeadGraph g;
+  for (size_t pid = 0; pid < store.partition_count(); ++pid) {
+    for (const auto& [offset, id] : store.partition(pid).objects_by_offset()) {
+      if (IsLive(id)) continue;
+      const ObjectStore::ObjectInfo* info = store.Lookup(id);
+      if (info == nullptr) continue;
+      AuxMark(id);
+      aux_value_[id.value] = static_cast<uint32_t>(g.ids.size());
+      g.ids.push_back(id);
+      g.partitions.push_back(static_cast<PartitionId>(pid));
+      g.sizes.push_back(info->size);
+    }
+  }
+  g.out_edges.resize(g.ids.size());
+  for (uint32_t i = 0; i < g.ids.size(); ++i) {
+    const ObjectStore::ObjectInfo* info = store.Lookup(g.ids[i]);
+    for (ObjectId child : info->slots) {
+      if (child.is_null()) continue;
+      if (AuxMarked(child)) g.out_edges[i].push_back(aux_value_[child.value]);
+    }
+  }
+
+  const uint32_t n = static_cast<uint32_t>(g.ids.size());
   GarbageAnatomy anatomy;
   if (n == 0) return anatomy;
 
@@ -272,6 +303,41 @@ GarbageAnatomy ComputeGarbageAnatomy(const ObjectStore& store) {
     }
   }
   return anatomy;
+}
+
+std::unordered_set<ObjectId> ComputeLiveSet(const ObjectStore& store) {
+  // Kept verbatim from the original implementation: the global collector
+  // iterates the returned set, and its (implementation-defined but
+  // deterministic) iteration order decides the order of simulated marking
+  // I/O — replaying it exactly keeps full-collection runs bit-identical.
+  std::unordered_set<ObjectId> live;
+  std::deque<ObjectId> queue;
+  for (ObjectId root : store.roots()) {
+    if (live.insert(root).second) queue.push_back(root);
+  }
+  while (!queue.empty()) {
+    const ObjectId id = queue.front();
+    queue.pop_front();
+    const ObjectStore::ObjectInfo* info = store.Lookup(id);
+    if (info == nullptr) continue;
+    for (ObjectId child : info->slots) {
+      if (!child.is_null() && store.Exists(child) &&
+          live.insert(child).second) {
+        queue.push_back(child);
+      }
+    }
+  }
+  return live;
+}
+
+GarbageCensus ComputeGarbageCensus(const ObjectStore& store) {
+  ReachabilityAnalyzer analyzer;
+  return analyzer.Census(store);
+}
+
+GarbageAnatomy ComputeGarbageAnatomy(const ObjectStore& store) {
+  ReachabilityAnalyzer analyzer;
+  return analyzer.Anatomy(store);
 }
 
 }  // namespace odbgc

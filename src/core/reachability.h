@@ -37,12 +37,6 @@ struct GarbageCensus {
   uint64_t total_live_objects = 0;
 };
 
-/// Ids of all objects reachable from the root set.
-std::unordered_set<ObjectId> ComputeLiveSet(const ObjectStore& store);
-
-/// Full census (one reachability pass).
-GarbageCensus ComputeGarbageCensus(const ObjectStore& store);
-
 /// Classifies the *garbage* of a census by why a partition-local collector
 /// would or would not find it, quantifying the paper's Section 6.5
 /// observations (nepotism and distributed cyclic garbage).
@@ -61,10 +55,113 @@ struct GarbageAnatomy {
   uint64_t cross_partition_cycle_bytes = 0;
 };
 
-/// Computes the anatomy given the current store contents. The
-/// cross-partition-cycle component is found as the fixpoint of repeatedly
-/// discarding dead objects that have no external dead referents — what
-/// remains is garbage that partition-local collection can never reach.
+/// The shared marking core behind every whole-database reachability
+/// question — the simulator's single hottest path (the MostGarbage oracle
+/// runs a census per collection trigger; Figure 4 runs one per snapshot).
+///
+/// Instead of a fresh unordered_set per census, liveness is an
+/// *epoch-stamped dense mark vector* indexed by ObjectId value (ids are
+/// sequential and never reused, so the id doubles as a slot in a flat
+/// array): one uint32_t per id, "marked" means stamp == current epoch,
+/// and un-marking the whole database is a single epoch increment. After
+/// the first census of a run, marking allocates nothing and never
+/// rehashes; the traversal worklist and all census scratch buffers are
+/// reused across calls.
+///
+/// The analyzer is measurement machinery only — it reads the shadow
+/// object graph, charges no simulated I/O and holds no simulation state,
+/// so it is deliberately *not* part of any checkpoint. All results are
+/// bit-identical to the original set-based implementation (every output
+/// is an order-independent sum over the same live/dead classification);
+/// tests/core/census_equivalence_test.cc pins that equivalence against a
+/// reference implementation.
+class ReachabilityAnalyzer {
+ public:
+  ReachabilityAnalyzer() = default;
+
+  ReachabilityAnalyzer(const ReachabilityAnalyzer&) = delete;
+  ReachabilityAnalyzer& operator=(const ReachabilityAnalyzer&) = delete;
+
+  /// Full census into caller-owned storage (vectors are reused when
+  /// already sized). One reachability pass over the shadow graph.
+  void CensusInto(const ObjectStore& store, GarbageCensus* census);
+
+  /// Full census (one reachability pass), by value.
+  GarbageCensus Census(const ObjectStore& store);
+
+  /// Garbage anatomy for the current store contents. The
+  /// cross-partition-cycle component is found via SCCs of the dead
+  /// subgraph: a dead cycle spanning partitions keeps itself registered
+  /// in remembered sets forever.
+  GarbageAnatomy Anatomy(const ObjectStore& store);
+
+  /// Marks the set of objects reachable from the store's roots; afterward
+  /// IsLive() answers for any id issued by the store. Exposed for callers
+  /// that need only liveness (equivalence tests, tools).
+  void MarkLiveSet(const ObjectStore& store);
+
+  /// True iff `id` was marked by the most recent MarkLiveSet/Census/
+  /// Anatomy call on this analyzer.
+  bool IsLive(ObjectId id) const {
+    return id.value < live_stamp_.size() && live_stamp_[id.value] == epoch_;
+  }
+
+ private:
+  // One dead object, in partition-roster order (the census iteration
+  // order, kept for deterministic replay of the reference algorithm).
+  struct DeadObject {
+    ObjectId id;
+    PartitionId partition;
+    uint32_t size;
+  };
+
+  // Starts a new mark generation covering ids < store.id_limit():
+  // increments the epoch and grows the stamp arrays (handling the
+  // ~4-billion-census wraparound by clearing).
+  void BeginEpoch(const ObjectStore& store);
+
+  // Aux-stamps `id` (the per-census scratch set: census "kept" marks,
+  // anatomy dead-graph indices). Returns false if already stamped.
+  bool AuxMark(ObjectId id) {
+    uint32_t& stamp = aux_stamp_[id.value];
+    if (stamp == epoch_) return false;
+    stamp = epoch_;
+    return true;
+  }
+  bool AuxMarked(ObjectId id) const {
+    return aux_stamp_[id.value] == epoch_;
+  }
+
+  // Current mark generation; 0 is reserved as "never marked".
+  uint32_t epoch_ = 0;
+  // stamp == epoch_  <=>  marked in the current generation.
+  std::vector<uint32_t> live_stamp_;
+  std::vector<uint32_t> aux_stamp_;
+  // Aux payload: for anatomy, the dead-graph index of an aux-marked id.
+  std::vector<uint32_t> aux_value_;
+
+  // Reusable traversal worklist (explicit stack — order is irrelevant to
+  // every consumer, all outputs being order-independent sums).
+  std::vector<ObjectId> worklist_;
+  // Census scratch: the dead objects of the current census, roster order.
+  std::vector<DeadObject> dead_;
+};
+
+/// Ids of all objects reachable from the root set.
+///
+/// Note for hot paths: prefer ReachabilityAnalyzer, which marks without
+/// building a set. This remains for callers that need a materialized set
+/// with the historical iteration behaviour (the global collector's visit
+/// order, tests).
+std::unordered_set<ObjectId> ComputeLiveSet(const ObjectStore& store);
+
+/// Full census (one reachability pass). Convenience wrapper constructing
+/// a transient ReachabilityAnalyzer; repeated callers should hold an
+/// analyzer and amortize its buffers.
+GarbageCensus ComputeGarbageCensus(const ObjectStore& store);
+
+/// Computes the anatomy given the current store contents (see
+/// ReachabilityAnalyzer::Anatomy).
 GarbageAnatomy ComputeGarbageAnatomy(const ObjectStore& store);
 
 }  // namespace odbgc

@@ -5,15 +5,32 @@
 
 namespace odbgc {
 
+void InterPartitionIndex::EnsurePartition(PartitionId partition) {
+  assert(partition != kInvalidPartition);
+  const size_t needed = static_cast<size_t>(partition) + 1;
+  if (targets_in_partition_.size() < needed) {
+    targets_in_partition_.resize(needed);
+    sources_in_partition_.resize(needed);
+  }
+}
+
 void InterPartitionIndex::AddReference(ObjectId source,
                                        PartitionId source_partition,
                                        uint32_t slot, ObjectId target,
                                        PartitionId target_partition) {
   assert(source_partition != target_partition);
-  entries_by_target_[target].push_back({source, slot});
+  EnsurePartition(std::max(source_partition, target_partition));
+
+  TargetRecord& target_record = entries_by_target_[target];
+  target_record.locations.push_back({source, slot});
+  target_record.partition = target_partition;
   targets_in_partition_[target_partition].insert(target);
-  out_pointers_by_source_[source].push_back({slot, target});
+
+  SourceRecord& source_record = out_pointers_by_source_[source];
+  source_record.out_pointers.push_back({slot, target});
+  source_record.partition = source_partition;
   sources_in_partition_[source_partition].insert(source);
+
   ++entry_count_;
 }
 
@@ -21,29 +38,30 @@ void InterPartitionIndex::RemoveReference(ObjectId source, uint32_t slot,
                                           ObjectId target) {
   auto tit = entries_by_target_.find(target);
   if (tit == entries_by_target_.end()) return;
-  auto& locs = tit->second;
+  PointerLocationList& locs = tit->second.locations;
   auto lit = std::find(locs.begin(), locs.end(), PointerLocation{source, slot});
   if (lit == locs.end()) return;
   locs.erase(lit);
   --entry_count_;
   if (locs.empty()) {
+    const PartitionId target_partition = tit->second.partition;
     entries_by_target_.erase(tit);
-    // Drop the target from whichever partition bucket holds it.
-    for (auto& [pid, ids] : targets_in_partition_) {
-      if (ids.erase(target) > 0) break;
+    if (target_partition < targets_in_partition_.size()) {
+      targets_in_partition_[target_partition].erase(target);
     }
   }
 
   auto sit = out_pointers_by_source_.find(source);
   if (sit != out_pointers_by_source_.end()) {
-    auto& outs = sit->second;
-    auto oit = std::find(outs.begin(), outs.end(),
-                         std::make_pair(slot, target));
+    OutPointerList& outs = sit->second.out_pointers;
+    auto oit =
+        std::find(outs.begin(), outs.end(), std::make_pair(slot, target));
     if (oit != outs.end()) outs.erase(oit);
     if (outs.empty()) {
+      const PartitionId source_partition = sit->second.partition;
       out_pointers_by_source_.erase(sit);
-      for (auto& [pid, ids] : sources_in_partition_) {
-        if (ids.erase(source) > 0) break;
+      if (source_partition < sources_in_partition_.size()) {
+        sources_in_partition_[source_partition].erase(source);
       }
     }
   }
@@ -51,17 +69,18 @@ void InterPartitionIndex::RemoveReference(ObjectId source, uint32_t slot,
 
 void InterPartitionIndex::OnObjectMoved(ObjectId object, PartitionId from,
                                         PartitionId to) {
-  if (entries_by_target_.count(object) > 0) {
-    auto fit = targets_in_partition_.find(from);
-    if (fit != targets_in_partition_.end() && fit->second.erase(object) > 0) {
-      targets_in_partition_[to].insert(object);
-    }
+  EnsurePartition(std::max(from, to));
+  auto tit = entries_by_target_.find(object);
+  if (tit != entries_by_target_.end() &&
+      targets_in_partition_[from].erase(object)) {
+    targets_in_partition_[to].insert(object);
+    tit->second.partition = to;
   }
-  if (out_pointers_by_source_.count(object) > 0) {
-    auto fit = sources_in_partition_.find(from);
-    if (fit != sources_in_partition_.end() && fit->second.erase(object) > 0) {
-      sources_in_partition_[to].insert(object);
-    }
+  auto sit = out_pointers_by_source_.find(object);
+  if (sit != out_pointers_by_source_.end() &&
+      sources_in_partition_[from].erase(object)) {
+    sources_in_partition_[to].insert(object);
+    sit->second.partition = to;
   }
 }
 
@@ -77,43 +96,55 @@ void InterPartitionIndex::RemoveOutPointersOf(ObjectId source,
   auto sit = out_pointers_by_source_.find(source);
   if (sit != out_pointers_by_source_.end()) {
     // RemoveReference mutates the source's out list; work on a copy.
-    const auto outs = sit->second;
+    const OutPointerList outs = sit->second.out_pointers;
     for (const auto& [slot, target] : outs) {
       RemoveReference(source, slot, target);
     }
   }
-  auto pit = sources_in_partition_.find(partition);
-  if (pit != sources_in_partition_.end()) pit->second.erase(source);
+  if (partition < sources_in_partition_.size()) {
+    sources_in_partition_[partition].erase(source);
+  }
+}
+
+std::span<const ObjectId> InterPartitionIndex::ExternalTargets(
+    PartitionId partition) const {
+  if (partition >= targets_in_partition_.size()) return {};
+  return targets_in_partition_[partition].sorted();
 }
 
 std::vector<ObjectId> InterPartitionIndex::ExternalTargetsInPartition(
     PartitionId partition) const {
-  auto it = targets_in_partition_.find(partition);
-  if (it == targets_in_partition_.end()) return {};
-  return std::vector<ObjectId>(it->second.begin(), it->second.end());
+  const std::span<const ObjectId> view = ExternalTargets(partition);
+  return std::vector<ObjectId>(view.begin(), view.end());
 }
 
-const std::vector<PointerLocation>* InterPartitionIndex::EntriesForTarget(
+const PointerLocationList* InterPartitionIndex::EntriesForTarget(
     ObjectId target) const {
   auto it = entries_by_target_.find(target);
-  return it == entries_by_target_.end() ? nullptr : &it->second;
+  return it == entries_by_target_.end() ? nullptr : &it->second.locations;
 }
 
 bool InterPartitionIndex::HasExternalReferences(ObjectId target) const {
   return entries_by_target_.count(target) > 0;
 }
 
-std::vector<ObjectId> InterPartitionIndex::SourcesInPartition(
+std::span<const ObjectId> InterPartitionIndex::Sources(
     PartitionId partition) const {
-  auto it = sources_in_partition_.find(partition);
-  if (it == sources_in_partition_.end()) return {};
-  return std::vector<ObjectId>(it->second.begin(), it->second.end());
+  if (partition >= sources_in_partition_.size()) return {};
+  return sources_in_partition_[partition].sorted();
 }
 
-const std::vector<std::pair<uint32_t, ObjectId>>*
-InterPartitionIndex::OutPointersOfSource(ObjectId source) const {
+std::vector<ObjectId> InterPartitionIndex::SourcesInPartition(
+    PartitionId partition) const {
+  const std::span<const ObjectId> view = Sources(partition);
+  return std::vector<ObjectId>(view.begin(), view.end());
+}
+
+const OutPointerList* InterPartitionIndex::OutPointersOfSource(
+    ObjectId source) const {
   auto it = out_pointers_by_source_.find(source);
-  return it == out_pointers_by_source_.end() ? nullptr : &it->second;
+  return it == out_pointers_by_source_.end() ? nullptr
+                                             : &it->second.out_pointers;
 }
 
 InterPartitionIndex BuildIndexFromStore(const ObjectStore& store) {
@@ -139,12 +170,10 @@ InterPartitionIndex BuildIndexFromStore(const ObjectStore& store) {
 
 size_t InterPartitionIndex::EntryCountForPartition(
     PartitionId partition) const {
-  auto it = targets_in_partition_.find(partition);
-  if (it == targets_in_partition_.end()) return 0;
   size_t n = 0;
-  for (ObjectId target : it->second) {
+  for (ObjectId target : ExternalTargets(partition)) {
     auto eit = entries_by_target_.find(target);
-    if (eit != entries_by_target_.end()) n += eit->second.size();
+    if (eit != entries_by_target_.end()) n += eit->second.locations.size();
   }
   return n;
 }

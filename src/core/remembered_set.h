@@ -2,14 +2,15 @@
 #define ODBGC_CORE_REMEMBERED_SET_H_
 
 #include <cstdint>
-#include <map>
-#include <set>
+#include <span>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "odb/object_id.h"
 #include "odb/object_store.h"
+#include "util/flat_set.h"
+#include "util/inline_vector.h"
 
 namespace odbgc {
 
@@ -26,6 +27,15 @@ struct PointerLocation {
     return a.slot < b.slot;
   }
 };
+
+/// External pointer locations referencing one target. Inline capacity 2:
+/// most externally referenced objects have one or two referents.
+using PointerLocationList = InlineVector<PointerLocation, 2>;
+
+/// Out-of-partition pointers of one source, as (slot, target) pairs.
+/// Inline capacity 2: the common out-pointer list is one or two entries
+/// (the workload's dense-edge rate is ~0.08 per object).
+using OutPointerList = InlineVector<std::pair<uint32_t, ObjectId>, 2>;
 
 /// Tracks every inter-partition pointer in the database — the paper's two
 /// auxiliary structures rolled into one consistent index:
@@ -46,6 +56,15 @@ struct PointerLocation {
 ///
 /// The index lives in primary memory (the paper maintains these structures
 /// as in-memory auxiliaries) and is never charged I/O.
+///
+/// Layout (this is the write barrier's hot path — every pointer store
+/// lands here):
+///  - per-object records carry their entry list in a small inline buffer
+///    plus the partition the object currently occupies, so removal and
+///    re-bucketing need no search over partitions;
+///  - per-partition membership sets are flat sorted vectors (FlatSet)
+///    indexed by partition id, replacing unordered_map<id, std::set> —
+///    the collector reads them as contiguous, already-sorted spans.
 class InterPartitionIndex {
  public:
   InterPartitionIndex() = default;
@@ -79,22 +98,30 @@ class InterPartitionIndex {
 
   /// Remembered set of `partition`: ids of objects in `partition` that
   /// have at least one external reference, in ascending id order
-  /// (deterministic collection roots).
+  /// (deterministic collection roots). Zero-copy view into the index;
+  /// valid until the next mutation — callers that mutate while iterating
+  /// (the collector re-buckets as it copies) must snapshot first.
+  std::span<const ObjectId> ExternalTargets(PartitionId partition) const;
+
+  /// Copying convenience over ExternalTargets (tests, tools).
   std::vector<ObjectId> ExternalTargetsInPartition(PartitionId partition) const;
 
   /// All pointer locations referencing `target` from other partitions;
   /// nullptr if none.
-  const std::vector<PointerLocation>* EntriesForTarget(ObjectId target) const;
+  const PointerLocationList* EntriesForTarget(ObjectId target) const;
 
   bool HasExternalReferences(ObjectId target) const;
 
   /// Out-of-partition set of `partition`: ids of objects in `partition`
-  /// holding at least one pointer out of it, ascending order.
+  /// holding at least one pointer out of it, ascending order. Zero-copy
+  /// view with the same validity rule as ExternalTargets.
+  std::span<const ObjectId> Sources(PartitionId partition) const;
+
+  /// Copying convenience over Sources (tests, tools).
   std::vector<ObjectId> SourcesInPartition(PartitionId partition) const;
 
   /// Out-pointers of `source` (slot, target) pairs; nullptr if none.
-  const std::vector<std::pair<uint32_t, ObjectId>>* OutPointersOfSource(
-      ObjectId source) const;
+  const OutPointerList* OutPointersOfSource(ObjectId source) const;
 
   /// Total number of inter-partition pointer entries.
   size_t entry_count() const { return entry_count_; }
@@ -104,16 +131,30 @@ class InterPartitionIndex {
   size_t EntryCountForPartition(PartitionId partition) const;
 
  private:
-  // target -> external pointer locations referencing it.
-  std::unordered_map<ObjectId, std::vector<PointerLocation>>
-      entries_by_target_;
-  // partition -> ids of externally referenced objects living there.
-  std::unordered_map<PartitionId, std::set<ObjectId>> targets_in_partition_;
-  // source -> its out-pointers (slot, target).
-  std::unordered_map<ObjectId, std::vector<std::pair<uint32_t, ObjectId>>>
-      out_pointers_by_source_;
-  // partition -> ids of out-pointer-holding objects living there.
-  std::unordered_map<PartitionId, std::set<ObjectId>> sources_in_partition_;
+  // An object's role as a target of external references: the referencing
+  // locations plus the partition the object currently occupies (so erase
+  // and re-bucket know which membership set to touch without searching).
+  struct TargetRecord {
+    PointerLocationList locations;
+    PartitionId partition = kInvalidPartition;
+  };
+  // An object's role as a holder of out-of-partition pointers.
+  struct SourceRecord {
+    OutPointerList out_pointers;
+    PartitionId partition = kInvalidPartition;
+  };
+
+  // Grows the per-partition set directories to cover `partition`.
+  void EnsurePartition(PartitionId partition);
+
+  // target -> external pointer locations referencing it (+ its partition).
+  std::unordered_map<ObjectId, TargetRecord> entries_by_target_;
+  // source -> its out-pointers (slot, target) (+ its partition).
+  std::unordered_map<ObjectId, SourceRecord> out_pointers_by_source_;
+  // Indexed by partition id: ids of externally referenced objects living
+  // there / ids of out-pointer-holding objects living there.
+  std::vector<FlatSet<ObjectId>> targets_in_partition_;
+  std::vector<FlatSet<ObjectId>> sources_in_partition_;
 
   size_t entry_count_ = 0;
 };

@@ -208,6 +208,13 @@ class ObjectStore {
   /// Number of live objects in the table.
   size_t object_count() const { return table_.size(); }
 
+  /// Exclusive upper bound on every ObjectId this store has ever issued.
+  /// Ids are sequential and never reused, so `id.value < id_limit()` holds
+  /// for all objects, live or dead — the contract that lets the
+  /// epoch-stamped mark vectors in core/reachability.h use the id as a
+  /// dense index.
+  uint64_t id_limit() const { return next_id_; }
+
   /// Sum of the sizes of all live table entries, in bytes.
   uint64_t live_bytes() const { return live_bytes_; }
 

@@ -6,6 +6,7 @@
 
 #include "core/reachability.h"
 #include "odb/store_image.h"
+#include "util/phase_timer.h"
 #include "util/serde.h"
 #include "workload/generator.h"
 
@@ -42,9 +43,15 @@ Simulator::Simulator(const SimulationConfig& config) : config_(config) {
   heap_options.seed = config_.seed;  // Policy randomness follows the run seed.
   heap_ = std::make_unique<CollectedHeap>(heap_options);
   next_snapshot_ = config_.snapshot_interval;
+  // Pre-size the logical-id map for the whole run (one entry per Alloc)
+  // so replay never pays an incremental rehash.
+  id_map_.reserve(config_.workload.ExpectedObjectCount());
 }
 
 Status Simulator::Append(const TraceEvent& event) {
+  ScopedWallTimer apply_timer(heap_->options().profile_hot_paths
+                                  ? heap_->wall_timers()->trace_apply
+                                  : nullptr);
   auto resolve = [this](uint64_t logical) -> Result<ObjectId> {
     if (logical == 0) return kNullObjectId;
     auto it = id_map_.find(logical);
@@ -123,10 +130,37 @@ void Simulator::MaybeSnapshot() {
   database_size_kb_.Add(
       x, static_cast<double>(heap_->store().total_bytes()) / 1024.0);
   if (config_.census_at_snapshots) {
-    const GarbageCensus census = ComputeGarbageCensus(heap_->store());
+    RunCensus();
     unreclaimed_garbage_kb_.Add(
-        x, static_cast<double>(census.total_garbage_bytes) / 1024.0);
+        x, static_cast<double>(cached_garbage_bytes_) / 1024.0);
   }
+}
+
+uint64_t Simulator::HeapFingerprint() const {
+  const HeapStats& s = heap_->stats();
+  uint64_t h = 1469598103934665603ull;  // FNV-1a over the counters.
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(s.objects_allocated);
+  mix(s.pointer_stores);
+  mix(s.pointer_overwrites);
+  mix(s.collections);
+  mix(s.full_collections);
+  mix(s.garbage_bytes_reclaimed);
+  mix(heap_->store().roots().size());
+  return h;
+}
+
+void Simulator::RunCensus() {
+  ScopedWallTimer timer(heap_->wall_timers()->census);
+  census_engine_.CensusInto(heap_->store(), &census_scratch_);
+  census_cache_valid_ = true;
+  census_cache_events_ = events_;
+  census_cache_heap_fingerprint_ = HeapFingerprint();
+  cached_garbage_bytes_ = census_scratch_.total_garbage_bytes;
+  cached_live_bytes_ = census_scratch_.total_live_bytes;
 }
 
 void Simulator::ResetMeasurementForWarmStart() {
@@ -134,6 +168,7 @@ void Simulator::ResetMeasurementForWarmStart() {
   heap_->ResetMeasurement();
   events_ = 0;
   next_snapshot_ = config_.snapshot_interval;
+  census_cache_valid_ = false;
   unreclaimed_garbage_kb_ = TimeSeries("unreclaimed_garbage_kb");
   database_size_kb_ = TimeSeries("database_size_kb");
 }
@@ -241,9 +276,15 @@ SimulationResult Simulator::Finish() {
   result.bytes_allocated = heap_stats.bytes_allocated;
   result.pointer_overwrites = heap_stats.pointer_overwrites;
 
-  const GarbageCensus census = ComputeGarbageCensus(heap_->store());
-  result.unreclaimed_garbage_bytes = census.total_garbage_bytes;
-  result.final_live_bytes = census.total_live_bytes;
+  // Reuse the snapshot census if one already ran at this exact event
+  // count with the heap untouched since (the common census_at_snapshots
+  // case, where the last snapshot lands on the final event).
+  if (!(census_cache_valid_ && census_cache_events_ == events_ &&
+        census_cache_heap_fingerprint_ == HeapFingerprint())) {
+    RunCensus();
+  }
+  result.unreclaimed_garbage_bytes = cached_garbage_bytes_;
+  result.final_live_bytes = cached_live_bytes_;
   result.remset_entries = heap_->index().entry_count();
 
   result.unreclaimed_garbage_kb = unreclaimed_garbage_kb_;

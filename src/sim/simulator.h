@@ -66,6 +66,9 @@ class Simulator : public TraceSink {
 
   void MaybeSnapshot();
 
+  // Runs a census into census_scratch_ and refreshes the cache fields.
+  void RunCensus();
+
   SimulationConfig config_;
   std::unique_ptr<CollectedHeap> heap_;
   std::unordered_map<uint64_t, ObjectId> id_map_;
@@ -73,6 +76,25 @@ class Simulator : public TraceSink {
   uint64_t next_snapshot_ = 0;
   TimeSeries unreclaimed_garbage_kb_{"unreclaimed_garbage_kb"};
   TimeSeries database_size_kb_{"database_size_kb"};
+
+  // Census machinery reused across snapshots, plus a cache so Finish()
+  // skips the duplicate census when a snapshot census already ran at the
+  // current event count. The census is a pure function of store state, so
+  // neither the engine nor the cache is checkpointed: a resumed run
+  // recomputes identical values. The cache records the heap counters it
+  // was computed under and is discarded if any of them moved (e.g. a
+  // driver collecting or mutating the heap directly between events).
+  ReachabilityAnalyzer census_engine_;
+  GarbageCensus census_scratch_;
+  bool census_cache_valid_ = false;
+  uint64_t census_cache_events_ = 0;
+  uint64_t census_cache_heap_fingerprint_ = 0;
+  uint64_t cached_garbage_bytes_ = 0;
+  uint64_t cached_live_bytes_ = 0;
+
+  // Cheap summary of every heap counter that can move when the object
+  // graph changes; used to guard the census cache.
+  uint64_t HeapFingerprint() const;
 };
 
 }  // namespace odbgc

@@ -1,0 +1,100 @@
+#ifndef ODBGC_UTIL_FLAT_SET_H_
+#define ODBGC_UTIL_FLAT_SET_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace odbgc {
+
+/// An ordered set stored as a flat sorted vector, with a small unsorted
+/// staging buffer so inserts are amortized instead of paying an O(n)
+/// memmove each. Replaces std::set in the inter-partition index, whose
+/// per-partition target/source sets are queried far more often than they
+/// are mutated and whose node-based layout cost a cache miss per element.
+///
+///  - insert:   dedup check (binary search + staging scan), then an O(1)
+///              append to the staging buffer; every kStagingLimit inserts
+///              the staging buffer is sorted and merged in one pass.
+///  - erase:    binary search in the sorted body (single memmove) or a
+///              swap-remove from the staging buffer.
+///  - sorted(): compacts and exposes the elements ascending — contiguous,
+///              so callers iterate it with zero indirection and the
+///              "remembered set in ascending id order" contract needs no
+///              per-collection sort or copy.
+///
+/// Fully deterministic: the observable element order is always the sorted
+/// order, independent of insertion history.
+template <typename T>
+class FlatSet {
+ public:
+  /// Staging inserts beyond this trigger a merge. Keeps membership scans
+  /// O(64) while amortizing the merge memmove over 64 inserts.
+  static constexpr size_t kStagingLimit = 64;
+
+  bool contains(const T& value) const {
+    return std::binary_search(sorted_.begin(), sorted_.end(), value) ||
+           std::find(staging_.begin(), staging_.end(), value) !=
+               staging_.end();
+  }
+
+  /// Inserts `value`; returns false if already present.
+  bool insert(const T& value) {
+    if (contains(value)) return false;
+    staging_.push_back(value);
+    if (staging_.size() >= kStagingLimit) Compact();
+    return true;
+  }
+
+  /// Erases `value`; returns false if absent.
+  bool erase(const T& value) {
+    auto it = std::lower_bound(sorted_.begin(), sorted_.end(), value);
+    if (it != sorted_.end() && *it == value) {
+      sorted_.erase(it);
+      return true;
+    }
+    auto sit = std::find(staging_.begin(), staging_.end(), value);
+    if (sit != staging_.end()) {
+      // Staging is unsorted; swap-remove avoids the shift.
+      *sit = staging_.back();
+      staging_.pop_back();
+      return true;
+    }
+    return false;
+  }
+
+  size_t size() const { return sorted_.size() + staging_.size(); }
+  bool empty() const { return sorted_.empty() && staging_.empty(); }
+
+  /// All elements, ascending. Compacts the staging buffer first, so the
+  /// reference stays valid until the next mutation.
+  const std::vector<T>& sorted() const {
+    Compact();
+    return sorted_;
+  }
+
+  void clear() {
+    sorted_.clear();
+    staging_.clear();
+  }
+
+ private:
+  void Compact() const {
+    if (staging_.empty()) return;
+    std::sort(staging_.begin(), staging_.end());
+    const size_t old_size = sorted_.size();
+    sorted_.insert(sorted_.end(), staging_.begin(), staging_.end());
+    std::inplace_merge(sorted_.begin(), sorted_.begin() + old_size,
+                       sorted_.end());
+    staging_.clear();
+  }
+
+  // Compaction is logically const (same element set); both buffers are
+  // mutable so read accessors can normalize.
+  mutable std::vector<T> sorted_;
+  mutable std::vector<T> staging_;
+};
+
+}  // namespace odbgc
+
+#endif  // ODBGC_UTIL_FLAT_SET_H_

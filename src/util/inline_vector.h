@@ -1,0 +1,172 @@
+#ifndef ODBGC_UTIL_INLINE_VECTOR_H_
+#define ODBGC_UTIL_INLINE_VECTOR_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+
+namespace odbgc {
+
+/// A vector with a small-size-optimized inline buffer: the first `kInline`
+/// elements live inside the object itself, so the common case allocates
+/// nothing. Built for the inter-partition index, where the out-pointer and
+/// remembered-set entry lists of a single object are almost always one or
+/// two entries long — a full std::vector per object means a heap block and
+/// a cache miss per lookup for a 16-byte payload.
+///
+/// Restricted to trivially destructible, trivially copy-constructible
+/// element types (ids, slots, pairs thereof): no destructor calls are ever
+/// needed, and growth/relocation is plain element copying.
+template <typename T, uint32_t kInline>
+class InlineVector {
+  static_assert(std::is_trivially_destructible_v<T> &&
+                    std::is_trivially_copy_constructible_v<T>,
+                "InlineVector requires trivially destructible, trivially "
+                "copy-constructible types");
+  static_assert(kInline > 0, "inline capacity must be non-zero");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  InlineVector() = default;
+
+  InlineVector(const InlineVector& other) { CopyFrom(other); }
+
+  InlineVector& operator=(const InlineVector& other) {
+    if (this != &other) {
+      Release();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+
+  InlineVector(InlineVector&& other) noexcept { MoveFrom(&other); }
+
+  InlineVector& operator=(InlineVector&& other) noexcept {
+    if (this != &other) {
+      Release();
+      MoveFrom(&other);
+    }
+    return *this;
+  }
+
+  ~InlineVector() { Release(); }
+
+  uint32_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  uint32_t capacity() const { return capacity_; }
+
+  T* data() { return is_heap() ? heap_ : InlineData(); }
+  const T* data() const { return is_heap() ? heap_ : InlineData(); }
+
+  iterator begin() { return data(); }
+  iterator end() { return data() + size_; }
+  const_iterator begin() const { return data(); }
+  const_iterator end() const { return data() + size_; }
+
+  T& operator[](uint32_t i) {
+    assert(i < size_);
+    return data()[i];
+  }
+  const T& operator[](uint32_t i) const {
+    assert(i < size_);
+    return data()[i];
+  }
+
+  T& back() {
+    assert(size_ > 0);
+    return data()[size_ - 1];
+  }
+  const T& back() const {
+    assert(size_ > 0);
+    return data()[size_ - 1];
+  }
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) Grow();
+    ::new (static_cast<void*>(data() + size_)) T(value);
+    ++size_;
+  }
+
+  void pop_back() {
+    assert(size_ > 0);
+    --size_;
+  }
+
+  /// Erases the element at `pos`, preserving the order of the remainder
+  /// (the index relies on entry lists keeping insertion order).
+  iterator erase(iterator pos) {
+    assert(pos >= begin() && pos < end());
+    std::copy(pos + 1, end(), pos);
+    --size_;
+    return pos;
+  }
+
+  void clear() { size_ = 0; }
+
+ private:
+  T* InlineData() { return reinterpret_cast<T*>(inline_storage_); }
+  const T* InlineData() const {
+    return reinterpret_cast<const T*>(inline_storage_);
+  }
+  bool is_heap() const { return capacity_ > kInline; }
+
+  void Grow() {
+    const uint32_t new_capacity = capacity_ * 2;
+    T* block = new T[new_capacity];
+    std::copy(data(), data() + size_, block);
+    if (is_heap()) delete[] heap_;
+    heap_ = block;
+    capacity_ = new_capacity;
+  }
+
+  void Release() {
+    if (is_heap()) delete[] heap_;
+    capacity_ = kInline;
+    size_ = 0;
+  }
+
+  void CopyFrom(const InlineVector& other) {
+    if (other.is_heap()) {
+      heap_ = new T[other.capacity_];
+      capacity_ = other.capacity_;
+      std::copy(other.heap_, other.heap_ + other.size_, heap_);
+    } else {
+      std::uninitialized_copy(other.InlineData(),
+                              other.InlineData() + other.size_, InlineData());
+    }
+    size_ = other.size_;
+  }
+
+  void MoveFrom(InlineVector* other) {
+    if (other->is_heap()) {
+      heap_ = other->heap_;
+      capacity_ = other->capacity_;
+      size_ = other->size_;
+      other->heap_ = nullptr;
+      other->capacity_ = kInline;
+      other->size_ = 0;
+    } else {
+      std::uninitialized_copy(other->InlineData(),
+                              other->InlineData() + other->size_,
+                              InlineData());
+      size_ = other->size_;
+      other->size_ = 0;
+    }
+  }
+
+  union {
+    alignas(T) unsigned char inline_storage_[kInline * sizeof(T)];
+    T* heap_;
+  };
+  uint32_t size_ = 0;
+  uint32_t capacity_ = kInline;
+};
+
+}  // namespace odbgc
+
+#endif  // ODBGC_UTIL_INLINE_VECTOR_H_

@@ -79,6 +79,18 @@ struct WorkloadConfig {
     return (min_object_size + max_object_size) / 2.0;
   }
 
+  /// Approximate number of objects the whole run allocates: total volume
+  /// over the mean allocation size (small/large mix). An estimate for
+  /// pre-sizing id tables, not a bound.
+  uint64_t ExpectedObjectCount() const {
+    const double p_large = LargeObjectProbability();
+    const double mean_size = p_large * large_object_size +
+                             (1.0 - p_large) * MeanSmallObjectSize();
+    if (mean_size <= 0.0) return 0;
+    return static_cast<uint64_t>(
+        static_cast<double>(total_alloc_bytes) / mean_size);
+  }
+
   /// Returns a copy tuned to database connectivity `c` (pointers per
   /// object), as in the paper's Table 5 sweep.
   WorkloadConfig WithConnectivity(double c) const;

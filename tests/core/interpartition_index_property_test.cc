@@ -1,0 +1,279 @@
+// Model-based equivalence test for the flat InterPartitionIndex: a
+// randomized stream of add/remove/move/die operations is applied both to
+// the real index and to a deliberately naive reference model (a flat list
+// of entries plus an object->partition map, queried by linear scans — the
+// semantics of the original unordered_map<PartitionId, std::set<ObjectId>>
+// implementation without any of its structure). Every query surface must
+// agree at every step.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/remembered_set.h"
+
+namespace odbgc {
+namespace {
+
+struct ModelEntry {
+  ObjectId source;
+  uint32_t slot;
+  ObjectId target;
+};
+
+/// The reference model. Entries keep insertion order (the real index's
+/// per-object lists are order-preserving); partitions live in a side map
+/// updated by moves, exactly like the record partitions of the real index.
+class ReferenceIndex {
+ public:
+  void AddReference(ObjectId source, PartitionId source_partition,
+                    uint32_t slot, ObjectId target,
+                    PartitionId target_partition) {
+    entries_.push_back({source, slot, target});
+    partition_[source] = source_partition;
+    partition_[target] = target_partition;
+  }
+
+  void RemoveReference(ObjectId source, uint32_t slot, ObjectId target) {
+    // The real index is a no-op unless the (source, slot) location is
+    // recorded for `target`; the first matching entry is removed.
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->source == source && it->slot == slot && it->target == target) {
+        entries_.erase(it);
+        return;
+      }
+    }
+  }
+
+  void OnObjectMoved(ObjectId object, PartitionId from, PartitionId to) {
+    auto it = partition_.find(object);
+    if (it != partition_.end() && it->second == from) it->second = to;
+  }
+
+  void RemoveOutPointersOf(ObjectId source) {
+    entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                  [&](const ModelEntry& e) {
+                                    return e.source == source;
+                                  }),
+                   entries_.end());
+  }
+
+  bool HasExternalReferences(ObjectId target) const {
+    return std::any_of(entries_.begin(), entries_.end(),
+                       [&](const ModelEntry& e) { return e.target == target; });
+  }
+
+  size_t entry_count() const { return entries_.size(); }
+
+  std::vector<ObjectId> TargetsInPartition(PartitionId p) const {
+    std::vector<ObjectId> ids;
+    for (const ModelEntry& e : entries_) {
+      if (PartitionOf(e.target) == p) ids.push_back(e.target);
+    }
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    return ids;
+  }
+
+  std::vector<ObjectId> SourcesInPartition(PartitionId p) const {
+    std::vector<ObjectId> ids;
+    for (const ModelEntry& e : entries_) {
+      if (PartitionOf(e.source) == p) ids.push_back(e.source);
+    }
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    return ids;
+  }
+
+  size_t EntryCountForPartition(PartitionId p) const {
+    size_t n = 0;
+    for (const ModelEntry& e : entries_) {
+      if (PartitionOf(e.target) == p) ++n;
+    }
+    return n;
+  }
+
+  std::vector<PointerLocation> EntriesForTarget(ObjectId target) const {
+    std::vector<PointerLocation> locations;
+    for (const ModelEntry& e : entries_) {
+      if (e.target == target) locations.push_back({e.source, e.slot});
+    }
+    return locations;
+  }
+
+  std::vector<std::pair<uint32_t, ObjectId>> OutPointersOfSource(
+      ObjectId source) const {
+    std::vector<std::pair<uint32_t, ObjectId>> outs;
+    for (const ModelEntry& e : entries_) {
+      if (e.source == source) outs.emplace_back(e.slot, e.target);
+    }
+    return outs;
+  }
+
+  const std::vector<ModelEntry>& entries() const { return entries_; }
+
+  PartitionId PartitionOf(ObjectId id) const {
+    auto it = partition_.find(id);
+    return it == partition_.end() ? kInvalidPartition : it->second;
+  }
+
+ private:
+  std::vector<ModelEntry> entries_;
+  std::map<ObjectId, PartitionId> partition_;
+};
+
+class IndexPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+void ExpectSameState(const InterPartitionIndex& index,
+                     const ReferenceIndex& model, uint32_t num_objects,
+                     uint32_t num_partitions, uint64_t step) {
+  SCOPED_TRACE("step " + std::to_string(step));
+  EXPECT_EQ(index.entry_count(), model.entry_count());
+  for (PartitionId p = 0; p < num_partitions; ++p) {
+    EXPECT_EQ(index.ExternalTargetsInPartition(p), model.TargetsInPartition(p))
+        << "targets of partition " << p;
+    EXPECT_EQ(index.SourcesInPartition(p), model.SourcesInPartition(p))
+        << "sources of partition " << p;
+    EXPECT_EQ(index.EntryCountForPartition(p), model.EntryCountForPartition(p))
+        << "entry count of partition " << p;
+    // The zero-copy spans must agree with their copying counterparts.
+    const auto targets_view = index.ExternalTargets(p);
+    EXPECT_EQ(std::vector<ObjectId>(targets_view.begin(), targets_view.end()),
+              index.ExternalTargetsInPartition(p));
+    const auto sources_view = index.Sources(p);
+    EXPECT_EQ(std::vector<ObjectId>(sources_view.begin(), sources_view.end()),
+              index.SourcesInPartition(p));
+  }
+  for (uint64_t o = 1; o <= num_objects; ++o) {
+    const ObjectId id{o};
+    EXPECT_EQ(index.HasExternalReferences(id), model.HasExternalReferences(id))
+        << "object " << o;
+    const auto expected_locations = model.EntriesForTarget(id);
+    const auto* locations = index.EntriesForTarget(id);
+    if (expected_locations.empty()) {
+      EXPECT_EQ(locations, nullptr) << "object " << o;
+    } else {
+      ASSERT_NE(locations, nullptr) << "object " << o;
+      EXPECT_EQ(std::vector<PointerLocation>(locations->begin(),
+                                             locations->end()),
+                expected_locations)
+          << "object " << o;
+    }
+    const auto expected_outs = model.OutPointersOfSource(id);
+    const auto* outs = index.OutPointersOfSource(id);
+    if (expected_outs.empty()) {
+      EXPECT_EQ(outs, nullptr) << "object " << o;
+    } else {
+      ASSERT_NE(outs, nullptr) << "object " << o;
+      EXPECT_EQ((std::vector<std::pair<uint32_t, ObjectId>>(outs->begin(),
+                                                            outs->end())),
+                expected_outs)
+          << "object " << o;
+    }
+  }
+}
+
+TEST_P(IndexPropertyTest, MatchesReferenceModelOverRandomOperations) {
+  constexpr uint32_t kObjects = 48;
+  constexpr uint32_t kPartitions = 6;
+  constexpr uint32_t kSlots = 4;
+  constexpr uint64_t kSteps = 3000;
+
+  std::mt19937_64 rng(GetParam());
+  auto uniform = [&rng](uint32_t n) {
+    return static_cast<uint32_t>(rng() % n);
+  };
+
+  InterPartitionIndex index;
+  ReferenceIndex model;
+  // Ground-truth object placement, shared by both sides.
+  std::vector<PartitionId> part(kObjects + 1);
+  for (uint64_t o = 1; o <= kObjects; ++o) {
+    part[o] = static_cast<PartitionId>(uniform(kPartitions));
+  }
+
+  for (uint64_t step = 0; step < kSteps; ++step) {
+    switch (uniform(10)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3: {  // Add an inter-partition reference.
+        const ObjectId source{1 + uniform(kObjects)};
+        const ObjectId target{1 + uniform(kObjects)};
+        if (part[source.value] == part[target.value]) break;
+        const uint32_t slot = uniform(kSlots);
+        index.AddReference(source, part[source.value], slot, target,
+                           part[target.value]);
+        model.AddReference(source, part[source.value], slot, target,
+                           part[target.value]);
+        break;
+      }
+      case 4:
+      case 5: {  // Remove one recorded reference.
+        if (model.entries().empty()) break;
+        const ModelEntry e = model.entries()[uniform(
+            static_cast<uint32_t>(model.entries().size()))];
+        index.RemoveReference(e.source, e.slot, e.target);
+        model.RemoveReference(e.source, e.slot, e.target);
+        break;
+      }
+      case 6: {  // Remove a (mostly) bogus reference: both no-op alike.
+        const ObjectId source{1 + uniform(kObjects)};
+        const ObjectId target{1 + uniform(kObjects)};
+        const uint32_t slot = uniform(kSlots);
+        index.RemoveReference(source, slot, target);
+        model.RemoveReference(source, slot, target);
+        break;
+      }
+      case 7: {  // Move an object between partitions.
+        const ObjectId object{1 + uniform(kObjects)};
+        const PartitionId to = static_cast<PartitionId>(uniform(kPartitions));
+        const PartitionId from = part[object.value];
+        if (from == to) break;
+        // Moving an object into a partition it points at (or is pointed
+        // at from) would create intra-partition entries; the real heap
+        // never does that, so the generator skips those moves.
+        bool conflict = false;
+        for (const ModelEntry& e : model.entries()) {
+          if ((e.source == object && part[e.target.value] == to) ||
+              (e.target == object && part[e.source.value] == to)) {
+            conflict = true;
+            break;
+          }
+        }
+        if (conflict) break;
+        part[object.value] = to;
+        index.OnObjectMoved(object, from, to);
+        model.OnObjectMoved(object, from, to);
+        break;
+      }
+      case 8: {  // An unreferenced object dies.
+        const ObjectId object{1 + uniform(kObjects)};
+        if (model.HasExternalReferences(object)) break;
+        index.OnObjectDied(object, part[object.value]);
+        model.RemoveOutPointersOf(object);
+        break;
+      }
+      case 9: {  // Wholesale out-pointer retirement (global collection).
+        const ObjectId object{1 + uniform(kObjects)};
+        index.RemoveOutPointersOf(object, part[object.value]);
+        model.RemoveOutPointersOf(object);
+        break;
+      }
+    }
+    if (step % 100 == 0 || step + 1 == kSteps) {
+      ExpectSameState(index, model, kObjects, kPartitions, step);
+      if (::testing::Test::HasFailure()) return;
+    }
+  }
+  ExpectSameState(index, model, kObjects, kPartitions, kSteps);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexPropertyTest,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99991u));
+
+}  // namespace
+}  // namespace odbgc

@@ -78,7 +78,9 @@ TEST(OO1IntegrationTest, HeapInvariantsHoldAfterRun) {
     const auto* info = store.Lookup(id);
     ASSERT_NE(info, nullptr);
     for (ObjectId child : info->slots) {
-      if (!child.is_null()) ASSERT_TRUE(store.Exists(child));
+      if (!child.is_null()) {
+        ASSERT_TRUE(store.Exists(child));
+      }
     }
   }
   // Live parts tracked by the generator are a lower bound on live bytes.
