@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_barrier.dir/ablation_barrier.cc.o"
+  "CMakeFiles/ablation_barrier.dir/ablation_barrier.cc.o.d"
+  "ablation_barrier"
+  "ablation_barrier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cycles.dir/ablation_cycles.cc.o"
+  "CMakeFiles/ablation_cycles.dir/ablation_cycles.cc.o.d"
+  "ablation_cycles"
+  "ablation_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_disk_time.dir/ablation_disk_time.cc.o"
+  "CMakeFiles/ablation_disk_time.dir/ablation_disk_time.cc.o.d"
+  "ablation_disk_time"
+  "ablation_disk_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_disk_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

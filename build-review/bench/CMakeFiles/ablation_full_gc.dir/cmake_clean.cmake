@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_full_gc.dir/ablation_full_gc.cc.o"
+  "CMakeFiles/ablation_full_gc.dir/ablation_full_gc.cc.o.d"
+  "ablation_full_gc"
+  "ablation_full_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_full_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

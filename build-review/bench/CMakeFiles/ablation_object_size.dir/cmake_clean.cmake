@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_object_size.dir/ablation_object_size.cc.o"
+  "CMakeFiles/ablation_object_size.dir/ablation_object_size.cc.o.d"
+  "ablation_object_size"
+  "ablation_object_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_object_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

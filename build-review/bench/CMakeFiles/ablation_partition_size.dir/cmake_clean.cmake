@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_partition_size.dir/ablation_partition_size.cc.o"
+  "CMakeFiles/ablation_partition_size.dir/ablation_partition_size.cc.o.d"
+  "ablation_partition_size"
+  "ablation_partition_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_partition_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_traversal.dir/ablation_traversal.cc.o"
+  "CMakeFiles/ablation_traversal.dir/ablation_traversal.cc.o.d"
+  "ablation_traversal"
+  "ablation_traversal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_traversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

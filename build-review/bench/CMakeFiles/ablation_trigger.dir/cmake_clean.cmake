@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_trigger.dir/ablation_trigger.cc.o"
+  "CMakeFiles/ablation_trigger.dir/ablation_trigger.cc.o.d"
+  "ablation_trigger"
+  "ablation_trigger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_trigger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

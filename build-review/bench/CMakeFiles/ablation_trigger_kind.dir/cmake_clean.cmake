@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_trigger_kind.dir/ablation_trigger_kind.cc.o"
+  "CMakeFiles/ablation_trigger_kind.dir/ablation_trigger_kind.cc.o.d"
+  "ablation_trigger_kind"
+  "ablation_trigger_kind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_trigger_kind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

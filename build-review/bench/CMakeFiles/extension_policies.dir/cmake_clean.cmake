@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_policies.dir/extension_policies.cc.o"
+  "CMakeFiles/extension_policies.dir/extension_policies.cc.o.d"
+  "extension_policies"
+  "extension_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig4_unreclaimed_garbage.cc" "bench/CMakeFiles/fig4_unreclaimed_garbage.dir/fig4_unreclaimed_garbage.cc.o" "gcc" "bench/CMakeFiles/fig4_unreclaimed_garbage.dir/fig4_unreclaimed_garbage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/odbgc_recovery.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/odbgc_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/odbgc_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/odbgc_odb.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/odbgc_buffer.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/odbgc_storage.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/odbgc_workload.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/odbgc_trace.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/odbgc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

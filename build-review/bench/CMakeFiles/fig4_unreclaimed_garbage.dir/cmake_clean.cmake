@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_unreclaimed_garbage.dir/fig4_unreclaimed_garbage.cc.o"
+  "CMakeFiles/fig4_unreclaimed_garbage.dir/fig4_unreclaimed_garbage.cc.o.d"
+  "fig4_unreclaimed_garbage"
+  "fig4_unreclaimed_garbage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_unreclaimed_garbage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

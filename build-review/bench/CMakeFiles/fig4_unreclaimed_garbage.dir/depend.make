@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_unreclaimed_garbage.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_database_size.dir/fig5_database_size.cc.o"
+  "CMakeFiles/fig5_database_size.dir/fig5_database_size.cc.o.d"
+  "fig5_database_size"
+  "fig5_database_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_database_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

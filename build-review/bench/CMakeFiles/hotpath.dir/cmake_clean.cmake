@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotpath.dir/hotpath.cc.o"
+  "CMakeFiles/hotpath.dir/hotpath.cc.o.d"
+  "hotpath"
+  "hotpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

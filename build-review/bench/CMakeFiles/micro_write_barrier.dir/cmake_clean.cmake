@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_write_barrier.dir/micro_write_barrier.cc.o"
+  "CMakeFiles/micro_write_barrier.dir/micro_write_barrier.cc.o.d"
+  "micro_write_barrier"
+  "micro_write_barrier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_write_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

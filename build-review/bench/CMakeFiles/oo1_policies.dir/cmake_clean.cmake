@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oo1_policies.dir/oo1_policies.cc.o"
+  "CMakeFiles/oo1_policies.dir/oo1_policies.cc.o.d"
+  "oo1_policies"
+  "oo1_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oo1_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

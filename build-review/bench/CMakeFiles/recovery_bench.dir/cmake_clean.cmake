@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_bench.dir/recovery_bench.cc.o"
+  "CMakeFiles/recovery_bench.dir/recovery_bench.cc.o.d"
+  "recovery_bench"
+  "recovery_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_storage.dir/table3_storage.cc.o"
+  "CMakeFiles/table3_storage.dir/table3_storage.cc.o.d"
+  "table3_storage"
+  "table3_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

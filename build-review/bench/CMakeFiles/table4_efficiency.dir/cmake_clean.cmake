@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_efficiency.dir/table4_efficiency.cc.o"
+  "CMakeFiles/table4_efficiency.dir/table4_efficiency.cc.o.d"
+  "table4_efficiency"
+  "table4_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

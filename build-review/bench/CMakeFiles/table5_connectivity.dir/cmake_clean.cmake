@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_connectivity.dir/table5_connectivity.cc.o"
+  "CMakeFiles/table5_connectivity.dir/table5_connectivity.cc.o.d"
+  "table5_connectivity"
+  "table5_connectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_connectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint.dir/checkpoint.cpp.o"
+  "CMakeFiles/checkpoint.dir/checkpoint.cpp.o.d"
+  "checkpoint"
+  "checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

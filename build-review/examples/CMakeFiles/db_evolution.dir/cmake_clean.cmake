@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_evolution.dir/db_evolution.cpp.o"
+  "CMakeFiles/db_evolution.dir/db_evolution.cpp.o.d"
+  "db_evolution"
+  "db_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odbgc_buffer.dir/buffer/buffer_pool.cc.o"
+  "CMakeFiles/odbgc_buffer.dir/buffer/buffer_pool.cc.o.d"
+  "CMakeFiles/odbgc_buffer.dir/buffer/replacement_policy.cc.o"
+  "CMakeFiles/odbgc_buffer.dir/buffer/replacement_policy.cc.o.d"
+  "libodbgc_buffer.a"
+  "libodbgc_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odbgc_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

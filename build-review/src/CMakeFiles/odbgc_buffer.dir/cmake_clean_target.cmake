@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libodbgc_buffer.a"
+)

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/copying_collector.cc" "src/CMakeFiles/odbgc_core.dir/core/copying_collector.cc.o" "gcc" "src/CMakeFiles/odbgc_core.dir/core/copying_collector.cc.o.d"
+  "/root/repo/src/core/extension_policies.cc" "src/CMakeFiles/odbgc_core.dir/core/extension_policies.cc.o" "gcc" "src/CMakeFiles/odbgc_core.dir/core/extension_policies.cc.o.d"
+  "/root/repo/src/core/global_collector.cc" "src/CMakeFiles/odbgc_core.dir/core/global_collector.cc.o" "gcc" "src/CMakeFiles/odbgc_core.dir/core/global_collector.cc.o.d"
+  "/root/repo/src/core/heap.cc" "src/CMakeFiles/odbgc_core.dir/core/heap.cc.o" "gcc" "src/CMakeFiles/odbgc_core.dir/core/heap.cc.o.d"
+  "/root/repo/src/core/policies.cc" "src/CMakeFiles/odbgc_core.dir/core/policies.cc.o" "gcc" "src/CMakeFiles/odbgc_core.dir/core/policies.cc.o.d"
+  "/root/repo/src/core/reachability.cc" "src/CMakeFiles/odbgc_core.dir/core/reachability.cc.o" "gcc" "src/CMakeFiles/odbgc_core.dir/core/reachability.cc.o.d"
+  "/root/repo/src/core/remembered_set.cc" "src/CMakeFiles/odbgc_core.dir/core/remembered_set.cc.o" "gcc" "src/CMakeFiles/odbgc_core.dir/core/remembered_set.cc.o.d"
+  "/root/repo/src/core/selection_policy.cc" "src/CMakeFiles/odbgc_core.dir/core/selection_policy.cc.o" "gcc" "src/CMakeFiles/odbgc_core.dir/core/selection_policy.cc.o.d"
+  "/root/repo/src/core/weights.cc" "src/CMakeFiles/odbgc_core.dir/core/weights.cc.o" "gcc" "src/CMakeFiles/odbgc_core.dir/core/weights.cc.o.d"
+  "/root/repo/src/core/write_barrier.cc" "src/CMakeFiles/odbgc_core.dir/core/write_barrier.cc.o" "gcc" "src/CMakeFiles/odbgc_core.dir/core/write_barrier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/odbgc_odb.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/odbgc_buffer.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/odbgc_storage.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/odbgc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odbgc_core.dir/core/copying_collector.cc.o"
+  "CMakeFiles/odbgc_core.dir/core/copying_collector.cc.o.d"
+  "CMakeFiles/odbgc_core.dir/core/extension_policies.cc.o"
+  "CMakeFiles/odbgc_core.dir/core/extension_policies.cc.o.d"
+  "CMakeFiles/odbgc_core.dir/core/global_collector.cc.o"
+  "CMakeFiles/odbgc_core.dir/core/global_collector.cc.o.d"
+  "CMakeFiles/odbgc_core.dir/core/heap.cc.o"
+  "CMakeFiles/odbgc_core.dir/core/heap.cc.o.d"
+  "CMakeFiles/odbgc_core.dir/core/policies.cc.o"
+  "CMakeFiles/odbgc_core.dir/core/policies.cc.o.d"
+  "CMakeFiles/odbgc_core.dir/core/reachability.cc.o"
+  "CMakeFiles/odbgc_core.dir/core/reachability.cc.o.d"
+  "CMakeFiles/odbgc_core.dir/core/remembered_set.cc.o"
+  "CMakeFiles/odbgc_core.dir/core/remembered_set.cc.o.d"
+  "CMakeFiles/odbgc_core.dir/core/selection_policy.cc.o"
+  "CMakeFiles/odbgc_core.dir/core/selection_policy.cc.o.d"
+  "CMakeFiles/odbgc_core.dir/core/weights.cc.o"
+  "CMakeFiles/odbgc_core.dir/core/weights.cc.o.d"
+  "CMakeFiles/odbgc_core.dir/core/write_barrier.cc.o"
+  "CMakeFiles/odbgc_core.dir/core/write_barrier.cc.o.d"
+  "libodbgc_core.a"
+  "libodbgc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odbgc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/odb/object_layout.cc" "src/CMakeFiles/odbgc_odb.dir/odb/object_layout.cc.o" "gcc" "src/CMakeFiles/odbgc_odb.dir/odb/object_layout.cc.o.d"
+  "/root/repo/src/odb/object_store.cc" "src/CMakeFiles/odbgc_odb.dir/odb/object_store.cc.o" "gcc" "src/CMakeFiles/odbgc_odb.dir/odb/object_store.cc.o.d"
+  "/root/repo/src/odb/store_image.cc" "src/CMakeFiles/odbgc_odb.dir/odb/store_image.cc.o" "gcc" "src/CMakeFiles/odbgc_odb.dir/odb/store_image.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/odbgc_buffer.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/odbgc_storage.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/odbgc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

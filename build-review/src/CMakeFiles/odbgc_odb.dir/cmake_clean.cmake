@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odbgc_odb.dir/odb/object_layout.cc.o"
+  "CMakeFiles/odbgc_odb.dir/odb/object_layout.cc.o.d"
+  "CMakeFiles/odbgc_odb.dir/odb/object_store.cc.o"
+  "CMakeFiles/odbgc_odb.dir/odb/object_store.cc.o.d"
+  "CMakeFiles/odbgc_odb.dir/odb/store_image.cc.o"
+  "CMakeFiles/odbgc_odb.dir/odb/store_image.cc.o.d"
+  "libodbgc_odb.a"
+  "libodbgc_odb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odbgc_odb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odbgc_recovery.dir/recovery/checkpoint_manager.cc.o"
+  "CMakeFiles/odbgc_recovery.dir/recovery/checkpoint_manager.cc.o.d"
+  "CMakeFiles/odbgc_recovery.dir/recovery/recover.cc.o"
+  "CMakeFiles/odbgc_recovery.dir/recovery/recover.cc.o.d"
+  "CMakeFiles/odbgc_recovery.dir/recovery/wal.cc.o"
+  "CMakeFiles/odbgc_recovery.dir/recovery/wal.cc.o.d"
+  "libodbgc_recovery.a"
+  "libodbgc_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odbgc_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

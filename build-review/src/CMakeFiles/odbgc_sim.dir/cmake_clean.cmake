@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odbgc_sim.dir/sim/config.cc.o"
+  "CMakeFiles/odbgc_sim.dir/sim/config.cc.o.d"
+  "CMakeFiles/odbgc_sim.dir/sim/report.cc.o"
+  "CMakeFiles/odbgc_sim.dir/sim/report.cc.o.d"
+  "CMakeFiles/odbgc_sim.dir/sim/runner.cc.o"
+  "CMakeFiles/odbgc_sim.dir/sim/runner.cc.o.d"
+  "CMakeFiles/odbgc_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/odbgc_sim.dir/sim/simulator.cc.o.d"
+  "libodbgc_sim.a"
+  "libodbgc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odbgc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odbgc_storage.dir/storage/disk.cc.o"
+  "CMakeFiles/odbgc_storage.dir/storage/disk.cc.o.d"
+  "CMakeFiles/odbgc_storage.dir/storage/page_device.cc.o"
+  "CMakeFiles/odbgc_storage.dir/storage/page_device.cc.o.d"
+  "CMakeFiles/odbgc_storage.dir/storage/ssd_device.cc.o"
+  "CMakeFiles/odbgc_storage.dir/storage/ssd_device.cc.o.d"
+  "libodbgc_storage.a"
+  "libodbgc_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odbgc_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odbgc_trace.dir/trace/event.cc.o"
+  "CMakeFiles/odbgc_trace.dir/trace/event.cc.o.d"
+  "CMakeFiles/odbgc_trace.dir/trace/trace_reader.cc.o"
+  "CMakeFiles/odbgc_trace.dir/trace/trace_reader.cc.o.d"
+  "CMakeFiles/odbgc_trace.dir/trace/trace_stats.cc.o"
+  "CMakeFiles/odbgc_trace.dir/trace/trace_stats.cc.o.d"
+  "CMakeFiles/odbgc_trace.dir/trace/trace_writer.cc.o"
+  "CMakeFiles/odbgc_trace.dir/trace/trace_writer.cc.o.d"
+  "libodbgc_trace.a"
+  "libodbgc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odbgc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/crc32.cc" "src/CMakeFiles/odbgc_util.dir/util/crc32.cc.o" "gcc" "src/CMakeFiles/odbgc_util.dir/util/crc32.cc.o.d"
+  "/root/repo/src/util/metrics_registry.cc" "src/CMakeFiles/odbgc_util.dir/util/metrics_registry.cc.o" "gcc" "src/CMakeFiles/odbgc_util.dir/util/metrics_registry.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/odbgc_util.dir/util/random.cc.o" "gcc" "src/CMakeFiles/odbgc_util.dir/util/random.cc.o.d"
+  "/root/repo/src/util/statistics.cc" "src/CMakeFiles/odbgc_util.dir/util/statistics.cc.o" "gcc" "src/CMakeFiles/odbgc_util.dir/util/statistics.cc.o.d"
+  "/root/repo/src/util/table_printer.cc" "src/CMakeFiles/odbgc_util.dir/util/table_printer.cc.o" "gcc" "src/CMakeFiles/odbgc_util.dir/util/table_printer.cc.o.d"
+  "/root/repo/src/util/time_series.cc" "src/CMakeFiles/odbgc_util.dir/util/time_series.cc.o" "gcc" "src/CMakeFiles/odbgc_util.dir/util/time_series.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

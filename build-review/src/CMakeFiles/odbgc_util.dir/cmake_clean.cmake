@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odbgc_util.dir/util/crc32.cc.o"
+  "CMakeFiles/odbgc_util.dir/util/crc32.cc.o.d"
+  "CMakeFiles/odbgc_util.dir/util/metrics_registry.cc.o"
+  "CMakeFiles/odbgc_util.dir/util/metrics_registry.cc.o.d"
+  "CMakeFiles/odbgc_util.dir/util/random.cc.o"
+  "CMakeFiles/odbgc_util.dir/util/random.cc.o.d"
+  "CMakeFiles/odbgc_util.dir/util/statistics.cc.o"
+  "CMakeFiles/odbgc_util.dir/util/statistics.cc.o.d"
+  "CMakeFiles/odbgc_util.dir/util/table_printer.cc.o"
+  "CMakeFiles/odbgc_util.dir/util/table_printer.cc.o.d"
+  "CMakeFiles/odbgc_util.dir/util/time_series.cc.o"
+  "CMakeFiles/odbgc_util.dir/util/time_series.cc.o.d"
+  "libodbgc_util.a"
+  "libodbgc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odbgc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odbgc_workload.dir/workload/generator.cc.o"
+  "CMakeFiles/odbgc_workload.dir/workload/generator.cc.o.d"
+  "CMakeFiles/odbgc_workload.dir/workload/oo1_generator.cc.o"
+  "CMakeFiles/odbgc_workload.dir/workload/oo1_generator.cc.o.d"
+  "CMakeFiles/odbgc_workload.dir/workload/workload_config.cc.o"
+  "CMakeFiles/odbgc_workload.dir/workload/workload_config.cc.o.d"
+  "libodbgc_workload.a"
+  "libodbgc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odbgc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for odbgc_workload.
+# This may be replaced when dependencies are built.

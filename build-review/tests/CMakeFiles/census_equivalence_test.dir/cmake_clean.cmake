@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/census_equivalence_test.dir/core/census_equivalence_test.cc.o"
+  "CMakeFiles/census_equivalence_test.dir/core/census_equivalence_test.cc.o.d"
+  "census_equivalence_test"
+  "census_equivalence_test.pdb"
+  "census_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/census_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

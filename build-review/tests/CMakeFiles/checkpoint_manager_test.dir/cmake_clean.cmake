@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_manager_test.dir/recovery/checkpoint_manager_test.cc.o"
+  "CMakeFiles/checkpoint_manager_test.dir/recovery/checkpoint_manager_test.cc.o.d"
+  "checkpoint_manager_test"
+  "checkpoint_manager_test.pdb"
+  "checkpoint_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

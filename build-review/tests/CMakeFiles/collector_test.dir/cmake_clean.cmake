@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collector_test.dir/core/collector_test.cc.o"
+  "CMakeFiles/collector_test.dir/core/collector_test.cc.o.d"
+  "collector_test"
+  "collector_test.pdb"
+  "collector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

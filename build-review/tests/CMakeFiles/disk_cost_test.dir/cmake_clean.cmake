@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_cost_test.dir/storage/disk_cost_test.cc.o"
+  "CMakeFiles/disk_cost_test.dir/storage/disk_cost_test.cc.o.d"
+  "disk_cost_test"
+  "disk_cost_test.pdb"
+  "disk_cost_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_fault_test.dir/storage/disk_fault_test.cc.o"
+  "CMakeFiles/disk_fault_test.dir/storage/disk_fault_test.cc.o.d"
+  "disk_fault_test"
+  "disk_fault_test.pdb"
+  "disk_fault_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

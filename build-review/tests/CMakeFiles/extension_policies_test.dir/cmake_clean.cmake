@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_policies_test.dir/core/extension_policies_test.cc.o"
+  "CMakeFiles/extension_policies_test.dir/core/extension_policies_test.cc.o.d"
+  "extension_policies_test"
+  "extension_policies_test.pdb"
+  "extension_policies_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_policies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extent_test.dir/storage/extent_test.cc.o"
+  "CMakeFiles/extent_test.dir/storage/extent_test.cc.o.d"
+  "extent_test"
+  "extent_test.pdb"
+  "extent_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_collector_test.dir/core/global_collector_test.cc.o"
+  "CMakeFiles/global_collector_test.dir/core/global_collector_test.cc.o.d"
+  "global_collector_test"
+  "global_collector_test.pdb"
+  "global_collector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_collector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heap_property_test.dir/core/heap_property_test.cc.o"
+  "CMakeFiles/heap_property_test.dir/core/heap_property_test.cc.o.d"
+  "heap_property_test"
+  "heap_property_test.pdb"
+  "heap_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heap_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

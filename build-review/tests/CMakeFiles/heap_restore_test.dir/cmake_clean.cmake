@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heap_restore_test.dir/core/heap_restore_test.cc.o"
+  "CMakeFiles/heap_restore_test.dir/core/heap_restore_test.cc.o.d"
+  "heap_restore_test"
+  "heap_restore_test.pdb"
+  "heap_restore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heap_restore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interpartition_index_property_test.dir/core/interpartition_index_property_test.cc.o"
+  "CMakeFiles/interpartition_index_property_test.dir/core/interpartition_index_property_test.cc.o.d"
+  "interpartition_index_property_test"
+  "interpartition_index_property_test.pdb"
+  "interpartition_index_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interpartition_index_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

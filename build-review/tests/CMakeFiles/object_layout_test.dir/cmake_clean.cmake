@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/object_layout_test.dir/odb/object_layout_test.cc.o"
+  "CMakeFiles/object_layout_test.dir/odb/object_layout_test.cc.o.d"
+  "object_layout_test"
+  "object_layout_test.pdb"
+  "object_layout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/object_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oo1_generator_test.dir/workload/oo1_generator_test.cc.o"
+  "CMakeFiles/oo1_generator_test.dir/workload/oo1_generator_test.cc.o.d"
+  "oo1_generator_test"
+  "oo1_generator_test.pdb"
+  "oo1_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oo1_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recovery_integration_test.dir/recovery/recovery_integration_test.cc.o"
+  "CMakeFiles/recovery_integration_test.dir/recovery/recovery_integration_test.cc.o.d"
+  "recovery_integration_test"
+  "recovery_integration_test.pdb"
+  "recovery_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recovery_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

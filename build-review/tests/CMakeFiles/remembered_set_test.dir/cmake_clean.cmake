@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remembered_set_test.dir/core/remembered_set_test.cc.o"
+  "CMakeFiles/remembered_set_test.dir/core/remembered_set_test.cc.o.d"
+  "remembered_set_test"
+  "remembered_set_test.pdb"
+  "remembered_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remembered_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

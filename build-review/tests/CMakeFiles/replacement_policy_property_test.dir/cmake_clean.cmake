@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replacement_policy_property_test.dir/buffer/replacement_policy_property_test.cc.o"
+  "CMakeFiles/replacement_policy_property_test.dir/buffer/replacement_policy_property_test.cc.o.d"
+  "replacement_policy_property_test"
+  "replacement_policy_property_test.pdb"
+  "replacement_policy_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replacement_policy_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ssd_device_test.dir/storage/ssd_device_test.cc.o"
+  "CMakeFiles/ssd_device_test.dir/storage/ssd_device_test.cc.o.d"
+  "ssd_device_test"
+  "ssd_device_test.pdb"
+  "ssd_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ssd_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

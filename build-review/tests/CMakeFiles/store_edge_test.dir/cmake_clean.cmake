@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_edge_test.dir/odb/store_edge_test.cc.o"
+  "CMakeFiles/store_edge_test.dir/odb/store_edge_test.cc.o.d"
+  "store_edge_test"
+  "store_edge_test.pdb"
+  "store_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_image_corrupt_test.dir/odb/store_image_corrupt_test.cc.o"
+  "CMakeFiles/store_image_corrupt_test.dir/odb/store_image_corrupt_test.cc.o.d"
+  "store_image_corrupt_test"
+  "store_image_corrupt_test.pdb"
+  "store_image_corrupt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_image_corrupt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_io_test.dir/odb/store_io_test.cc.o"
+  "CMakeFiles/store_io_test.dir/odb/store_io_test.cc.o.d"
+  "store_io_test"
+  "store_io_test.pdb"
+  "store_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

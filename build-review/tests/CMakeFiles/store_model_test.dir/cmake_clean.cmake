@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_model_test.dir/odb/store_model_test.cc.o"
+  "CMakeFiles/store_model_test.dir/odb/store_model_test.cc.o.d"
+  "store_model_test"
+  "store_model_test.pdb"
+  "store_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_corrupt_test.dir/trace/trace_corrupt_test.cc.o"
+  "CMakeFiles/trace_corrupt_test.dir/trace/trace_corrupt_test.cc.o.d"
+  "trace_corrupt_test"
+  "trace_corrupt_test.pdb"
+  "trace_corrupt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_corrupt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

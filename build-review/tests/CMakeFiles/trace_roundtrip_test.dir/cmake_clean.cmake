@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_roundtrip_test.dir/trace/trace_roundtrip_test.cc.o"
+  "CMakeFiles/trace_roundtrip_test.dir/trace/trace_roundtrip_test.cc.o.d"
+  "trace_roundtrip_test"
+  "trace_roundtrip_test.pdb"
+  "trace_roundtrip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

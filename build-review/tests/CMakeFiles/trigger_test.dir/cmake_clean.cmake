@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trigger_test.dir/core/trigger_test.cc.o"
+  "CMakeFiles/trigger_test.dir/core/trigger_test.cc.o.d"
+  "trigger_test"
+  "trigger_test.pdb"
+  "trigger_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trigger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/write_barrier_test.dir/core/write_barrier_test.cc.o"
+  "CMakeFiles/write_barrier_test.dir/core/write_barrier_test.cc.o.d"
+  "write_barrier_test"
+  "write_barrier_test.pdb"
+  "write_barrier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/write_barrier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
