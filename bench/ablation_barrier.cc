@@ -28,7 +28,7 @@ int main() {
     ExperimentSpec spec;
     spec.base = bench::BaseConfig();
     spec.base.heap.barrier = mode;
-    spec.policies = {PolicyKind::kUpdatedPointer};
+    spec.policies = {"UpdatedPointer"};
     spec.num_seeds = seeds;
     auto experiment = RunExperiment(spec);
     if (!experiment.ok()) bench::Fail(experiment.status(), "experiment");

@@ -33,7 +33,7 @@ int main() {
     ExperimentSpec spec;
     spec.base = bench::BaseConfig();
     spec.base.heap.buffer_pages = buffer_pages;
-    spec.policies = {PolicyKind::kUpdatedPointer, PolicyKind::kNoCollection};
+    spec.policies = {"UpdatedPointer", "NoCollection"};
     spec.num_seeds = seeds;
     auto experiment = RunExperiment(spec);
     if (!experiment.ok()) bench::Fail(experiment.status(), "experiment");

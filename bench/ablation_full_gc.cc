@@ -28,7 +28,7 @@ int main() {
     spec.base = bench::BaseConfig();
     spec.base.workload = spec.base.workload.WithConnectivity(1.167);
     spec.base.heap.full_collection_interval = interval;
-    spec.policies = {PolicyKind::kUpdatedPointer};
+    spec.policies = {"UpdatedPointer"};
     spec.num_seeds = seeds;
     auto experiment = RunExperiment(spec);
     if (!experiment.ok()) bench::Fail(experiment.status(), "experiment");

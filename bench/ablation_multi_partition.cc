@@ -25,7 +25,7 @@ int main() {
     spec.base = bench::BaseConfig();
     spec.base.heap.partitions_per_collection = k;
     spec.base.heap.overwrite_trigger *= k;
-    spec.policies = {PolicyKind::kUpdatedPointer};
+    spec.policies = {"UpdatedPointer"};
     spec.num_seeds = seeds;
     auto experiment = RunExperiment(spec);
     if (!experiment.ok()) bench::Fail(experiment.status(), "experiment");

@@ -45,7 +45,7 @@ int main() {
         std::max(20.0, spec.base.workload.tree_nodes_min / scale));
     spec.base.workload.tree_nodes_max = static_cast<uint32_t>(
         std::max(60.0, spec.base.workload.tree_nodes_max / scale));
-    spec.policies = {PolicyKind::kNoCollection, PolicyKind::kMostGarbage};
+    spec.policies = {"NoCollection", "MostGarbage"};
     spec.num_seeds = seeds;
     auto experiment = RunExperiment(spec);
     if (!experiment.ok()) bench::Fail(experiment.status(), "experiment");

@@ -28,7 +28,7 @@ int main() {
     spec.base = bench::BaseConfig();
     spec.base.heap.store.pages_per_partition = pages;
     spec.base.heap.buffer_pages = pages;
-    spec.policies = {PolicyKind::kUpdatedPointer};
+    spec.policies = {"UpdatedPointer"};
     spec.num_seeds = seeds;
     auto experiment = RunExperiment(spec);
     if (!experiment.ok()) bench::Fail(experiment.status(), "experiment");

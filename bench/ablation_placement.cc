@@ -29,8 +29,7 @@ int main() {
   };
 
   for (const auto& placement : kPlacements) {
-    for (PolicyKind policy :
-         {PolicyKind::kUpdatedPointer, PolicyKind::kMostGarbage}) {
+    for (const char* policy : {"UpdatedPointer", "MostGarbage"}) {
       ExperimentSpec spec;
       spec.base = bench::BaseConfig();
       spec.base.heap.store.placement = placement.placement;
@@ -46,7 +45,7 @@ int main() {
         efficiency.Add(run.EfficiencyKbPerIo());
         storage.Add(static_cast<double>(run.max_storage_bytes) / 1024.0);
       }
-      table.AddRow({placement.name, PolicyName(policy),
+      table.AddRow({placement.name, policy,
                     FormatCount(total_io.mean()),
                     FormatDouble(fraction.mean(), 1),
                     FormatDouble(efficiency.mean(), 2),

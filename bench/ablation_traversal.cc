@@ -21,8 +21,7 @@ int main() {
   TablePrinter table({"Policy", "Order", "Total I/Os", "App I/Os",
                       "Reclaimed (KB)", "Max storage (KB)"});
 
-  for (PolicyKind policy :
-       {PolicyKind::kUpdatedPointer, PolicyKind::kMostGarbage}) {
+  for (const char* policy : {"UpdatedPointer", "MostGarbage"}) {
     for (TraversalOrder order :
          {TraversalOrder::kBreadthFirst, TraversalOrder::kDepthFirst}) {
       ExperimentSpec spec;
@@ -41,7 +40,7 @@ int main() {
                       1024.0);
         storage.Add(static_cast<double>(run.max_storage_bytes) / 1024.0);
       }
-      table.AddRow({PolicyName(policy),
+      table.AddRow({policy,
                     order == TraversalOrder::kBreadthFirst ? "breadth-first"
                                                            : "depth-first",
                     FormatCount(total_io.mean()), FormatCount(app_io.mean()),

@@ -25,7 +25,7 @@ int main() {
     ExperimentSpec spec;
     spec.base = bench::BaseConfig();
     spec.base.heap.overwrite_trigger = trigger;
-    spec.policies = {PolicyKind::kUpdatedPointer};
+    spec.policies = {"UpdatedPointer"};
     spec.num_seeds = seeds;
     auto experiment = RunExperiment(spec);
     if (!experiment.ok()) bench::Fail(experiment.status(), "experiment");

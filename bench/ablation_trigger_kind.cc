@@ -40,7 +40,7 @@ int main() {
     spec.base = bench::BaseConfig();
     spec.base.heap.trigger = variant.kind;
     spec.base.heap.allocation_trigger_bytes = variant.alloc_bytes;
-    spec.policies = {PolicyKind::kUpdatedPointer};
+    spec.policies = {"UpdatedPointer"};
     spec.num_seeds = seeds;
     auto experiment = RunExperiment(spec);
     if (!experiment.ok()) bench::Fail(experiment.status(), "experiment");

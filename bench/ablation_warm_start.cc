@@ -22,9 +22,8 @@ int main() {
     ExperimentSpec spec;
     spec.base = bench::BaseConfig();
     spec.base.warm_start = warm;
-    spec.policies = {PolicyKind::kNoCollection, PolicyKind::kMutatedPartition,
-                     PolicyKind::kRandom, PolicyKind::kUpdatedPointer,
-                     PolicyKind::kMostGarbage};
+    spec.policies = {"NoCollection", "MutatedPartition", "Random",
+                     "UpdatedPointer", "MostGarbage"};
     spec.num_seeds = seeds;
     auto experiment = RunExperiment(spec);
     if (!experiment.ok()) bench::Fail(experiment.status(), "experiment");

@@ -13,8 +13,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 
 #include "sim/config.h"
+#include "sim/runner.h"
 
 namespace odbgc::bench {
 
@@ -40,6 +42,24 @@ inline SimulationConfig BaseConfig() {
     config.heap.buffer_pages = 24;
   }
   return config;
+}
+
+/// The spec every bench starts from: BaseConfig() under ODBGC_SEEDS (or
+/// `fallback_seeds`) seeds. Benches chain the ExperimentSpec builder for
+/// their own axis:
+///
+///   auto spec = bench::BaseSpec(10).WithPolicies({"UpdatedPointer"});
+inline ExperimentSpec BaseSpec(int fallback_seeds) {
+  return ExperimentSpec::Base(BaseConfig())
+      .WithSeeds(SeedsOrDefault(fallback_seeds));
+}
+
+/// Manifest directory for this bench, from ODBGC_MANIFEST_DIR; empty (no
+/// manifests) when unset. Benches pass it through WithManifestDir so any
+/// table run can feed odbgc-report.
+inline std::string ManifestDirOrEmpty() {
+  const char* env = std::getenv("ODBGC_MANIFEST_DIR");
+  return env == nullptr ? std::string() : std::string(env);
 }
 
 inline void PrintHeader(const char* experiment, const char* paper_ref) {

@@ -3,92 +3,49 @@
 // cost-benefit victim selector (hints normalized by copying cost) —
 // against the paper's Random, UpdatedPointer and MostGarbage on the base
 // workload. Where does the paper's winner sit in the wider design space?
+//
+// All five policies come from the string-named registry, so this bench is
+// a plain ExperimentSpec run; the extension policies need no special
+// wiring (the registry hands them the heap's store).
 
 #include <cstdio>
 #include <iostream>
-#include <memory>
 
 #include "bench/bench_common.h"
-#include "core/extension_policies.h"
-#include "sim/simulator.h"
+#include "sim/runner.h"
 #include "util/statistics.h"
 #include "util/table_printer.h"
 
-namespace {
-
-using namespace odbgc;
-
-// Runs `seeds` simulations of the base config with the given factory (or
-// built-in kind when factory is null) and accumulates the key metrics.
-struct Row {
-  RunningStat total_io, fraction, efficiency, storage;
-};
-
-// The CostBenefit policy needs the heap's store; rebind per run.
-const ObjectStore* g_bound_store = nullptr;
-
-Row RunPolicy(const SimulationConfig& base, int seeds, PolicyKind kind,
-              int factory /* 0 none, 1 LRC, 2 cost-benefit */) {
-  Row row;
-  for (int s = 0; s < seeds; ++s) {
-    SimulationConfig config = base;
-    config.seed = 1 + s;
-    config.heap.policy = kind;
-    if (factory == 1) {
-      config.heap.policy_factory = [] {
-        return std::make_unique<LeastRecentlyCollectedPolicy>();
-      };
-    } else if (factory == 2) {
-      config.heap.policy_factory = [] {
-        return std::make_unique<CostBenefitPolicy>(&g_bound_store);
-      };
-    }
-    Simulator simulator(config);
-    if (factory == 2) g_bound_store = &simulator.heap().store();
-    if (Status status = simulator.Run(); !status.ok()) {
-      bench::Fail(status, "run");
-    }
-    const SimulationResult run = simulator.Finish();
-    row.total_io.Add(static_cast<double>(run.total_io()));
-    row.fraction.Add(run.FractionReclaimedPct());
-    row.efficiency.Add(run.EfficiencyKbPerIo());
-    row.storage.Add(static_cast<double>(run.max_storage_bytes) / 1024.0);
-  }
-  return row;
-}
-
-}  // namespace
-
 int main() {
+  using namespace odbgc;
   bench::PrintHeader("Extension: wider policy design space",
                      "beyond the paper (later-literature baselines)");
 
-  const int seeds = bench::SeedsOrDefault(3);
-  const SimulationConfig base = bench::BaseConfig();
+  const ExperimentSpec spec =
+      bench::BaseSpec(3)
+          .WithPolicies({"Random", "LeastRecentlyCollected", "UpdatedPointer",
+                         "CostBenefit", "MostGarbage"})
+          .WithManifestDir(bench::ManifestDirOrEmpty());
+  std::printf("running %zu policies x %d seeds...\n\n", spec.policies.size(),
+              spec.num_seeds);
+  auto experiment = RunExperiment(spec);
+  if (!experiment.ok()) bench::Fail(experiment.status(), "experiment");
 
   TablePrinter table({"Policy", "Total I/Os", "% of garbage",
                       "Efficiency (KB/IO)", "Max storage (KB)"});
-  struct Entry {
-    const char* name;
-    PolicyKind kind;
-    int factory;
-  };
-  const Entry kEntries[] = {
-      {"Random", PolicyKind::kRandom, 0},
-      {"LeastRecentlyCollected", PolicyKind::kUpdatedPointer, 1},
-      {"UpdatedPointer", PolicyKind::kUpdatedPointer, 0},
-      {"CostBenefit (LFS-style)", PolicyKind::kUpdatedPointer, 2},
-      {"MostGarbage (oracle)", PolicyKind::kMostGarbage, 0},
-  };
-  for (const Entry& entry : kEntries) {
-    const Row row = RunPolicy(base, seeds, entry.kind, entry.factory);
-    table.AddRow({entry.name, FormatCount(row.total_io.mean()),
-                  FormatDouble(row.fraction.mean(), 1),
-                  FormatDouble(row.efficiency.mean(), 2),
-                  FormatCount(row.storage.mean())});
-    std::printf("  %-24s done\n", entry.name);
+  for (const PolicyRuns& set : experiment->sets) {
+    RunningStat total_io, fraction, efficiency, storage;
+    for (const auto& run : set.runs) {
+      total_io.Add(static_cast<double>(run.total_io()));
+      fraction.Add(run.FractionReclaimedPct());
+      efficiency.Add(run.EfficiencyKbPerIo());
+      storage.Add(static_cast<double>(run.max_storage_bytes) / 1024.0);
+    }
+    table.AddRow({set.name, FormatCount(total_io.mean()),
+                  FormatDouble(fraction.mean(), 1),
+                  FormatDouble(efficiency.mean(), 2),
+                  FormatCount(storage.mean())});
   }
-  std::printf("\n");
   table.Print(std::cout);
   std::printf(
       "\nReading: least-recently-collected rotation is a surprisingly\n"

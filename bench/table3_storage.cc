@@ -15,9 +15,8 @@ int main() {
   using namespace odbgc;
   bench::PrintHeader("Table 3: Maximum storage space usage", "Table 3");
 
-  ExperimentSpec spec;
-  spec.base = bench::BaseConfig();
-  spec.num_seeds = bench::SeedsOrDefault(10);
+  const ExperimentSpec spec =
+      bench::BaseSpec(10).WithManifestDir(bench::ManifestDirOrEmpty());
   std::printf("running %zu policies x %d seeds...\n\n", spec.policies.size(),
               spec.num_seeds);
 

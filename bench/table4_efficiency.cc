@@ -18,9 +18,8 @@ int main() {
   bench::PrintHeader("Table 4: Collector effectiveness and efficiency",
                      "Table 4");
 
-  ExperimentSpec spec;
-  spec.base = bench::BaseConfig();
-  spec.num_seeds = bench::SeedsOrDefault(10);
+  const ExperimentSpec spec =
+      bench::BaseSpec(10).WithManifestDir(bench::ManifestDirOrEmpty());
   std::printf("running %zu policies x %d seeds...\n\n", spec.policies.size(),
               spec.num_seeds);
 

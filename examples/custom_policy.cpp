@@ -1,9 +1,13 @@
-// Plugging a user-defined partition selection policy into the heap.
+// Plugging a user-defined partition selection policy into the heap via
+// the name registry.
 //
 // This example implements "SizeGreedy": always collect the partition with
 // the most allocated (not necessarily garbage) bytes — a plausible-looking
-// heuristic a practitioner might try — and races it against the paper's
-// UpdatedPointer on the same workload to show why hint quality matters.
+// heuristic a practitioner might try — registers it under that name, and
+// races it against the paper's UpdatedPointer on the same workload to show
+// why hint quality matters. Once registered, the policy is selectable
+// everywhere a built-in is: HeapOptions::policy_name, ExperimentSpec
+// policy lists, run manifests, odbgc-report tables.
 //
 // Run:  ./build/examples/custom_policy
 
@@ -19,15 +23,21 @@ namespace {
 
 using namespace odbgc;
 
-// A custom policy only needs Select(); notifications are optional.
-// It must be deterministic and may keep any state it likes.
+// A custom policy needs Select(), kind() and name(); notifications are
+// optional. It must be deterministic and may keep any state it likes.
 class SizeGreedyPolicy : public SelectionPolicy {
  public:
-  explicit SizeGreedyPolicy(const ObjectStore** store) : store_(store) {}
+  // The registry hands the factory a stable slot that the heap points at
+  // its store once wiring finishes; keep the slot, not the pointee.
+  explicit SizeGreedyPolicy(const ObjectStore* const* store)
+      : store_(store) {}
 
   // Report ourselves as an "UpdatedPointer-class" policy: the heap treats
   // any kind other than kNoCollection/kMostGarbage identically.
   PolicyKind kind() const override { return PolicyKind::kUpdatedPointer; }
+
+  // The identity manifests and reports key on.
+  std::string name() const override { return "SizeGreedy"; }
 
   PartitionId Select(const SelectionContext& context) override {
     PartitionId best = kInvalidPartition;
@@ -44,7 +54,7 @@ class SizeGreedyPolicy : public SelectionPolicy {
   }
 
  private:
-  const ObjectStore** store_;  // Bound after the heap exists.
+  const ObjectStore* const* store_;  // Bound after the heap exists.
 };
 
 SimulationConfig SmallConfig() {
@@ -69,14 +79,21 @@ void Report(const char* name, const SimulationResult& result) {
 }  // namespace
 
 int main() {
-  // Run 1: the custom policy, installed through HeapOptions::policy_factory.
-  static const ObjectStore* bound_store = nullptr;
+  // One registration makes the policy a first-class citizen.
+  if (Status s = RegisterPolicy(
+          "SizeGreedy",
+          [](const PolicyContext& context) {
+            return std::make_unique<SizeGreedyPolicy>(context.store);
+          });
+      !s.ok()) {
+    std::fprintf(stderr, "register failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // Run 1: the custom policy, selected by name like any built-in.
   SimulationConfig custom = SmallConfig();
-  custom.heap.policy_factory = [] {
-    return std::make_unique<SizeGreedyPolicy>(&bound_store);
-  };
+  custom.heap.policy_name = "SizeGreedy";
   Simulator custom_sim(custom);
-  bound_store = &custom_sim.heap().store();
   if (Status s = custom_sim.Run(); !s.ok()) {
     std::fprintf(stderr, "custom run failed: %s\n", s.ToString().c_str());
     return 1;
@@ -84,7 +101,7 @@ int main() {
 
   // Run 2: the paper's UpdatedPointer on the identical trace (same seed).
   SimulationConfig baseline = SmallConfig();
-  baseline.heap.policy = PolicyKind::kUpdatedPointer;
+  baseline.heap.policy_name = "UpdatedPointer";
   Simulator baseline_sim(baseline);
   if (Status s = baseline_sim.Run(); !s.ok()) {
     std::fprintf(stderr, "baseline run failed: %s\n", s.ToString().c_str());

@@ -28,9 +28,9 @@ void Usage(const char* prog) {
   std::fprintf(
       stderr,
       "usage: %s [options]\n"
-      "  --policies=A,B,...     subset of: NoCollection MutatedPartition\n"
-      "                         Random WeightedPointer UpdatedPointer\n"
-      "                         MostGarbage          (default: all six)\n"
+      "  --policies=A,B,...     any registered policy names (default: the\n"
+      "                         paper's six; see --list-policies)\n"
+      "  --list-policies        print the registry and exit\n"
       "  --seeds=N              runs per policy           (default 3)\n"
       "  --first-seed=N         first seed                (default 1)\n"
       "  --alloc-mb=N           total allocation volume   (default 11)\n"
@@ -38,6 +38,8 @@ void Usage(const char* prog) {
       "  --partition-pages=N    pages per partition       (default 48)\n"
       "  --buffer-pages=N       buffer size               (default = partition)\n"
       "  --trigger=N            overwrites per collection (default 150)\n"
+      "  --manifest-dir=DIR     write a run manifest per (policy, seed)\n"
+      "                         for odbgc-report\n"
       "  --csv                  CSV instead of aligned tables\n",
       prog);
 }
@@ -68,15 +70,25 @@ int main(int argc, char** argv) {
         const std::string name =
             value.substr(start, comma == std::string::npos ? std::string::npos
                                                            : comma - start);
-        auto kind = ParsePolicyName(name);
-        if (!kind.ok()) {
-          std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
+        if (!IsPolicyRegistered(name)) {
+          std::fprintf(stderr, "unknown policy \"%s\"; registered:\n",
+                       name.c_str());
+          for (const std::string& known : RegisteredPolicyNames()) {
+            std::fprintf(stderr, "  %s\n", known.c_str());
+          }
           return 1;
         }
-        spec.policies.push_back(*kind);
+        spec.policies.push_back(name);
         if (comma == std::string::npos) break;
         start = comma + 1;
       }
+    } else if (std::strcmp(argv[i], "--list-policies") == 0) {
+      for (const std::string& known : RegisteredPolicyNames()) {
+        std::printf("%s\n", known.c_str());
+      }
+      return 0;
+    } else if (ParseFlag(argv[i], "--manifest-dir", &value)) {
+      spec.manifest_dir = value;
     } else if (ParseFlag(argv[i], "--seeds", &value)) {
       spec.num_seeds = std::atoi(value.c_str());
     } else if (ParseFlag(argv[i], "--first-seed", &value)) {
@@ -125,7 +137,7 @@ int main(int argc, char** argv) {
                         "rel_total_io", "max_storage_kb", "reclaimed_kb",
                         "fraction_pct", "efficiency_kb_per_io"});
     for (const PolicySummary& s : summaries) {
-      table.AddRow({PolicyName(s.policy), FormatCount(s.app_io.mean()),
+      table.AddRow({s.name, FormatCount(s.app_io.mean()),
                     FormatCount(s.gc_io.mean()),
                     FormatCount(s.total_io.mean()),
                     FormatDouble(s.relative_total_io.mean(), 4),

@@ -51,8 +51,14 @@ void CostBenefitPolicy::OnPointerStore(const SlotWriteEvent& event,
 }
 
 double CostBenefitPolicy::Score(PartitionId partition) const {
-  const ObjectStore* store = *store_;
-  if (store == nullptr || partition >= store->partition_count()) return 0.0;
+  const ObjectStore* store = store_ == nullptr ? nullptr : *store_;
+  if (store == nullptr) {
+    // No occupancy available: fall back to the raw hint count.
+    auto it = overwrites_into_.find(partition);
+    return it == overwrites_into_.end() ? 0.0
+                                        : static_cast<double>(it->second);
+  }
+  if (partition >= store->partition_count()) return 0.0;
   const double allocated =
       static_cast<double>(store->partition(partition).allocated_bytes());
   if (allocated <= 0.0) return 0.0;

@@ -10,10 +10,16 @@
 namespace odbgc {
 
 /// Extension policies beyond the paper's six, built on the same
-/// SelectionPolicy interface (install via HeapOptions::policy_factory).
-/// They represent the obvious neighbours in the design space that later
-/// storage-reclamation literature explored, and serve as additional
-/// baselines for the `extension_policies` bench.
+/// SelectionPolicy interface. Pre-registered in the policy registry under
+/// their `name()` ("LeastRecentlyCollected", "CostBenefit"), so they are
+/// selectable anywhere a built-in is (HeapOptions::policy_name,
+/// ExperimentSpec, odbgc-report). They represent the obvious neighbours in
+/// the design space that later storage-reclamation literature explored,
+/// and serve as additional baselines for the `extension_policies` bench.
+///
+/// Both return kind() == kUpdatedPointer: that is the *behaviour class*
+/// they want from the heap (normal trigger, no oracle census) — their
+/// identity is the name.
 
 /// Collects partitions in least-recently-collected order — the fairness
 /// baseline (every partition eventually gets collected, no hints used).
@@ -21,6 +27,7 @@ namespace odbgc {
 class LeastRecentlyCollectedPolicy : public SelectionPolicy {
  public:
   PolicyKind kind() const override { return PolicyKind::kUpdatedPointer; }
+  std::string name() const override { return "LeastRecentlyCollected"; }
   void OnPartitionCollected(PartitionId partition) override {
     last_collected_[partition] = ++clock_;
   }
@@ -47,18 +54,22 @@ class LeastRecentlyCollectedPolicy : public SelectionPolicy {
 /// proportionally more hints to win than a sparse one.
 ///
 /// Needs the store for partition occupancy (a DBA-visible quantity); the
-/// heap exposes it naturally through the factory closure.
+/// heap binds it through PolicyContext::store (or a factory closure).
 class CostBenefitPolicy : public SelectionPolicy {
  public:
   /// `store` is bound by the caller (may dereference lazily; must outlive
-  /// the policy). `bytes_per_overwrite` calibrates predicted garbage; the
-  /// base workload frees ~1.2 KB per overwritten pointer (a ~12-object
-  /// subtree of ~100-byte objects).
+  /// the policy). A null slot (or a slot holding null) degrades to ranking
+  /// by raw overwrite hits — i.e. plain UpdatedPointer behaviour — so the
+  /// policy stays usable where no store is available.
+  /// `bytes_per_overwrite` calibrates predicted garbage; the base workload
+  /// frees ~1.2 KB per overwritten pointer (a ~12-object subtree of
+  /// ~100-byte objects).
   explicit CostBenefitPolicy(const ObjectStore* const* store,
                              double bytes_per_overwrite = 1200.0)
       : store_(store), bytes_per_overwrite_(bytes_per_overwrite) {}
 
   PolicyKind kind() const override { return PolicyKind::kUpdatedPointer; }
+  std::string name() const override { return "CostBenefit"; }
   void OnPointerStore(const SlotWriteEvent& event,
                       uint8_t old_target_weight) override;
   void OnPartitionCollected(PartitionId partition) override {

@@ -1,11 +1,37 @@
 #include "core/heap.h"
 
 #include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 
 #include "core/reachability.h"
 #include "util/serde.h"
 
 namespace odbgc {
+
+namespace {
+
+// Phase-event publication: the clock is only read when a run is observed.
+using PhaseClock = std::chrono::steady_clock;
+
+PhaseClock::time_point PhaseStartIf(const SimObserver* observer) {
+  return observer != nullptr ? PhaseClock::now() : PhaseClock::time_point{};
+}
+
+void PublishPhase(SimObserver* observer, const char* phase,
+                  PhaseClock::time_point start) {
+  if (observer == nullptr) return;
+  PhaseEvent event;
+  event.phase = phase;
+  event.wall_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(PhaseClock::now() -
+                                                           start)
+          .count());
+  observer->OnPhase(event);
+}
+
+}  // namespace
 
 CollectedHeap::CollectedHeap(const HeapOptions& options) : options_(options) {
   metrics_ = std::make_unique<MetricsRegistry>();
@@ -32,12 +58,30 @@ CollectedHeap::CollectedHeap(const HeapOptions& options, RestoreTag)
 void CollectedHeap::WireComponents() {
   wall_metrics_ = std::make_unique<MetricsRegistry>();
   wall_timers_ = std::make_unique<WallPhaseTimers>(wall_metrics_.get());
+  policy_store_view_ = store_.get();
   if (options_.policy_factory) {
     policy_ = options_.policy_factory();
-    options_.policy = policy_->kind();
+  } else if (!options_.policy_name.empty()) {
+    PolicyContext context;
+    context.seed = options_.seed;
+    context.store = &policy_store_view_;
+    auto made = MakePolicy(context, options_.policy_name);
+    if (!made.ok()) {
+      // Configuration error, not a runtime condition: the registry is
+      // fixed by the time a heap is built, so fail loudly. Callers that
+      // take untrusted names validate with IsPolicyRegistered first.
+      std::fprintf(stderr, "odbgc: %s\n",
+                   made.status().ToString().c_str());
+      std::abort();
+    }
+    policy_ = std::move(made).value();
   } else {
     policy_ = MakePolicy(options_.policy, options_.seed);
   }
+  // Whichever path built the policy, both identity surfaces now reflect it.
+  options_.policy = policy_->kind();
+  options_.policy_name = policy_->name();
+  device_->set_observer(options_.observer);
   const bool want_weights =
       options_.weights == WeightMode::kOn ||
       (options_.weights == WeightMode::kAuto &&
@@ -267,6 +311,7 @@ Result<CollectionResult> CollectedHeap::CollectPartition(PartitionId victim) {
   }
   // The lambda scopes the wall timer to the collection proper: a chained
   // full collection below must land in wall.full_collection_ns only.
+  const PhaseClock::time_point phase_start = PhaseStartIf(options_.observer);
   auto result = [&]() -> Result<CollectionResult> {
     ScopedWallTimer timer(wall_timers_->collection);
     in_collection_ = true;
@@ -284,6 +329,7 @@ Result<CollectionResult> CollectedHeap::CollectPartition(PartitionId victim) {
     in_collection_ = false;
     return collected;
   }();
+  PublishPhase(options_.observer, "collection", phase_start);
   if (!result.ok()) return result;
   barrier_->OnPartitionEmptied(victim);
 
@@ -294,6 +340,17 @@ Result<CollectionResult> CollectedHeap::CollectPartition(PartitionId victim) {
   stats_.live_objects_copied += result->live_objects_copied;
   policy_->OnPartitionCollected(victim);
   collection_log_.push_back(*result);
+  if (options_.observer != nullptr) {
+    CollectionEvent event;
+    event.ordinal = stats_.collections;
+    event.victim = victim;
+    event.copy_target = result->copy_target;
+    event.garbage_reclaimed_bytes = result->garbage_bytes_reclaimed;
+    event.live_bytes_copied = result->live_bytes_copied;
+    event.page_reads = result->page_reads;
+    event.page_writes = result->page_writes;
+    options_.observer->OnCollection(event);
+  }
   NoteFootprint();
 
   if (options_.full_collection_interval > 0 &&
@@ -309,6 +366,7 @@ Result<GlobalCollectionResult> CollectedHeap::CollectFullDatabase() {
   if (!newborn_.is_null() && store_->Exists(newborn_)) {
     extra_roots.push_back(newborn_);
   }
+  const PhaseClock::time_point phase_start = PhaseStartIf(options_.observer);
   auto result = [&]() -> Result<GlobalCollectionResult> {
     ScopedWallTimer timer(wall_timers_->full_collection);
     in_collection_ = true;
@@ -324,6 +382,7 @@ Result<GlobalCollectionResult> CollectedHeap::CollectFullDatabase() {
     in_collection_ = false;
     return collected;
   }();
+  PublishPhase(options_.observer, "full_collection", phase_start);
   if (!result.ok()) return result;
   // Every partition's contents moved or died; all cards are stale-clean.
   for (size_t pid = 0; pid < store_->partition_count(); ++pid) {

@@ -16,6 +16,7 @@
 #include "core/selection_policy.h"
 #include "core/weights.h"
 #include "core/write_barrier.h"
+#include "observe/observer.h"
 #include "odb/object_store.h"
 #include "storage/disk.h"
 #include "storage/page_device.h"
@@ -68,13 +69,22 @@ struct HeapOptions {
   SsdCostParams ssd_cost;
   /// Buffer replacement policy. Strict LRU is the paper's cost model.
   ReplacementPolicyKind replacement = ReplacementPolicyKind::kLru;
-  /// Partition selection policy.
+  /// Partition selection policy, as a behaviour-class enum (the paper's
+  /// six). Used only when `policy_name` and `policy_factory` are unset;
+  /// after construction it reflects the instantiated policy's kind().
   PolicyKind policy = PolicyKind::kUpdatedPointer;
-  /// Optional: construct a custom SelectionPolicy instead of the built-in
-  /// `policy` kind — the library's main extension point. The factory's
-  /// policy still receives every write-barrier notification and the
-  /// trigger behaves according to its kind() (a kind() of kNoCollection
-  /// disables the trigger; kMostGarbage enables the oracle census).
+  /// Partition selection policy, by registry name (see RegisterPolicy) —
+  /// the open-world identity surface: any registered policy, including
+  /// the extension policies and application-registered ones. Takes
+  /// precedence over `policy`; after construction it always holds the
+  /// instantiated policy's name(). An unregistered name aborts — validate
+  /// with IsPolicyRegistered at the config boundary.
+  std::string policy_name;
+  /// Optional: construct a custom SelectionPolicy directly, bypassing the
+  /// registry (strongest precedence). The factory's policy still receives
+  /// every write-barrier notification and the trigger behaves according
+  /// to its kind() (a kind() of kNoCollection disables the trigger;
+  /// kMostGarbage enables the oracle census).
   std::function<std::unique_ptr<SelectionPolicy>()> policy_factory;
   /// What causes a collection (see TriggerKind).
   TriggerKind trigger = TriggerKind::kPointerOverwrites;
@@ -109,6 +119,11 @@ struct HeapOptions {
   /// opt-in for the profiling harness. Wall timings never affect simulated
   /// results (see wall_metrics()).
   bool profile_hot_paths = false;
+  /// Run-telemetry sink (non-owning; must outlive the heap). The heap
+  /// publishes collection events, the device fault events; the simulator
+  /// and durable engine publish run/phase/checkpoint events through the
+  /// same pointer. Null (the default) disables publishing entirely.
+  SimObserver* observer = nullptr;
 };
 
 /// Aggregate heap statistics.
@@ -301,6 +316,9 @@ class CollectedHeap : private SlotWriteObserver {
   std::unique_ptr<WriteBarrier> barrier_;
   std::unique_ptr<WeightTracker> weights_;  // Null when weights are off.
   std::unique_ptr<SelectionPolicy> policy_;
+  // Stable slot handed to registry factories via PolicyContext::store, so
+  // a registered policy (e.g. CostBenefit) can observe partition occupancy.
+  const ObjectStore* policy_store_view_ = nullptr;
   std::unique_ptr<CopyingCollector> collector_;
   std::unique_ptr<GlobalMarkCollector> global_collector_;
 

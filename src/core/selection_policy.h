@@ -2,6 +2,7 @@
 #define ODBGC_CORE_SELECTION_POLICY_H_
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -14,7 +15,17 @@
 
 namespace odbgc {
 
+class ObjectStore;  // Bound into registry-built policies that need it.
+
 /// The six partition selection policies of the paper (Section 3.1).
+///
+/// This enum is the *behaviour class* of a policy, not its identity:
+/// policies are identified by their registry `name()` (see RegisterPolicy
+/// below), and several distinct named policies may share one kind — the
+/// heap consults `kind()` only for the two behavioural special cases
+/// (kNoCollection disables the trigger, kMostGarbage runs the oracle
+/// census). The enum is kept as a thin alias layer so the paper's six
+/// policies remain configurable (and checkpoint-compatible) by kind.
 enum class PolicyKind {
   /// Never collect; grow the database instead (upper space bound).
   kNoCollection,
@@ -36,6 +47,10 @@ enum class PolicyKind {
 
 /// All six kinds, in the paper's table order.
 const std::vector<PolicyKind>& AllPolicyKinds();
+
+/// Registry names of the paper's six policies, in AllPolicyKinds order —
+/// the default policy axis of an ExperimentSpec.
+const std::vector<std::string>& PaperPolicyNames();
 
 /// "UpdatedPointer", "MostGarbage", ...
 const char* PolicyName(PolicyKind kind);
@@ -65,7 +80,14 @@ class SelectionPolicy {
  public:
   virtual ~SelectionPolicy() = default;
 
+  /// The behaviour class (see PolicyKind). Policies outside the paper's
+  /// six return the kind whose trigger/census behaviour they want.
   virtual PolicyKind kind() const = 0;
+
+  /// The policy's identity: the registry name manifests, reports and
+  /// checkpoint directories key on. Defaults to the paper name of
+  /// `kind()`; every policy beyond the six must override it.
+  virtual std::string name() const { return PolicyName(kind()); }
 
   /// Notification of one pointer store. `old_target_weight` is the
   /// root-distance weight of the overwritten target at the moment of the
@@ -106,8 +128,50 @@ class SelectionPolicy {
 };
 
 /// Creates a policy instance. `seed` feeds Random's generator; other
-/// policies ignore it.
+/// policies ignore it. Thin alias over the name registry below:
+/// MakePolicy(kind, seed) == *MakePolicy(PolicyName(kind), seed).
 std::unique_ptr<SelectionPolicy> MakePolicy(PolicyKind kind, uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Named policy registry: the open-world identity surface. The paper's six
+// kinds and the extension policies are pre-registered; libraries and
+// applications add their own with RegisterPolicy and then select them by
+// name everywhere a built-in fits (HeapOptions::policy_name,
+// ExperimentSpec, run manifests, odbgc-report).
+
+/// What a registry factory may bind when constructing a policy.
+struct PolicyContext {
+  /// Seed for policy randomness (Random draws from it; others ignore it).
+  uint64_t seed = 0;
+  /// Stable slot holding the heap's object store, for policies that
+  /// consult DBA-visible state (CostBenefit's occupancy). Null when the
+  /// policy is built outside a heap; the slot's pointee is null until the
+  /// heap finishes wiring, so factories must keep the slot, not deref it.
+  const ObjectStore* const* store = nullptr;
+};
+
+using PolicyFactory =
+    std::function<std::unique_ptr<SelectionPolicy>(const PolicyContext&)>;
+
+/// Registers `factory` under `name`. AlreadyExists if the name is taken
+/// (including the pre-registered built-ins). Thread-safe.
+Status RegisterPolicy(const std::string& name, PolicyFactory factory);
+
+/// Creates the policy registered under `name`. InvalidArgument (listing
+/// the registered names) if unknown. Thread-safe.
+Result<std::unique_ptr<SelectionPolicy>> MakePolicy(const PolicyContext& context,
+                                                    const std::string& name);
+
+/// Convenience overload without a store binding.
+Result<std::unique_ptr<SelectionPolicy>> MakePolicy(const std::string& name,
+                                                    uint64_t seed);
+
+/// True if `name` is registered.
+bool IsPolicyRegistered(const std::string& name);
+
+/// Every registered name, sorted: the six paper policies, the extension
+/// policies, and anything the application registered.
+std::vector<std::string> RegisteredPolicyNames();
 
 }  // namespace odbgc
 

@@ -1,0 +1,454 @@
+#include "observe/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace odbgc {
+
+Json Json::Bool(bool value) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = value;
+  return j;
+}
+
+Json Json::UInt(uint64_t value) {
+  Json j;
+  j.kind_ = Kind::kUInt;
+  j.uint_ = value;
+  return j;
+}
+
+Json Json::Int(int64_t value) {
+  if (value >= 0) return UInt(static_cast<uint64_t>(value));
+  Json j;
+  j.kind_ = Kind::kInt;
+  j.int_ = value;
+  return j;
+}
+
+Json Json::Double(double value) {
+  Json j;
+  j.kind_ = Kind::kDouble;
+  j.double_ = value;
+  return j;
+}
+
+Json Json::Str(std::string value) {
+  Json j;
+  j.kind_ = Kind::kString;
+  j.string_ = std::move(value);
+  return j;
+}
+
+Json Json::Arr() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json Json::Obj() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+uint64_t Json::uint_value() const {
+  switch (kind_) {
+    case Kind::kUInt: return uint_;
+    case Kind::kInt: return static_cast<uint64_t>(int_);
+    case Kind::kDouble: return static_cast<uint64_t>(double_);
+    default: return 0;
+  }
+}
+
+int64_t Json::int_value() const {
+  switch (kind_) {
+    case Kind::kUInt: return static_cast<int64_t>(uint_);
+    case Kind::kInt: return int_;
+    case Kind::kDouble: return static_cast<int64_t>(double_);
+    default: return 0;
+  }
+}
+
+double Json::double_value() const {
+  switch (kind_) {
+    case Kind::kUInt: return static_cast<double>(uint_);
+    case Kind::kInt: return static_cast<double>(int_);
+    case Kind::kDouble: return double_;
+    default: return 0.0;
+  }
+}
+
+void Json::Set(const std::string& key, Json value) {
+  if (kind_ != Kind::kObject) return;
+  object_[key] = std::move(value);
+}
+
+const Json* Json::Get(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+void Json::Push(Json value) {
+  if (kind_ != Kind::kArray) return;
+  array_.push_back(std::move(value));
+}
+
+bool operator==(const Json& a, const Json& b) {
+  if (a.is_number() && b.is_number()) {
+    // Numeric equality across representations; exact for integers.
+    if (a.kind_ == Json::Kind::kDouble || b.kind_ == Json::Kind::kDouble) {
+      return a.double_value() == b.double_value();
+    }
+    // kInt holds strictly negative values, kUInt non-negative ones, so
+    // mixed kinds are never equal.
+    if (a.kind_ == Json::Kind::kInt && b.kind_ == Json::Kind::kInt) {
+      return a.int_ == b.int_;
+    }
+    if (a.kind_ == Json::Kind::kInt || b.kind_ == Json::Kind::kInt) {
+      return false;
+    }
+    return a.uint_ == b.uint_;
+  }
+  if (a.kind_ != b.kind_) return false;
+  switch (a.kind_) {
+    case Json::Kind::kNull: return true;
+    case Json::Kind::kBool: return a.bool_ == b.bool_;
+    case Json::Kind::kString: return a.string_ == b.string_;
+    case Json::Kind::kArray: return a.array_ == b.array_;
+    case Json::Kind::kObject: return a.object_ == b.object_;
+    default: return false;  // Numeric kinds handled above.
+  }
+}
+
+std::string CanonicalDoubleString(double value) {
+  if (value == 0.0) return std::signbit(value) ? "-0" : "0";
+  char buf[40];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  return buf;
+}
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);  // UTF-8 bytes pass through.
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendIndent(std::string* out, int indent) {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string* out, int indent) const {
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      return;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Kind::kUInt:
+      *out += std::to_string(uint_);
+      return;
+    case Kind::kInt:
+      *out += std::to_string(int_);
+      return;
+    case Kind::kDouble:
+      *out += CanonicalDoubleString(double_);
+      return;
+    case Kind::kString:
+      AppendEscaped(out, string_);
+      return;
+    case Kind::kArray: {
+      if (array_.empty()) {
+        *out += "[]";
+        return;
+      }
+      *out += "[\n";
+      for (size_t i = 0; i < array_.size(); ++i) {
+        AppendIndent(out, indent + 1);
+        array_[i].DumpTo(out, indent + 1);
+        if (i + 1 < array_.size()) out->push_back(',');
+        out->push_back('\n');
+      }
+      AppendIndent(out, indent);
+      out->push_back(']');
+      return;
+    }
+    case Kind::kObject: {
+      if (object_.empty()) {
+        *out += "{}";
+        return;
+      }
+      *out += "{\n";
+      size_t i = 0;
+      for (const auto& [key, value] : object_) {
+        AppendIndent(out, indent + 1);
+        AppendEscaped(out, key);
+        *out += ": ";
+        value.DumpTo(out, indent + 1);
+        if (++i < object_.size()) out->push_back(',');
+        out->push_back('\n');
+      }
+      AppendIndent(out, indent);
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(&out, 0);
+  out.push_back('\n');
+  return out;
+}
+
+// ------------------------------------------------------------- Parser
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Json> Run() {
+    auto value = ParseValue();
+    ODBGC_RETURN_IF_ERROR(value.status());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Status Fail(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* literal) {
+    const size_t n = std::strlen(literal);
+    if (text_.compare(pos_, n, literal) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      auto s = ParseString();
+      ODBGC_RETURN_IF_ERROR(s.status());
+      return Json::Str(std::move(s).value());
+    }
+    if (ConsumeLiteral("null")) return Json::Null();
+    if (ConsumeLiteral("true")) return Json::Bool(true);
+    if (ConsumeLiteral("false")) return Json::Bool(false);
+    if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber();
+    return Fail(std::string("unexpected character '") + c + "'");
+  }
+
+  Result<Json> ParseObject() {
+    Consume('{');
+    Json object = Json::Obj();
+    SkipWhitespace();
+    if (Consume('}')) return object;
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      auto key = ParseString();
+      ODBGC_RETURN_IF_ERROR(key.status());
+      SkipWhitespace();
+      if (!Consume(':')) return Fail("expected ':' after object key");
+      auto value = ParseValue();
+      ODBGC_RETURN_IF_ERROR(value.status());
+      if (object.Get(*key) != nullptr) {
+        return Fail("duplicate object key \"" + *key + "\"");
+      }
+      object.Set(*key, std::move(value).value());
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return object;
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  Result<Json> ParseArray() {
+    Consume('[');
+    Json array = Json::Arr();
+    SkipWhitespace();
+    if (Consume(']')) return array;
+    while (true) {
+      auto value = ParseValue();
+      ODBGC_RETURN_IF_ERROR(value.status());
+      array.Push(std::move(value).value());
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return array;
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    Consume('"');
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Fail("invalid hex digit in \\u escape");
+          }
+          // Encode the code point as UTF-8 (no surrogate-pair handling:
+          // manifests only emit \u for control characters).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Fail("invalid escape character");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  Result<Json> ParseNumber() {
+    const size_t start = pos_;
+    const bool negative = Consume('-');
+    bool is_double = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        if (c == '.' || c == 'e' || c == 'E') is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (token.empty() || token == "-") return Fail("malformed number");
+    if (!is_double) {
+      errno = 0;
+      char* end = nullptr;
+      if (negative) {
+        const long long v = std::strtoll(token.c_str(), &end, 10);
+        if (errno == 0 && end == token.c_str() + token.size()) {
+          return Json::Int(v);
+        }
+      } else {
+        const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+        if (errno == 0 && end == token.c_str() + token.size()) {
+          return Json::UInt(v);
+        }
+      }
+      // Out-of-range integer: fall through to double.
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(v)) {
+      return Fail("malformed number \"" + token + "\"");
+    }
+    return Json::Double(v);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Json> Json::Parse(const std::string& text) {
+  return Parser(text).Run();
+}
+
+}  // namespace odbgc

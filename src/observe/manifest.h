@@ -1,0 +1,62 @@
+#ifndef ODBGC_OBSERVE_MANIFEST_H_
+#define ODBGC_OBSERVE_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+
+#include "observe/json.h"
+#include "sim/config.h"
+#include "sim/metrics.h"
+#include "util/status.h"
+
+namespace odbgc {
+
+/// The canonical per-run record: one schema-versioned JSON document per
+/// (policy, seed) capturing the configuration that determined the run, a
+/// digest of it, and the complete SimulationResult — every counter the
+/// paper's tables draw on. Manifests are the interchange format between
+/// the experiment runners and `odbgc-report`.
+///
+/// Determinism contract: a manifest is a pure function of
+/// (result-determining config, SimulationResult). Since simulation results
+/// are bit-identical across crash/resume (the recovery engine's replay
+/// guarantee) and Json::Dump() is canonical, the manifest of a resumed run
+/// is **byte-identical** to that of an uninterrupted one. To keep that
+/// property, wall-clock measurements never enter a manifest — they flow
+/// only through SimObserver::OnPhase and the heap's wall_metrics()
+/// registry. Durability knobs (wal_dir, checkpoint cadence) are likewise
+/// excluded from both the config section and the digest.
+
+/// Bumped whenever a field is added, removed, or changes meaning.
+inline constexpr uint64_t kManifestSchemaVersion = 1;
+
+/// CRC-32 of the canonical serialization of `config`'s result-determining
+/// fields. The two experiment axes — seed and policy identity — are
+/// excluded: the digest identifies the *experiment*, whose runs vary
+/// exactly those two. Two configs with equal digests produce comparable
+/// runs; odbgc-report refuses to diff manifest sets whose digests differ.
+uint32_t ConfigDigest(const SimulationConfig& config);
+
+/// Builds the manifest document for one finished run.
+Json BuildManifest(const SimulationConfig& config,
+                   const SimulationResult& result);
+
+/// Schema check: required keys present with the right types and the
+/// schema_version is one this binary understands. InvalidArgument with a
+/// field path otherwise.
+Status ValidateManifest(const Json& manifest);
+
+/// Canonical manifest file name for a run: "<policy>-s<seed>.json".
+std::string ManifestFileName(const std::string& policy_name, uint64_t seed);
+
+/// Writes `manifest` canonically to `path` (parent directories are
+/// created). The write goes through a temp file + rename so a crashed
+/// writer never leaves a torn manifest behind.
+Status WriteManifestFile(const std::string& path, const Json& manifest);
+
+/// Reads and parses a manifest file; also validates the schema.
+Result<Json> LoadManifestFile(const std::string& path);
+
+}  // namespace odbgc
+
+#endif  // ODBGC_OBSERVE_MANIFEST_H_

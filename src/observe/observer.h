@@ -1,0 +1,92 @@
+#ifndef ODBGC_OBSERVE_OBSERVER_H_
+#define ODBGC_OBSERVE_OBSERVER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "odb/object_id.h"
+
+namespace odbgc {
+
+/// Typed run-telemetry events. Every layer of the stack publishes into one
+/// SimObserver sink per run: the simulator (run lifecycle, phase timing),
+/// the heap (collections), the device (injected faults) and the durable
+/// engine (checkpoints). Payload fields other than wall_ns are pure
+/// functions of the simulated run, so for a fixed (config, seed) the event
+/// sequence a run publishes is deterministic — independent of thread
+/// count, machine, and crash/resume *within* the surviving process (a
+/// resumed process re-publishes only the portion it re-executes).
+
+/// A run began: identity is the registry policy name plus the seed.
+struct RunStartedEvent {
+  std::string policy;
+  uint64_t seed = 0;
+};
+
+/// A run finished (Simulator::Finish): headline results; the full record
+/// is the run manifest.
+struct RunFinishedEvent {
+  std::string policy;
+  uint64_t seed = 0;
+  uint64_t app_events = 0;
+  uint64_t app_io = 0;
+  uint64_t gc_io = 0;
+  uint64_t garbage_reclaimed_bytes = 0;
+};
+
+/// One partition collection completed.
+struct CollectionEvent {
+  /// Ordinal within the current measurement window (1-based; equals
+  /// HeapStats::collections after the collection).
+  uint64_t ordinal = 0;
+  PartitionId victim = 0;
+  PartitionId copy_target = 0;
+  uint64_t garbage_reclaimed_bytes = 0;
+  uint64_t live_bytes_copied = 0;
+  uint64_t page_reads = 0;
+  uint64_t page_writes = 0;
+};
+
+/// The durable engine wrote a snapshot and rotated the WAL.
+struct CheckpointEvent {
+  uint64_t round = 0;
+};
+
+/// An armed FaultPlan failed a transfer.
+struct FaultEvent {
+  bool is_write = false;
+  /// 1-based count of faults fired by the device so far.
+  uint64_t ordinal = 0;
+};
+
+/// A measured phase completed. `wall_ns` is host wall-clock time — the
+/// only nondeterministic payload in the event stream (the phase *sequence*
+/// is still deterministic).
+struct PhaseEvent {
+  /// Static phase name ("census", "collection", "full_collection").
+  const char* phase = "";
+  uint64_t wall_ns = 0;
+};
+
+/// Sink interface for run telemetry. The default implementation of every
+/// hook is a no-op, and publishers hold a nullable pointer — an unobserved
+/// run costs one predictable branch per publish site, nothing more.
+///
+/// Threading: one observer instance observes one run. The experiment
+/// runner builds one per (policy, seed) via ExperimentSpec::WithObserver,
+/// so implementations need no internal locking unless shared explicitly.
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+
+  virtual void OnRunStarted(const RunStartedEvent& event) { (void)event; }
+  virtual void OnRunFinished(const RunFinishedEvent& event) { (void)event; }
+  virtual void OnCollection(const CollectionEvent& event) { (void)event; }
+  virtual void OnCheckpoint(const CheckpointEvent& event) { (void)event; }
+  virtual void OnFault(const FaultEvent& event) { (void)event; }
+  virtual void OnPhase(const PhaseEvent& event) { (void)event; }
+};
+
+}  // namespace odbgc
+
+#endif  // ODBGC_OBSERVE_OBSERVER_H_

@@ -236,6 +236,11 @@ Status DurableSimulation::Checkpoint(uint64_t round) {
   base_round_ = round;
   last_checkpoint_round_ = round;
   ++stats_.checkpoints_written;
+  if (SimObserver* observer = config_.heap.observer) {
+    CheckpointEvent event;
+    event.round = round;
+    observer->OnCheckpoint(event);
+  }
   return manager_.GarbageCollect();
 }
 
@@ -282,8 +287,13 @@ Result<Experiment> RunExperimentDurable(const ExperimentSpec& spec) {
   return RunExperimentWith(
       spec, [root](const SimulationConfig& config) -> Result<SimulationResult> {
         SimulationConfig run_config = config;
-        run_config.wal_dir = root + "/" + PolicyName(config.heap.policy) +
-                             "-s" + std::to_string(config.seed);
+        // Key the run's directory on the policy's registry name (which for
+        // the built-ins equals PolicyName(kind), preserving existing trees).
+        const std::string policy = config.heap.policy_name.empty()
+                                       ? PolicyName(config.heap.policy)
+                                       : config.heap.policy_name;
+        run_config.wal_dir =
+            root + "/" + policy + "-s" + std::to_string(config.seed);
         return RunDurableSimulation(run_config);
       });
 }

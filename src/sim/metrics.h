@@ -2,6 +2,7 @@
 #define ODBGC_SIM_METRICS_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "buffer/buffer_pool.h"
@@ -18,7 +19,11 @@ namespace odbgc {
 /// Everything measured in one simulation run — the raw material for every
 /// table and figure in the paper's Section 6.
 struct SimulationResult {
+  /// Behaviour class of the policy the run used; `policy_name` is the
+  /// identity (distinct extension policies share a kind).
   PolicyKind policy = PolicyKind::kUpdatedPointer;
+  /// Registry name of the policy the run used (SelectionPolicy::name()).
+  std::string policy_name;
   uint64_t seed = 0;
 
   /// I/O subsystem configuration the run used.

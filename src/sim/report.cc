@@ -7,11 +7,18 @@
 namespace odbgc {
 
 std::vector<PolicySummary> Summarize(const Experiment& experiment) {
-  const PolicyRuns* baseline = experiment.Find(PolicyKind::kMostGarbage);
+  const PolicyRuns* baseline =
+      experiment.Find(std::string(PolicyName(PolicyKind::kMostGarbage)));
+  // Hand-built experiments may key sets only by kind.
+  if (baseline == nullptr) {
+    baseline = experiment.Find(PolicyKind::kMostGarbage);
+  }
 
   std::vector<PolicySummary> summaries;
   for (const PolicyRuns& set : experiment.sets) {
     PolicySummary s;
+    // Hand-built sets may carry only the kind; fall back to its name.
+    s.name = set.name.empty() ? PolicyName(set.policy) : set.name;
     s.policy = set.policy;
     for (size_t i = 0; i < set.runs.size(); ++i) {
       const SimulationResult& run = set.runs[i];
@@ -64,7 +71,7 @@ void PrintThroughputTable(const std::vector<PolicySummary>& summaries,
                   "Collector I/Os Mean", "Std Dev", "Total I/Os Mean",
                   "Relative Mean", "Std Dev"});
   for (const PolicySummary& s : summaries) {
-    t.AddRow({PolicyName(s.policy), FormatCount(s.app_io.mean()),
+    t.AddRow({s.name, FormatCount(s.app_io.mean()),
               FormatCount(s.app_io.stddev()), FormatCount(s.gc_io.mean()),
               FormatCount(s.gc_io.stddev()), FormatCount(s.total_io.mean()),
               FormatDouble(s.relative_total_io.mean(), 3),
@@ -79,7 +86,7 @@ void PrintStorageTable(const std::vector<PolicySummary>& summaries,
   TablePrinter t({"Selection Policy", "Max Storage (KB) Mean", "Std Dev",
                   "Relative Mean", "# Partitions Mean", "Std Dev"});
   for (const PolicySummary& s : summaries) {
-    t.AddRow({PolicyName(s.policy), FormatCount(s.max_storage_kb.mean()),
+    t.AddRow({s.name, FormatCount(s.max_storage_kb.mean()),
               FormatCount(s.max_storage_kb.stddev()),
               FormatDouble(s.relative_max_storage.mean(), 3),
               FormatDouble(s.max_partitions.mean(), 1),
@@ -96,7 +103,7 @@ void PrintEfficiencyTable(const std::vector<PolicySummary>& summaries,
                   "Std Dev", "Fraction of Garbage (%) Mean", "Std Dev",
                   "Efficiency (KB per I/O)", "Relative Efficiency"});
   for (const PolicySummary& s : summaries) {
-    t.AddRow({PolicyName(s.policy), FormatCount(s.reclaimed_kb.mean()),
+    t.AddRow({s.name, FormatCount(s.reclaimed_kb.mean()),
               FormatCount(s.reclaimed_kb.stddev()),
               FormatDouble(s.fraction_reclaimed_pct.mean(), 2),
               FormatDouble(s.fraction_reclaimed_pct.stddev(), 2),
@@ -120,7 +127,7 @@ void PrintDeviceTimeTable(const std::vector<PolicySummary>& summaries,
   TablePrinter t({"Selection Policy", "Device Time (ms) Mean", "Std Dev",
                   "Relative Mean", "Std Dev"});
   for (const PolicySummary& s : summaries) {
-    t.AddRow({PolicyName(s.policy), FormatCount(s.device_time_ms.mean()),
+    t.AddRow({s.name, FormatCount(s.device_time_ms.mean()),
               FormatCount(s.device_time_ms.stddev()),
               FormatDouble(s.relative_device_time.mean(), 3),
               FormatDouble(s.relative_device_time.stddev(), 3)});

@@ -2,6 +2,7 @@
 #define ODBGC_SIM_REPORT_H_
 
 #include <ostream>
+#include <string>
 #include <vector>
 
 #include "sim/runner.h"
@@ -13,6 +14,8 @@ namespace odbgc {
 /// (means and standard deviations; relative metrics are paired per seed
 /// against the MostGarbage run of the same seed, the paper's baseline).
 struct PolicySummary {
+  /// Registry name of the summarized policy (the row label).
+  std::string name;
   PolicyKind policy = PolicyKind::kUpdatedPointer;
   RunningStat app_io;
   RunningStat gc_io;

@@ -4,9 +4,17 @@
 #include <mutex>
 #include <thread>
 
+#include "observe/manifest.h"
 #include "sim/simulator.h"
 
 namespace odbgc {
+
+const PolicyRuns* Experiment::Find(const std::string& name) const {
+  for (const auto& set : sets) {
+    if (set.name == name) return &set;
+  }
+  return nullptr;
+}
 
 const PolicyRuns* Experiment::Find(PolicyKind policy) const {
   for (const auto& set : sets) {
@@ -26,10 +34,18 @@ Result<Experiment> RunExperiment(const ExperimentSpec& spec) {
 
 Result<Experiment> RunExperimentWith(const ExperimentSpec& spec,
                                      const RunSimulationFn& run_one) {
+  // Fail fast on unknown names: a worker thread aborting inside the heap
+  // is a far worse failure mode than an error here.
+  for (const std::string& name : spec.policies) {
+    if (!IsPolicyRegistered(name)) {
+      return Status::InvalidArgument("unknown policy name: " + name);
+    }
+  }
+
   struct Task {
     size_t set_index;
     size_t run_index;
-    PolicyKind policy;
+    const std::string* policy;
     uint64_t seed;
   };
 
@@ -37,14 +53,18 @@ Result<Experiment> RunExperimentWith(const ExperimentSpec& spec,
   std::vector<Task> tasks;
   for (size_t p = 0; p < spec.policies.size(); ++p) {
     PolicyRuns set;
-    set.policy = spec.policies[p];
+    set.name = spec.policies[p];
     set.runs.resize(spec.num_seeds);
     experiment.sets.push_back(std::move(set));
     for (int s = 0; s < spec.num_seeds; ++s) {
-      tasks.push_back({p, static_cast<size_t>(s), spec.policies[p],
+      tasks.push_back({p, static_cast<size_t>(s), &spec.policies[p],
                        spec.first_seed + static_cast<uint64_t>(s)});
     }
   }
+
+  // Observers live here so they outlive their runs regardless of which
+  // worker finishes last; one slot per task, no contention.
+  std::vector<std::unique_ptr<SimObserver>> observers(tasks.size());
 
   int threads = spec.threads;
   if (threads <= 0) {
@@ -56,6 +76,9 @@ Result<Experiment> RunExperimentWith(const ExperimentSpec& spec,
   std::atomic<size_t> next_task{0};
   std::mutex error_mutex;
   Status first_error;
+  // Serializes on_run_complete and manifest writes.
+  std::mutex complete_mutex;
+  Status complete_error;
 
   auto worker = [&] {
     for (;;) {
@@ -65,7 +88,11 @@ Result<Experiment> RunExperimentWith(const ExperimentSpec& spec,
 
       SimulationConfig config = spec.base;
       config.seed = task.seed;
-      config.heap.policy = task.policy;
+      config.heap.policy_name = *task.policy;
+      if (spec.observer_factory) {
+        observers[i] = spec.observer_factory(*task.policy, task.seed);
+        config.heap.observer = observers[i].get();
+      }
 
       auto result = run_one(config);
       if (!result.ok()) {
@@ -73,6 +100,20 @@ Result<Experiment> RunExperimentWith(const ExperimentSpec& spec,
         if (first_error.ok()) first_error = result.status();
         return;
       }
+
+      if (spec.on_run_complete || !spec.manifest_dir.empty()) {
+        std::lock_guard<std::mutex> lock(complete_mutex);
+        if (!spec.manifest_dir.empty()) {
+          const std::string path =
+              spec.manifest_dir + "/" +
+              ManifestFileName(result->policy_name, result->seed);
+          const Status written =
+              WriteManifestFile(path, BuildManifest(config, *result));
+          if (!written.ok() && complete_error.ok()) complete_error = written;
+        }
+        if (spec.on_run_complete) spec.on_run_complete(config, *result);
+      }
+
       experiment.sets[task.set_index].runs[task.run_index] =
           std::move(result).value();
     }
@@ -88,6 +129,13 @@ Result<Experiment> RunExperimentWith(const ExperimentSpec& spec,
   }
 
   if (!first_error.ok()) return first_error;
+  if (!complete_error.ok()) return complete_error;
+
+  // Stamp each set's behaviour class from its runs (every run of a set
+  // uses the same policy, so the first is representative).
+  for (PolicyRuns& set : experiment.sets) {
+    if (!set.runs.empty()) set.policy = set.runs.front().policy;
+  }
   return experiment;
 }
 

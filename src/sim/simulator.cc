@@ -1,6 +1,7 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 #include <vector>
 
@@ -42,6 +43,12 @@ Simulator::Simulator(const SimulationConfig& config) : config_(config) {
   HeapOptions heap_options = config_.heap;
   heap_options.seed = config_.seed;  // Policy randomness follows the run seed.
   heap_ = std::make_unique<CollectedHeap>(heap_options);
+  if (SimObserver* observer = heap_->options().observer) {
+    RunStartedEvent event;
+    event.policy = heap_->options().policy_name;
+    event.seed = config_.seed;
+    observer->OnRunStarted(event);
+  }
   next_snapshot_ = config_.snapshot_interval;
   // Pre-size the logical-id map for the whole run (one entry per Alloc)
   // so replay never pays an incremental rehash.
@@ -154,8 +161,23 @@ uint64_t Simulator::HeapFingerprint() const {
 }
 
 void Simulator::RunCensus() {
-  ScopedWallTimer timer(heap_->wall_timers()->census);
-  census_engine_.CensusInto(heap_->store(), &census_scratch_);
+  SimObserver* const observer = heap_->options().observer;
+  const auto phase_start = observer != nullptr
+                               ? std::chrono::steady_clock::now()
+                               : std::chrono::steady_clock::time_point{};
+  {
+    ScopedWallTimer timer(heap_->wall_timers()->census);
+    census_engine_.CensusInto(heap_->store(), &census_scratch_);
+  }
+  if (observer != nullptr) {
+    PhaseEvent event;
+    event.phase = "census";
+    event.wall_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - phase_start)
+            .count());
+    observer->OnPhase(event);
+  }
   census_cache_valid_ = true;
   census_cache_events_ = events_;
   census_cache_heap_fingerprint_ = HeapFingerprint();
@@ -252,6 +274,7 @@ Result<std::unique_ptr<Simulator>> Simulator::FromCheckpoint(
 SimulationResult Simulator::Finish() {
   SimulationResult result;
   result.policy = heap_->options().policy;
+  result.policy_name = heap_->options().policy_name;
   result.seed = config_.seed;
   result.device = heap_->options().device;
   result.replacement = heap_->options().replacement;
@@ -289,6 +312,17 @@ SimulationResult Simulator::Finish() {
 
   result.unreclaimed_garbage_kb = unreclaimed_garbage_kb_;
   result.database_size_kb = database_size_kb_;
+
+  if (SimObserver* observer = heap_->options().observer) {
+    RunFinishedEvent event;
+    event.policy = result.policy_name;
+    event.seed = result.seed;
+    event.app_events = result.app_events;
+    event.app_io = result.app_io;
+    event.gc_io = result.gc_io;
+    event.garbage_reclaimed_bytes = result.garbage_reclaimed_bytes;
+    observer->OnRunFinished(event);
+  }
   return result;
 }
 

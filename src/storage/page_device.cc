@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "observe/observer.h"
 #include "storage/disk.h"
 #include "storage/ssd_device.h"
 
@@ -90,6 +91,14 @@ void PageDevice::ClearFaults() {
   fault_rng_.reset();
 }
 
+void PageDevice::PublishFault(bool is_write) {
+  if (observer_ == nullptr) return;
+  FaultEvent event;
+  event.is_write = is_write;
+  event.ordinal = faults_fired_;
+  observer_->OnFault(event);
+}
+
 Status PageDevice::CheckFault(bool is_write) {
   if (!faults_) return Status::Ok();
   uint64_t& seen = is_write ? fault_writes_seen_ : fault_reads_seen_;
@@ -98,6 +107,7 @@ Status PageDevice::CheckFault(bool is_write) {
   ++seen;
   if (trigger != 0 && seen == trigger) {
     ++faults_fired_;
+    PublishFault(is_write);
     return Status::IoError(std::string("injected fault on ") +
                            (is_write ? "write #" : "read #") +
                            std::to_string(seen));
@@ -105,6 +115,7 @@ Status PageDevice::CheckFault(bool is_write) {
   if (faults_->error_prob > 0.0 &&
       fault_rng_->Bernoulli(faults_->error_prob)) {
     ++faults_fired_;
+    PublishFault(is_write);
     return Status::IoError("injected probabilistic fault");
   }
   return Status::Ok();

@@ -18,6 +18,8 @@
 
 namespace odbgc {
 
+class SimObserver;
+
 /// The simulated storage backends. The paper fixes one device model (a
 /// seek/rotation/transfer magnetic disk, Section 4.2); device economics
 /// invert policy rankings on other media, so the backend is a first-class
@@ -135,6 +137,10 @@ class PageDevice {
   /// Number of transfers failed by the armed plan(s) so far.
   uint64_t faults_fired() const { return faults_fired_; }
 
+  /// Attaches a run-telemetry sink notified on every injected fault
+  /// (non-owning; null — the default — detaches).
+  void set_observer(SimObserver* observer) { observer_ = observer; }
+
  protected:
   // Counts one read/write plus its sequential/random classification,
   // charged to the registry's current phase.
@@ -153,6 +159,7 @@ class PageDevice {
 
  private:
   void NoteAccess(PageId page);
+  void PublishFault(bool is_write);
 
   const size_t page_size_;
   // Set when the device was constructed without a shared registry.
@@ -166,6 +173,8 @@ class PageDevice {
   std::vector<MetricCounter*> device_counters_;
 
   PageId last_accessed_ = kInvalidPageId;
+
+  SimObserver* observer_ = nullptr;
 
   std::optional<FaultPlan> faults_;
   std::optional<Rng> fault_rng_;

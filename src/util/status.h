@@ -19,6 +19,7 @@ enum class StatusCode {
   kIoError,
   kFailedPrecondition,
   kResourceExhausted,
+  kAlreadyExists,
 };
 
 /// Human-readable name of a status code ("OK", "InvalidArgument", ...).
@@ -32,6 +33,7 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kIoError: return "IoError";
     case StatusCode::kFailedPrecondition: return "FailedPrecondition";
     case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
   }
   return "Unknown";
 }
@@ -65,6 +67,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string m) {
     return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

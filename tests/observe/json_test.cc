@@ -1,0 +1,126 @@
+// The canonical-JSON model underpinning run manifests. The property that
+// matters is byte-stability: Dump() of equal documents is identical, and
+// emit -> parse -> re-emit is a fixed point.
+
+#include "observe/json.h"
+
+#include <gtest/gtest.h>
+
+namespace odbgc {
+namespace {
+
+TEST(JsonTest, DumpSortsKeysAndUsesFixedLayout) {
+  Json doc = Json::Obj();
+  doc.Set("zebra", Json::UInt(1));
+  doc.Set("alpha", Json::Bool(true));
+  Json inner = Json::Arr();
+  inner.Push(Json::Str("x"));
+  inner.Push(Json::Double(0.5));
+  doc.Set("mid", std::move(inner));
+
+  EXPECT_EQ(doc.Dump(),
+            "{\n"
+            "  \"alpha\": true,\n"
+            "  \"mid\": [\n"
+            "    \"x\",\n"
+            "    0.5\n"
+            "  ],\n"
+            "  \"zebra\": 1\n"
+            "}\n");
+}
+
+TEST(JsonTest, EmptyContainersAndScalars) {
+  EXPECT_EQ(Json::Obj().Dump(), "{}\n");
+  EXPECT_EQ(Json::Arr().Dump(), "[]\n");
+  EXPECT_EQ(Json::Null().Dump(), "null\n");
+  EXPECT_EQ(Json::Int(-3).Dump(), "-3\n");
+  EXPECT_EQ(Json::UInt(18446744073709551615ull).Dump(),
+            "18446744073709551615\n");
+}
+
+TEST(JsonTest, CanonicalDoubles) {
+  EXPECT_EQ(CanonicalDoubleString(0.0), "0");
+  EXPECT_EQ(CanonicalDoubleString(-0.0), "-0");
+  EXPECT_EQ(CanonicalDoubleString(2.0), "2");
+  EXPECT_EQ(CanonicalDoubleString(0.1), "0.1");
+  EXPECT_EQ(CanonicalDoubleString(1.0 / 3.0), "0.3333333333333333");
+  // Shortest form that round-trips, not a fixed precision.
+  const double tricky = 0.1 + 0.2;
+  EXPECT_EQ(std::strtod(CanonicalDoubleString(tricky).c_str(), nullptr),
+            tricky);
+}
+
+TEST(JsonTest, ParseDumpFixedPoint) {
+  Json doc = Json::Obj();
+  doc.Set("counts", [] {
+    Json a = Json::Arr();
+    a.Push(Json::UInt(0));
+    a.Push(Json::UInt(42));
+    return a;
+  }());
+  doc.Set("name", Json::Str("UpdatedPointer"));
+  doc.Set("negative", Json::Int(-7));
+  doc.Set("ratio", Json::Double(1.058));
+  doc.Set("escaped", Json::Str("line\nbreak \"quoted\" \\slash\x01"));
+
+  const std::string first = doc.Dump();
+  auto parsed = Json::Parse(first);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Dump(), first);
+  EXPECT_EQ(*parsed, doc);
+}
+
+TEST(JsonTest, IntegralDoubleTypeFlipIsByteInvisible) {
+  // Double(2) prints "2"; re-parsing yields a kUInt. The flip must not
+  // change bytes on the next emission — that is the manifest contract.
+  Json doc = Json::Obj();
+  doc.Set("x", Json::Double(2.0));
+  const std::string first = doc.Dump();
+  auto parsed = Json::Parse(first);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Get("x")->kind(), Json::Kind::kUInt);
+  EXPECT_EQ(parsed->Dump(), first);
+}
+
+TEST(JsonTest, NumericEqualityAcrossKinds) {
+  EXPECT_EQ(Json::UInt(2), Json::Double(2.0));
+  EXPECT_EQ(Json::Int(-1), Json::Double(-1.0));
+  EXPECT_NE(Json::UInt(2), Json::UInt(3));
+  EXPECT_NE(Json::Int(-1), Json::UInt(1));
+  EXPECT_NE(Json::UInt(1), Json::Str("1"));
+}
+
+TEST(JsonTest, ParseAcceptsOrdinaryJsonFreedoms) {
+  auto parsed = Json::Parse("  { \"b\" : [1, -2, 3.5],\r\n \"a\": null }  ");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Get("b")->array()[1], Json::Int(-2));
+  EXPECT_TRUE(parsed->Get("a")->is_null());
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_FALSE(Json::Parse("{} trailing").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\": 1, \"a\": 2}").ok());  // Duplicate key.
+  EXPECT_FALSE(Json::Parse("{\"a\": }").ok());
+  EXPECT_FALSE(Json::Parse("[1, 2").ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+  EXPECT_FALSE(Json::Parse("1e999").ok());  // Non-finite.
+  EXPECT_FALSE(Json::Parse("nul").ok());
+}
+
+TEST(JsonTest, UnicodeEscapesDecodeToUtf8) {
+  auto parsed = Json::Parse("\"a\\u0041\\u00e9\\u20ac\"");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->string_value(), "aA\xC3\xA9\xE2\x82\xAC");
+}
+
+TEST(JsonTest, ControlCharactersEscapeOnDump) {
+  Json doc = Json::Str(std::string("\x01\t"));
+  EXPECT_EQ(doc.Dump(), "\"\\u0001\\t\"\n");
+  auto parsed = Json::Parse(doc.Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, doc);
+}
+
+}  // namespace
+}  // namespace odbgc

@@ -1,0 +1,199 @@
+// Run manifests: schema validity for every registered policy, canonical
+// byte-stability, digest semantics, file round-trips, the runner's
+// manifest emission, and the acceptance property — a crash/resumed run's
+// manifest is byte-identical to an uninterrupted run's.
+
+#include "observe/manifest.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "recovery/recover.h"
+#include "sim/runner.h"
+#include "sim/simulator.h"
+#include "storage/disk.h"
+
+namespace odbgc {
+namespace {
+
+SimulationConfig TinyConfig(uint64_t seed = 1) {
+  SimulationConfig config;
+  config.heap.store.page_size = 1024;
+  config.heap.store.pages_per_partition = 16;
+  config.heap.buffer_pages = 16;
+  config.heap.overwrite_trigger = 30;
+  config.seed = seed;
+  config.snapshot_interval = 2000;
+  config.workload.target_live_bytes = 96ull << 10;
+  config.workload.total_alloc_bytes = 240ull << 10;
+  config.workload.tree_nodes_min = 60;
+  config.workload.tree_nodes_max = 200;
+  config.workload.large_object_size = 4096;
+  return config;
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "odbgc_manifest_test/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+SimulationResult RunOnce(SimulationConfig config) {
+  Simulator simulator(config);
+  EXPECT_TRUE(simulator.Run().ok());
+  return simulator.Finish();
+}
+
+TEST(ManifestTest, EveryRegisteredPolicyProducesAValidManifest) {
+  for (const std::string& name : RegisteredPolicyNames()) {
+    SimulationConfig config = TinyConfig();
+    config.heap.policy_name = name;
+    const SimulationResult result = RunOnce(config);
+    EXPECT_EQ(result.policy_name, name);
+
+    const Json manifest = BuildManifest(config, result);
+    const Status valid = ValidateManifest(manifest);
+    EXPECT_TRUE(valid.ok()) << name << ": " << valid.ToString();
+    EXPECT_EQ(manifest.Get("policy")->string_value(), name);
+    EXPECT_EQ(manifest.Get("seed")->uint_value(), config.seed);
+  }
+}
+
+TEST(ManifestTest, EmitParseReEmitIsByteIdentical) {
+  SimulationConfig config = TinyConfig();
+  config.heap.policy_name = "UpdatedPointer";
+  const Json manifest = BuildManifest(config, RunOnce(config));
+
+  const std::string first = manifest.Dump();
+  auto parsed = Json::Parse(first);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->Dump(), first);
+}
+
+TEST(ManifestTest, DigestIgnoresExperimentAxesAndDurabilityKnobs) {
+  SimulationConfig config = TinyConfig();
+  const uint32_t digest = ConfigDigest(config);
+
+  // Seed and policy are the experiment's axes; durability and profiling
+  // knobs do not change what a run computes. None may move the digest.
+  SimulationConfig variant = config;
+  variant.seed = 99;
+  variant.heap.policy_name = "Random";
+  variant.heap.policy = PolicyKind::kRandom;
+  variant.wal_dir = "/tmp/somewhere";
+  variant.checkpoint_every_rounds = 5;
+  variant.heap.profile_hot_paths = true;
+  EXPECT_EQ(ConfigDigest(variant), digest);
+
+  SimulationConfig changed = config;
+  changed.heap.overwrite_trigger += 1;
+  EXPECT_NE(ConfigDigest(changed), digest);
+}
+
+TEST(ManifestTest, FileRoundTripPreservesBytes) {
+  SimulationConfig config = TinyConfig();
+  config.heap.policy_name = "Random";
+  const Json manifest = BuildManifest(config, RunOnce(config));
+
+  const std::string dir = FreshDir("roundtrip");
+  const std::string path = dir + "/" + ManifestFileName("Random", 1);
+  EXPECT_EQ(ManifestFileName("Random", 1), "Random-s1.json");
+
+  ASSERT_TRUE(WriteManifestFile(path, manifest).ok());
+  auto loaded = LoadManifestFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->Dump(), manifest.Dump());
+}
+
+TEST(ManifestTest, ValidateRejectsBrokenDocuments) {
+  SimulationConfig config = TinyConfig();
+  config.heap.policy_name = "Random";
+  Json manifest = BuildManifest(config, RunOnce(config));
+
+  Json wrong_version = manifest;
+  wrong_version.Set("schema_version", Json::UInt(kManifestSchemaVersion + 1));
+  EXPECT_EQ(ValidateManifest(wrong_version).code(),
+            StatusCode::kInvalidArgument);
+
+  Json missing_field = manifest;
+  missing_field.object().erase("result");
+  EXPECT_FALSE(ValidateManifest(missing_field).ok());
+
+  Json mismatched = manifest;
+  mismatched.Set("policy", Json::Str("MostGarbage"));
+  EXPECT_FALSE(ValidateManifest(mismatched).ok());
+
+  EXPECT_FALSE(ValidateManifest(Json::Arr()).ok());
+}
+
+TEST(ManifestTest, RunnerEmitsOneManifestPerRun) {
+  const std::string dir = FreshDir("runner");
+  ExperimentSpec spec;
+  spec.base = TinyConfig();
+  spec.policies = {"UpdatedPointer", "Random"};
+  spec.num_seeds = 2;
+  spec.manifest_dir = dir;
+
+  auto experiment = RunExperiment(spec);
+  ASSERT_TRUE(experiment.ok()) << experiment.status().ToString();
+
+  for (const std::string& policy : spec.policies) {
+    for (uint64_t seed = 1; seed <= 2; ++seed) {
+      const std::string path = dir + "/" + ManifestFileName(policy, seed);
+      auto manifest = LoadManifestFile(path);
+      ASSERT_TRUE(manifest.ok()) << path << ": "
+                                 << manifest.status().ToString();
+      EXPECT_EQ(manifest->Get("policy")->string_value(), policy);
+      EXPECT_EQ(manifest->Get("seed")->uint_value(), seed);
+    }
+  }
+
+  // The emitted manifest is exactly BuildManifest of the run: rebuild one
+  // from the returned results and compare bytes.
+  SimulationConfig config = spec.base;
+  config.heap.policy_name = "Random";
+  config.seed = 2;
+  const PolicyRuns* set = experiment->Find(std::string("Random"));
+  ASSERT_NE(set, nullptr);
+  const Json rebuilt = BuildManifest(config, set->runs[1]);
+  auto emitted = LoadManifestFile(dir + "/" + ManifestFileName("Random", 2));
+  ASSERT_TRUE(emitted.ok());
+  EXPECT_EQ(emitted->Dump(), rebuilt.Dump());
+}
+
+// The acceptance property: kill a durable run mid-flight with an injected
+// I/O fault, resume it, and the resumed run's manifest must be
+// byte-identical to the manifest of an uninterrupted plain run — wal_dir
+// and checkpoint cadence are excluded from the document by construction.
+TEST(ManifestTest, CrashResumeManifestIsByteIdenticalToUninterrupted) {
+  SimulationConfig plain = TinyConfig(3);
+  plain.heap.policy_name = "UpdatedPointer";
+  const SimulationResult reference = RunOnce(plain);
+  const std::string reference_bytes = BuildManifest(plain, reference).Dump();
+
+  SimulationConfig durable_config = plain;
+  durable_config.wal_dir = FreshDir("crash_resume");
+  durable_config.checkpoint_every_rounds = 20;
+
+  // First attempt dies mid-run.
+  {
+    auto engine = DurableSimulation::Open(durable_config);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    FaultPlan plan;
+    plan.fail_after_writes = reference.disk_stats.page_writes / 2;
+    (*engine)->simulator().heap().mutable_disk().InjectFaults(plan);
+    ASSERT_FALSE((*engine)->Run().ok());
+  }
+
+  // Resume completes; its manifest matches the uninterrupted run's bytes.
+  auto engine = DurableSimulation::Open(durable_config);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  ASSERT_TRUE((*engine)->Run().ok());
+  const SimulationResult resumed = (*engine)->Finish();
+  EXPECT_EQ(BuildManifest(durable_config, resumed).Dump(), reference_bytes);
+}
+
+}  // namespace
+}  // namespace odbgc

@@ -207,7 +207,7 @@ TEST(RecoveryIntegrationTest, ReopenAfterCompletionReplaysToSameResult) {
 TEST(RecoveryIntegrationTest, DurableExperimentMatchesPlainExperiment) {
   ExperimentSpec spec;
   spec.base = TinyConfig();
-  spec.policies = {PolicyKind::kUpdatedPointer, PolicyKind::kRandom};
+  spec.policies = {"UpdatedPointer", "Random"};
   spec.num_seeds = 2;
   spec.threads = 2;
 

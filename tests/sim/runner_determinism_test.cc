@@ -24,8 +24,7 @@ ExperimentSpec TinySpec() {
   spec.base.workload.tree_nodes_min = 50;
   spec.base.workload.tree_nodes_max = 150;
   spec.base.workload.large_object_size = 4096;
-  spec.policies = {PolicyKind::kMostGarbage, PolicyKind::kRandom,
-                   PolicyKind::kNoCollection};
+  spec.policies = {"MostGarbage", "Random", "NoCollection"};
   spec.num_seeds = 3;
   spec.first_seed = 10;
   return spec;
@@ -124,7 +123,7 @@ TEST(RunnerDeterminismTest, ParallelMatchesSerialOnSsdWithClock) {
 TEST(RunnerDeterminismTest, ParallelMatchesSerialWithTwoQ) {
   ExperimentSpec spec = TinySpec();
   spec.base.heap.replacement = ReplacementPolicyKind::kTwoQ;
-  spec.policies = {PolicyKind::kMostGarbage, PolicyKind::kRandom};
+  spec.policies = {"MostGarbage", "Random"};
   spec.num_seeds = 2;
   ExpectExperimentsIdentical(spec);
 }

@@ -16,8 +16,7 @@ ExperimentSpec TinySpec() {
   spec.base.workload.tree_nodes_min = 50;
   spec.base.workload.tree_nodes_max = 150;
   spec.base.workload.large_object_size = 4096;
-  spec.policies = {PolicyKind::kMostGarbage, PolicyKind::kRandom,
-                   PolicyKind::kNoCollection};
+  spec.policies = {"MostGarbage", "Random", "NoCollection"};
   spec.num_seeds = 3;
   spec.first_seed = 10;
   return spec;
