@@ -8,8 +8,17 @@
 //                  index and the write barrier
 //   no_collection  kNoCollection — pure trace-apply throughput; the
 //                  instrumentation itself must not slow this down
+//   barrier_heavy  kMutatedPartition + card-marking barrier + round-robin
+//                  placement + a mutation-heavy workload — dominated by
+//                  per-store barrier work, per-partition policy counters,
+//                  and card scans over the partition rosters
+//   buffer_churn   kUpdatedPointer with a buffer pool far smaller than
+//                  the live set — nearly every page touch misses, so the
+//                  frame table and eviction bookkeeping dominate
 //
-// Each probe reports events/sec plus the per-phase wall-clock breakdown
+// Each probe reports events/sec, the process heap high-water mark after
+// the probe (ru_maxrss — monotonic across the run, so the last probe's
+// figure is the whole run's peak), plus the per-phase wall-clock breakdown
 // from the heap's wall-timer registry. The coarse phases (census,
 // collection) are always timed; --profile additionally enables the
 // per-event timers (index maintenance, trace apply), which cost a few
@@ -23,6 +32,8 @@
 // baseline's value for that probe (a >20% regression). The checked-in
 // baseline holds deliberately conservative floors so routine CI-hardware
 // variance does not trip it; a trip means a real hot-path regression.
+#include <sys/resource.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -45,8 +56,17 @@ struct ProbeResult {
   uint64_t events = 0;
   double wall_seconds = 0;
   double events_per_sec = 0;
+  /// Process peak RSS (KiB) sampled right after the probe. ru_maxrss is a
+  /// process-wide high-water mark, so this only ever grows across probes.
+  long max_rss_kb = 0;
   std::vector<MetricSample> wall_phases;
 };
+
+long MaxRssKb() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return usage.ru_maxrss;
+}
 
 bool g_profile = false;
 
@@ -65,11 +85,13 @@ ProbeResult RunProbe(const char* name, SimulationConfig config) {
   probe.wall_seconds = seconds;
   probe.events_per_sec =
       seconds > 0 ? static_cast<double>(result.app_events) / seconds : 0;
+  probe.max_rss_kb = MaxRssKb();
   probe.wall_phases = sim.heap().wall_metrics()->Snapshot();
 
-  std::printf("%-14s events=%-10llu wall=%8.3fs  events/sec=%12.0f\n", name,
-              static_cast<unsigned long long>(probe.events), seconds,
-              probe.events_per_sec);
+  std::printf(
+      "%-14s events=%-10llu wall=%8.3fs  events/sec=%12.0f  rss=%ld KiB\n",
+      name, static_cast<unsigned long long>(probe.events), seconds,
+      probe.events_per_sec, probe.max_rss_kb);
   for (const MetricSample& sample : probe.wall_phases) {
     if (sample.total() == 0) continue;
     std::printf("    %-24s %10.1f ms\n", sample.name.c_str(),
@@ -128,6 +150,21 @@ int main(int argc, char** argv) {
     c.heap.policy = PolicyKind::kNoCollection;
     probes.push_back(RunProbe("no_collection", c));
   }
+  {
+    SimulationConfig c = bench::BaseConfig();
+    c.heap.policy = PolicyKind::kMutatedPartition;
+    c.heap.barrier = BarrierMode::kCardMarking;
+    c.heap.store.placement = PlacementPolicy::kRoundRobin;
+    c.workload.visit_modify_prob = 0.20;
+    c.workload.dense_edge_prob = 0.167;
+    probes.push_back(RunProbe("barrier_heavy", c));
+  }
+  {
+    SimulationConfig c = bench::BaseConfig();
+    c.heap.policy = PolicyKind::kUpdatedPointer;
+    c.heap.buffer_pages = 8;
+    probes.push_back(RunProbe("buffer_churn", c));
+  }
 
   std::ofstream json(json_path);
   json << "{\n  \"bench\": \"hotpath\",\n";
@@ -139,6 +176,7 @@ int main(int argc, char** argv) {
     json << "      \"events\": " << p.events << ",\n";
     json << "      \"wall_seconds\": " << p.wall_seconds << ",\n";
     json << "      \"events_per_sec\": " << p.events_per_sec << ",\n";
+    json << "      \"max_rss_kb\": " << p.max_rss_kb << ",\n";
     json << "      \"wall_phases_ns\": {";
     bool first = true;
     for (const MetricSample& sample : p.wall_phases) {
@@ -149,7 +187,9 @@ int main(int argc, char** argv) {
     }
     json << "}\n    }" << (i + 1 < probes.size() ? "," : "") << "\n";
   }
-  json << "  ]\n}\n";
+  // The whole run's heap high-water mark (KiB): memory wins and
+  // regressions show up here alongside the throughput numbers.
+  json << "  ],\n  \"max_rss_kb\": " << MaxRssKb() << "\n}\n";
   json.close();
   std::printf("\nWrote %s\n", json_path);
 

@@ -17,6 +17,7 @@
 int main(int argc, char** argv) {
   using namespace odbgc;
   const char* path = argc > 1 ? argv[1] : "paper_workload.trace";
+  uint64_t events_written = 0;
 
   // A quarter-size run keeps the file small; drop the scaling for the
   // full 11 MB paper trace.
@@ -40,15 +41,16 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "flush failed: %s\n", s.ToString().c_str());
       return 1;
     }
+    events_written = writer.events_written();
     std::printf("wrote %llu events to %s\n",
-                static_cast<unsigned long long>(writer.events_written()),
-                path);
+                static_cast<unsigned long long>(events_written), path);
   }
 
   // Read it back and characterize the workload.
   std::ifstream file(path, std::ios::binary);
   TraceReader reader(&file);
   TraceStatsCollector stats;
+  stats.Reserve(events_written);
   if (Status s = reader.ReplayInto(&stats); !s.ok()) {
     std::fprintf(stderr, "replay failed: %s\n", s.ToString().c_str());
     return 1;

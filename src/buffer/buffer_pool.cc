@@ -28,6 +28,8 @@ BufferPool::BufferPool(PageDevice* device, size_t frame_count,
       registry_(device ? device->metrics() : nullptr),
       frame_count_(frame_count),
       policy_(MakeReplacementPolicy(policy, frame_count)),
+      frames_(frame_count),
+      page_to_frame_(frame_count),
       hits_(registry_->Register("buffer.hits")),
       misses_(registry_->Register("buffer.misses")),
       reads_(registry_->Register("buffer.disk_reads")),
@@ -44,63 +46,90 @@ IoPhase BufferPool::phase() const {
   return FromMetricPhase(registry_->phase());
 }
 
+uint32_t BufferPool::AllocFrame() {
+  if (!free_frames_.empty()) {
+    const uint32_t frame = free_frames_.back();
+    free_frames_.pop_back();
+    return frame;
+  }
+  assert(used_frames_ < frame_count_);
+  return used_frames_++;
+}
+
 Result<std::span<std::byte>> BufferPool::GetPage(PageId page,
                                                  AccessMode mode) {
-  auto it = frames_.find(page);
-  if (it != frames_.end()) {
+  const uint32_t resident = page_to_frame_.Find(page);
+  if (resident != OpenIndexMap::kEmptyValue) {
     registry_->Count(hits_);
-    policy_->OnHit(page);
-    if (mode == AccessMode::kWrite) it->second.dirty = true;
-    return std::span<std::byte>(it->second.data);
+    policy_->OnHit(resident);
+    Frame& frame = frames_[resident];
+    if (mode == AccessMode::kWrite) frame.dirty = true;
+    return std::span<std::byte>(frame.data);
   }
 
   registry_->Count(misses_);
 
-  // Evict the policy's victim if the pool is full.
-  if (frames_.size() >= frame_count_) {
-    const PageId victim = policy_->ChooseVictim();
-    auto victim_it = frames_.find(victim);
-    assert(victim_it != frames_.end());
-    ODBGC_RETURN_IF_ERROR(WriteBack(victim, victim_it->second));
+  // Evict the policy's victim if the pool is full; its frame is reused
+  // for the incoming page.
+  uint32_t slot;
+  if (resident_count_ >= frame_count_) {
+    const uint32_t victim = policy_->ChooseVictim();
+    Frame& evicted = frames_[victim];
+    ODBGC_RETURN_IF_ERROR(WriteBack(evicted));
     policy_->OnEvict(victim);
-    frames_.erase(victim_it);
+    page_to_frame_.Erase(evicted.page);
+    evicted.page = kInvalidPageId;
+    --resident_count_;
+    slot = victim;
+  } else {
+    slot = AllocFrame();
   }
 
-  Frame frame;
-  frame.data.resize(device_->page_size());
-  ODBGC_RETURN_IF_ERROR(
-      device_->ReadPage(page, std::span<std::byte>(frame.data)));
+  Frame& frame = frames_[slot];
+  if (frame.data.empty()) frame.data.resize(device_->page_size());
+  const Status read =
+      device_->ReadPage(page, std::span<std::byte>(frame.data));
+  if (!read.ok()) {
+    // The page never became resident; return the frame to the free pool.
+    free_frames_.push_back(slot);
+    return read;
+  }
   registry_->Count(reads_);
+  frame.page = page;
   frame.dirty = (mode == AccessMode::kWrite);
-  policy_->OnInsert(page);
-  auto [ins, ok] = frames_.emplace(page, std::move(frame));
-  assert(ok);
-  (void)ok;
-  return std::span<std::byte>(ins->second.data);
+  policy_->OnInsert(slot, page);
+  page_to_frame_.Insert(page, slot);
+  ++resident_count_;
+  return std::span<std::byte>(frame.data);
 }
 
-Status BufferPool::WriteBack(PageId page, Frame& frame) {
+Status BufferPool::WriteBack(Frame& frame) {
   if (!frame.dirty) return Status::Ok();
-  ODBGC_RETURN_IF_ERROR(
-      device_->WritePage(page, std::span<const std::byte>(frame.data)));
+  ODBGC_RETURN_IF_ERROR(device_->WritePage(
+      frame.page, std::span<const std::byte>(frame.data)));
   registry_->Count(writes_);
   frame.dirty = false;
   return Status::Ok();
 }
 
 Status BufferPool::FlushAll() {
-  for (auto& [page, frame] : frames_) {
-    ODBGC_RETURN_IF_ERROR(WriteBack(page, frame));
+  for (uint32_t slot = 0; slot < used_frames_; ++slot) {
+    if (frames_[slot].page == kInvalidPageId) continue;
+    ODBGC_RETURN_IF_ERROR(WriteBack(frames_[slot]));
   }
   return Status::Ok();
 }
 
 void BufferPool::DiscardExtent(const PageExtent& extent) {
   for (PageId p = extent.first_page; p < extent.end_page(); ++p) {
-    auto it = frames_.find(p);
-    if (it == frames_.end()) continue;
-    policy_->OnErase(p);
-    frames_.erase(it);
+    const uint32_t slot = page_to_frame_.Find(p);
+    if (slot == OpenIndexMap::kEmptyValue) continue;
+    policy_->OnErase(slot);
+    page_to_frame_.Erase(p);
+    frames_[slot].page = kInvalidPageId;
+    frames_[slot].dirty = false;
+    free_frames_.push_back(slot);
+    --resident_count_;
   }
 }
 
@@ -123,8 +152,8 @@ void BufferPool::ResetStats() {
 }
 
 bool BufferPool::IsDirty(PageId page) const {
-  auto it = frames_.find(page);
-  return it != frames_.end() && it->second.dirty;
+  const uint32_t slot = page_to_frame_.Find(page);
+  return slot != OpenIndexMap::kEmptyValue && frames_[slot].dirty;
 }
 
 std::vector<PageId> BufferPool::LruOrder() const { return policy_->Order(); }
@@ -132,14 +161,19 @@ std::vector<PageId> BufferPool::LruOrder() const { return policy_->Order(); }
 void BufferPool::SaveState(std::ostream& out) const {
   PutVarint(out, frame_count_);
   PutU8(out, static_cast<uint8_t>(policy_->kind()));
-  std::vector<PageId> resident;
-  resident.reserve(frames_.size());
-  for (const auto& [page, frame] : frames_) resident.push_back(page);
-  std::sort(resident.begin(), resident.end());
+  std::vector<uint32_t> resident;
+  resident.reserve(resident_count_);
+  for (uint32_t slot = 0; slot < used_frames_; ++slot) {
+    if (frames_[slot].page != kInvalidPageId) resident.push_back(slot);
+  }
+  std::sort(resident.begin(), resident.end(),
+            [this](uint32_t a, uint32_t b) {
+              return frames_[a].page < frames_[b].page;
+            });
   PutVarint(out, resident.size());
-  for (PageId page : resident) {
-    PutVarint(out, page);
-    PutBool(out, frames_.at(page).dirty);
+  for (uint32_t slot : resident) {
+    PutVarint(out, frames_[slot].page);
+    PutBool(out, frames_[slot].dirty);
   }
   policy_->Save(out);
 }
@@ -174,41 +208,54 @@ Status BufferPool::LoadState(std::istream& in) {
   // bytes before residency changes. Sorted order keeps restoration
   // deterministic; the transfers perturb device-model state and counters,
   // which the heap restores after this call.
-  std::vector<PageId> dirty_pages;
-  for (const auto& [page, frame] : frames_) {
-    if (frame.dirty) dirty_pages.push_back(page);
+  std::vector<uint32_t> dirty_slots;
+  for (uint32_t slot = 0; slot < used_frames_; ++slot) {
+    if (frames_[slot].page != kInvalidPageId && frames_[slot].dirty) {
+      dirty_slots.push_back(slot);
+    }
   }
-  std::sort(dirty_pages.begin(), dirty_pages.end());
-  for (PageId page : dirty_pages) {
+  std::sort(dirty_slots.begin(), dirty_slots.end(),
+            [this](uint32_t a, uint32_t b) {
+              return frames_[a].page < frames_[b].page;
+            });
+  for (uint32_t slot : dirty_slots) {
     ODBGC_RETURN_IF_ERROR(device_->WritePage(
-        page, std::span<const std::byte>(frames_.at(page).data)));
+        frames_[slot].page, std::span<const std::byte>(frames_[slot].data)));
   }
-  frames_.clear();
+  for (uint32_t slot = 0; slot < used_frames_; ++slot) {
+    frames_[slot].page = kInvalidPageId;
+    frames_[slot].dirty = false;
+  }
+  page_to_frame_.Clear();
+  free_frames_.clear();
+  used_frames_ = 0;
+  resident_count_ = 0;
   policy_->Clear();
 
   // Re-fault the checkpointed residency set in page order. The policy does
   // not see these inserts — its exact state is loaded below.
   for (const auto& [page, dirty] : entries) {
-    Frame frame;
-    frame.data.resize(device_->page_size());
-    ODBGC_RETURN_IF_ERROR(
-        device_->ReadPage(page, std::span<std::byte>(frame.data)));
-    frame.dirty = dirty;
-    if (!frames_.emplace(page, std::move(frame)).second) {
+    if (page_to_frame_.Contains(page)) {
       return Status::Corruption("buffer state duplicate resident page");
     }
+    const uint32_t slot = AllocFrame();
+    Frame& frame = frames_[slot];
+    if (frame.data.empty()) frame.data.resize(device_->page_size());
+    ODBGC_RETURN_IF_ERROR(
+        device_->ReadPage(page, std::span<std::byte>(frame.data)));
+    frame.page = page;
+    frame.dirty = dirty;
+    page_to_frame_.Insert(page, slot);
+    ++resident_count_;
   }
-  ODBGC_RETURN_IF_ERROR(policy_->Load(in));
+  ODBGC_RETURN_IF_ERROR(policy_->Load(
+      in, [this](PageId page) { return page_to_frame_.Find(page); }));
 
-  // The loaded replacement state must track exactly the resident set.
-  const std::vector<PageId> tracked = policy_->Order();
-  if (tracked.size() != frames_.size()) {
+  // The loaded replacement state must track exactly the resident set (the
+  // resolver already rejects non-resident pages; this catches a state
+  // that tracks too few).
+  if (policy_->tracked() != resident_count_) {
     return Status::Corruption("buffer state policy/residency size mismatch");
-  }
-  for (PageId page : tracked) {
-    if (frames_.count(page) == 0) {
-      return Status::Corruption("buffer state policy tracks non-resident page");
-    }
   }
   return Status::Ok();
 }

@@ -6,7 +6,6 @@
 #include <iosfwd>
 #include <memory>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "buffer/replacement_policy.h"
@@ -14,6 +13,7 @@
 #include "storage/page.h"
 #include "storage/page_device.h"
 #include "util/metrics_registry.h"
+#include "util/open_hash_map.h"
 #include "util/status.h"
 
 namespace odbgc {
@@ -94,11 +94,11 @@ class BufferPool {
   MetricsRegistry* metrics() const { return registry_; }
 
   size_t frame_count() const { return frame_count_; }
-  size_t resident_pages() const { return frames_.size(); }
+  size_t resident_pages() const { return resident_count_; }
 
   /// True if `page` is currently resident (test/inspection helper; does not
   /// touch replacement order or counters).
-  bool IsResident(PageId page) const { return frames_.count(page) > 0; }
+  bool IsResident(PageId page) const { return page_to_frame_.Contains(page); }
 
   /// True if `page` is resident and dirty (test/inspection helper).
   bool IsDirty(PageId page) const;
@@ -125,19 +125,37 @@ class BufferPool {
   Status LoadState(std::istream& in);
 
  private:
+  /// One fixed slot of the pool. `page` is kInvalidPageId while the frame
+  /// is free; `data` is sized lazily on first use and then reused across
+  /// occupants.
   struct Frame {
     std::vector<std::byte> data;
+    PageId page = kInvalidPageId;
     bool dirty = false;
   };
 
   // Writes back `frame` if dirty (charging the current phase).
-  Status WriteBack(PageId page, Frame& frame);
+  Status WriteBack(Frame& frame);
+
+  // Picks the frame for a new resident page: a recycled free slot if one
+  // exists, else the next never-used one. The caller evicts first when
+  // the pool is full.
+  uint32_t AllocFrame();
 
   PageDevice* const device_;
   MetricsRegistry* const registry_;
   const size_t frame_count_;
   std::unique_ptr<ReplacementPolicy> policy_;
-  std::unordered_map<PageId, Frame> frames_;
+
+  /// The frame array plus an open-addressed page→frame index — the dense
+  /// replacement for the old unordered_map<PageId, Frame>: residency
+  /// lookup is a couple of linear probes into a flat slot array, and the
+  /// frame payloads never move once allocated.
+  std::vector<Frame> frames_;
+  OpenIndexMap page_to_frame_;
+  std::vector<uint32_t> free_frames_;
+  uint32_t used_frames_ = 0;  // High-water mark of ever-touched frames.
+  size_t resident_count_ = 0;
 
   MetricCounter* const hits_;
   MetricCounter* const misses_;

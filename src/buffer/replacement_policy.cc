@@ -1,10 +1,8 @@
 #include "buffer/replacement_policy.h"
 
 #include <cassert>
-#include <list>
-#include <unordered_map>
-#include <utility>
 
+#include "util/open_hash_map.h"
 #include "util/serde.h"
 
 namespace odbgc {
@@ -23,143 +21,231 @@ const char* ReplacementPolicyName(ReplacementPolicyKind kind) {
 
 namespace {
 
+using FrameIndex = ReplacementPolicy::FrameIndex;
+
+/// Link storage for intrusive index lists: `next`/`prev` arrays covering
+/// every frame plus one node per list sentinel. A list is a cycle through
+/// its sentinel (empty list: the sentinel links to itself), so insert and
+/// unlink are branch-free index stores — the dense replacement for the
+/// old std::list nodes. kUnlinked in `next` marks a node on no list,
+/// which doubles as the membership test the old unordered_map provided.
+struct LinkArray {
+  static constexpr uint32_t kUnlinked = UINT32_MAX;
+
+  std::vector<uint32_t> next;
+  std::vector<uint32_t> prev;
+
+  explicit LinkArray(size_t nodes)
+      : next(nodes, kUnlinked), prev(nodes, kUnlinked) {}
+
+  void ResetList(uint32_t sentinel) {
+    next[sentinel] = sentinel;
+    prev[sentinel] = sentinel;
+  }
+
+  void UnlinkAll() {
+    next.assign(next.size(), kUnlinked);
+    prev.assign(prev.size(), kUnlinked);
+  }
+
+  void InsertBefore(uint32_t pos, uint32_t node) {
+    const uint32_t before = prev[pos];
+    next[before] = node;
+    prev[node] = before;
+    next[node] = pos;
+    prev[pos] = node;
+  }
+
+  void Unlink(uint32_t node) {
+    next[prev[node]] = next[node];
+    prev[next[node]] = prev[node];
+    next[node] = kUnlinked;
+    prev[node] = kUnlinked;
+  }
+
+  bool Linked(uint32_t node) const { return next[node] != kUnlinked; }
+};
+
 /// Strict LRU: a recency list spliced on every access — bit-identical to
 /// the pool's original hard-wired behavior (verified by the buffer pool
-/// property tests).
+/// property tests). The list threads through the frame array by index;
+/// front (next of the sentinel) is most recently used.
 class LruPolicy : public ReplacementPolicy {
  public:
+  explicit LruPolicy(size_t frame_count)
+      : sentinel_(static_cast<FrameIndex>(frame_count)),
+        links_(frame_count + 1),
+        page_(frame_count, kInvalidPageId) {
+    links_.ResetList(sentinel_);
+  }
+
   ReplacementPolicyKind kind() const override {
     return ReplacementPolicyKind::kLru;
   }
 
-  void OnInsert(PageId page) override {
-    order_.push_front(page);
-    pos_[page] = order_.begin();
+  void OnInsert(FrameIndex frame, PageId page) override {
+    page_[frame] = page;
+    links_.InsertBefore(links_.next[sentinel_], frame);  // Push front.
+    ++size_;
   }
 
-  void OnHit(PageId page) override {
-    order_.splice(order_.begin(), order_, pos_.at(page));
+  void OnHit(FrameIndex frame) override {
+    links_.Unlink(frame);
+    links_.InsertBefore(links_.next[sentinel_], frame);
   }
 
-  PageId ChooseVictim() override {
-    assert(!order_.empty());
-    return order_.back();
+  FrameIndex ChooseVictim() override {
+    assert(links_.prev[sentinel_] != sentinel_);
+    return links_.prev[sentinel_];
   }
 
-  void OnErase(PageId page) override {
-    auto it = pos_.find(page);
-    if (it == pos_.end()) return;
-    order_.erase(it->second);
-    pos_.erase(it);
+  void OnErase(FrameIndex frame) override {
+    if (!links_.Linked(frame)) return;
+    links_.Unlink(frame);
+    page_[frame] = kInvalidPageId;
+    --size_;
   }
 
   std::vector<PageId> Order() const override {
-    return std::vector<PageId>(order_.begin(), order_.end());
+    std::vector<PageId> order;
+    order.reserve(size_);
+    for (uint32_t i = links_.next[sentinel_]; i != sentinel_;
+         i = links_.next[i]) {
+      order.push_back(page_[i]);
+    }
+    return order;
   }
 
   void Clear() override {
-    order_.clear();
-    pos_.clear();
+    links_.UnlinkAll();
+    links_.ResetList(sentinel_);
+    page_.assign(page_.size(), kInvalidPageId);
+    size_ = 0;
   }
 
   void Save(std::ostream& out) const override {
-    PutVarint(out, order_.size());
-    for (PageId page : order_) PutVarint(out, page);  // MRU first.
+    PutVarint(out, size_);
+    for (uint32_t i = links_.next[sentinel_]; i != sentinel_;
+         i = links_.next[i]) {
+      PutVarint(out, page_[i]);  // MRU first.
+    }
   }
 
-  Status Load(std::istream& in) override {
+  Status Load(std::istream& in, const FrameResolver& frame_of) override {
     Clear();
     auto count = GetVarint(in);
     ODBGC_RETURN_IF_ERROR(count.status());
     for (uint64_t i = 0; i < *count; ++i) {
       auto page = GetVarint(in);
       ODBGC_RETURN_IF_ERROR(page.status());
-      order_.push_back(*page);
-      if (!pos_.emplace(*page, std::prev(order_.end())).second) {
+      const FrameIndex frame = frame_of(*page);
+      if (frame == kNoFrame) {
+        return Status::Corruption("lru state page not resident");
+      }
+      if (links_.Linked(frame)) {
         return Status::Corruption("lru state duplicate page");
       }
+      page_[frame] = *page;
+      links_.InsertBefore(sentinel_, frame);  // Push back: stream is MRU first.
+      ++size_;
     }
     return Status::Ok();
   }
 
  private:
-  std::list<PageId> order_;  // Front = most recently used.
-  std::unordered_map<PageId, std::list<PageId>::iterator> pos_;
+  const FrameIndex sentinel_;
+  LinkArray links_;
+  std::vector<PageId> page_;
+  size_t size_ = 0;
 };
 
-/// Second-chance clock: pages sit on a ring; a hit sets the ref bit; the
+/// Second-chance clock: frames sit on a ring; a hit sets the ref bit; the
 /// hand sweeps, clearing ref bits, and evicts the first unreferenced
-/// page. New pages enter just behind the hand with their ref bit set.
+/// frame. New frames enter just behind the hand with their ref bit set.
+/// The sentinel plays the old iterator's end(): a hand parked there wraps
+/// to the front on the next sweep, and inserting before it appends.
 class ClockPolicy : public ReplacementPolicy {
  public:
+  explicit ClockPolicy(size_t frame_count)
+      : sentinel_(static_cast<FrameIndex>(frame_count)),
+        links_(frame_count + 1),
+        page_(frame_count, kInvalidPageId),
+        referenced_(frame_count, false),
+        hand_(sentinel_) {
+    links_.ResetList(sentinel_);
+  }
+
   ReplacementPolicyKind kind() const override {
     return ReplacementPolicyKind::kClock;
   }
 
-  void OnInsert(PageId page) override {
-    if (ring_.empty()) {
-      ring_.push_back(page);
-      hand_ = ring_.begin();
-      entries_[page] = {ring_.begin(), true};
+  void OnInsert(FrameIndex frame, PageId page) override {
+    page_[frame] = page;
+    referenced_[frame] = true;
+    ++size_;
+    if (links_.next[sentinel_] == sentinel_) {
+      links_.InsertBefore(sentinel_, frame);
+      hand_ = frame;
       return;
     }
-    // Inserting before the hand makes the new page the last one the next
+    // Inserting before the hand makes the new frame the last one the next
     // sweep examines.
-    auto it = ring_.insert(hand_, page);
-    entries_[page] = {it, true};
+    links_.InsertBefore(hand_, frame);
   }
 
-  void OnHit(PageId page) override { entries_.at(page).referenced = true; }
+  void OnHit(FrameIndex frame) override { referenced_[frame] = true; }
 
-  PageId ChooseVictim() override {
-    assert(!ring_.empty());
+  FrameIndex ChooseVictim() override {
+    assert(links_.next[sentinel_] != sentinel_);
     for (;;) {
-      if (hand_ == ring_.end()) hand_ = ring_.begin();
-      Entry& entry = entries_.at(*hand_);
-      if (entry.referenced) {
-        entry.referenced = false;
-        ++hand_;
+      if (hand_ == sentinel_) hand_ = links_.next[sentinel_];
+      if (referenced_[hand_]) {
+        referenced_[hand_] = false;
+        hand_ = links_.next[hand_];
       } else {
-        return *hand_;
+        return hand_;
       }
     }
   }
 
-  void OnErase(PageId page) override {
-    auto it = entries_.find(page);
-    if (it == entries_.end()) return;
-    if (hand_ == it->second.pos) ++hand_;
-    ring_.erase(it->second.pos);
-    entries_.erase(it);
+  void OnErase(FrameIndex frame) override {
+    if (!links_.Linked(frame)) return;
+    if (hand_ == frame) hand_ = links_.next[frame];
+    links_.Unlink(frame);
+    page_[frame] = kInvalidPageId;
+    --size_;
   }
 
   /// Ring order starting at the hand (the next sweep's examination
   /// order).
   std::vector<PageId> Order() const override {
     std::vector<PageId> order;
-    order.reserve(ring_.size());
-    for (auto it = hand_; it != ring_.end(); ++it) order.push_back(*it);
-    for (auto it = ring_.begin(); it != hand_; ++it) order.push_back(*it);
+    order.reserve(size_);
+    ForEachInHandOrder([&order](PageId page, bool /*referenced*/) {
+      order.push_back(page);
+    });
     return order;
   }
 
   void Clear() override {
-    ring_.clear();
-    entries_.clear();
-    hand_ = ring_.end();
+    links_.UnlinkAll();
+    links_.ResetList(sentinel_);
+    page_.assign(page_.size(), kInvalidPageId);
+    referenced_.assign(referenced_.size(), false);
+    hand_ = sentinel_;
+    size_ = 0;
   }
 
   void Save(std::ostream& out) const override {
     // Hand-first ring order; Load re-anchors the hand at the front.
-    const std::vector<PageId> order = Order();
-    PutVarint(out, order.size());
-    for (PageId page : order) {
+    PutVarint(out, size_);
+    ForEachInHandOrder([&out](PageId page, bool referenced) {
       PutVarint(out, page);
-      PutBool(out, entries_.at(page).referenced);
-    }
+      PutBool(out, referenced);
+    });
   }
 
-  Status Load(std::istream& in) override {
+  Status Load(std::istream& in, const FrameResolver& frame_of) override {
     Clear();
     auto count = GetVarint(in);
     ODBGC_RETURN_IF_ERROR(count.status());
@@ -168,24 +254,40 @@ class ClockPolicy : public ReplacementPolicy {
       ODBGC_RETURN_IF_ERROR(page.status());
       auto referenced = GetBool(in);
       ODBGC_RETURN_IF_ERROR(referenced.status());
-      ring_.push_back(*page);
-      if (!entries_.emplace(*page, Entry{std::prev(ring_.end()), *referenced})
-               .second) {
+      const FrameIndex frame = frame_of(*page);
+      if (frame == kNoFrame) {
+        return Status::Corruption("clock state page not resident");
+      }
+      if (links_.Linked(frame)) {
         return Status::Corruption("clock state duplicate page");
       }
+      page_[frame] = *page;
+      referenced_[frame] = *referenced;
+      links_.InsertBefore(sentinel_, frame);  // Push back.
+      ++size_;
     }
-    hand_ = ring_.begin();
+    hand_ = links_.next[sentinel_];  // Front; the sentinel when empty.
     return Status::Ok();
   }
 
  private:
-  struct Entry {
-    std::list<PageId>::iterator pos;
-    bool referenced = false;
-  };
-  std::list<PageId> ring_;
-  std::list<PageId>::iterator hand_ = ring_.end();
-  std::unordered_map<PageId, Entry> entries_;
+  template <typename Fn>
+  void ForEachInHandOrder(Fn fn) const {
+    for (uint32_t i = hand_; i != sentinel_; i = links_.next[i]) {
+      fn(page_[i], static_cast<bool>(referenced_[i]));
+    }
+    for (uint32_t i = links_.next[sentinel_]; i != hand_;
+         i = links_.next[i]) {
+      fn(page_[i], static_cast<bool>(referenced_[i]));
+    }
+  }
+
+  const FrameIndex sentinel_;
+  LinkArray links_;
+  std::vector<PageId> page_;
+  std::vector<uint8_t> referenced_;
+  FrameIndex hand_;
+  size_t size_ = 0;
 };
 
 /// 2Q (Johnson & Shasha): first-touch pages enter a small FIFO probation
@@ -194,152 +296,233 @@ class ClockPolicy : public ReplacementPolicy {
 /// promoted to the protected LRU main queue (Am). One collection's
 /// partition scan therefore churns probation without displacing the
 /// application's hot set.
+///
+/// Both resident queues thread one shared link array over the frames (a
+/// frame is on at most one of them); the ghost list — whose pages have
+/// no frame — lives in its own kout_-slot arena with an OpenIndexMap for
+/// the ghost-hit probe.
 class TwoQPolicy : public ReplacementPolicy {
  public:
   explicit TwoQPolicy(size_t frame_count)
       : kin_(frame_count / 4 > 0 ? frame_count / 4 : 1),
-        kout_(frame_count / 2 > 0 ? frame_count / 2 : 1) {}
+        kout_(frame_count / 2 > 0 ? frame_count / 2 : 1),
+        in_sentinel_(static_cast<FrameIndex>(frame_count)),
+        am_sentinel_(static_cast<FrameIndex>(frame_count + 1)),
+        links_(frame_count + 2),
+        page_(frame_count, kInvalidPageId),
+        in_probation_(frame_count, false),
+        ghost_sentinel_(static_cast<uint32_t>(kout_)),
+        ghost_links_(kout_ + 1),
+        ghost_page_(kout_, kInvalidPageId),
+        ghost_pos_(kout_) {
+    links_.ResetList(in_sentinel_);
+    links_.ResetList(am_sentinel_);
+    ghost_links_.ResetList(ghost_sentinel_);
+    RefillGhostSlots();
+  }
 
   ReplacementPolicyKind kind() const override {
     return ReplacementPolicyKind::kTwoQ;
   }
 
-  void OnInsert(PageId page) override {
-    auto ghost = ghost_pos_.find(page);
-    if (ghost != ghost_pos_.end()) {
-      ghost_.erase(ghost->second);
-      ghost_pos_.erase(ghost);
-      am_.push_front(page);
-      entries_[page] = {Queue::kAm, am_.begin()};
+  void OnInsert(FrameIndex frame, PageId page) override {
+    if (ghost_pos_.Contains(page)) {
+      RemoveGhost(page);
+      page_[frame] = page;
+      in_probation_[frame] = false;
+      links_.InsertBefore(links_.next[am_sentinel_], frame);
+      ++am_count_;
       return;
     }
-    a1in_.push_front(page);
-    entries_[page] = {Queue::kA1in, a1in_.begin()};
+    page_[frame] = page;
+    in_probation_[frame] = true;
+    links_.InsertBefore(links_.next[in_sentinel_], frame);
+    ++in_count_;
   }
 
-  void OnHit(PageId page) override {
-    Entry& entry = entries_.at(page);
+  void OnHit(FrameIndex frame) override {
     // Classic 2Q: hits inside probation do not promote (that would make
     // A1in an LRU and defeat scan resistance); hits in Am refresh
     // recency.
-    if (entry.queue == Queue::kAm) {
-      am_.splice(am_.begin(), am_, entry.pos);
-      entry.pos = am_.begin();
+    if (!in_probation_[frame]) {
+      links_.Unlink(frame);
+      links_.InsertBefore(links_.next[am_sentinel_], frame);
     }
   }
 
-  PageId ChooseVictim() override {
-    assert(!a1in_.empty() || !am_.empty());
-    if (a1in_.size() > kin_ || am_.empty()) return a1in_.back();
-    return am_.back();
+  FrameIndex ChooseVictim() override {
+    assert(in_count_ + am_count_ > 0);
+    if (in_count_ > kin_ || am_count_ == 0) return links_.prev[in_sentinel_];
+    return links_.prev[am_sentinel_];
   }
 
-  void OnEvict(PageId page) override {
-    auto it = entries_.find(page);
-    if (it == entries_.end()) return;
-    const bool was_probation = it->second.queue == Queue::kA1in;
-    Remove(it);
+  void OnEvict(FrameIndex frame) override {
+    if (!links_.Linked(frame)) return;
+    const bool was_probation = in_probation_[frame];
+    const PageId page = page_[frame];
+    RemoveResident(frame);
     if (was_probation) {
       // Remember the evictee: a quick second fetch proves it deserves the
-      // protected queue.
-      ghost_.push_front(page);
-      ghost_pos_[page] = ghost_.begin();
-      if (ghost_.size() > kout_) {
-        ghost_pos_.erase(ghost_.back());
-        ghost_.pop_back();
+      // protected queue. A full ghost list drops its oldest entry.
+      uint32_t slot;
+      if (ghost_free_.empty()) {
+        slot = ghost_links_.prev[ghost_sentinel_];
+        ghost_pos_.Erase(ghost_page_[slot]);
+        ghost_links_.Unlink(slot);
+      } else {
+        slot = ghost_free_.back();
+        ghost_free_.pop_back();
       }
+      ghost_page_[slot] = page;
+      ghost_links_.InsertBefore(ghost_links_.next[ghost_sentinel_], slot);
+      ghost_pos_.Insert(page, slot);
     }
   }
 
-  void OnErase(PageId page) override {
-    auto it = entries_.find(page);
-    if (it == entries_.end()) return;
-    Remove(it);
+  void OnErase(FrameIndex frame) override {
+    if (!links_.Linked(frame)) return;
+    RemoveResident(frame);
   }
 
   /// Protected pages (MRU first), then probation (newest first).
   std::vector<PageId> Order() const override {
     std::vector<PageId> order;
-    order.reserve(am_.size() + a1in_.size());
-    order.insert(order.end(), am_.begin(), am_.end());
-    order.insert(order.end(), a1in_.begin(), a1in_.end());
+    order.reserve(am_count_ + in_count_);
+    AppendList(am_sentinel_, &order);
+    AppendList(in_sentinel_, &order);
     return order;
   }
 
   void Clear() override {
-    a1in_.clear();
-    am_.clear();
-    ghost_.clear();
-    entries_.clear();
-    ghost_pos_.clear();
+    links_.UnlinkAll();
+    links_.ResetList(in_sentinel_);
+    links_.ResetList(am_sentinel_);
+    page_.assign(page_.size(), kInvalidPageId);
+    in_probation_.assign(in_probation_.size(), false);
+    in_count_ = 0;
+    am_count_ = 0;
+    ghost_links_.UnlinkAll();
+    ghost_links_.ResetList(ghost_sentinel_);
+    ghost_page_.assign(ghost_page_.size(), kInvalidPageId);
+    ghost_pos_.Clear();
+    RefillGhostSlots();
   }
 
   void Save(std::ostream& out) const override {
-    auto save_list = [&out](const std::list<PageId>& list) {
-      PutVarint(out, list.size());
-      for (PageId page : list) PutVarint(out, page);
-    };
-    save_list(a1in_);
-    save_list(am_);
-    save_list(ghost_);
+    SaveList(out, links_, in_sentinel_, in_count_, page_);
+    SaveList(out, links_, am_sentinel_, am_count_, page_);
+    SaveList(out, ghost_links_, ghost_sentinel_,
+             kout_ - ghost_free_.size(), ghost_page_);
   }
 
-  Status Load(std::istream& in) override {
+  Status Load(std::istream& in, const FrameResolver& frame_of) override {
     Clear();
-    auto load_list = [&in](std::list<PageId>& list) -> Status {
-      auto count = GetVarint(in);
-      ODBGC_RETURN_IF_ERROR(count.status());
-      for (uint64_t i = 0; i < *count; ++i) {
-        auto page = GetVarint(in);
-        ODBGC_RETURN_IF_ERROR(page.status());
-        list.push_back(*page);
-      }
-      return Status::Ok();
-    };
-    ODBGC_RETURN_IF_ERROR(load_list(a1in_));
-    ODBGC_RETURN_IF_ERROR(load_list(am_));
-    ODBGC_RETURN_IF_ERROR(load_list(ghost_));
-    for (auto it = a1in_.begin(); it != a1in_.end(); ++it) {
-      if (!entries_.emplace(*it, Entry{Queue::kA1in, it}).second) {
-        return Status::Corruption("2q state duplicate page");
-      }
+    ODBGC_RETURN_IF_ERROR(LoadResidentList(in, frame_of, in_sentinel_,
+                                           /*probation=*/true, &in_count_));
+    ODBGC_RETURN_IF_ERROR(LoadResidentList(in, frame_of, am_sentinel_,
+                                           /*probation=*/false, &am_count_));
+    auto ghosts = GetVarint(in);
+    ODBGC_RETURN_IF_ERROR(ghosts.status());
+    // The eviction path caps the ghost list at kout_; a longer one can
+    // only come from a damaged stream.
+    if (*ghosts > kout_) {
+      return Status::Corruption("2q state ghost list exceeds capacity");
     }
-    for (auto it = am_.begin(); it != am_.end(); ++it) {
-      if (!entries_.emplace(*it, Entry{Queue::kAm, it}).second) {
-        return Status::Corruption("2q state duplicate page");
-      }
-    }
-    for (auto it = ghost_.begin(); it != ghost_.end(); ++it) {
-      if (!ghost_pos_.emplace(*it, it).second) {
+    for (uint64_t i = 0; i < *ghosts; ++i) {
+      auto page = GetVarint(in);
+      ODBGC_RETURN_IF_ERROR(page.status());
+      if (ghost_pos_.Contains(*page)) {
         return Status::Corruption("2q state duplicate ghost page");
       }
+      const uint32_t slot = ghost_free_.back();
+      ghost_free_.pop_back();
+      ghost_page_[slot] = *page;
+      ghost_links_.InsertBefore(ghost_sentinel_, slot);  // Push back.
+      ghost_pos_.Insert(*page, slot);
     }
     return Status::Ok();
   }
 
  private:
-  enum class Queue : uint8_t { kA1in, kAm };
-  struct Entry {
-    Queue queue;
-    std::list<PageId>::iterator pos;
-  };
-
-  void Remove(std::unordered_map<PageId, Entry>::iterator it) {
-    if (it->second.queue == Queue::kA1in) {
-      a1in_.erase(it->second.pos);
+  void RemoveResident(FrameIndex frame) {
+    links_.Unlink(frame);
+    if (in_probation_[frame]) {
+      --in_count_;
     } else {
-      am_.erase(it->second.pos);
+      --am_count_;
     }
-    entries_.erase(it);
+    page_[frame] = kInvalidPageId;
+  }
+
+  void RemoveGhost(PageId page) {
+    const uint32_t slot = ghost_pos_.Find(page);
+    ghost_pos_.Erase(page);
+    ghost_links_.Unlink(slot);
+    ghost_page_[slot] = kInvalidPageId;
+    ghost_free_.push_back(slot);
+  }
+
+  void RefillGhostSlots() {
+    ghost_free_.clear();
+    // Popped from the back: fresh ghosts take slots 0, 1, ... in order.
+    for (size_t slot = kout_; slot > 0; --slot) {
+      ghost_free_.push_back(static_cast<uint32_t>(slot - 1));
+    }
+  }
+
+  void AppendList(uint32_t sentinel, std::vector<PageId>* order) const {
+    for (uint32_t i = links_.next[sentinel]; i != sentinel;
+         i = links_.next[i]) {
+      order->push_back(page_[i]);
+    }
+  }
+
+  static void SaveList(std::ostream& out, const LinkArray& links,
+                       uint32_t sentinel, size_t count,
+                       const std::vector<PageId>& pages) {
+    PutVarint(out, count);
+    for (uint32_t i = links.next[sentinel]; i != sentinel;
+         i = links.next[i]) {
+      PutVarint(out, pages[i]);
+    }
+  }
+
+  Status LoadResidentList(std::istream& in, const FrameResolver& frame_of,
+                          uint32_t sentinel, bool probation, size_t* count) {
+    auto entries = GetVarint(in);
+    ODBGC_RETURN_IF_ERROR(entries.status());
+    for (uint64_t i = 0; i < *entries; ++i) {
+      auto page = GetVarint(in);
+      ODBGC_RETURN_IF_ERROR(page.status());
+      const FrameIndex frame = frame_of(*page);
+      if (frame == kNoFrame) {
+        return Status::Corruption("2q state page not resident");
+      }
+      if (links_.Linked(frame)) {
+        return Status::Corruption("2q state duplicate page");
+      }
+      page_[frame] = *page;
+      in_probation_[frame] = probation;
+      links_.InsertBefore(sentinel, frame);  // Push back.
+      ++*count;
+    }
+    return Status::Ok();
   }
 
   const size_t kin_;
   const size_t kout_;
-  std::list<PageId> a1in_;   // Probation FIFO, front = newest.
-  std::list<PageId> am_;     // Protected LRU, front = MRU.
-  std::list<PageId> ghost_;  // Evicted-from-probation ids, front = newest.
-  std::unordered_map<PageId, Entry> entries_;
-  std::unordered_map<PageId, std::list<PageId>::iterator> ghost_pos_;
+  const FrameIndex in_sentinel_;
+  const FrameIndex am_sentinel_;
+  LinkArray links_;                   // A1in + Am share the frame nodes.
+  std::vector<PageId> page_;
+  std::vector<uint8_t> in_probation_;  // Which queue a linked frame is on.
+  size_t in_count_ = 0;
+  size_t am_count_ = 0;
+  const uint32_t ghost_sentinel_;
+  LinkArray ghost_links_;             // A1out arena, front = newest ghost.
+  std::vector<PageId> ghost_page_;
+  std::vector<uint32_t> ghost_free_;
+  OpenIndexMap ghost_pos_;            // Ghost page id -> arena slot.
 };
 
 }  // namespace
@@ -348,13 +531,13 @@ std::unique_ptr<ReplacementPolicy> MakeReplacementPolicy(
     ReplacementPolicyKind kind, size_t frame_count) {
   switch (kind) {
     case ReplacementPolicyKind::kLru:
-      return std::make_unique<LruPolicy>();
+      return std::make_unique<LruPolicy>(frame_count);
     case ReplacementPolicyKind::kClock:
-      return std::make_unique<ClockPolicy>();
+      return std::make_unique<ClockPolicy>(frame_count);
     case ReplacementPolicyKind::kTwoQ:
       return std::make_unique<TwoQPolicy>(frame_count);
   }
-  return std::make_unique<LruPolicy>();
+  return std::make_unique<LruPolicy>(frame_count);
 }
 
 }  // namespace odbgc

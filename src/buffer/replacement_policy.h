@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <vector>
@@ -28,36 +29,55 @@ const char* ReplacementPolicyName(ReplacementPolicyKind kind);
 /// The eviction decision of a BufferPool, extracted so backends can be
 /// swapped without touching the pool's fetch/write-back machinery. The
 /// pool owns frames, dirty bits and I/O; the policy only tracks which
-/// resident page to victimize next.
+/// resident frame to victimize next.
 ///
-/// The pool guarantees: OnInsert for every page becoming resident, OnHit
-/// for every access to a resident page, exactly one of OnEvict/OnErase
-/// when a page leaves, and ChooseVictim only when at least one page is
-/// resident. Implementations must be deterministic — runs are replayed
-/// for crash recovery and compared across thread counts.
+/// Policies are addressed by *frame index* (the pool's fixed frame
+/// array), not by page id: recency/ring/queue membership lives in
+/// intrusive index-linked lists over a flat per-frame node array, so a
+/// hit or insert is a couple of indexed stores with no hashing or node
+/// allocation. The page id is recorded per frame at OnInsert purely so
+/// Order() and Save() can speak the page-level language the checkpoint
+/// format and the tests use.
+///
+/// The pool guarantees: OnInsert for every frame becoming resident,
+/// OnHit for every access to a resident frame, exactly one of
+/// OnEvict/OnErase when a frame's page leaves, and ChooseVictim only
+/// when at least one frame is resident. Implementations must be
+/// deterministic — runs are replayed for crash recovery and compared
+/// across thread counts.
 class ReplacementPolicy {
  public:
+  using FrameIndex = uint32_t;
+  /// "No such frame" — matches OpenIndexMap::kEmptyValue so the pool's
+  /// page table doubles as the Load-time resolver.
+  static constexpr FrameIndex kNoFrame = UINT32_MAX;
+
+  /// Maps a page id from a serialized state back to the frame the pool
+  /// re-faulted it into (kNoFrame if the page is not resident).
+  using FrameResolver = std::function<FrameIndex(PageId)>;
+
   virtual ~ReplacementPolicy() = default;
 
   virtual ReplacementPolicyKind kind() const = 0;
 
-  /// `page` became resident (miss fill).
-  virtual void OnInsert(PageId page) = 0;
+  /// `page` became resident in `frame` (miss fill).
+  virtual void OnInsert(FrameIndex frame, PageId page) = 0;
 
-  /// Resident `page` was accessed again.
-  virtual void OnHit(PageId page) = 0;
+  /// Resident `frame` was accessed again.
+  virtual void OnHit(FrameIndex frame) = 0;
 
-  /// Picks the page to evict. May mutate scan state (the clock hand) but
-  /// must leave the chosen page tracked until OnEvict/OnErase removes it.
-  virtual PageId ChooseVictim() = 0;
+  /// Picks the frame to evict. May mutate scan state (the clock hand)
+  /// but must leave the chosen frame tracked until OnEvict/OnErase
+  /// removes it.
+  virtual FrameIndex ChooseVictim() = 0;
 
-  /// `page` was evicted by replacement (2Q remembers it in the ghost
-  /// list). Default: same as OnErase.
-  virtual void OnEvict(PageId page) { OnErase(page); }
+  /// `frame`'s page was evicted by replacement (2Q remembers it in the
+  /// ghost list). Default: same as OnErase.
+  virtual void OnEvict(FrameIndex frame) { OnErase(frame); }
 
-  /// `page` was removed without eviction semantics (DiscardExtent,
-  /// restore rebuilds).
-  virtual void OnErase(PageId page) = 0;
+  /// `frame`'s page was removed without eviction semantics
+  /// (DiscardExtent, restore rebuilds).
+  virtual void OnErase(FrameIndex frame) = 0;
 
   /// Resident pages, most-recently-valuable first. For LRU this is exact
   /// MRU→LRU order; other policies document their own order. The last
@@ -70,11 +90,15 @@ class ReplacementPolicy {
   virtual void Clear() = 0;
 
   /// Serializes the full replacement state (exactly enough for Load to
-  /// reproduce future decisions bit-for-bit).
+  /// reproduce future decisions bit-for-bit). The format is page-keyed
+  /// and unchanged from the node-based implementation, so old
+  /// checkpoints restore into the dense layout.
   virtual void Save(std::ostream& out) const = 0;
 
-  /// Restores state written by Save onto an empty policy.
-  virtual Status Load(std::istream& in) = 0;
+  /// Restores state written by Save onto an empty policy. `frame_of`
+  /// resolves each serialized page id to the frame the pool re-faulted
+  /// it into; a page the pool does not hold is Corruption.
+  virtual Status Load(std::istream& in, const FrameResolver& frame_of) = 0;
 };
 
 /// Constructs the given policy for a pool of `frame_count` frames.

@@ -12,8 +12,7 @@ PartitionId LeastRecentlyCollectedPolicy::Select(
   PartitionId best = kInvalidPartition;
   uint64_t best_time = 0;
   for (PartitionId candidate : context.candidates) {
-    auto it = last_collected_.find(candidate);
-    const uint64_t time = it == last_collected_.end() ? 0 : it->second;
+    const uint64_t time = last_collected_.Get(candidate);
     if (best == kInvalidPartition || time < best_time) {
       best = candidate;
       best_time = time;
@@ -23,30 +22,29 @@ PartitionId LeastRecentlyCollectedPolicy::Select(
 }
 
 double LeastRecentlyCollectedPolicy::Score(PartitionId partition) const {
-  auto it = last_collected_.find(partition);
+  const uint64_t time = last_collected_.Get(partition);
   // Higher score = better victim = longer since collected.
-  return it == last_collected_.end()
-             ? static_cast<double>(clock_ + 1)
-             : static_cast<double>(clock_ - it->second);
+  return time == 0 ? static_cast<double>(clock_ + 1)
+                   : static_cast<double>(clock_ - time);
 }
 
 void LeastRecentlyCollectedPolicy::SaveState(std::ostream& out) const {
   PutVarint(out, clock_);
-  SavePartitionMap(out, last_collected_);
+  last_collected_.Save(out);
 }
 
 Status LeastRecentlyCollectedPolicy::LoadState(std::istream& in) {
   auto clock = GetVarint(in);
   ODBGC_RETURN_IF_ERROR(clock.status());
   clock_ = *clock;
-  return LoadPartitionMap(in, &last_collected_);
+  return last_collected_.Load(in);
 }
 
 void CostBenefitPolicy::OnPointerStore(const SlotWriteEvent& event,
                                        uint8_t /*old_target_weight*/) {
   if (event.is_overwrite() &&
       event.old_target_partition != kInvalidPartition) {
-    ++overwrites_into_[event.old_target_partition];
+    ++overwrites_into_.At(event.old_target_partition);
   }
 }
 
@@ -54,17 +52,13 @@ double CostBenefitPolicy::Score(PartitionId partition) const {
   const ObjectStore* store = store_ == nullptr ? nullptr : *store_;
   if (store == nullptr) {
     // No occupancy available: fall back to the raw hint count.
-    auto it = overwrites_into_.find(partition);
-    return it == overwrites_into_.end() ? 0.0
-                                        : static_cast<double>(it->second);
+    return static_cast<double>(overwrites_into_.Get(partition));
   }
   if (partition >= store->partition_count()) return 0.0;
   const double allocated =
       static_cast<double>(store->partition(partition).allocated_bytes());
   if (allocated <= 0.0) return 0.0;
-  auto it = overwrites_into_.find(partition);
-  const double hits =
-      it == overwrites_into_.end() ? 0.0 : static_cast<double>(it->second);
+  const double hits = static_cast<double>(overwrites_into_.Get(partition));
   const double predicted_garbage =
       std::min(hits * bytes_per_overwrite_, allocated);
   const double live = allocated - predicted_garbage;
@@ -74,11 +68,11 @@ double CostBenefitPolicy::Score(PartitionId partition) const {
 }
 
 void CostBenefitPolicy::SaveState(std::ostream& out) const {
-  SavePartitionMap(out, overwrites_into_);
+  overwrites_into_.Save(out);
 }
 
 Status CostBenefitPolicy::LoadState(std::istream& in) {
-  return LoadPartitionMap(in, &overwrites_into_);
+  return overwrites_into_.Load(in);
 }
 
 PartitionId CostBenefitPolicy::Select(const SelectionContext& context) {

@@ -2,8 +2,8 @@
 #define ODBGC_CORE_EXTENSION_POLICIES_H_
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "core/partition_counters.h"
 #include "core/selection_policy.h"
 #include "odb/object_store.h"
 
@@ -29,7 +29,7 @@ class LeastRecentlyCollectedPolicy : public SelectionPolicy {
   PolicyKind kind() const override { return PolicyKind::kUpdatedPointer; }
   std::string name() const override { return "LeastRecentlyCollected"; }
   void OnPartitionCollected(PartitionId partition) override {
-    last_collected_[partition] = ++clock_;
+    last_collected_.At(partition) = ++clock_;
   }
   PartitionId Select(const SelectionContext& context) override;
   double Score(PartitionId partition) const override;
@@ -38,7 +38,9 @@ class LeastRecentlyCollectedPolicy : public SelectionPolicy {
 
  private:
   uint64_t clock_ = 0;
-  std::unordered_map<PartitionId, uint64_t> last_collected_;
+  // Timestamp of each partition's last collection; 0 = never collected
+  // (collection stamps are always >= 1).
+  PartitionCounterTable<uint64_t> last_collected_;
 };
 
 /// An LFS-style cost-benefit policy (Rosenblum & Ousterhout's segment
@@ -73,7 +75,7 @@ class CostBenefitPolicy : public SelectionPolicy {
   void OnPointerStore(const SlotWriteEvent& event,
                       uint8_t old_target_weight) override;
   void OnPartitionCollected(PartitionId partition) override {
-    overwrites_into_.erase(partition);
+    overwrites_into_.Reset(partition);
   }
   PartitionId Select(const SelectionContext& context) override;
   double Score(PartitionId partition) const override;
@@ -83,7 +85,7 @@ class CostBenefitPolicy : public SelectionPolicy {
  private:
   const ObjectStore* const* store_;
   const double bytes_per_overwrite_;
-  std::unordered_map<PartitionId, uint64_t> overwrites_into_;
+  PartitionCounterTable<uint64_t> overwrites_into_;
 };
 
 }  // namespace odbgc

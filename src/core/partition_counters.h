@@ -1,0 +1,107 @@
+#ifndef ODBGC_CORE_PARTITION_COUNTERS_H_
+#define ODBGC_CORE_PARTITION_COUNTERS_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <type_traits>
+#include <vector>
+
+#include "odb/object_id.h"
+#include "util/serde.h"
+#include "util/status.h"
+
+namespace odbgc {
+
+/// Dense per-partition accumulator for selection-policy hints. Partition
+/// ids are small and dense (the store's directory index), so a flat
+/// vector indexed by PartitionId replaces the hint unordered_maps on the
+/// write-barrier hot path: bumping a counter is one indexed add, no
+/// hashing. The zero value doubles as "absent" — collection resets a
+/// partition's entry to zero, which is exactly the old map's erase, since
+/// live hint values are always positive.
+///
+/// Serialization is byte-compatible with the old sorted-map encoding:
+/// non-zero entries are emitted in ascending partition order with the
+/// same varint/double value coding.
+template <typename V>
+class PartitionCounterTable {
+  static_assert(std::is_same_v<V, uint64_t> || std::is_same_v<V, double>,
+                "hint counters are uint64_t or double");
+
+ public:
+  V Get(PartitionId partition) const {
+    return partition < values_.size() ? values_[partition] : V{};
+  }
+
+  /// Mutable entry for `partition`, growing the table on demand (the
+  /// directory only ever appends partitions).
+  V& At(PartitionId partition) {
+    if (partition >= values_.size()) values_.resize(partition + 1, V{});
+    return values_[partition];
+  }
+
+  /// The "dirty-list reset": a collected partition's hints start over.
+  void Reset(PartitionId partition) {
+    if (partition < values_.size()) values_[partition] = V{};
+  }
+
+  void Clear() { values_.clear(); }
+
+  size_t NonZeroCount() const {
+    size_t count = 0;
+    for (const V& value : values_) count += (value != V{}) ? 1 : 0;
+    return count;
+  }
+
+  void Save(std::ostream& out) const {
+    PutVarint(out, NonZeroCount());
+    for (PartitionId p = 0; p < values_.size(); ++p) {
+      if (values_[p] == V{}) continue;
+      PutVarint(out, p);
+      if constexpr (std::is_same_v<V, double>) {
+        PutDouble(out, values_[p]);
+      } else {
+        PutVarint(out, values_[p]);
+      }
+    }
+  }
+
+  Status Load(std::istream& in) {
+    auto count = GetVarint(in);
+    ODBGC_RETURN_IF_ERROR(count.status());
+    values_.clear();
+    std::vector<bool> seen;
+    for (uint64_t i = 0; i < *count; ++i) {
+      auto partition = GetVarint(in);
+      ODBGC_RETURN_IF_ERROR(partition.status());
+      // The dense table is indexed by partition id, so an absurd id from
+      // a damaged stream must fail cleanly instead of exhausting memory.
+      if (*partition >= (1u << 20)) {
+        return Status::Corruption("policy state partition id implausible");
+      }
+      const PartitionId p = static_cast<PartitionId>(*partition);
+      if (p < seen.size() && seen[p]) {
+        return Status::Corruption("policy state duplicate partition");
+      }
+      if (p >= seen.size()) seen.resize(p + 1, false);
+      seen[p] = true;
+      if constexpr (std::is_same_v<V, double>) {
+        auto value = GetDouble(in);
+        ODBGC_RETURN_IF_ERROR(value.status());
+        At(p) = *value;
+      } else {
+        auto value = GetVarint(in);
+        ODBGC_RETURN_IF_ERROR(value.status());
+        At(p) = *value;
+      }
+    }
+    return Status::Ok();
+  }
+
+ private:
+  std::vector<V> values_;
+};
+
+}  // namespace odbgc
+
+#endif  // ODBGC_CORE_PARTITION_COUNTERS_H_

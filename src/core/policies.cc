@@ -29,37 +29,6 @@ PartitionId ArgMax(const std::vector<PartitionId>& candidates,
 
 }  // namespace
 
-// Hint maps are serialized sorted by partition id so the byte stream is a
-// deterministic function of the logical state.
-void SavePartitionMap(std::ostream& out,
-                      const std::unordered_map<PartitionId, uint64_t>& map) {
-  std::vector<std::pair<PartitionId, uint64_t>> entries(map.begin(),
-                                                        map.end());
-  std::sort(entries.begin(), entries.end());
-  PutVarint(out, entries.size());
-  for (const auto& [partition, value] : entries) {
-    PutVarint(out, partition);
-    PutVarint(out, value);
-  }
-}
-
-Status LoadPartitionMap(std::istream& in,
-                        std::unordered_map<PartitionId, uint64_t>* map) {
-  auto count = GetVarint(in);
-  ODBGC_RETURN_IF_ERROR(count.status());
-  map->clear();
-  for (uint64_t i = 0; i < *count; ++i) {
-    auto partition = GetVarint(in);
-    ODBGC_RETURN_IF_ERROR(partition.status());
-    auto value = GetVarint(in);
-    ODBGC_RETURN_IF_ERROR(value.status());
-    if (!map->emplace(static_cast<PartitionId>(*partition), *value).second) {
-      return Status::Corruption("policy state duplicate partition");
-    }
-  }
-  return Status::Ok();
-}
-
 // ---------------------------------------------------------------- Mutated
 
 void MutatedPartitionPolicy::OnPointerStore(const SlotWriteEvent& event,
@@ -68,19 +37,16 @@ void MutatedPartitionPolicy::OnPointerStore(const SlotWriteEvent& event,
   // we increment the counter associated with the partition being written
   // into." Null stores carry no pointer value.
   if (!event.new_target.is_null()) {
-    ++stores_into_partition_[event.source_partition];
+    ++stores_into_partition_.At(event.source_partition);
   }
 }
 
 void MutatedPartitionPolicy::OnPartitionCollected(PartitionId partition) {
-  stores_into_partition_.erase(partition);
+  stores_into_partition_.Reset(partition);
 }
 
 double MutatedPartitionPolicy::Score(PartitionId partition) const {
-  auto it = stores_into_partition_.find(partition);
-  return it == stores_into_partition_.end()
-             ? 0.0
-             : static_cast<double>(it->second);
+  return static_cast<double>(stores_into_partition_.Get(partition));
 }
 
 PartitionId MutatedPartitionPolicy::Select(const SelectionContext& context) {
@@ -89,11 +55,11 @@ PartitionId MutatedPartitionPolicy::Select(const SelectionContext& context) {
 }
 
 void MutatedPartitionPolicy::SaveState(std::ostream& out) const {
-  SavePartitionMap(out, stores_into_partition_);
+  stores_into_partition_.Save(out);
 }
 
 Status MutatedPartitionPolicy::LoadState(std::istream& in) {
-  return LoadPartitionMap(in, &stores_into_partition_);
+  return stores_into_partition_.Load(in);
 }
 
 // ---------------------------------------------------------------- Updated
@@ -102,19 +68,16 @@ void UpdatedPointerPolicy::OnPointerStore(const SlotWriteEvent& event,
                                           uint8_t /*old_target_weight*/) {
   if (event.is_overwrite() &&
       event.old_target_partition != kInvalidPartition) {
-    ++overwrites_into_partition_[event.old_target_partition];
+    ++overwrites_into_partition_.At(event.old_target_partition);
   }
 }
 
 void UpdatedPointerPolicy::OnPartitionCollected(PartitionId partition) {
-  overwrites_into_partition_.erase(partition);
+  overwrites_into_partition_.Reset(partition);
 }
 
 double UpdatedPointerPolicy::Score(PartitionId partition) const {
-  auto it = overwrites_into_partition_.find(partition);
-  return it == overwrites_into_partition_.end()
-             ? 0.0
-             : static_cast<double>(it->second);
+  return static_cast<double>(overwrites_into_partition_.Get(partition));
 }
 
 PartitionId UpdatedPointerPolicy::Select(const SelectionContext& context) {
@@ -123,11 +86,11 @@ PartitionId UpdatedPointerPolicy::Select(const SelectionContext& context) {
 }
 
 void UpdatedPointerPolicy::SaveState(std::ostream& out) const {
-  SavePartitionMap(out, overwrites_into_partition_);
+  overwrites_into_partition_.Save(out);
 }
 
 Status UpdatedPointerPolicy::LoadState(std::istream& in) {
-  return LoadPartitionMap(in, &overwrites_into_partition_);
+  return overwrites_into_partition_.Load(in);
 }
 
 // --------------------------------------------------------------- Weighted
@@ -138,18 +101,17 @@ void WeightedPointerPolicy::OnPointerStore(const SlotWriteEvent& event,
       event.old_target_partition != kInvalidPartition) {
     assert(old_target_weight >= 1 &&
            old_target_weight <= WeightTracker::kMaxWeight);
-    weighted_sum_[event.old_target_partition] +=
+    weighted_sum_.At(event.old_target_partition) +=
         std::exp2(WeightTracker::kMaxWeight - old_target_weight);
   }
 }
 
 void WeightedPointerPolicy::OnPartitionCollected(PartitionId partition) {
-  weighted_sum_.erase(partition);
+  weighted_sum_.Reset(partition);
 }
 
 double WeightedPointerPolicy::Score(PartitionId partition) const {
-  auto it = weighted_sum_.find(partition);
-  return it == weighted_sum_.end() ? 0.0 : it->second;
+  return weighted_sum_.Get(partition);
 }
 
 PartitionId WeightedPointerPolicy::Select(const SelectionContext& context) {
@@ -158,31 +120,11 @@ PartitionId WeightedPointerPolicy::Select(const SelectionContext& context) {
 }
 
 void WeightedPointerPolicy::SaveState(std::ostream& out) const {
-  std::vector<std::pair<PartitionId, double>> entries(weighted_sum_.begin(),
-                                                      weighted_sum_.end());
-  std::sort(entries.begin(), entries.end());
-  PutVarint(out, entries.size());
-  for (const auto& [partition, sum] : entries) {
-    PutVarint(out, partition);
-    PutDouble(out, sum);
-  }
+  weighted_sum_.Save(out);
 }
 
 Status WeightedPointerPolicy::LoadState(std::istream& in) {
-  auto count = GetVarint(in);
-  ODBGC_RETURN_IF_ERROR(count.status());
-  weighted_sum_.clear();
-  for (uint64_t i = 0; i < *count; ++i) {
-    auto partition = GetVarint(in);
-    ODBGC_RETURN_IF_ERROR(partition.status());
-    auto sum = GetDouble(in);
-    ODBGC_RETURN_IF_ERROR(sum.status());
-    if (!weighted_sum_.emplace(static_cast<PartitionId>(*partition), *sum)
-             .second) {
-      return Status::Corruption("policy state duplicate partition");
-    }
-  }
-  return Status::Ok();
+  return weighted_sum_.Load(in);
 }
 
 // ----------------------------------------------------------------- Random

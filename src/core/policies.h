@@ -2,20 +2,12 @@
 #define ODBGC_CORE_POLICIES_H_
 
 #include <iosfwd>
-#include <unordered_map>
 
+#include "core/partition_counters.h"
 #include "core/selection_policy.h"
 #include "util/random.h"
 
 namespace odbgc {
-
-/// (De)serializes a per-partition counter map for checkpointing, sorted by
-/// partition id so the bytes are a deterministic function of the state.
-/// Shared by the hint-counting policies here and in extension_policies.h.
-void SavePartitionMap(std::ostream& out,
-                      const std::unordered_map<PartitionId, uint64_t>& map);
-Status LoadPartitionMap(std::istream& in,
-                        std::unordered_map<PartitionId, uint64_t>* map);
 
 /// Selects the partition into which the most pointers were stored since
 /// its last collection. Counts *every* pointer store (including slot
@@ -34,7 +26,7 @@ class MutatedPartitionPolicy : public SelectionPolicy {
   Status LoadState(std::istream& in) override;
 
  private:
-  std::unordered_map<PartitionId, uint64_t> stores_into_partition_;
+  PartitionCounterTable<uint64_t> stores_into_partition_;
 };
 
 /// Selects the partition into which the most *overwritten* pointers
@@ -53,7 +45,7 @@ class UpdatedPointerPolicy : public SelectionPolicy {
   Status LoadState(std::istream& in) override;
 
  private:
-  std::unordered_map<PartitionId, uint64_t> overwrites_into_partition_;
+  PartitionCounterTable<uint64_t> overwrites_into_partition_;
 };
 
 /// UpdatedPointer refined by root distance: an overwrite of a pointer to an
@@ -72,7 +64,7 @@ class WeightedPointerPolicy : public SelectionPolicy {
   Status LoadState(std::istream& in) override;
 
  private:
-  std::unordered_map<PartitionId, double> weighted_sum_;
+  PartitionCounterTable<double> weighted_sum_;
 };
 
 /// Uniformly random choice among the candidates — the paper's control for

@@ -9,11 +9,6 @@
 
 namespace odbgc {
 
-uint8_t WeightTracker::GetWeight(ObjectId object) const {
-  auto it = weights_.find(object);
-  return it == weights_.end() ? kMaxWeight : it->second;
-}
-
 Status WeightTracker::OnRootAdded(ObjectId object) {
   return Relax(object, kRootWeight);
 }
@@ -26,6 +21,17 @@ Status WeightTracker::OnPointerStored(ObjectId source, ObjectId target) {
   return Relax(target, candidate);
 }
 
+void WeightTracker::SetWeight(ObjectId object, uint8_t w) {
+  if (object.value >= weights_.size()) {
+    // Size to the store's id horizon so repeated first-touches of fresh
+    // ids do not each pay a resize.
+    weights_.resize(std::max(object.value + 1, store_->id_limit()),
+                    kMaxWeight);
+  }
+  if (weights_[object.value] == kMaxWeight) ++tracked_;
+  weights_[object.value] = w;
+}
+
 Status WeightTracker::Relax(ObjectId object, uint8_t w) {
   if (object.is_null() || w >= GetWeight(object)) return Status::Ok();
 
@@ -35,7 +41,7 @@ Status WeightTracker::Relax(ObjectId object, uint8_t w) {
     auto [id, weight] = queue.front();
     queue.pop_front();
     if (weight >= GetWeight(id)) continue;
-    weights_[id] = weight;
+    SetWeight(id, weight);
     if (charge_io_) {
       // The 4-bit weight lives in the object header on its page.
       ODBGC_RETURN_IF_ERROR(store_->TouchHeader(id, AccessMode::kWrite));
@@ -54,16 +60,13 @@ Status WeightTracker::Relax(ObjectId object, uint8_t w) {
 }
 
 void WeightTracker::SaveState(std::ostream& out) const {
-  std::vector<std::pair<uint64_t, uint8_t>> entries;
-  entries.reserve(weights_.size());
-  for (const auto& [object, weight] : weights_) {
-    entries.emplace_back(object.value, weight);
-  }
-  std::sort(entries.begin(), entries.end());
-  PutVarint(out, entries.size());
-  for (const auto& [object, weight] : entries) {
-    PutVarint(out, object);
-    PutU8(out, weight);
+  // A scan in id order reproduces the sorted-entry encoding the map-based
+  // tracker wrote, byte for byte.
+  PutVarint(out, tracked_);
+  for (uint64_t id = 0; id < weights_.size(); ++id) {
+    if (weights_[id] == kMaxWeight) continue;
+    PutVarint(out, id);
+    PutU8(out, weights_[id]);
   }
 }
 
@@ -71,6 +74,7 @@ Status WeightTracker::LoadState(std::istream& in) {
   auto count = GetVarint(in);
   ODBGC_RETURN_IF_ERROR(count.status());
   weights_.clear();
+  tracked_ = 0;
   for (uint64_t i = 0; i < *count; ++i) {
     auto object = GetVarint(in);
     ODBGC_RETURN_IF_ERROR(object.status());
@@ -79,9 +83,21 @@ Status WeightTracker::LoadState(std::istream& in) {
     if (*weight < kRootWeight || *weight > kMaxWeight) {
       return Status::Corruption("weight out of range");
     }
-    if (!weights_.emplace(ObjectId{*object}, *weight).second) {
+    if (*object >= store_->id_limit()) {
+      // The dense table is bounded by the store's id horizon; an id past
+      // it cannot come from a checkpoint of this store.
+      return Status::Corruption("weight state id beyond store");
+    }
+    if (ObjectId{*object}.is_null()) {
+      return Status::Corruption("weight state null object");
+    }
+    if (*object < weights_.size() && weights_[*object] != kMaxWeight) {
       return Status::Corruption("weight state duplicate object");
     }
+    // A kMaxWeight entry is representable in the old format but never
+    // produced (Relax only stores lower weights); it means "untracked".
+    if (*weight == kMaxWeight) continue;
+    SetWeight(ObjectId{*object}, *weight);
   }
   return Status::Ok();
 }

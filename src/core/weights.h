@@ -3,7 +3,7 @@
 
 #include <cstdint>
 #include <iosfwd>
-#include <unordered_map>
+#include <vector>
 
 #include "odb/object_id.h"
 #include "odb/object_store.h"
@@ -41,7 +41,10 @@ class WeightTracker {
       : store_(store), charge_io_(charge_io) {}
 
   /// Weight of `object`; kMaxWeight for unknown/new objects.
-  uint8_t GetWeight(ObjectId object) const;
+  uint8_t GetWeight(ObjectId object) const {
+    return object.value < weights_.size() ? weights_[object.value]
+                                          : kMaxWeight;
+  }
 
   /// Marks `object` as a root (weight 1) and propagates the decrease.
   Status OnRootAdded(ObjectId object);
@@ -51,9 +54,15 @@ class WeightTracker {
   Status OnPointerStored(ObjectId source, ObjectId target);
 
   /// Forgets a reclaimed object.
-  void OnObjectDied(ObjectId object) { weights_.erase(object); }
+  void OnObjectDied(ObjectId object) {
+    if (object.value < weights_.size() &&
+        weights_[object.value] != kMaxWeight) {
+      weights_[object.value] = kMaxWeight;
+      --tracked_;
+    }
+  }
 
-  size_t tracked_count() const { return weights_.size(); }
+  size_t tracked_count() const { return tracked_; }
 
   /// Serializes the weight map (sorted by object id) for checkpointing.
   /// Weights cannot be recomputed from the heap image: maintenance is
@@ -70,10 +79,18 @@ class WeightTracker {
   // propagates breadth-first.
   Status Relax(ObjectId object, uint8_t w);
 
+  // Stores `w` (< kMaxWeight) for `object`, growing the table to the
+  // store's id limit on demand and maintaining tracked_.
+  void SetWeight(ObjectId object, uint8_t w);
+
   ObjectStore* const store_;
   const bool charge_io_;
-  // Objects absent from the map implicitly have kMaxWeight.
-  std::unordered_map<ObjectId, uint8_t> weights_;
+  // Dense weight table indexed by object id. Relax only ever stores
+  // weights below kMaxWeight, so kMaxWeight doubles as "untracked" — a
+  // byte per ever-issued id replaces a node-based map on the pointer-
+  // store hot path. Ids at or beyond the vector's size are untracked.
+  std::vector<uint8_t> weights_;
+  size_t tracked_ = 0;
 };
 
 }  // namespace odbgc

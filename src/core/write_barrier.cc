@@ -110,11 +110,11 @@ Status WriteBarrier::ScanDirtyCards() {
     // Objects overlapping the card: start from the last object whose
     // offset is <= card_start.
     const auto& roster = partition.objects_by_offset();
-    auto it = roster.upper_bound(card_start);
+    auto it = partition.UpperBound(card_start);
     if (it != roster.begin()) --it;
     bool keeps_inter_partition_pointer = false;
-    for (; it != roster.end() && it->first < card_end; ++it) {
-      const ObjectId id = it->second;
+    for (; it != roster.end() && it->offset < card_end; ++it) {
+      const ObjectId id = it->id;
       const ObjectStore::ObjectInfo* info = store_->Lookup(id);
       if (info == nullptr) continue;
       for (uint32_t s = 0; s < info->num_slots; ++s) {

@@ -5,6 +5,8 @@
 #include <functional>
 #include <limits>
 
+#include "util/hash.h"
+
 namespace odbgc {
 
 /// Stable logical identity of a database object. Object slots store
@@ -43,7 +45,7 @@ template <>
 struct std::hash<odbgc::ObjectId> {
   size_t operator()(odbgc::ObjectId id) const noexcept {
     // Fibonacci hashing; ids are sequential so identity hashing clusters.
-    return static_cast<size_t>(id.value * 0x9e3779b97f4a7c15ULL);
+    return static_cast<size_t>(odbgc::FibonacciHash64(id.value));
   }
 };
 

@@ -35,7 +35,7 @@ StoreImage ObjectStore::ExtractImage() const {
   }
   for (const Partition& partition : partitions_) {
     for (const auto& [offset, id] : partition.objects_by_offset()) {
-      const ObjectInfo& info = table_.at(id);
+      const ObjectInfo& info = *Lookup(id);
       StoreImage::ObjectImage object;
       object.id = id;
       object.partition = info.partition;
@@ -82,7 +82,13 @@ Result<std::unique_ptr<ObjectStore>> ObjectStore::Restore(
     return Status::Corruption("image: bad empty partition");
   }
   store->empty_partition_ = image.empty_partition;
+  if (image.next_id == 0 || image.next_id > (1ull << 40)) {
+    // The slot directory is indexed by id, so an absurd next_id from a
+    // damaged image must fail cleanly instead of exhausting memory.
+    return Status::Corruption("image: implausible next_id");
+  }
   store->next_id_ = image.next_id;
+  store->id_to_slot_.assign(image.next_id, kNoSlot);
 
   // First pass: register every object (bounds + uniqueness checks).
   for (const auto& object : image.objects) {
@@ -101,48 +107,46 @@ Result<std::unique_ptr<ObjectStore>> ObjectStore::Restore(
     if (object.slots.size() != object.num_slots) {
       return Status::Corruption("image: slot count mismatch");
     }
-    ObjectInfo info;
+    if (store->id_to_slot_[object.id.value] != kNoSlot) {
+      return Status::Corruption("image: duplicate object id");
+    }
+    const uint32_t slot = store->ClaimSlot();
+    store->id_to_slot_[object.id.value] = slot;
+    ObjectInfo& info = store->slots_[slot];
     info.partition = object.partition;
     info.offset = object.offset;
     info.size = object.size;
     info.num_slots = object.num_slots;
     info.flags = object.flags;
     info.slots = object.slots;
-    if (!store->table_.emplace(object.id, std::move(info)).second) {
-      return Status::Corruption("image: duplicate object id");
-    }
     partition.AddObject(object.offset, object.id);
     store->live_bytes_ += object.size;
+    ++store->live_count_;
   }
 
-  // Overlap check per partition (roster is offset-ordered). Two objects
-  // at the same offset collide in the roster map, so a count mismatch is
-  // also an overlap.
-  size_t roster_total = 0;
+  // Overlap check per partition (roster is offset-ordered; two objects
+  // registered at the same offset surface as an overlap here, since
+  // every object is at least a header long).
   for (const Partition& partition : store->partitions_) {
     uint32_t prev_end = 0;
     for (const auto& [offset, id] : partition.objects_by_offset()) {
       if (offset < prev_end) {
         return Status::Corruption("image: overlapping objects");
       }
-      prev_end = offset + store->table_.at(id).size;
-      ++roster_total;
+      prev_end = offset + store->Lookup(id)->size;
     }
-  }
-  if (roster_total != store->table_.size()) {
-    return Status::Corruption("image: objects share an offset");
   }
 
   // Slot referents and roots must exist.
   for (const auto& object : image.objects) {
     for (ObjectId target : object.slots) {
-      if (!target.is_null() && store->table_.count(target) == 0) {
+      if (!target.is_null() && !store->Exists(target)) {
         return Status::Corruption("image: dangling slot reference");
       }
     }
   }
   for (ObjectId root : image.roots) {
-    if (store->table_.count(root) == 0) {
+    if (!store->Exists(root)) {
       return Status::Corruption("image: dangling root");
     }
     ODBGC_RETURN_IF_ERROR(store->AddRoot(root));
@@ -184,16 +188,14 @@ PartitionId ObjectStore::AddPartition() {
   return id;
 }
 
-const ObjectStore::ObjectInfo* ObjectStore::Lookup(ObjectId object) const {
-  if (object.is_null()) return nullptr;
-  auto it = table_.find(object);
-  return it == table_.end() ? nullptr : &it->second;
-}
-
-ObjectStore::ObjectInfo* ObjectStore::MutableLookup(ObjectId object) {
-  if (object.is_null()) return nullptr;
-  auto it = table_.find(object);
-  return it == table_.end() ? nullptr : &it->second;
+uint32_t ObjectStore::ClaimSlot() {
+  if (!free_slots_.empty()) {
+    const uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<uint32_t>(slots_.size() - 1);
 }
 
 bool ObjectStore::TryPlace(PartitionId partition, uint32_t size,
@@ -260,16 +262,19 @@ Result<ObjectId> ObjectStore::Allocate(uint32_t size, uint32_t num_slots,
   current_alloc_partition_ = pid;
 
   const ObjectId id{next_id_++};
-  ObjectInfo info;
+  const uint32_t slot = ClaimSlot();
+  id_to_slot_.push_back(slot);  // id.value == previous id_to_slot_.size().
+  ObjectInfo& info = slots_[slot];
   info.partition = pid;
   info.offset = offset;
   info.size = size;
   info.num_slots = num_slots;
   info.flags = flags;
+  info.root_pos = ObjectInfo::kNotRoot;
   info.slots.assign(num_slots, kNullObjectId);
   partitions_[pid].AddObject(offset, id);
   live_bytes_ += size;
-  table_.emplace(id, std::move(info));
+  ++live_count_;
 
   // Serialize header + null slots; charge writes covering the whole new
   // object (a freshly created object is written in its entirety).
@@ -375,25 +380,26 @@ Status ObjectStore::WriteData(ObjectId object) {
 }
 
 Status ObjectStore::AddRoot(ObjectId object) {
-  if (!Exists(object)) return Status::NotFound("AddRoot: object not found");
-  if (root_index_.count(object) > 0) return Status::Ok();
-  root_index_.emplace(object, roots_.size());
+  ObjectInfo* info = MutableLookup(object);
+  if (info == nullptr) return Status::NotFound("AddRoot: object not found");
+  if (info->root_pos != ObjectInfo::kNotRoot) return Status::Ok();
+  info->root_pos = static_cast<uint32_t>(roots_.size());
   roots_.push_back(object);
   return Status::Ok();
 }
 
 Status ObjectStore::RemoveRoot(ObjectId object) {
-  auto it = root_index_.find(object);
-  if (it == root_index_.end()) {
+  ObjectInfo* info = MutableLookup(object);
+  if (info == nullptr || info->root_pos == ObjectInfo::kNotRoot) {
     return Status::NotFound("RemoveRoot: not a root");
   }
   // Swap-with-last keeps removal O(1) while the vector stays deterministic.
-  const size_t pos = it->second;
+  const uint32_t pos = info->root_pos;
   const ObjectId last = roots_.back();
   roots_[pos] = last;
-  root_index_[last] = pos;
+  MutableLookup(last)->root_pos = pos;
   roots_.pop_back();
-  root_index_.erase(it);
+  info->root_pos = ObjectInfo::kNotRoot;
   return Status::Ok();
 }
 
@@ -440,16 +446,23 @@ Status ObjectStore::RelocateObject(ObjectId object, PartitionId target) {
 }
 
 Status ObjectStore::DropObject(ObjectId object) {
-  auto it = table_.find(object);
-  if (it == table_.end()) {
+  ObjectInfo* info = MutableLookup(object);
+  if (info == nullptr) {
     return Status::NotFound("DropObject: object not found");
   }
-  if (root_index_.count(object) > 0) {
+  if (info->root_pos != ObjectInfo::kNotRoot) {
     return Status::FailedPrecondition("DropObject: object is a root");
   }
-  partitions_[it->second.partition].RemoveObject(it->second.offset);
-  live_bytes_ -= it->second.size;
-  table_.erase(it);
+  partitions_[info->partition].RemoveObject(info->offset);
+  live_bytes_ -= info->size;
+  // Recycle the table slot; clear() keeps the slot vector's capacity for
+  // the next object that lands here.
+  info->partition = kInvalidPartition;
+  info->slots.clear();
+  const uint32_t slot = id_to_slot_[object.value];
+  id_to_slot_[object.value] = kNoSlot;
+  free_slots_.push_back(slot);
+  --live_count_;
   return Status::Ok();
 }
 

@@ -2,7 +2,6 @@
 #define ODBGC_ODB_OBJECT_STORE_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "buffer/buffer_pool.h"
@@ -182,17 +181,27 @@ class ObjectStore {
   /// Root objects in insertion order (deterministic iteration).
   const std::vector<ObjectId>& roots() const { return roots_; }
 
-  bool IsRoot(ObjectId object) const { return root_index_.count(object) > 0; }
+  bool IsRoot(ObjectId object) const {
+    const ObjectInfo* info = Lookup(object);
+    return info != nullptr && info->root_pos != ObjectInfo::kNotRoot;
+  }
 
   // -- Object table ---------------------------------------------------------
 
   /// Cached metadata and shadow state for a live object.
   struct ObjectInfo {
+    /// root_pos value meaning "not in the root set".
+    static constexpr uint32_t kNotRoot = UINT32_MAX;
+
     PartitionId partition = kInvalidPartition;
     uint32_t offset = 0;
     uint32_t size = 0;
     uint32_t num_slots = 0;
     uint8_t flags = 0;
+    /// Position of this object in the root vector, or kNotRoot. Dense
+    /// replacement for a side root-index map: the root set is answered by
+    /// the same cache line the lookup already touched.
+    uint32_t root_pos = kNotRoot;
     /// Shadow copy of the slot values. Kept exactly in sync with the
     /// serialized page bytes; exists so that the oracle (MostGarbage,
     /// garbage census) and internal bookkeeping can walk the object graph
@@ -200,13 +209,19 @@ class ObjectStore {
     std::vector<ObjectId> slots;
   };
 
-  /// Looks up a live object; nullptr if the id is null or dead.
-  const ObjectInfo* Lookup(ObjectId object) const;
+  /// Looks up a live object; nullptr if the id is null or dead. Two array
+  /// indexes: the id resolves through the slot directory to the object's
+  /// current table slot (slots are recycled; ids never are).
+  const ObjectInfo* Lookup(ObjectId object) const {
+    if (object.value >= id_to_slot_.size()) return nullptr;
+    const uint32_t slot = id_to_slot_[object.value];
+    return slot == kNoSlot ? nullptr : &slots_[slot];
+  }
 
   bool Exists(ObjectId object) const { return Lookup(object) != nullptr; }
 
   /// Number of live objects in the table.
-  size_t object_count() const { return table_.size(); }
+  size_t object_count() const { return live_count_; }
 
   /// Exclusive upper bound on every ObjectId this store has ever issued.
   /// Ids are sequential and never reused, so `id.value < id_limit()` holds
@@ -333,7 +348,15 @@ class ObjectStore {
   Status TouchRange(PartitionId partition, uint32_t offset, uint32_t length,
                     AccessMode mode);
 
-  ObjectInfo* MutableLookup(ObjectId object);
+  ObjectInfo* MutableLookup(ObjectId object) {
+    if (object.value >= id_to_slot_.size()) return nullptr;
+    const uint32_t slot = id_to_slot_[object.value];
+    return slot == kNoSlot ? nullptr : &slots_[slot];
+  }
+
+  // Claims a table slot for a new object, recycling freed slots (and
+  // their ObjectInfo's slot-vector capacity) before growing the array.
+  uint32_t ClaimSlot();
 
   const StoreOptions options_;
   PageDevice* const disk_;
@@ -348,12 +371,22 @@ class ObjectStore {
   // Rotation cursor for PlacementPolicy::kRoundRobin.
   PartitionId round_robin_cursor_ = 0;
 
-  std::unordered_map<ObjectId, ObjectInfo> table_;
+  /// id_to_slot_ sentinel: id never issued, or object dead.
+  static constexpr uint32_t kNoSlot = UINT32_MAX;
+
+  // Slot-addressed object table. Ids are sequential and never reused, so
+  // the id → slot directory is a flat array indexed by id value (entry 0
+  // is the null id and stays kNoSlot); the ObjectInfo records live in a
+  // parallel slot array whose entries are recycled through a freelist as
+  // objects die. Invariant: id_to_slot_.size() == next_id_.
+  std::vector<uint32_t> id_to_slot_ = {kNoSlot};
+  std::vector<ObjectInfo> slots_;
+  std::vector<uint32_t> free_slots_;
+  size_t live_count_ = 0;
   uint64_t next_id_ = 1;
   uint64_t live_bytes_ = 0;
 
   std::vector<ObjectId> roots_;
-  std::unordered_map<ObjectId, size_t> root_index_;
 };
 
 }  // namespace odbgc

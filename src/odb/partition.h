@@ -1,14 +1,24 @@
 #ifndef ODBGC_ODB_PARTITION_H_
 #define ODBGC_ODB_PARTITION_H_
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
-#include <map>
+#include <vector>
 
 #include "odb/object_id.h"
 #include "storage/extent.h"
 #include "storage/page.h"
 
 namespace odbgc {
+
+/// One entry of a partition's roster: the object resident at `offset`.
+/// Named fields (not std::pair) so roster scans read as
+/// `for (const auto& [offset, id] : partition.objects_by_offset())`.
+struct PartitionResident {
+  uint32_t offset = 0;
+  ObjectId id = kNullObjectId;
+};
 
 /// Metadata for one physically contiguous partition of the database.
 ///
@@ -18,6 +28,8 @@ namespace odbgc {
 /// which compacts the partition's live objects into the empty partition.
 class Partition {
  public:
+  using Roster = std::vector<PartitionResident>;
+
   Partition(PartitionId id, PageExtent extent, size_t page_size)
       : id_(id),
         extent_(extent),
@@ -44,33 +56,70 @@ class Partition {
   }
 
   /// Registers an object residing at `offset` (allocation or relocation).
+  /// Bump allocation makes appending past the current tail the common
+  /// case; out-of-order registration (checkpoint restore) falls back to a
+  /// binary-search insert.
   void AddObject(uint32_t offset, ObjectId id) {
-    objects_by_offset_.emplace(offset, id);
+    if (objects_by_offset_.empty() || offset > objects_by_offset_.back().offset) {
+      objects_by_offset_.push_back({offset, id});
+      return;
+    }
+    objects_by_offset_.insert(LowerBound(offset), {offset, id});
   }
 
   /// Unregisters the object at `offset` (death or relocation away).
-  void RemoveObject(uint32_t offset) { objects_by_offset_.erase(offset); }
+  void RemoveObject(uint32_t offset) {
+    auto it = LowerBound(offset);
+    assert(it != objects_by_offset_.end() && it->offset == offset);
+    objects_by_offset_.erase(it);
+  }
+
+  /// The object registered at exactly `offset`, or null if none.
+  ObjectId ObjectAt(uint32_t offset) const {
+    auto it = LowerBound(offset);
+    if (it == objects_by_offset_.end() || it->offset != offset) {
+      return kNullObjectId;
+    }
+    return it->id;
+  }
+
+  /// First roster entry with offset > `offset` (end() if none) — the
+  /// card-scan entry point.
+  Roster::const_iterator UpperBound(uint32_t offset) const {
+    return std::upper_bound(
+        objects_by_offset_.begin(), objects_by_offset_.end(), offset,
+        [](uint32_t o, const PartitionResident& r) { return o < r.offset; });
+  }
 
   /// Resets the partition to empty (after all its live objects were copied
-  /// out). The bookkeeping map must already be empty.
+  /// out). The bookkeeping roster must already be empty.
   void Reset() { alloc_offset_ = 0; }
 
   /// Restores the bump pointer when loading a checkpoint image. Must not
   /// shrink below the highest registered object end.
   void RestoreAllocOffset(uint32_t offset) { alloc_offset_ = offset; }
 
-  /// Objects resident in this partition, ordered by byte offset — the
+  /// Objects resident in this partition, sorted by byte offset — the
   /// physical scan order, which keeps collection deterministic.
-  const std::map<uint32_t, ObjectId>& objects_by_offset() const {
-    return objects_by_offset_;
-  }
+  const Roster& objects_by_offset() const { return objects_by_offset_; }
 
  private:
+  Roster::const_iterator LowerBound(uint32_t offset) const {
+    return std::lower_bound(
+        objects_by_offset_.begin(), objects_by_offset_.end(), offset,
+        [](const PartitionResident& r, uint32_t o) { return r.offset < o; });
+  }
+  Roster::iterator LowerBound(uint32_t offset) {
+    return std::lower_bound(
+        objects_by_offset_.begin(), objects_by_offset_.end(), offset,
+        [](const PartitionResident& r, uint32_t o) { return r.offset < o; });
+  }
+
   PartitionId id_;
   PageExtent extent_;
   uint32_t capacity_bytes_;
   uint32_t alloc_offset_ = 0;
-  std::map<uint32_t, ObjectId> objects_by_offset_;
+  Roster objects_by_offset_;
 };
 
 }  // namespace odbgc

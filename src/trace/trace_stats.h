@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "trace/event.h"
+#include "util/hash.h"
 
 namespace odbgc {
 
@@ -53,11 +54,24 @@ class TraceStatsCollector : public TraceSink {
   /// Writes a readable report.
   void Print(std::ostream& os);
 
+  /// Sizes the edge table for a trace of `expected_events` events before
+  /// replay, avoiding rehash churn on big traces. The trace header does
+  /// not record a count, so callers pass whatever they know — the
+  /// writer's events_written(), or a file-size estimate.
+  void Reserve(uint64_t expected_events) {
+    // Roughly a third of workload events are slot writes, and repeat
+    // writes to the same edge share an entry.
+    slot_values_.reserve(expected_events / 3 + 1);
+  }
+
  private:
   Stats stats_;
   // (object<<8 | slot) -> current value, to classify overwrites and count
-  // final edges. Slot indices in the workloads are tiny.
-  std::unordered_map<uint64_t, uint64_t> slot_values_;
+  // final edges. Slot indices in the workloads are tiny, and object ids
+  // are sequential — so the key needs the shared Fibonacci mix (the
+  // default identity hash would drop every key into a handful of
+  // neighbouring buckets).
+  std::unordered_map<uint64_t, uint64_t, FibonacciHash> slot_values_;
   uint64_t small_bytes_ = 0;
   bool finished_ = false;
 };

@@ -1,0 +1,30 @@
+#ifndef ODBGC_UTIL_HASH_H_
+#define ODBGC_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace odbgc {
+
+/// Fibonacci (multiplicative) mixing constant: 2^64 / phi, rounded to odd.
+/// Every hot identifier in the simulator — object ids, page ids, packed
+/// (object, slot) keys — is sequential or near-sequential, so an identity
+/// hash clusters them into runs of adjacent buckets and probe chains
+/// degenerate. One multiply by this constant spreads consecutive keys
+/// across the whole table.
+inline constexpr uint64_t kFibonacciMultiplier = 0x9e3779b97f4a7c15ULL;
+
+inline constexpr uint64_t FibonacciHash64(uint64_t key) {
+  return key * kFibonacciMultiplier;
+}
+
+/// Drop-in hasher for hash containers keyed by sequential 64-bit ids.
+struct FibonacciHash {
+  size_t operator()(uint64_t key) const noexcept {
+    return static_cast<size_t>(FibonacciHash64(key));
+  }
+};
+
+}  // namespace odbgc
+
+#endif  // ODBGC_UTIL_HASH_H_

@@ -1,0 +1,138 @@
+#ifndef ODBGC_UTIL_OPEN_HASH_MAP_H_
+#define ODBGC_UTIL_OPEN_HASH_MAP_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace odbgc {
+
+/// Open-addressed, linear-probe map from a 64-bit key to a small index
+/// (uint32_t). Built for the buffer pool's page → frame table: a bounded
+/// population of near-sequential keys where every lookup is on the hot
+/// path. One flat array of 12-byte slots, Fibonacci-mixed home buckets,
+/// and backward-shift deletion (no tombstones), so a lookup is a handful
+/// of contiguous probes with no pointer chasing.
+///
+/// The mapped value doubles as the occupancy mark: kEmptyValue (2^32-1)
+/// means "slot free", so values must stay below it — frame indices always
+/// do. Keys may be any uint64_t.
+class OpenIndexMap {
+ public:
+  static constexpr uint32_t kEmptyValue = UINT32_MAX;
+
+  /// Sizes the table for `expected_entries` at a load factor < 2/3. The
+  /// table also grows itself if the population outruns the hint.
+  explicit OpenIndexMap(size_t expected_entries = 0) {
+    Rebuild(CapacityFor(expected_entries));
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Returns the value mapped to `key`, or kEmptyValue if absent.
+  uint32_t Find(uint64_t key) const {
+    size_t i = Home(key);
+    while (slots_[i].value != kEmptyValue) {
+      if (slots_[i].key == key) return slots_[i].value;
+      i = (i + 1) & mask_;
+    }
+    return kEmptyValue;
+  }
+
+  bool Contains(uint64_t key) const { return Find(key) != kEmptyValue; }
+
+  /// Maps `key` to `value` (< kEmptyValue). The key must not be present.
+  void Insert(uint64_t key, uint32_t value) {
+    assert(value != kEmptyValue);
+    if ((size_ + 1) * 3 > capacity_ * 2) Rebuild(capacity_ * 2);
+    size_t i = Home(key);
+    while (slots_[i].value != kEmptyValue) {
+      assert(slots_[i].key != key);
+      i = (i + 1) & mask_;
+    }
+    slots_[i] = Slot{key, value};
+    ++size_;
+  }
+
+  /// Rebinds an existing `key` to `value`. The key must be present.
+  void Assign(uint64_t key, uint32_t value) {
+    assert(value != kEmptyValue);
+    size_t i = Home(key);
+    while (slots_[i].key != key || slots_[i].value == kEmptyValue) {
+      assert(slots_[i].value != kEmptyValue);
+      i = (i + 1) & mask_;
+    }
+    slots_[i].value = value;
+  }
+
+  /// Removes `key` (must be present), backward-shifting the tail of its
+  /// probe cluster so no tombstone is left behind.
+  void Erase(uint64_t key) {
+    size_t i = Home(key);
+    while (slots_[i].key != key || slots_[i].value == kEmptyValue) {
+      assert(slots_[i].value != kEmptyValue);
+      i = (i + 1) & mask_;
+    }
+    --size_;
+    size_t j = i;
+    for (;;) {
+      slots_[i].value = kEmptyValue;
+      // Find the next entry in the cluster that is allowed to move into
+      // the hole at i: one whose home bucket does not lie cyclically in
+      // (i, j] (otherwise moving it would break its own probe chain).
+      for (;;) {
+        j = (j + 1) & mask_;
+        if (slots_[j].value == kEmptyValue) return;
+        const size_t home = Home(slots_[j].key);
+        if (((j - home) & mask_) >= ((j - i) & mask_)) break;
+      }
+      slots_[i] = slots_[j];
+      i = j;
+    }
+  }
+
+  void Clear() {
+    for (Slot& slot : slots_) slot.value = kEmptyValue;
+    size_ = 0;
+  }
+
+ private:
+  struct Slot {
+    uint64_t key = 0;
+    uint32_t value = kEmptyValue;
+  };
+
+  static size_t CapacityFor(size_t entries) {
+    size_t capacity = 16;
+    while (entries * 3 > capacity * 2) capacity *= 2;
+    return capacity;
+  }
+
+  size_t Home(uint64_t key) const {
+    return static_cast<size_t>(FibonacciHash64(key)) & mask_;
+  }
+
+  void Rebuild(size_t capacity) {
+    std::vector<Slot> old = std::move(slots_);
+    capacity_ = capacity;
+    mask_ = capacity - 1;
+    slots_.assign(capacity, Slot{});
+    size_ = 0;
+    for (const Slot& slot : old) {
+      if (slot.value != kEmptyValue) Insert(slot.key, slot.value);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t capacity_ = 0;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace odbgc
+
+#endif  // ODBGC_UTIL_OPEN_HASH_MAP_H_

@@ -237,5 +237,79 @@ TEST(CheckpointManagerTest, GarbageCollectWithoutSnapshotsKeepsWalZero) {
   EXPECT_TRUE(std::filesystem::exists(manager.WalPath(0)));
 }
 
+// Round-trip across the dense data-plane layout: one configuration per
+// serde path that moved from node-based containers onto id-indexed
+// arrays — the weight table and weighted policy sums (WeightedPointer),
+// the per-partition hint counters (MutatedPartition), the extension
+// policies' tables (LeastRecentlyCollected, CostBenefit), and the
+// clock/2Q replacement state (intrusive frame lists). A snapshot written
+// mid-run must restore to a state that re-serializes to the exact same
+// bytes, and must continue to the same bytes afterwards — the layout
+// change is invisible to the checkpoint format.
+struct DenseLayoutParams {
+  const char* name;
+  const char* policy_name;
+  // LoadSnapshot validates the checkpoint's resolved kind against the
+  // config enum, so both identity surfaces must agree here.
+  PolicyKind policy;
+  ReplacementPolicyKind replacement;
+};
+
+class DenseLayoutRoundTrip
+    : public ::testing::TestWithParam<DenseLayoutParams> {};
+
+TEST_P(DenseLayoutRoundTrip, SnapshotRestoresBitIdentical) {
+  SimulationConfig config = TinyConfig(11);
+  config.heap.policy_name = GetParam().policy_name;
+  config.heap.policy = GetParam().policy;
+  config.heap.replacement = GetParam().replacement;
+  CheckpointManager manager(FreshDir(std::string("dense_") +
+                                     GetParam().name));
+  ASSERT_TRUE(manager.Init().ok());
+
+  PartialRun original = RunPartway(config, 40);
+  const uint64_t round = original.generator->rounds_run();
+  ASSERT_TRUE(
+      manager.WriteSnapshot(round, *original.simulator, *original.generator)
+          .ok());
+
+  auto loaded = manager.LoadSnapshot(round, config);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(CheckpointBytes(*loaded->simulator, *loaded->generator),
+            CheckpointBytes(*original.simulator, *original.generator));
+
+  for (int i = 0; i < 20 && !original.generator->Done(); ++i) {
+    ASSERT_TRUE(original.generator->RunRound(original.simulator.get()).ok());
+    ASSERT_TRUE(loaded->generator->RunRound(loaded->simulator.get()).ok());
+  }
+  EXPECT_EQ(CheckpointBytes(*loaded->simulator, *loaded->generator),
+            CheckpointBytes(*original.simulator, *original.generator));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DensePaths, DenseLayoutRoundTrip,
+    ::testing::Values(
+        DenseLayoutParams{"weighted", "WeightedPointer",
+                          PolicyKind::kWeightedPointer,
+                          ReplacementPolicyKind::kLru},
+        DenseLayoutParams{"mutated", "MutatedPartition",
+                          PolicyKind::kMutatedPartition,
+                          ReplacementPolicyKind::kLru},
+        DenseLayoutParams{"lrc", "LeastRecentlyCollected",
+                          PolicyKind::kUpdatedPointer,
+                          ReplacementPolicyKind::kLru},
+        DenseLayoutParams{"costbenefit", "CostBenefit",
+                          PolicyKind::kUpdatedPointer,
+                          ReplacementPolicyKind::kLru},
+        DenseLayoutParams{"clock", "UpdatedPointer",
+                          PolicyKind::kUpdatedPointer,
+                          ReplacementPolicyKind::kClock},
+        DenseLayoutParams{"twoq", "UpdatedPointer",
+                          PolicyKind::kUpdatedPointer,
+                          ReplacementPolicyKind::kTwoQ}),
+    [](const ::testing::TestParamInfo<DenseLayoutParams>& info) {
+      return std::string(info.param.name);
+    });
+
 }  // namespace
 }  // namespace odbgc
