@@ -1,0 +1,227 @@
+// Storage-engine I/O probe: measures the file-backed PageDevice the same
+// way hotpath.cc measures the simulator — a fixed set of named probes and
+// a JSON artifact for CI. No paper table; this grounds the cost model the
+// paper only estimates ("number of page I/O operations") in wall-clock
+// numbers from a real file.
+//
+// Probes:
+//   write_bXXX[_direct]   write every page in batches of XXX pages through
+//                         the I/O scheduler (fsync per barrier), buffered
+//                         and O_DIRECT (the latter silently measures the
+//                         buffered fallback on filesystems that refuse
+//                         O_DIRECT — `direct_effective` records which)
+//   read_seq              sequential ReadPage sweep, read-ahead disabled
+//   read_readahead        the same sweep with Prefetch announcing each
+//                         64-page window ahead of the reads
+//
+// Usage: io_file [output.json]
+//
+// The working file lives under $TMPDIR (default /tmp); CI points TMPDIR at
+// a tmpfs so the numbers measure the engine, not a CI disk's mood.
+// ODBGC_FAST=1 quarters the page count.
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "storage/file_device.h"
+
+namespace odbgc {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr size_t kPageSize = 8192;
+
+size_t NumPages() {
+  return bench::FastMode() ? 512 : 2048;  // 4 MB / 16 MB of payload.
+}
+
+std::string WorkPath(const std::string& name) {
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string base = tmpdir != nullptr ? tmpdir : "/tmp";
+  return base + "/odbgc_io_file_" + name + ".odb";
+}
+
+struct ProbeResult {
+  std::string name;
+  bool direct_requested = false;
+  bool direct_effective = false;
+  size_t batch_pages = 0;
+  size_t pages = 0;
+  double wall_seconds = 0;
+  double pages_per_sec = 0;
+  double mb_per_sec = 0;
+  uint64_t fsyncs = 0;
+  uint64_t readahead_hits = 0;
+  uint64_t readahead_misses = 0;
+};
+
+void Report(const ProbeResult& p) {
+  std::printf("%-18s pages=%-6zu batch=%-4zu wall=%8.4fs  %10.0f pages/s"
+              "  %8.1f MB/s%s\n",
+              p.name.c_str(), p.pages, p.batch_pages, p.wall_seconds,
+              p.pages_per_sec, p.mb_per_sec,
+              p.direct_requested
+                  ? (p.direct_effective ? "  [O_DIRECT]" : "  [buffered fallback]")
+                  : "");
+}
+
+ProbeResult WriteProbe(size_t batch_pages, bool direct) {
+  const size_t pages = NumPages();
+  FileDeviceOptions options;
+  options.path = WorkPath("write");
+  options.direct_io = direct;
+  options.readahead_pages = 0;
+  FileDevice device(kPageSize, nullptr, options);
+  if (!device.status().ok()) bench::Fail(device.status(), "io_file open");
+  device.AllocatePages(pages);
+
+  std::vector<std::byte> payload(kPageSize);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::byte>(i * 131 + 7);
+  }
+
+  const auto start = Clock::now();
+  std::vector<PageWriteRequest> batch;
+  batch.reserve(batch_pages);
+  for (size_t first = 0; first < pages; first += batch_pages) {
+    batch.clear();
+    const size_t count = std::min(batch_pages, pages - first);
+    for (size_t i = 0; i < count; ++i) {
+      batch.push_back({static_cast<PageId>(first + i),
+                       {payload.data(), payload.size()}});
+    }
+    size_t written = 0;
+    if (Status status = device.WritePages(batch.data(), batch.size(),
+                                          &written);
+        !status.ok()) {
+      bench::Fail(status, "io_file write");
+    }
+  }
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  ProbeResult probe;
+  probe.name = "write_b" + std::to_string(batch_pages) +
+               (direct ? "_direct" : "");
+  probe.direct_requested = direct;
+  probe.direct_effective = device.direct_io_effective();
+  probe.batch_pages = batch_pages;
+  probe.pages = pages;
+  probe.wall_seconds = seconds;
+  probe.pages_per_sec = seconds > 0 ? pages / seconds : 0;
+  probe.mb_per_sec =
+      seconds > 0 ? pages * kPageSize / seconds / (1024.0 * 1024.0) : 0;
+  probe.fsyncs = device.MeasuredStats().fsyncs;
+  ::unlink(options.path.c_str());
+  Report(probe);
+  return probe;
+}
+
+ProbeResult ReadProbe(bool readahead) {
+  const size_t pages = NumPages();
+  constexpr size_t kWindow = 64;
+  FileDeviceOptions options;
+  options.path = WorkPath("read");
+  options.readahead_pages = readahead ? kWindow : 0;
+  FileDevice device(kPageSize, nullptr, options);
+  if (!device.status().ok()) bench::Fail(device.status(), "io_file open");
+  device.AllocatePages(pages);
+
+  std::vector<std::byte> payload(kPageSize, std::byte{0x42});
+  for (size_t p = 0; p < pages; ++p) {
+    if (Status status = device.WritePage(p, payload); !status.ok()) {
+      bench::Fail(status, "io_file prepare");
+    }
+  }
+
+  std::vector<std::byte> out(kPageSize);
+  std::vector<PageId> window;
+  const auto start = Clock::now();
+  for (size_t p = 0; p < pages; ++p) {
+    if (readahead && p % kWindow == 0) {
+      window.clear();
+      for (size_t i = p; i < std::min(p + kWindow, pages); ++i) {
+        window.push_back(static_cast<PageId>(i));
+      }
+      device.Prefetch(window);
+    }
+    if (Status status = device.ReadPage(p, out); !status.ok()) {
+      bench::Fail(status, "io_file read");
+    }
+  }
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  const MeasuredIoStats measured = device.MeasuredStats();
+  ProbeResult probe;
+  probe.name = readahead ? "read_readahead" : "read_seq";
+  probe.batch_pages = readahead ? kWindow : 1;
+  probe.pages = pages;
+  probe.wall_seconds = seconds;
+  probe.pages_per_sec = seconds > 0 ? pages / seconds : 0;
+  probe.mb_per_sec =
+      seconds > 0 ? pages * kPageSize / seconds / (1024.0 * 1024.0) : 0;
+  probe.readahead_hits = measured.readahead_hits;
+  probe.readahead_misses = measured.readahead_misses;
+  ::unlink(options.path.c_str());
+  Report(probe);
+  return probe;
+}
+
+}  // namespace
+}  // namespace odbgc
+
+int main(int argc, char** argv) {
+  using namespace odbgc;
+
+  const char* json_path = "BENCH_storage.json";
+  if (argc > 1) json_path = argv[1];
+
+  bench::PrintHeader("File-backend I/O probes",
+                     "storage engineering (no paper table)");
+
+  std::vector<ProbeResult> probes;
+  for (const size_t batch : {size_t{1}, size_t{8}, size_t{32}, size_t{128}}) {
+    probes.push_back(WriteProbe(batch, /*direct=*/false));
+  }
+  for (const size_t batch : {size_t{32}, size_t{128}}) {
+    probes.push_back(WriteProbe(batch, /*direct=*/true));
+  }
+  probes.push_back(ReadProbe(/*readahead=*/false));
+  probes.push_back(ReadProbe(/*readahead=*/true));
+
+  std::ofstream json(json_path);
+  json << "{\n  \"bench\": \"storage\",\n";
+  json << "  \"fast_mode\": " << (bench::FastMode() ? "true" : "false")
+       << ",\n  \"page_size\": " << kPageSize << ",\n  \"probes\": [\n";
+  for (size_t i = 0; i < probes.size(); ++i) {
+    const ProbeResult& p = probes[i];
+    json << "    {\n      \"name\": \"" << p.name << "\",\n";
+    json << "      \"direct_requested\": "
+         << (p.direct_requested ? "true" : "false") << ",\n";
+    json << "      \"direct_effective\": "
+         << (p.direct_effective ? "true" : "false") << ",\n";
+    json << "      \"batch_pages\": " << p.batch_pages << ",\n";
+    json << "      \"pages\": " << p.pages << ",\n";
+    json << "      \"wall_seconds\": " << p.wall_seconds << ",\n";
+    json << "      \"pages_per_sec\": " << p.pages_per_sec << ",\n";
+    json << "      \"mb_per_sec\": " << p.mb_per_sec << ",\n";
+    json << "      \"fsyncs\": " << p.fsyncs << ",\n";
+    json << "      \"readahead_hits\": " << p.readahead_hits << ",\n";
+    json << "      \"readahead_misses\": " << p.readahead_misses << "\n";
+    json << "    }" << (i + 1 < probes.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  json.close();
+  std::printf("\nWrote %s\n", json_path);
+  return 0;
+}

@@ -18,6 +18,7 @@
 #include "sim/config.h"
 #include "sim/report.h"
 #include "sim/runner.h"
+#include "storage/device_registry.h"
 #include "util/table_printer.h"
 
 namespace {
@@ -40,6 +41,11 @@ void Usage(const char* prog) {
       "  --trigger=N            overwrites per collection (default 150)\n"
       "  --manifest-dir=DIR     write a run manifest per (policy, seed)\n"
       "                         for odbgc-report\n"
+      "  --device=SPEC          storage backend: disk, ssd, or\n"
+      "                         file:<path> (per-run files get a\n"
+      "                         -<policy>-s<seed> suffix; see\n"
+      "                         --list-devices)\n"
+      "  --list-devices         print the device registry and exit\n"
       "  --csv                  CSV instead of aligned tables\n",
       prog);
 }
@@ -89,6 +95,21 @@ int main(int argc, char** argv) {
       return 0;
     } else if (ParseFlag(argv[i], "--manifest-dir", &value)) {
       spec.manifest_dir = value;
+    } else if (ParseFlag(argv[i], "--device", &value)) {
+      if (!IsDeviceRegistered(DeviceSpecName(value))) {
+        std::fprintf(stderr, "unknown device \"%s\"; registered:\n",
+                     DeviceSpecName(value).c_str());
+        for (const std::string& known : RegisteredDeviceNames()) {
+          std::fprintf(stderr, "  %s\n", known.c_str());
+        }
+        return 1;
+      }
+      spec.base.heap.device_spec = value;
+    } else if (std::strcmp(argv[i], "--list-devices") == 0) {
+      for (const std::string& known : RegisteredDeviceNames()) {
+        std::printf("%s\n", known.c_str());
+      }
+      return 0;
     } else if (ParseFlag(argv[i], "--seeds", &value)) {
       spec.num_seeds = std::atoi(value.c_str());
     } else if (ParseFlag(argv[i], "--first-seed", &value)) {
@@ -153,6 +174,8 @@ int main(int argc, char** argv) {
     PrintStorageTable(summaries, std::cout);
     std::cout << '\n';
     PrintEfficiencyTable(summaries, std::cout);
+    std::cout << '\n';
+    PrintDeviceTimeTable(summaries, std::cout);
   }
   return 0;
 }

@@ -113,11 +113,41 @@ Status BufferPool::WriteBack(Frame& frame) {
 }
 
 Status BufferPool::FlushAll() {
+  // Dirty frames in slot order — the same order the per-frame loop used,
+  // so the device's request-order accounting (sequential/random
+  // classification, fault schedule) is unchanged by batching.
+  std::vector<PageWriteRequest> batch;
+  std::vector<uint32_t> slots;
   for (uint32_t slot = 0; slot < used_frames_; ++slot) {
-    if (frames_[slot].page == kInvalidPageId) continue;
-    ODBGC_RETURN_IF_ERROR(WriteBack(frames_[slot]));
+    Frame& frame = frames_[slot];
+    if (frame.page == kInvalidPageId || !frame.dirty) continue;
+    batch.push_back(
+        {frame.page, std::span<const std::byte>(frame.data)});
+    slots.push_back(slot);
   }
-  return Status::Ok();
+  if (batch.empty()) return Status::Ok();
+  size_t written = 0;
+  const Status status =
+      device_->WritePages(batch.data(), batch.size(), &written);
+  // The device accepted the first `written` requests (all of them on Ok);
+  // those frames are clean now, the rest keep their dirty bit.
+  for (size_t i = 0; i < written; ++i) {
+    registry_->Count(writes_);
+    frames_[slots[i]].dirty = false;
+  }
+  return status;
+}
+
+void BufferPool::PrefetchExtent(const PageExtent& extent) {
+  if (!extent.valid()) return;
+  std::vector<PageId> pages;
+  pages.reserve(extent.page_count);
+  for (PageId p = extent.first_page; p < extent.end_page(); ++p) {
+    if (!page_to_frame_.Contains(p)) pages.push_back(p);
+  }
+  if (!pages.empty()) {
+    device_->Prefetch(std::span<const PageId>(pages));
+  }
 }
 
 void BufferPool::DiscardExtent(const PageExtent& extent) {

@@ -73,8 +73,18 @@ class BufferPool {
   Result<std::span<std::byte>> GetPage(PageId page, AccessMode mode);
 
   /// Writes all dirty frames back to the device (counted in the current
-  /// phase). Frames stay resident and become clean.
+  /// phase) as one WritePages batch — a real-I/O backend runs the batch
+  /// through its scheduler and fsyncs once at the end; counters are
+  /// identical to per-frame write-back. Frames stay resident and become
+  /// clean.
   Status FlushAll();
+
+  /// Hints the device that `extent` is about to be scanned (the collector
+  /// announces its victim before the copy traversal). Pages already
+  /// resident are filtered out — those reads hit the pool, not the device.
+  /// Advisory and free of simulated I/O: backends without read-ahead
+  /// ignore it.
+  void PrefetchExtent(const PageExtent& extent);
 
   /// Drops any resident frames covering `extent` *without* write-back.
   /// Used when a partition's contents have been discarded wholesale (its

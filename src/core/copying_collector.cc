@@ -45,6 +45,10 @@ Result<CollectionResult> CopyingCollector::Collect(
   }
 
   PhaseScope phase(buffer_, IoPhase::kCollector);
+  // Announce the victim's extent before the copy traversal touches it: a
+  // read-ahead backend stages those pages while the traversal works, an
+  // in-memory backend ignores the hint. Never affects simulated I/O.
+  buffer_->PrefetchExtent(store_->partition(victim).extent());
   const BufferStats before = buffer_->stats();
 
   CollectionResult result;

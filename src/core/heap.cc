@@ -6,11 +6,41 @@
 #include <cstdlib>
 
 #include "core/reachability.h"
+#include "storage/device_registry.h"
 #include "util/serde.h"
 
 namespace odbgc {
 
 namespace {
+
+// Builds the configured backend through the device registry; `device_spec`
+// wins over the `device` kind enum. Like an unregistered policy name, a
+// bad spec is a configuration error and fails loudly.
+std::unique_ptr<PageDevice> MakeConfiguredDevice(HeapOptions& options,
+                                                 MetricsRegistry* registry) {
+  DeviceContext context;
+  context.page_size = options.store.page_size;
+  context.registry = registry;
+  context.disk_cost = options.disk_cost;
+  context.ssd_cost = options.ssd_cost;
+  context.file = options.file_device;
+  // The file backend's estimated-time surface uses the paper's disk model
+  // unless the caller overrode it explicitly.
+  context.file.cost = options.disk_cost;
+  const std::string spec = options.device_spec.empty()
+                               ? DeviceKindName(options.device)
+                               : options.device_spec;
+  auto made = MakeDeviceFromSpec(spec, context);
+  if (!made.ok()) {
+    std::fprintf(stderr, "odbgc: %s\n", made.status().ToString().c_str());
+    std::abort();
+  }
+  std::unique_ptr<PageDevice> device = std::move(made).value();
+  // Both identity surfaces now reflect the instantiated backend.
+  options.device = device->kind();
+  options.device_spec = spec;
+  return device;
+}
 
 // Phase-event publication: the clock is only read when a run is observed.
 using PhaseClock = std::chrono::steady_clock;
@@ -35,9 +65,7 @@ void PublishPhase(SimObserver* observer, const char* phase,
 
 CollectedHeap::CollectedHeap(const HeapOptions& options) : options_(options) {
   metrics_ = std::make_unique<MetricsRegistry>();
-  device_ = MakePageDevice(options_.device, options_.store.page_size,
-                           metrics_.get(), options_.disk_cost,
-                           options_.ssd_cost);
+  device_ = MakeConfiguredDevice(options_, metrics_.get());
   buffer_ = std::make_unique<BufferPool>(device_.get(), options_.buffer_pages,
                                          options_.replacement);
   store_ = std::make_unique<ObjectStore>(options_.store, device_.get(),
@@ -48,9 +76,7 @@ CollectedHeap::CollectedHeap(const HeapOptions& options) : options_(options) {
 CollectedHeap::CollectedHeap(const HeapOptions& options, RestoreTag)
     : options_(options) {
   metrics_ = std::make_unique<MetricsRegistry>();
-  device_ = MakePageDevice(options_.device, options_.store.page_size,
-                           metrics_.get(), options_.disk_cost,
-                           options_.ssd_cost);
+  device_ = MakeConfiguredDevice(options_, metrics_.get());
   buffer_ = std::make_unique<BufferPool>(device_.get(), options_.buffer_pages,
                                          options_.replacement);
 }

@@ -19,6 +19,7 @@
 #include "observe/observer.h"
 #include "odb/object_store.h"
 #include "storage/disk.h"
+#include "storage/file_device.h"
 #include "storage/page_device.h"
 #include "storage/ssd_device.h"
 #include "util/metrics_registry.h"
@@ -63,10 +64,24 @@ struct HeapOptions {
   /// Storage backend the heap runs on. The default reproduces the paper's
   /// seek/rotation/transfer disk.
   DeviceKind device = DeviceKind::kSimulatedDisk;
+  /// Storage backend by registry spec — "disk", "ssd", "file:<path>", or
+  /// any name added with RegisterDevice — the open-world twin of
+  /// `policy_name`. Takes precedence over `device`; after construction it
+  /// always names the instantiated backend. An unknown name aborts —
+  /// validate untrusted specs with IsDeviceRegistered at the config
+  /// boundary. A "file" spec runs the identical simulated workload against
+  /// a real partition file: simulated counters stay bit-identical to the
+  /// in-memory backends, and measured wall-clock I/O is reported
+  /// separately (PageDevice::MeasuredStats).
+  std::string device_spec;
   /// Timing model for DeviceKind::kSimulatedDisk.
   DiskCostParams disk_cost;
   /// Geometry/timing model for DeviceKind::kSsd.
   SsdCostParams ssd_cost;
+  /// Options for the "file" backend (direct I/O, fsync barriers,
+  /// read-ahead depth, scheduler threads; the path may instead come from
+  /// the spec argument, which wins).
+  FileDeviceOptions file_device;
   /// Buffer replacement policy. Strict LRU is the paper's cost model.
   ReplacementPolicyKind replacement = ReplacementPolicyKind::kLru;
   /// Partition selection policy, as a behaviour-class enum (the paper's

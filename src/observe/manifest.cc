@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "storage/device_registry.h"
 #include "util/crc32.h"
 
 namespace odbgc {
@@ -56,7 +57,13 @@ Json ConfigJson(const SimulationConfig& config) {
   Json heap_json = Json::Obj();
   heap_json.Set("store", std::move(store));
   heap_json.Set("buffer_pages", Json::UInt(heap.buffer_pages));
-  heap_json.Set("device", Json::Str(DeviceKindName(heap.device)));
+  // The registry *name* of the backend, never the full spec: a "file"
+  // spec's path is per-run (the runner uniquifies it), and config digests
+  // must stay identical across the runs of one experiment. The full spec
+  // is recorded in the manifest's `measured` section instead.
+  heap_json.Set("device", Json::Str(heap.device_spec.empty()
+                                        ? DeviceKindName(heap.device)
+                                        : DeviceSpecName(heap.device_spec)));
   heap_json.Set("disk_cost", std::move(disk_cost));
   heap_json.Set("ssd_cost", std::move(ssd_cost));
   heap_json.Set("replacement",
@@ -205,6 +212,24 @@ Json BuildManifest(const SimulationConfig& config,
   manifest.Set("policy", Json::Str(result.policy_name));
   manifest.Set("seed", Json::UInt(result.seed));
   manifest.Set("result", ResultJson(result));
+  // Measured wall-clock I/O, only for backends that perform real system
+  // calls. A top-level sibling of `result` — never inside it — so the
+  // deterministic surface (config, digest, result) stays byte-identical
+  // across machines and crash/resume; in-memory manifests are unchanged.
+  if (result.measured.measured) {
+    const MeasuredIoStats& m = result.measured;
+    Json measured = Json::Obj();
+    measured.Set("device_spec", Json::Str(config.heap.device_spec));
+    measured.Set("reads", Json::UInt(m.reads));
+    measured.Set("writes", Json::UInt(m.writes));
+    measured.Set("fsyncs", Json::UInt(m.fsyncs));
+    measured.Set("batches", Json::UInt(m.batches));
+    measured.Set("readahead_hits", Json::UInt(m.readahead_hits));
+    measured.Set("readahead_misses", Json::UInt(m.readahead_misses));
+    measured.Set("prefetched_pages", Json::UInt(m.prefetched_pages));
+    measured.Set("wall_ms", Json::Double(m.wall_ms));
+    manifest.Set("measured", std::move(measured));
+  }
   return manifest;
 }
 
@@ -271,6 +296,18 @@ Status ValidateManifest(const Json& manifest) {
   if (policy->string_value() != result.Get("policy")->string_value()) {
     return Status::InvalidArgument(
         "manifest top-level policy does not match result.policy");
+  }
+  // `measured` is optional (present only for real-I/O backends); when
+  // present it must be well-formed.
+  const Json* measured = manifest.Get("measured");
+  if (measured != nullptr) {
+    if (!measured->is_object()) return Missing("measured", "object");
+    for (const char* key :
+         {"reads", "writes", "fsyncs", "batches", "readahead_hits",
+          "readahead_misses", "prefetched_pages", "wall_ms"}) {
+      ODBGC_RETURN_IF_ERROR(RequireNumber(*measured, key));
+    }
+    ODBGC_RETURN_IF_ERROR(RequireString(*measured, "device_spec"));
   }
   return Status::Ok();
 }

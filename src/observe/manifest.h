@@ -17,15 +17,19 @@ namespace odbgc {
 /// paper's tables draw on. Manifests are the interchange format between
 /// the experiment runners and `odbgc-report`.
 ///
-/// Determinism contract: a manifest is a pure function of
-/// (result-determining config, SimulationResult). Since simulation results
-/// are bit-identical across crash/resume (the recovery engine's replay
-/// guarantee) and Json::Dump() is canonical, the manifest of a resumed run
-/// is **byte-identical** to that of an uninterrupted one. To keep that
-/// property, wall-clock measurements never enter a manifest — they flow
-/// only through SimObserver::OnPhase and the heap's wall_metrics()
-/// registry. Durability knobs (wal_dir, checkpoint cadence) are likewise
-/// excluded from both the config section and the digest.
+/// Determinism contract: the `config`, `config_digest` and `result`
+/// sections are a pure function of (result-determining config,
+/// SimulationResult). Since simulation results are bit-identical across
+/// crash/resume (the recovery engine's replay guarantee) and Json::Dump()
+/// is canonical, those sections of a resumed run are **byte-identical** to
+/// an uninterrupted one's. Wall-clock measurements never enter them — they
+/// flow through SimObserver::OnPhase and the heap's wall_metrics()
+/// registry, and, for real-I/O backends ("file"), into the OPTIONAL
+/// top-level `measured` section: physical transfer/fsync counts, read-ahead
+/// outcomes and wall milliseconds, plus the per-run device spec. `measured`
+/// is absent for in-memory backends (their manifests are unchanged) and
+/// excluded from the digest. Durability knobs (wal_dir, checkpoint cadence)
+/// are likewise excluded from both the config section and the digest.
 
 /// Bumped whenever a field is added, removed, or changes meaning.
 inline constexpr uint64_t kManifestSchemaVersion = 1;

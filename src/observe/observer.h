@@ -59,6 +59,42 @@ struct FaultEvent {
   uint64_t ordinal = 0;
 };
 
+/// A real-I/O device submitted or completed a scheduler batch. Published
+/// twice per batch (submitted, then completed); `wall_ns` is meaningful
+/// only on completion. Only backends doing actual system calls publish
+/// these (FileDevice); the batch *sequence* is deterministic, the wall
+/// time is not.
+struct DeviceBatchEvent {
+  bool is_write = false;
+  bool completed = false;
+  /// Pages in the batch.
+  uint64_t pages = 0;
+  /// 1-based batch count on this device.
+  uint64_t ordinal = 0;
+  /// Submit-to-drain wall time (completion events only).
+  uint64_t wall_ns = 0;
+};
+
+/// A real-I/O device ran a durability barrier (fsync).
+struct DeviceSyncEvent {
+  /// 1-based fsync count on this device.
+  uint64_t ordinal = 0;
+  uint64_t wall_ns = 0;
+};
+
+/// A read-ahead prefetch completed. Cumulative hit/miss counters ride
+/// along so a sink can chart cache effectiveness without subscribing to
+/// per-read events.
+struct ReadAheadEvent {
+  /// Pages requested by this prefetch (after residency filtering).
+  uint64_t requested_pages = 0;
+  /// Pages actually staged into the cache by this prefetch.
+  uint64_t installed_pages = 0;
+  /// Cumulative ReadPage outcomes against the cache so far.
+  uint64_t total_hits = 0;
+  uint64_t total_misses = 0;
+};
+
 /// A measured phase completed. `wall_ns` is host wall-clock time — the
 /// only nondeterministic payload in the event stream (the phase *sequence*
 /// is still deterministic).
@@ -85,6 +121,9 @@ class SimObserver {
   virtual void OnCheckpoint(const CheckpointEvent& event) { (void)event; }
   virtual void OnFault(const FaultEvent& event) { (void)event; }
   virtual void OnPhase(const PhaseEvent& event) { (void)event; }
+  virtual void OnDeviceBatch(const DeviceBatchEvent& event) { (void)event; }
+  virtual void OnDeviceSync(const DeviceSyncEvent& event) { (void)event; }
+  virtual void OnReadAhead(const ReadAheadEvent& event) { (void)event; }
 };
 
 }  // namespace odbgc

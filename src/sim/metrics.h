@@ -88,6 +88,14 @@ struct SimulationResult {
   /// for the SSD) — the "more detailed cost model" of Section 4.2.
   double estimated_device_time_ms = 0.0;
 
+  /// Measured (real wall-clock) I/O activity, for backends that perform
+  /// actual system calls ("file"); `measured.measured` is false and every
+  /// field zero for in-memory backends. Deliberately OUTSIDE the
+  /// deterministic result surface: equivalence tests compare everything
+  /// except this field, and manifests carry it in a separate top-level
+  /// section excluded from the config digest.
+  MeasuredIoStats measured;
+
   /// Full component stats for deeper inspection.
   HeapStats heap_stats;
   BufferStats buffer_stats;

@@ -34,6 +34,11 @@ struct PolicySummary {
   /// SimulationResult::estimated_device_time_ms).
   RunningStat device_time_ms;
   RunningStat relative_device_time;  // vs MostGarbage, same seed.
+  /// Measured wall-clock I/O time, for runs on a real-I/O backend
+  /// (SimulationResult::measured.wall_ms). Empty when no run measured.
+  RunningStat measured_io_ms;
+  /// True if any summarized run carried measured I/O.
+  bool any_measured = false;
 };
 
 /// Builds per-policy summaries from an experiment (preserves set order).

@@ -6,6 +6,7 @@
 
 #include "observe/manifest.h"
 #include "sim/simulator.h"
+#include "storage/device_registry.h"
 
 namespace odbgc {
 
@@ -89,6 +90,11 @@ Result<Experiment> RunExperimentWith(const ExperimentSpec& spec,
       SimulationConfig config = spec.base;
       config.seed = task.seed;
       config.heap.policy_name = *task.policy;
+      // Stateful backends must not share backing storage across the
+      // concurrent (policy, seed) runs of one experiment: a "file" spec's
+      // path is suffixed per run, stateless specs pass through.
+      config.heap.device_spec = PerRunDeviceSpec(
+          config.heap.device_spec, *task.policy, task.seed);
       if (spec.observer_factory) {
         observers[i] = spec.observer_factory(*task.policy, task.seed);
         config.heap.observer = observers[i].get();

@@ -286,6 +286,7 @@ SimulationResult Simulator::Finish() {
   result.buffer_stats = buffer;
   result.disk_stats = heap_->disk().stats();
   result.estimated_device_time_ms = heap_->disk().EstimateTimeMs();
+  result.measured = heap_->device().MeasuredStats();
   result.metrics = heap_->metrics()->Snapshot();
 
   const HeapStats& heap_stats = heap_->stats();

@@ -14,6 +14,8 @@ const char* DeviceKindName(DeviceKind kind) {
       return "disk";
     case DeviceKind::kSsd:
       return "ssd";
+    case DeviceKind::kFile:
+      return "file";
   }
   return "unknown";
 }
@@ -40,6 +42,19 @@ PageDevice::PageDevice(size_t page_size, MetricsRegistry* registry)
 }
 
 PageDevice::~PageDevice() = default;
+
+Status PageDevice::WritePages(const PageWriteRequest* requests, size_t count,
+                              size_t* written) {
+  for (size_t i = 0; i < count; ++i) {
+    const Status status = WritePage(requests[i].page, requests[i].data);
+    if (!status.ok()) {
+      if (written != nullptr) *written = i;
+      return status;
+    }
+  }
+  if (written != nullptr) *written = count;
+  return Status::Ok();
+}
 
 DiskStats PageDevice::stats() const {
   DiskStats stats;
@@ -130,6 +145,11 @@ std::unique_ptr<PageDevice> MakePageDevice(DeviceKind kind, size_t page_size,
       return std::make_unique<SimulatedDisk>(page_size, registry, disk_cost);
     case DeviceKind::kSsd:
       return std::make_unique<SsdDevice>(page_size, registry, ssd_cost);
+    case DeviceKind::kFile:
+      // A file backend needs FileDeviceOptions (at least a path), which
+      // this kind-keyed factory cannot carry; build it through the device
+      // registry ("file:<path>") instead. Fall back to the paper's disk.
+      break;
   }
   return std::make_unique<SimulatedDisk>(page_size, registry, disk_cost);
 }

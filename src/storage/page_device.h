@@ -27,6 +27,7 @@ class SimObserver;
 enum class DeviceKind : uint8_t {
   kSimulatedDisk = 0,  ///< Seek + rotation + transfer (the paper's model).
   kSsd = 1,            ///< Flash with erase-block GC amplification.
+  kFile = 2,           ///< A real partition file (pread/pwrite + fsync).
 };
 
 const char* DeviceKindName(DeviceKind kind);
@@ -45,6 +46,21 @@ struct DiskStats {
   uint64_t total() const { return page_reads + page_writes; }
 };
 
+/// What a scripted *write* fault physically leaves on the medium. The
+/// simulated devices always fail cleanly (the page keeps its old bytes);
+/// FileDevice can additionally damage the real file the way a power cut
+/// does, so recovery is tested against media that actually lies.
+enum class WriteFaultStyle : uint8_t {
+  /// Fail before touching the medium (every backend supports this).
+  kClean = 0,
+  /// Persist only a prefix of the page frame, then fail (interrupted
+  /// pwrite). The frame checksum no longer covers the bytes on disk.
+  kShortWrite = 1,
+  /// Persist a frame whose header claims the new contents but whose
+  /// payload is half old/garbage, then fail (torn sector write).
+  kTornPage = 2,
+};
+
 /// Fault-injection schedule for crash-recovery testing. Scripted triggers
 /// fire exactly once on the Nth transfer after InjectFaults; the
 /// probabilistic trigger draws from its own Rng stream, so arming it never
@@ -58,6 +74,44 @@ struct FaultPlan {
   double error_prob = 0.0;
   /// Seed for the probabilistic stream.
   uint64_t seed = 0;
+  /// Physical damage left behind by the scripted write fault. Backends
+  /// without real media treat everything as kClean.
+  WriteFaultStyle write_fault_style = WriteFaultStyle::kClean;
+};
+
+/// Real (wall-clock) I/O activity of a backend, for devices that perform
+/// actual system calls. Deliberately separate from the simulated transfer
+/// counters in the MetricsRegistry: simulated counters are bit-identical
+/// across runs and machines and flow into checkpoints; measured numbers
+/// never are, so they flow only into the manifest's `measured` section and
+/// SimObserver events. All-zero (`measured == false`) for in-memory
+/// backends.
+struct MeasuredIoStats {
+  /// True if this device performs real I/O (i.e. the numbers below mean
+  /// something).
+  bool measured = false;
+  /// Physical page-frame transfers actually issued (a read served from the
+  /// read-ahead cache does not count here, though it still counts as a
+  /// simulated page read).
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t fsyncs = 0;
+  /// Write batches submitted through the I/O scheduler.
+  uint64_t batches = 0;
+  /// Read-ahead cache outcomes across all ReadPage calls.
+  uint64_t readahead_hits = 0;
+  uint64_t readahead_misses = 0;
+  /// Pages staged by PrefetchExtent/Prefetch calls.
+  uint64_t prefetched_pages = 0;
+  /// Wall-clock time spent inside pread/pwrite/fsync, in milliseconds.
+  double wall_ms = 0.0;
+};
+
+/// One page write of a batch (see PageDevice::WritePages). The data span
+/// must stay valid until the call returns.
+struct PageWriteRequest {
+  PageId page = kInvalidPageId;
+  std::span<const std::byte> data;
 };
 
 /// A simulated secondary-memory device holding fixed-size pages: the seam
@@ -96,6 +150,32 @@ class PageDevice {
   /// Overwrites page `page` from `in` (size must equal page_size()).
   /// Counts one page write.
   virtual Status WritePage(PageId page, std::span<const std::byte> in) = 0;
+
+  /// Writes `count` pages as one barrier-delimited batch, stopping at the
+  /// first error; `*written` (may be null) receives the number of pages
+  /// accepted (== `count` iff the status is Ok). The default loops over
+  /// WritePage — identical counters and fault schedule to `count` single
+  /// writes; FileDevice overrides it to run the physical writes
+  /// concurrently through its I/O scheduler and fsync once at the end.
+  /// Transfer counting always happens on the calling thread, in request
+  /// order, so simulated results do not depend on the backend or its
+  /// thread count.
+  virtual Status WritePages(const PageWriteRequest* requests, size_t count,
+                            size_t* written);
+
+  /// Hints that `pages` will be read soon (the collector announces a
+  /// victim partition's extent before its copy traversal). Advisory:
+  /// backends without a read-ahead path ignore it, and it never touches
+  /// the simulated transfer counters.
+  virtual void Prefetch(std::span<const PageId> pages) { (void)pages; }
+
+  /// Durability barrier: everything written so far reaches stable storage
+  /// before the call returns (fsync for file-backed devices; a no-op for
+  /// in-memory simulation).
+  virtual Status Sync() { return Status::Ok(); }
+
+  /// Real-I/O activity (see MeasuredIoStats). Default: not measured.
+  virtual MeasuredIoStats MeasuredStats() const { return {}; }
 
   virtual size_t num_pages() const = 0;
 
@@ -149,6 +229,15 @@ class PageDevice {
 
   // Returns the injected fault for this transfer, if the plan fires.
   Status CheckFault(bool is_write);
+
+  // The armed plan, if any (FileDevice consults write_fault_style to decide
+  // what physical damage a fired write fault leaves behind).
+  const FaultPlan* armed_faults() const {
+    return faults_ ? &*faults_ : nullptr;
+  }
+
+  // The attached telemetry sink (may be null).
+  SimObserver* observer() const { return observer_; }
 
   // Registers an extra backend-specific counter that ResetStats should
   // also zero (e.g. the SSD's erase count).

@@ -1,0 +1,53 @@
+#include "storage/read_ahead.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace odbgc {
+
+ReadAhead::ReadAhead(size_t page_size, size_t capacity_pages)
+    : page_size_(page_size), capacity_(capacity_pages) {}
+
+bool ReadAhead::Lookup(PageId page, std::span<std::byte> out) {
+  auto it = entries_.find(page);
+  if (it == entries_.end()) {
+    ++misses_;
+    return false;
+  }
+  assert(out.size() == page_size_);
+  std::memcpy(out.data(), it->second.data.data(), page_size_);
+  entries_.erase(it);
+  ++hits_;
+  return true;
+}
+
+void ReadAhead::Install(PageId page, std::span<const std::byte> data) {
+  if (capacity_ == 0) return;
+  assert(data.size() == page_size_);
+  auto it = entries_.find(page);
+  if (it == entries_.end()) {
+    if (entries_.size() >= capacity_) EvictOldest();
+    Entry entry;
+    entry.data.assign(data.begin(), data.end());
+    entry.stamp = next_stamp_++;
+    entries_.emplace(page, std::move(entry));
+  } else {
+    std::memcpy(it->second.data.data(), data.data(), page_size_);
+    it->second.stamp = next_stamp_++;
+  }
+  ++installed_;
+}
+
+void ReadAhead::Invalidate(PageId page) { entries_.erase(page); }
+
+void ReadAhead::Clear() { entries_.clear(); }
+
+void ReadAhead::EvictOldest() {
+  auto victim = entries_.begin();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->second.stamp < victim->second.stamp) victim = it;
+  }
+  entries_.erase(victim);
+}
+
+}  // namespace odbgc

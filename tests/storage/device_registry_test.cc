@@ -1,0 +1,145 @@
+#include "storage/device_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "storage/file_device.h"
+
+namespace odbgc {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "odbgc_devreg_" + name;
+}
+
+TEST(DeviceRegistryTest, SpecSplitsAtFirstColon) {
+  EXPECT_EQ(DeviceSpecName("disk"), "disk");
+  EXPECT_EQ(DeviceSpecArg("disk"), "");
+  EXPECT_EQ(DeviceSpecName("file:/tmp/a.odb"), "file");
+  EXPECT_EQ(DeviceSpecArg("file:/tmp/a.odb"), "/tmp/a.odb");
+  // Only the FIRST colon splits (paths may contain more).
+  EXPECT_EQ(DeviceSpecArg("file:/tmp/a:b"), "/tmp/a:b");
+}
+
+TEST(DeviceRegistryTest, BuiltinsAreRegistered) {
+  EXPECT_TRUE(IsDeviceRegistered("disk"));
+  EXPECT_TRUE(IsDeviceRegistered("ssd"));
+  EXPECT_TRUE(IsDeviceRegistered("file"));
+  EXPECT_TRUE(IsDeviceRegistered("file:/some/path"));  // Name portion.
+  EXPECT_FALSE(IsDeviceRegistered("tape"));
+
+  const auto names = RegisteredDeviceNames();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  for (const char* builtin : {"disk", "ssd", "file"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), builtin), names.end())
+        << builtin;
+  }
+}
+
+TEST(DeviceRegistryTest, MakesBuiltinDevices) {
+  DeviceContext context;
+  context.page_size = 1024;
+
+  auto disk = MakeDeviceFromSpec("disk", context);
+  ASSERT_TRUE(disk.ok());
+  EXPECT_EQ((*disk)->kind(), DeviceKind::kSimulatedDisk);
+
+  auto ssd = MakeDeviceFromSpec("ssd", context);
+  ASSERT_TRUE(ssd.ok());
+  EXPECT_EQ((*ssd)->kind(), DeviceKind::kSsd);
+
+  context.file.path = TempPath("make_builtin.odb");
+  auto file = MakeDeviceFromSpec("file", context);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  EXPECT_EQ((*file)->kind(), DeviceKind::kFile);
+}
+
+TEST(DeviceRegistryTest, FileSpecArgOverridesContextPath) {
+  DeviceContext context;
+  context.page_size = 1024;
+  context.file.path = TempPath("ignored.odb");
+  const std::string arg_path = TempPath("from_arg.odb");
+
+  auto device = MakeDeviceFromSpec("file:" + arg_path, context);
+  ASSERT_TRUE(device.ok()) << device.status().ToString();
+  auto* file = static_cast<FileDevice*>(device->get());
+  EXPECT_EQ(file->options().path, arg_path);
+}
+
+TEST(DeviceRegistryTest, UnknownSpecListsRegisteredNames) {
+  DeviceContext context;
+  const auto result = MakeDeviceFromSpec("tape", context);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().ToString().find("disk"), std::string::npos);
+}
+
+TEST(DeviceRegistryTest, FileWithoutPathFails) {
+  DeviceContext context;  // context.file.path empty, no spec arg.
+  EXPECT_EQ(MakeDeviceFromSpec("file", context).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DeviceRegistryTest, FileOpenFailureSurfacesAtConstruction) {
+  DeviceContext context;
+  const auto result =
+      MakeDeviceFromSpec("file:/no/such/dir/odbgc.odb", context);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(DeviceRegistryTest, RegisterRejectsBadAndDuplicateNames) {
+  EXPECT_EQ(RegisterDevice("", [](const DeviceContext&, const std::string&)
+                               -> Result<std::unique_ptr<PageDevice>> {
+              return Status::InvalidArgument("unreachable");
+            }).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RegisterDevice("bad:name",
+                           [](const DeviceContext&, const std::string&)
+                               -> Result<std::unique_ptr<PageDevice>> {
+                             return Status::InvalidArgument("unreachable");
+                           })
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RegisterDevice("disk", [](const DeviceContext&,
+                                      const std::string&)
+                               -> Result<std::unique_ptr<PageDevice>> {
+              return Status::InvalidArgument("unreachable");
+            }).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(DeviceRegistryTest, CustomDeviceRoundTrips) {
+  const Status registered = RegisterDevice(
+      "test-null-device",
+      [](const DeviceContext& context,
+         const std::string&) -> Result<std::unique_ptr<PageDevice>> {
+        return std::unique_ptr<PageDevice>(
+            new SimulatedDisk(context.page_size, context.registry));
+      });
+  // Another test binary run may have registered it already.
+  if (registered.ok()) {
+    EXPECT_TRUE(IsDeviceRegistered("test-null-device"));
+    DeviceContext context;
+    auto device = MakeDeviceFromSpec("test-null-device", context);
+    ASSERT_TRUE(device.ok());
+    EXPECT_EQ((*device)->kind(), DeviceKind::kSimulatedDisk);
+  }
+}
+
+TEST(DeviceRegistryTest, PerRunSpecSuffixesOnlyFilePaths) {
+  EXPECT_EQ(PerRunDeviceSpec("disk", "Random", 3), "disk");
+  EXPECT_EQ(PerRunDeviceSpec("ssd", "Random", 3), "ssd");
+  EXPECT_EQ(PerRunDeviceSpec("file:/tmp/x.odb", "Random", 3),
+            "file:/tmp/x.odb-Random-s3");
+  // Distinct (policy, seed) pairs never collide on one backing file.
+  EXPECT_NE(PerRunDeviceSpec("file:/tmp/x.odb", "Random", 1),
+            PerRunDeviceSpec("file:/tmp/x.odb", "Random", 2));
+  EXPECT_NE(PerRunDeviceSpec("file:/tmp/x.odb", "Random", 1),
+            PerRunDeviceSpec("file:/tmp/x.odb", "MostGarbage", 1));
+}
+
+}  // namespace
+}  // namespace odbgc

@@ -1,0 +1,402 @@
+#include "storage/file_device.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "observe/observer.h"
+#include "storage/disk.h"
+
+namespace odbgc {
+namespace {
+
+constexpr size_t kPageSize = 1024;
+
+std::string TempPath(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "odbgc_filedev_" + name;
+  ::unlink(path.c_str());
+  return path;
+}
+
+FileDeviceOptions Options(const std::string& name) {
+  FileDeviceOptions options;
+  options.path = TempPath(name);
+  options.io_threads = 2;
+  return options;
+}
+
+std::vector<std::byte> Page(uint8_t fill) {
+  return std::vector<std::byte>(kPageSize, std::byte{fill});
+}
+
+TEST(FileDeviceTest, EmptyPathFailsFast) {
+  FileDevice device(kPageSize, nullptr, FileDeviceOptions{});
+  EXPECT_EQ(device.status().code(), StatusCode::kInvalidArgument);
+  device.AllocatePages(2);
+  auto buf = Page(0);
+  EXPECT_FALSE(device.ReadPage(0, buf).ok());
+  EXPECT_FALSE(device.WritePage(0, buf).ok());
+}
+
+TEST(FileDeviceTest, UnopenablePathSurfacesIoError) {
+  FileDeviceOptions options;
+  options.path = ::testing::TempDir() + "no_such_dir_odbgc/x.odb";
+  FileDevice device(kPageSize, nullptr, options);
+  EXPECT_EQ(device.status().code(), StatusCode::kIoError);
+}
+
+TEST(FileDeviceTest, FreshPagesReadAsZeros) {
+  FileDevice device(kPageSize, nullptr, Options("zeros"));
+  ASSERT_TRUE(device.status().ok()) << device.status().ToString();
+  const PageExtent extent = device.AllocatePages(3);
+  EXPECT_EQ(extent.first_page, 0u);
+  EXPECT_EQ(device.num_pages(), 3u);
+
+  auto buf = Page(0xff);
+  ASSERT_TRUE(device.ReadPage(2, buf).ok());
+  EXPECT_EQ(buf, Page(0));
+  ::unlink(device.options().path.c_str());
+}
+
+TEST(FileDeviceTest, WriteReadRoundTripWithCounters) {
+  FileDevice device(kPageSize, nullptr, Options("roundtrip"));
+  ASSERT_TRUE(device.status().ok()) << device.status().ToString();
+  device.AllocatePages(4);
+
+  ASSERT_TRUE(device.WritePage(1, Page(0x5a)).ok());
+  ASSERT_TRUE(device.WritePage(2, Page(0xa5)).ok());
+  auto buf = Page(0);
+  ASSERT_TRUE(device.ReadPage(1, buf).ok());
+  EXPECT_EQ(buf, Page(0x5a));
+  ASSERT_TRUE(device.ReadPage(2, buf).ok());
+  EXPECT_EQ(buf, Page(0xa5));
+
+  const DiskStats stats = device.stats();
+  EXPECT_EQ(stats.page_writes, 2u);
+  EXPECT_EQ(stats.page_reads, 2u);
+  // write 1, write 2 (sequential), read 1, read 2 (sequential).
+  EXPECT_EQ(stats.sequential_transfers, 2u);
+  EXPECT_EQ(stats.random_transfers, 2u);
+
+  const MeasuredIoStats measured = device.MeasuredStats();
+  EXPECT_TRUE(measured.measured);
+  EXPECT_EQ(measured.writes, 2u);
+  EXPECT_EQ(measured.reads, 2u);
+  ::unlink(device.options().path.c_str());
+}
+
+TEST(FileDeviceTest, ValidatesRangeAndBufferSize) {
+  FileDevice device(kPageSize, nullptr, Options("validate"));
+  ASSERT_TRUE(device.status().ok());
+  device.AllocatePages(2);
+  auto buf = Page(0);
+  EXPECT_EQ(device.ReadPage(2, buf).code(), StatusCode::kOutOfRange);
+  std::vector<std::byte> small(kPageSize / 2);
+  EXPECT_EQ(device.WritePage(0, small).code(),
+            StatusCode::kInvalidArgument);
+  ::unlink(device.options().path.c_str());
+}
+
+// The simulated-counter surface must be bit-identical to SimulatedDisk for
+// the same request sequence — that is what makes a file-backed run
+// comparable to the paper's in-memory model.
+TEST(FileDeviceTest, SimulatedCountersMatchSimulatedDisk) {
+  FileDevice file(kPageSize, nullptr, Options("counters"));
+  ASSERT_TRUE(file.status().ok());
+  SimulatedDisk disk(kPageSize);
+  file.AllocatePages(8);
+  disk.AllocatePages(8);
+
+  auto buf = Page(0);
+  const PageId sequence[] = {0, 1, 2, 7, 3, 4, 4, 6, 5, 0};
+  for (const PageId page : sequence) {
+    ASSERT_TRUE(file.WritePage(page, Page(uint8_t(page))).ok());
+    ASSERT_TRUE(disk.WritePage(page, Page(uint8_t(page))).ok());
+  }
+  for (const PageId page : sequence) {
+    ASSERT_TRUE(file.ReadPage(page, buf).ok());
+    ASSERT_TRUE(disk.ReadPage(page, buf).ok());
+  }
+
+  const DiskStats a = file.stats();
+  const DiskStats b = disk.stats();
+  EXPECT_EQ(a.page_reads, b.page_reads);
+  EXPECT_EQ(a.page_writes, b.page_writes);
+  EXPECT_EQ(a.sequential_transfers, b.sequential_transfers);
+  EXPECT_EQ(a.random_transfers, b.random_transfers);
+  // Same cost model (the default DiskCostParams) -> same estimate.
+  EXPECT_DOUBLE_EQ(file.EstimateTimeMs(), disk.EstimateTimeMs());
+  ::unlink(file.options().path.c_str());
+}
+
+TEST(FileDeviceTest, WritePagesBatchCountsLikeSingleWrites) {
+  FileDevice device(kPageSize, nullptr, Options("batch"));
+  ASSERT_TRUE(device.status().ok());
+  device.AllocatePages(6);
+
+  std::vector<std::vector<std::byte>> payloads;
+  for (uint8_t i = 0; i < 5; ++i) payloads.push_back(Page(i + 1));
+  std::vector<PageWriteRequest> batch;
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    batch.push_back({static_cast<PageId>(i), payloads[i]});
+  }
+  size_t written = 0;
+  ASSERT_TRUE(device.WritePages(batch.data(), batch.size(), &written).ok());
+  EXPECT_EQ(written, 5u);
+
+  const DiskStats stats = device.stats();
+  EXPECT_EQ(stats.page_writes, 5u);
+  EXPECT_EQ(stats.sequential_transfers, 4u);
+
+  const MeasuredIoStats measured = device.MeasuredStats();
+  EXPECT_EQ(measured.writes, 5u);
+  EXPECT_EQ(measured.batches, 1u);
+  EXPECT_EQ(measured.fsyncs, 1u);  // sync_on_barrier default.
+
+  auto buf = Page(0);
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    ASSERT_TRUE(device.ReadPage(i, buf).ok());
+    EXPECT_EQ(buf, payloads[i]) << "page " << i;
+  }
+  ::unlink(device.options().path.c_str());
+}
+
+TEST(FileDeviceTest, DuplicatePageInBatchKeepsLastWrite) {
+  FileDevice device(kPageSize, nullptr, Options("dup"));
+  ASSERT_TRUE(device.status().ok());
+  device.AllocatePages(2);
+  const auto first = Page(0x11);
+  const auto second = Page(0x22);
+  const auto other = Page(0x33);
+  PageWriteRequest batch[] = {{0, first}, {1, other}, {0, second}};
+  size_t written = 0;
+  ASSERT_TRUE(device.WritePages(batch, 3, &written).ok());
+  EXPECT_EQ(written, 3u);
+  auto buf = Page(0);
+  ASSERT_TRUE(device.ReadPage(0, buf).ok());
+  EXPECT_EQ(buf, second);
+  ::unlink(device.options().path.c_str());
+}
+
+TEST(FileDeviceTest, CleanWriteFaultLeavesOldBytes) {
+  FileDevice device(kPageSize, nullptr, Options("clean_fault"));
+  ASSERT_TRUE(device.status().ok());
+  device.AllocatePages(2);
+  ASSERT_TRUE(device.WritePage(0, Page(0x77)).ok());
+
+  FaultPlan plan;
+  plan.fail_after_writes = 1;  // Next write fails, cleanly.
+  device.InjectFaults(plan);
+  EXPECT_EQ(device.WritePage(0, Page(0x88)).code(), StatusCode::kIoError);
+  EXPECT_EQ(device.faults_fired(), 1u);
+
+  auto buf = Page(0);
+  ASSERT_TRUE(device.ReadPage(0, buf).ok());
+  EXPECT_EQ(buf, Page(0x77));
+  ::unlink(device.options().path.c_str());
+}
+
+// A short write leaves a frame whose checksum no longer covers the bytes
+// on disk: the next read must surface Corruption, not stale data.
+TEST(FileDeviceTest, ShortWriteFaultLeavesDetectableCorruption) {
+  FileDevice device(kPageSize, nullptr, Options("short_fault"));
+  ASSERT_TRUE(device.status().ok());
+  device.AllocatePages(2);
+  ASSERT_TRUE(device.WritePage(0, Page(0x77)).ok());
+
+  FaultPlan plan;
+  plan.fail_after_writes = 1;
+  plan.write_fault_style = WriteFaultStyle::kShortWrite;
+  device.InjectFaults(plan);
+  EXPECT_EQ(device.WritePage(0, Page(0x88)).code(), StatusCode::kIoError);
+  device.ClearFaults();
+
+  auto buf = Page(0);
+  EXPECT_EQ(device.ReadPage(0, buf).code(), StatusCode::kCorruption);
+  // Untouched pages still read fine.
+  ASSERT_TRUE(device.ReadPage(1, buf).ok());
+  EXPECT_EQ(buf, Page(0));
+
+  // Rewriting the damaged page heals it.
+  ASSERT_TRUE(device.WritePage(0, Page(0x99)).ok());
+  ASSERT_TRUE(device.ReadPage(0, buf).ok());
+  EXPECT_EQ(buf, Page(0x99));
+  ::unlink(device.options().path.c_str());
+}
+
+TEST(FileDeviceTest, TornPageFaultInBatchDamagesOnlyFaultedPage) {
+  FileDevice device(kPageSize, nullptr, Options("torn_fault"));
+  ASSERT_TRUE(device.status().ok());
+  device.AllocatePages(4);
+
+  FaultPlan plan;
+  plan.fail_after_writes = 3;  // Third write of the batch below.
+  plan.write_fault_style = WriteFaultStyle::kTornPage;
+  device.InjectFaults(plan);
+
+  std::vector<std::vector<std::byte>> payloads;
+  for (uint8_t i = 0; i < 4; ++i) payloads.push_back(Page(i + 1));
+  std::vector<PageWriteRequest> batch;
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    batch.push_back({static_cast<PageId>(i), payloads[i]});
+  }
+  size_t written = 0;
+  EXPECT_EQ(device.WritePages(batch.data(), batch.size(), &written).code(),
+            StatusCode::kIoError);
+  EXPECT_EQ(written, 2u);  // Pages 0 and 1 landed before the fault.
+  device.ClearFaults();
+
+  auto buf = Page(0);
+  ASSERT_TRUE(device.ReadPage(0, buf).ok());
+  EXPECT_EQ(buf, payloads[0]);
+  ASSERT_TRUE(device.ReadPage(1, buf).ok());
+  EXPECT_EQ(buf, payloads[1]);
+  EXPECT_EQ(device.ReadPage(2, buf).code(), StatusCode::kCorruption);
+  ASSERT_TRUE(device.ReadPage(3, buf).ok());  // Never submitted: zeros.
+  EXPECT_EQ(buf, Page(0));
+  ::unlink(device.options().path.c_str());
+}
+
+TEST(FileDeviceTest, PrefetchServesReadsFromCache) {
+  FileDeviceOptions options = Options("prefetch");
+  options.readahead_pages = 8;
+  FileDevice device(kPageSize, nullptr, options);
+  ASSERT_TRUE(device.status().ok());
+  device.AllocatePages(4);
+  for (PageId p = 0; p < 4; ++p) {
+    ASSERT_TRUE(device.WritePage(p, Page(uint8_t(p + 1))).ok());
+  }
+
+  const PageId pages[] = {0, 1, 2, 3};
+  device.Prefetch(pages);
+  const MeasuredIoStats after_prefetch = device.MeasuredStats();
+  EXPECT_EQ(after_prefetch.prefetched_pages, 4u);
+  EXPECT_EQ(after_prefetch.reads, 4u);  // One physical batch read each.
+
+  auto buf = Page(0);
+  ASSERT_TRUE(device.ReadPage(2, buf).ok());
+  EXPECT_EQ(buf, Page(3));
+  const MeasuredIoStats after_read = device.MeasuredStats();
+  // Served from the cache: no new physical read, but one simulated read.
+  EXPECT_EQ(after_read.reads, 4u);
+  EXPECT_EQ(after_read.readahead_hits, 1u);
+  EXPECT_EQ(device.stats().page_reads, 1u);
+
+  // Consume-on-hit: a second read of the same page goes to the file.
+  ASSERT_TRUE(device.ReadPage(2, buf).ok());
+  EXPECT_EQ(device.MeasuredStats().reads, 5u);
+  ::unlink(device.options().path.c_str());
+}
+
+TEST(FileDeviceTest, WriteInvalidatesPrefetchedPage) {
+  FileDeviceOptions options = Options("prefetch_inval");
+  options.readahead_pages = 8;
+  FileDevice device(kPageSize, nullptr, options);
+  ASSERT_TRUE(device.status().ok());
+  device.AllocatePages(2);
+  ASSERT_TRUE(device.WritePage(0, Page(1)).ok());
+  const PageId pages[] = {0};
+  device.Prefetch(pages);
+
+  ASSERT_TRUE(device.WritePage(0, Page(2)).ok());
+  auto buf = Page(0);
+  ASSERT_TRUE(device.ReadPage(0, buf).ok());
+  EXPECT_EQ(buf, Page(2));  // Fresh bytes, not the stale staged copy.
+  EXPECT_EQ(device.MeasuredStats().readahead_hits, 0u);
+  ::unlink(device.options().path.c_str());
+}
+
+TEST(FileDeviceTest, ObserverSeesBatchSyncAndReadAheadEvents) {
+  struct Sink : SimObserver {
+    std::vector<DeviceBatchEvent> batches;
+    std::vector<DeviceSyncEvent> syncs;
+    std::vector<ReadAheadEvent> readaheads;
+    void OnDeviceBatch(const DeviceBatchEvent& event) override {
+      batches.push_back(event);
+    }
+    void OnDeviceSync(const DeviceSyncEvent& event) override {
+      syncs.push_back(event);
+    }
+    void OnReadAhead(const ReadAheadEvent& event) override {
+      readaheads.push_back(event);
+    }
+  } sink;
+
+  FileDeviceOptions options = Options("observer");
+  options.readahead_pages = 8;
+  FileDevice device(kPageSize, nullptr, options);
+  ASSERT_TRUE(device.status().ok());
+  device.set_observer(&sink);
+  device.AllocatePages(4);
+
+  std::vector<std::vector<std::byte>> payloads{Page(1), Page(2)};
+  PageWriteRequest batch[] = {{0, payloads[0]}, {1, payloads[1]}};
+  ASSERT_TRUE(device.WritePages(batch, 2, nullptr).ok());
+  ASSERT_EQ(sink.batches.size(), 2u);  // submitted + completed.
+  EXPECT_TRUE(sink.batches[0].is_write);
+  EXPECT_FALSE(sink.batches[0].completed);
+  EXPECT_EQ(sink.batches[0].pages, 2u);
+  EXPECT_TRUE(sink.batches[1].completed);
+  EXPECT_EQ(sink.batches[1].ordinal, 1u);
+  ASSERT_EQ(sink.syncs.size(), 1u);  // The barrier fsync.
+  EXPECT_EQ(sink.syncs[0].ordinal, 1u);
+
+  const PageId pages[] = {0, 1};
+  device.Prefetch(pages);
+  ASSERT_EQ(sink.readaheads.size(), 1u);
+  EXPECT_EQ(sink.readaheads[0].requested_pages, 2u);
+  EXPECT_EQ(sink.readaheads[0].installed_pages, 2u);
+  ::unlink(device.options().path.c_str());
+}
+
+TEST(FileDeviceTest, SaveLoadStateRoundTrips) {
+  FileDevice device(kPageSize, nullptr, Options("savestate"));
+  ASSERT_TRUE(device.status().ok());
+  device.AllocatePages(4);
+  ASSERT_TRUE(device.WritePage(2, Page(1)).ok());  // last_accessed = 2.
+
+  std::stringstream state;
+  device.SaveState(state);
+
+  FileDevice restored(kPageSize, nullptr, Options("savestate2"));
+  ASSERT_TRUE(restored.status().ok());
+  restored.AllocatePages(4);
+  ASSERT_TRUE(restored.LoadState(state).ok());
+  // The classification cursor transferred: page 3 immediately follows the
+  // restored cursor, so the first access is sequential.
+  ASSERT_TRUE(restored.WritePage(3, Page(2)).ok());
+  EXPECT_EQ(restored.stats().sequential_transfers, 1u);
+  EXPECT_EQ(restored.stats().random_transfers, 0u);
+
+  // Geometry mismatch is Corruption.
+  std::stringstream state2;
+  device.SaveState(state2);
+  FileDevice wrong(kPageSize, nullptr, Options("savestate3"));
+  wrong.AllocatePages(2);
+  EXPECT_EQ(wrong.LoadState(state2).code(), StatusCode::kCorruption);
+  ::unlink(device.options().path.c_str());
+  ::unlink(restored.options().path.c_str());
+  ::unlink(wrong.options().path.c_str());
+}
+
+TEST(FileDeviceTest, DirectIoRequestOpensOrFallsBack) {
+  FileDeviceOptions options = Options("direct");
+  options.direct_io = true;
+  FileDevice device(kPageSize, nullptr, options);
+  // tmpfs refuses O_DIRECT; either way the device must be fully usable.
+  ASSERT_TRUE(device.status().ok()) << device.status().ToString();
+  device.AllocatePages(2);
+  ASSERT_TRUE(device.WritePage(0, Page(0xcd)).ok());
+  auto buf = Page(0);
+  ASSERT_TRUE(device.ReadPage(0, buf).ok());
+  EXPECT_EQ(buf, Page(0xcd));
+  ::unlink(device.options().path.c_str());
+}
+
+}  // namespace
+}  // namespace odbgc

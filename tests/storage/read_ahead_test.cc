@@ -1,0 +1,88 @@
+#include "storage/read_ahead.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+namespace odbgc {
+namespace {
+
+constexpr size_t kPageSize = 64;
+
+std::vector<std::byte> Page(uint8_t fill) {
+  return std::vector<std::byte>(kPageSize, std::byte{fill});
+}
+
+TEST(ReadAheadTest, LookupConsumesOnHit) {
+  ReadAhead cache(kPageSize, 4);
+  cache.Install(7, Page(0xaa));
+  EXPECT_TRUE(cache.Contains(7));
+
+  auto out = Page(0);
+  EXPECT_TRUE(cache.Lookup(7, out));
+  EXPECT_EQ(out[0], std::byte{0xaa});
+  EXPECT_EQ(cache.hits(), 1u);
+  // Consume-on-hit: the buffer pool above is the long-term cache.
+  EXPECT_FALSE(cache.Contains(7));
+  EXPECT_FALSE(cache.Lookup(7, out));
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ReadAheadTest, InstallEvictsOldestAtCapacity) {
+  ReadAhead cache(kPageSize, 2);
+  cache.Install(1, Page(1));
+  cache.Install(2, Page(2));
+  cache.Install(3, Page(3));  // Evicts page 1 (oldest stamp).
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_EQ(cache.installed(), 3u);
+}
+
+TEST(ReadAheadTest, ReinstallRefreshesContentsAndStamp) {
+  ReadAhead cache(kPageSize, 2);
+  cache.Install(1, Page(1));
+  cache.Install(2, Page(2));
+  cache.Install(1, Page(9));  // Overwrite in place; page 1 is now newest.
+  cache.Install(3, Page(3));  // Should evict page 2, not page 1.
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+
+  auto out = Page(0);
+  EXPECT_TRUE(cache.Lookup(1, out));
+  EXPECT_EQ(out[0], std::byte{9});
+}
+
+TEST(ReadAheadTest, InvalidateDropsOnlyThatPage) {
+  ReadAhead cache(kPageSize, 4);
+  cache.Install(1, Page(1));
+  cache.Install(2, Page(2));
+  cache.Invalidate(1);
+  cache.Invalidate(99);  // Unknown page: no-op.
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+}
+
+TEST(ReadAheadTest, ClearKeepsCounters) {
+  ReadAhead cache(kPageSize, 4);
+  cache.Install(1, Page(1));
+  auto out = Page(0);
+  EXPECT_TRUE(cache.Lookup(1, out));
+  cache.Install(2, Page(2));
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.installed(), 2u);
+}
+
+TEST(ReadAheadTest, ZeroCapacityStagesNothing) {
+  ReadAhead cache(kPageSize, 0);
+  cache.Install(1, Page(1));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Contains(1));
+}
+
+}  // namespace
+}  // namespace odbgc

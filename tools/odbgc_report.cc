@@ -131,6 +131,19 @@ SimulationResult ResultFromManifest(const Json& manifest) {
   result.bytes_allocated = UNum(r, "bytes_allocated");
   result.pointer_overwrites = UNum(r, "pointer_overwrites");
   result.estimated_device_time_ms = Num(r, "estimated_device_time_ms");
+  // Optional top-level `measured` section (real-I/O backends only).
+  if (const Json* m = manifest.Get("measured");
+      m != nullptr && m->is_object()) {
+    result.measured.measured = true;
+    result.measured.reads = UNum(*m, "reads");
+    result.measured.writes = UNum(*m, "writes");
+    result.measured.fsyncs = UNum(*m, "fsyncs");
+    result.measured.batches = UNum(*m, "batches");
+    result.measured.readahead_hits = UNum(*m, "readahead_hits");
+    result.measured.readahead_misses = UNum(*m, "readahead_misses");
+    result.measured.prefetched_pages = UNum(*m, "prefetched_pages");
+    result.measured.wall_ms = Num(*m, "wall_ms");
+  }
   return result;
 }
 
@@ -195,6 +208,11 @@ struct MetricDef {
   const char* name;
   Direction direction;
   double (*read)(const SimulationResult& result);
+  /// Whether the metric belongs in the check/baseline regression gate.
+  /// Wall-clock measurements (measured_io_ms) are direction-aware in
+  /// tables and diff output but never gate: they vary run to run on the
+  /// same code, so a checked-in baseline of them would only flake.
+  bool in_baseline = true;
 };
 
 constexpr MetricDef kMetrics[] = {
@@ -214,6 +232,11 @@ constexpr MetricDef kMetrics[] = {
      }},
     {"estimated_device_time_ms", Direction::kLowerIsBetter,
      [](const SimulationResult& r) { return r.estimated_device_time_ms; }},
+    {"measured_io_ms", Direction::kLowerIsBetter,
+     [](const SimulationResult& r) {
+       return r.measured.measured ? r.measured.wall_ms : 0.0;
+     },
+     /*in_baseline=*/false},
     {"fraction_reclaimed_pct", Direction::kHigherIsBetter,
      [](const SimulationResult& r) { return r.FractionReclaimedPct(); }},
     {"efficiency_kb_per_io", Direction::kHigherIsBetter,
@@ -268,6 +291,10 @@ int RunTables(const std::string& dir) {
   PrintStorageTable(summaries, std::cout);
   std::cout << '\n';
   PrintEfficiencyTable(summaries, std::cout);
+  std::cout << '\n';
+  // Shows estimated model time; when the manifests carry a `measured`
+  // section (file backend), measured wall-clock I/O appears beside it.
+  PrintDeviceTimeTable(summaries, std::cout);
   return 0;
 }
 
@@ -330,10 +357,21 @@ int RunDiff(const std::string& dir_a, const std::string& dir_b,
       const double value_a = metric.read(a);
       const double value_b = metric.read(b);
       if (value_a == value_b) continue;
-      const bool regressed = IsRegression(metric, value_a, value_b,
-                                          tolerance_pct);
-      const bool improved = IsRegression(metric, value_b, value_a,
-                                         tolerance_pct);
+      bool regressed = IsRegression(metric, value_a, value_b,
+                                    tolerance_pct);
+      bool improved = IsRegression(metric, value_b, value_a,
+                                   tolerance_pct);
+      if (!metric.in_baseline) {
+        // Direction-aware but informational: wall-clock measurements
+        // differ on every run of the same code, so they never fail a
+        // diff.
+        std::printf("%-8s %s-s%llu %-24s %14.2f -> %14.2f\n",
+                    regressed ? "slower" : improved ? "faster" : "within-tol",
+                    key.first.c_str(),
+                    static_cast<unsigned long long>(key.second), metric.name,
+                    value_a, value_b);
+        continue;
+      }
       std::printf("%-8s %s-s%llu %-24s %14.2f -> %14.2f\n",
                   regressed ? "WORSE" : improved ? "better" : "within-tol",
                   key.first.c_str(),
@@ -387,6 +425,10 @@ int WriteBaseline(const std::string& path,
   for (const auto& [policy, metrics] : means) {
     Json entry = Json::Obj();
     for (const auto& [metric, value] : metrics) {
+      // Wall-clock metrics never enter the checked-in baseline (they are
+      // not reproducible); they remain visible in tables and diff.
+      const MetricDef* def = FindMetric(metric);
+      if (def != nullptr && !def->in_baseline) continue;
       entry.Set(metric, Json::Double(value));
     }
     policies.Set(policy, std::move(entry));
