@@ -1,0 +1,141 @@
+// Concurrency scaling probe (DESIGN.md §14): the hotpath suite's
+// barrier-heavy workload replayed through the ConcurrentSimulator at 1, 2,
+// 4 and 8 mutator threads over a fixed set of 8 trace shards. Fixing the
+// shard count while varying threads isolates the parallelism axis: every
+// row executes the identical shard set, so the aggregate result must be
+// bitwise identical across rows (checked here — a scaling probe that
+// silently changed the answer would be worthless), and events/sec measures
+// pure scheduling/epoch overhead plus parallel speedup.
+//
+// The 1-thread row doubles as the concurrency tax measurement: it runs the
+// same epoch pinning, barrier-event buffering, and deferred reclamation as
+// the parallel rows, serially. Speedup figures are informational — they
+// depend on the machine's core count (reported in the JSON).
+//
+// Usage: mt_barrier_heavy [output.json]
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "sim/concurrent_simulator.h"
+
+namespace odbgc {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr uint32_t kShards = 8;
+
+SimulationConfig BarrierHeavyConfig() {
+  SimulationConfig c = bench::BaseConfig();
+  c.heap.policy = PolicyKind::kMutatedPartition;
+  c.heap.barrier = BarrierMode::kCardMarking;
+  c.heap.store.placement = PlacementPolicy::kRoundRobin;
+  c.workload.visit_modify_prob = 0.20;
+  c.workload.dense_edge_prob = 0.167;
+  c.trace_shards = kShards;
+  return c;
+}
+
+struct Row {
+  uint32_t threads = 0;
+  uint64_t events = 0;
+  double wall_seconds = 0;
+  double events_per_sec = 0;
+  SimulationResult result;
+};
+
+/// The deterministic surface two rows must share (the full field set is
+/// enforced by the equivalence test suite; the bench spot-checks the
+/// headline counters so a divergence aborts the run loudly).
+bool SameAggregate(const SimulationResult& a, const SimulationResult& b) {
+  return a.app_events == b.app_events && a.app_io == b.app_io &&
+         a.gc_io == b.gc_io && a.collections == b.collections &&
+         a.garbage_reclaimed_bytes == b.garbage_reclaimed_bytes &&
+         a.bytes_allocated == b.bytes_allocated &&
+         a.remset_entries == b.remset_entries &&
+         a.max_storage_bytes == b.max_storage_bytes;
+}
+
+}  // namespace
+}  // namespace odbgc
+
+int main(int argc, char** argv) {
+  using namespace odbgc;
+
+  const char* json_path = "BENCH_concurrency.json";
+  if (argc > 1) json_path = argv[1];
+
+  bench::PrintHeader("Concurrent mutator scaling (barrier-heavy workload)",
+                     "concurrency engineering (no paper table)");
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("hardware threads: %u, trace shards: %u\n\n", cores, kShards);
+
+  std::vector<Row> rows;
+  for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+    SimulationConfig config = BarrierHeavyConfig();
+    config.mutator_threads = threads;
+
+    ConcurrentSimulator sim(config);
+    const auto start = Clock::now();
+    if (Status status = sim.Run(); !status.ok()) {
+      bench::Fail(status, "mt_barrier_heavy");
+    }
+    Row row;
+    row.result = sim.Finish();
+    row.wall_seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    row.threads = threads;
+    row.events = row.result.app_events;
+    row.events_per_sec =
+        row.wall_seconds > 0
+            ? static_cast<double>(row.events) / row.wall_seconds
+            : 0;
+
+    std::printf(
+        "threads=%u  events=%-10llu wall=%8.3fs  events/sec=%12.0f"
+        "  speedup=%.2fx\n",
+        threads, static_cast<unsigned long long>(row.events),
+        row.wall_seconds, row.events_per_sec,
+        rows.empty() ? 1.0
+                     : row.events_per_sec / rows.front().events_per_sec);
+
+    if (!rows.empty() && !SameAggregate(rows.front().result, row.result)) {
+      std::fprintf(stderr,
+                   "aggregate result diverged between 1 and %u threads — "
+                   "the concurrent mode is broken\n",
+                   threads);
+      return 1;
+    }
+    rows.push_back(std::move(row));
+  }
+
+  std::ofstream json(json_path);
+  json << "{\n  \"bench\": \"mt_barrier_heavy\",\n";
+  json << "  \"fast_mode\": " << (bench::FastMode() ? "true" : "false")
+       << ",\n";
+  json << "  \"hardware_threads\": " << cores << ",\n";
+  json << "  \"trace_shards\": " << kShards << ",\n  \"rows\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    json << "    {\n      \"threads\": " << r.threads << ",\n";
+    json << "      \"events\": " << r.events << ",\n";
+    json << "      \"wall_seconds\": " << r.wall_seconds << ",\n";
+    json << "      \"events_per_sec\": " << r.events_per_sec << ",\n";
+    json << "      \"speedup_vs_1\": "
+         << (rows.front().events_per_sec > 0
+                 ? r.events_per_sec / rows.front().events_per_sec
+                 : 0)
+         << "\n    }" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"aggregate_invariant\": true\n}\n";
+  json.close();
+  std::printf("\nWrote %s\n", json_path);
+  return json.good() ? 0 : 1;
+}

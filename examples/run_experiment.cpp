@@ -46,6 +46,11 @@ void Usage(const char* prog) {
       "                         -<policy>-s<seed> suffix; see\n"
       "                         --list-devices)\n"
       "  --list-devices         print the device registry and exit\n"
+      "  --mutator-threads=N    concurrent mutator threads per run\n"
+      "                         (default 1 = serial; results are\n"
+      "                         thread-count-invariant)\n"
+      "  --trace-shards=N       deterministic workload shards per run\n"
+      "                         (default: one per mutator thread)\n"
       "  --csv                  CSV instead of aligned tables\n",
       prog);
 }
@@ -131,6 +136,12 @@ int main(int argc, char** argv) {
       buffer_set = true;
     } else if (ParseFlag(argv[i], "--trigger", &value)) {
       spec.base.heap.overwrite_trigger = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--mutator-threads", &value)) {
+      spec.base.mutator_threads =
+          static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (ParseFlag(argv[i], "--trace-shards", &value)) {
+      spec.base.trace_shards =
+          static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
     } else if (std::strcmp(argv[i], "--csv") == 0) {
       csv = true;
     } else {

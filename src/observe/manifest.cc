@@ -112,6 +112,12 @@ Json ConfigJson(const SimulationConfig& config) {
   out.Set("snapshot_interval", Json::UInt(config.snapshot_interval));
   out.Set("census_at_snapshots", Json::Bool(config.census_at_snapshots));
   out.Set("warm_start", Json::Bool(config.warm_start));
+  // Concurrency knobs are recorded for provenance but are an experiment
+  // axis (like policy and seed): ConfigDigest erases them, because the
+  // aggregate result is thread-count-invariant by the equivalence
+  // contract (sim/concurrent_simulator.h).
+  out.Set("mutator_threads", Json::UInt(config.mutator_threads));
+  out.Set("trace_shards", Json::UInt(config.trace_shards));
   return out;
 }
 
@@ -200,6 +206,10 @@ uint32_t ConfigDigest(const SimulationConfig& config) {
   Json& heap = json.object().at("heap");
   heap.object().erase("policy_kind");
   heap.object().erase("policy_name");
+  // Concurrency is an axis too: a 4-thread run must remain comparable
+  // (same digest) with the serial run it is verified against.
+  json.object().erase("mutator_threads");
+  json.object().erase("trace_shards");
   return Crc32(json.Dump());
 }
 

@@ -2,6 +2,7 @@
 #define ODBGC_OBSERVE_OBSERVER_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "odb/object_id.h"
@@ -21,6 +22,9 @@ namespace odbgc {
 struct RunStartedEvent {
   std::string policy;
   uint64_t seed = 0;
+  /// Mutator-thread tag: 0 in serial runs; in concurrent runs the
+  /// SynchronizedObserver stamps the publishing worker's index.
+  uint32_t thread = 0;
 };
 
 /// A run finished (Simulator::Finish): headline results; the full record
@@ -32,6 +36,9 @@ struct RunFinishedEvent {
   uint64_t app_io = 0;
   uint64_t gc_io = 0;
   uint64_t garbage_reclaimed_bytes = 0;
+  /// Mutator-thread tag: 0 in serial runs; in concurrent runs the
+  /// SynchronizedObserver stamps the publishing worker's index.
+  uint32_t thread = 0;
 };
 
 /// One partition collection completed.
@@ -45,11 +52,17 @@ struct CollectionEvent {
   uint64_t live_bytes_copied = 0;
   uint64_t page_reads = 0;
   uint64_t page_writes = 0;
+  /// Mutator-thread tag: 0 in serial runs; in concurrent runs the
+  /// SynchronizedObserver stamps the publishing worker's index.
+  uint32_t thread = 0;
 };
 
 /// The durable engine wrote a snapshot and rotated the WAL.
 struct CheckpointEvent {
   uint64_t round = 0;
+  /// Mutator-thread tag: 0 in serial runs; in concurrent runs the
+  /// SynchronizedObserver stamps the publishing worker's index.
+  uint32_t thread = 0;
 };
 
 /// An armed FaultPlan failed a transfer.
@@ -57,6 +70,9 @@ struct FaultEvent {
   bool is_write = false;
   /// 1-based count of faults fired by the device so far.
   uint64_t ordinal = 0;
+  /// Mutator-thread tag: 0 in serial runs; in concurrent runs the
+  /// SynchronizedObserver stamps the publishing worker's index.
+  uint32_t thread = 0;
 };
 
 /// A real-I/O device submitted or completed a scheduler batch. Published
@@ -73,6 +89,9 @@ struct DeviceBatchEvent {
   uint64_t ordinal = 0;
   /// Submit-to-drain wall time (completion events only).
   uint64_t wall_ns = 0;
+  /// Mutator-thread tag: 0 in serial runs; in concurrent runs the
+  /// SynchronizedObserver stamps the publishing worker's index.
+  uint32_t thread = 0;
 };
 
 /// A real-I/O device ran a durability barrier (fsync).
@@ -80,6 +99,9 @@ struct DeviceSyncEvent {
   /// 1-based fsync count on this device.
   uint64_t ordinal = 0;
   uint64_t wall_ns = 0;
+  /// Mutator-thread tag: 0 in serial runs; in concurrent runs the
+  /// SynchronizedObserver stamps the publishing worker's index.
+  uint32_t thread = 0;
 };
 
 /// A read-ahead prefetch completed. Cumulative hit/miss counters ride
@@ -93,6 +115,9 @@ struct ReadAheadEvent {
   /// Cumulative ReadPage outcomes against the cache so far.
   uint64_t total_hits = 0;
   uint64_t total_misses = 0;
+  /// Mutator-thread tag: 0 in serial runs; in concurrent runs the
+  /// SynchronizedObserver stamps the publishing worker's index.
+  uint32_t thread = 0;
 };
 
 /// A measured phase completed. `wall_ns` is host wall-clock time — the
@@ -102,6 +127,9 @@ struct PhaseEvent {
   /// Static phase name ("census", "collection", "full_collection").
   const char* phase = "";
   uint64_t wall_ns = 0;
+  /// Mutator-thread tag: 0 in serial runs; in concurrent runs the
+  /// SynchronizedObserver stamps the publishing worker's index.
+  uint32_t thread = 0;
 };
 
 /// Sink interface for run telemetry. The default implementation of every
@@ -124,6 +152,62 @@ class SimObserver {
   virtual void OnDeviceBatch(const DeviceBatchEvent& event) { (void)event; }
   virtual void OnDeviceSync(const DeviceSyncEvent& event) { (void)event; }
   virtual void OnReadAhead(const ReadAheadEvent& event) { (void)event; }
+};
+
+/// Adapter that lets one user observer watch a multi-threaded run: each
+/// worker thread publishes through its own SynchronizedObserver, which
+/// stamps the event's `thread` tag and serializes delivery to the shared
+/// inner sink under a shared mutex. The inner observer therefore keeps
+/// the single-threaded contract (one event at a time) while still seeing
+/// every thread's stream, attributably.
+class SynchronizedObserver : public SimObserver {
+ public:
+  /// `inner` and `mutex` are shared across the run's wrappers and must
+  /// outlive them; `thread` is this wrapper's worker index (1-based in
+  /// the concurrent simulator so 0 stays "serial").
+  SynchronizedObserver(SimObserver* inner, std::mutex* mutex, uint32_t thread)
+      : inner_(inner), mutex_(mutex), thread_(thread) {}
+
+  void OnRunStarted(const RunStartedEvent& event) override {
+    Publish(event, &SimObserver::OnRunStarted);
+  }
+  void OnRunFinished(const RunFinishedEvent& event) override {
+    Publish(event, &SimObserver::OnRunFinished);
+  }
+  void OnCollection(const CollectionEvent& event) override {
+    Publish(event, &SimObserver::OnCollection);
+  }
+  void OnCheckpoint(const CheckpointEvent& event) override {
+    Publish(event, &SimObserver::OnCheckpoint);
+  }
+  void OnFault(const FaultEvent& event) override {
+    Publish(event, &SimObserver::OnFault);
+  }
+  void OnPhase(const PhaseEvent& event) override {
+    Publish(event, &SimObserver::OnPhase);
+  }
+  void OnDeviceBatch(const DeviceBatchEvent& event) override {
+    Publish(event, &SimObserver::OnDeviceBatch);
+  }
+  void OnDeviceSync(const DeviceSyncEvent& event) override {
+    Publish(event, &SimObserver::OnDeviceSync);
+  }
+  void OnReadAhead(const ReadAheadEvent& event) override {
+    Publish(event, &SimObserver::OnReadAhead);
+  }
+
+ private:
+  template <typename Event>
+  void Publish(const Event& event, void (SimObserver::*hook)(const Event&)) {
+    Event tagged = event;
+    tagged.thread = thread_;
+    std::lock_guard<std::mutex> lock(*mutex_);
+    (inner_->*hook)(tagged);
+  }
+
+  SimObserver* const inner_;
+  std::mutex* const mutex_;
+  const uint32_t thread_;
 };
 
 }  // namespace odbgc

@@ -1,0 +1,310 @@
+#include "sim/concurrent_simulator.h"
+
+#include <cassert>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "sim/simulator.h"
+#include "storage/device_registry.h"
+#include "util/thread_safe_queue.h"
+#include "workload/generator.h"
+
+namespace odbgc {
+
+namespace {
+
+// Application events a mutator applies per epoch pin: long enough that
+// pin/unpin and the epoch-tick maintenance (barrier flush, deferred-slot
+// reclaim) stay off the per-event path, short enough that grace periods
+// expire promptly and no shard hoards the safety bound.
+constexpr uint64_t kEventsPerEpoch = 256;
+
+// A TraceSink that paces a shard's replay through the shared epoch
+// manager: events apply under an epoch pin, and every kEventsPerEpoch the
+// shard unpins, advances the epoch, and runs the heap's epoch-boundary
+// maintenance. The pacing changes nothing observable (the flush points it
+// inserts are result-neutral by the HeapCore contract); it exists to make
+// the grace-period machinery load-bearing and cross-thread.
+class EpochPacer : public TraceSink {
+ public:
+  EpochPacer(Simulator* sim, HeapCore* core, EpochManager* epochs,
+             EpochManager::ThreadSlot* slot)
+      : sim_(sim), core_(core), epochs_(epochs), slot_(slot) {}
+
+  ~EpochPacer() override { EndBatch(); }
+
+  Status Append(const TraceEvent& event) override {
+    if (!pinned_) {
+      epochs_->Pin(slot_);
+      pinned_ = true;
+    }
+    const Status status = sim_->Append(event);
+    if (++events_in_batch_ >= kEventsPerEpoch) EndBatch();
+    return status;
+  }
+
+  /// Unpins and runs the epoch-boundary maintenance. Idempotent.
+  void EndBatch() {
+    if (!pinned_) return;
+    epochs_->Unpin(slot_);
+    pinned_ = false;
+    events_in_batch_ = 0;
+    epochs_->BumpEpoch();
+    core_->OnEpochTick();
+  }
+
+ private:
+  Simulator* const sim_;
+  HeapCore* const core_;
+  EpochManager* const epochs_;
+  EpochManager::ThreadSlot* const slot_;
+  bool pinned_ = false;
+  uint64_t events_in_batch_ = 0;
+};
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ConcurrentSimulator::ConcurrentSimulator(const SimulationConfig& config)
+    : config_(config) {}
+
+uint32_t ConcurrentSimulator::shard_count() const {
+  return config_.trace_shards != 0 ? config_.trace_shards
+                                   : config_.mutator_threads;
+}
+
+uint64_t ConcurrentSimulator::ShardSeed(uint64_t base_seed, uint32_t shard) {
+  // Mix the pair through two splitmix rounds so shard streams are
+  // decorrelated from the base stream and from each other even for
+  // adjacent seeds/shards.
+  return SplitMix64(SplitMix64(base_seed) ^ (shard + 1));
+}
+
+SimulationConfig ConcurrentSimulator::ShardConfig(uint32_t index) const {
+  const uint32_t shards = shard_count();
+  SimulationConfig shard = config_;
+  // A shard config is a plain serial config: the serial oracle replays it
+  // through Simulator unchanged.
+  shard.mutator_threads = 1;
+  shard.trace_shards = 0;
+  shard.seed = ShardSeed(config_.seed, index);
+  // Proportional slice of the allocation volume (live target scales with
+  // it); the remainder spreads over the leading shards so slices differ
+  // by at most one byte.
+  const uint64_t total = config_.workload.total_alloc_bytes;
+  const uint64_t base = total / shards;
+  const uint64_t extra = index < (total % shards) ? 1 : 0;
+  shard.workload = config_.workload.WithTotalAllocation(base + extra);
+  // Stateful backends (file paths) must not collide across shards; the
+  // derived seed is shard-unique, so the per-run suffix disambiguates.
+  shard.heap.device_spec = PerRunDeviceSpec(
+      config_.heap.device_spec,
+      config_.heap.policy_name + "-shard" + std::to_string(index),
+      shard.seed);
+  return shard;
+}
+
+Status ConcurrentSimulator::ValidateConcurrency() const {
+  const uint32_t threads = config_.mutator_threads;
+  if (threads == 0) {
+    return Status::InvalidArgument("mutator_threads must be >= 1");
+  }
+  if (threads > EpochManager::kMaxThreads) {
+    return Status::InvalidArgument(
+        "mutator_threads exceeds EpochManager::kMaxThreads (" +
+        std::to_string(EpochManager::kMaxThreads) + ")");
+  }
+  if (threads > shard_count()) {
+    // A thread with no shard to own would idle the whole run; this is a
+    // mis-specified experiment, not a degraded one.
+    return Status::InvalidArgument(
+        "mutator_threads (" + std::to_string(threads) +
+        ") exceeds trace shard count (" + std::to_string(shard_count()) +
+        "); raise trace_shards or lower mutator_threads");
+  }
+  if (!config_.wal_dir.empty() || config_.checkpoint_every_rounds != 0) {
+    return Status::InvalidArgument(
+        "concurrent mode does not support durability (wal_dir / "
+        "checkpoint_every_rounds); run serially or disable checkpointing");
+  }
+  return Status::Ok();
+}
+
+Status ConcurrentSimulator::Run() {
+  ODBGC_RETURN_IF_ERROR(ValidateConcurrency());
+  const uint32_t shards = shard_count();
+  shard_results_.assign(shards, SimulationResult{});
+  shard_wall_metrics_.assign(shards, std::vector<MetricSample>{});
+  std::vector<Status> shard_status(shards, Status::Ok());
+
+  ThreadSafeQueue<uint32_t> queue;
+  for (uint32_t i = 0; i < shards; ++i) queue.Push(i);
+  queue.Close();  // Workers drain the remaining shards, then exit.
+
+  std::mutex observer_mutex;
+  SimObserver* const user_observer = config_.heap.observer;
+
+  auto run_shard = [&](uint32_t shard, uint32_t thread_index,
+                       EpochManager::ThreadSlot* slot) {
+    SimulationConfig shard_config = ShardConfig(shard);
+    // The user's observer keeps its single-threaded contract: every
+    // worker publishes through a serializing, thread-tagging wrapper.
+    std::unique_ptr<SynchronizedObserver> tagged;
+    if (user_observer != nullptr) {
+      tagged = std::make_unique<SynchronizedObserver>(
+          user_observer, &observer_mutex, thread_index);
+      shard_config.heap.observer = tagged.get();
+    }
+
+    Simulator sim(shard_config);
+    HeapCore& core = sim.heap().core();
+    core.EnableConcurrentMode(&epochs_);
+
+    // Replicates Simulator::Run() with the pacer interposed.
+    WorkloadGenerator generator(shard_config.workload, shard_config.seed);
+    Status status;
+    {
+      EpochPacer pacer(&sim, &core, &epochs_, slot);
+      if (shard_config.warm_start) {
+        status = generator.BuildInitialDatabase(&pacer);
+        if (status.ok()) sim.ResetMeasurementForWarmStart();
+      }
+      if (status.ok()) status = generator.Generate(&pacer);
+    }
+    // Join point for this shard's store: its only writer is this thread,
+    // so everything still parked may drain regardless of epoch.
+    core.OnEpochTick();
+    sim.heap().mutable_store().DrainDeferredSlots();
+
+    if (!status.ok()) {
+      shard_status[shard] = status;
+      return;
+    }
+    shard_results_[shard] = sim.Finish();
+    shard_wall_metrics_[shard] = sim.heap().wall_metrics()->Snapshot();
+  };
+
+  auto worker = [&](uint32_t thread_index) {
+    EpochManager::ThreadSlot* slot = epochs_.RegisterThread();
+    // Cannot fail: mutator_threads <= kMaxThreads was validated and this
+    // manager is private to the run.
+    while (std::optional<uint32_t> shard = queue.WaitPop()) {
+      run_shard(*shard, thread_index, slot);
+    }
+    epochs_.UnregisterThread(slot);
+  };
+
+  if (config_.mutator_threads == 1) {
+    worker(1);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(config_.mutator_threads);
+    for (uint32_t t = 0; t < config_.mutator_threads; ++t) {
+      pool.emplace_back(worker, t + 1);
+    }
+    for (std::thread& thread : pool) thread.join();
+  }
+
+  // First error in shard order — deterministic regardless of which worker
+  // hit it first.
+  for (const Status& status : shard_status) {
+    ODBGC_RETURN_IF_ERROR(status);
+  }
+  ran_ = true;
+  return Status::Ok();
+}
+
+SimulationResult ConcurrentSimulator::AggregateResults(
+    const std::vector<SimulationResult>& parts) {
+  SimulationResult out;
+  if (parts.empty()) return out;
+  // Identity fields: every shard ran the same policy/device/replacement.
+  out.policy = parts.front().policy;
+  out.policy_name = parts.front().policy_name;
+  out.seed = parts.front().seed;
+  out.device = parts.front().device;
+  out.replacement = parts.front().replacement;
+
+  std::vector<std::vector<MetricSample>> metric_parts;
+  metric_parts.reserve(parts.size());
+  for (const SimulationResult& part : parts) {
+    out.app_events += part.app_events;
+    out.app_io += part.app_io;
+    out.gc_io += part.gc_io;
+    out.max_storage_bytes += part.max_storage_bytes;
+    out.max_partitions += part.max_partitions;
+    out.final_partitions += part.final_partitions;
+    out.collections += part.collections;
+    out.garbage_reclaimed_bytes += part.garbage_reclaimed_bytes;
+    out.live_bytes_copied += part.live_bytes_copied;
+    out.unreclaimed_garbage_bytes += part.unreclaimed_garbage_bytes;
+    out.final_live_bytes += part.final_live_bytes;
+    out.remset_entries += part.remset_entries;
+    out.bytes_allocated += part.bytes_allocated;
+    out.pointer_overwrites += part.pointer_overwrites;
+    out.estimated_device_time_ms += part.estimated_device_time_ms;
+
+    out.measured.measured = out.measured.measured || part.measured.measured;
+    out.measured.reads += part.measured.reads;
+    out.measured.writes += part.measured.writes;
+    out.measured.fsyncs += part.measured.fsyncs;
+    out.measured.batches += part.measured.batches;
+    out.measured.readahead_hits += part.measured.readahead_hits;
+    out.measured.readahead_misses += part.measured.readahead_misses;
+    out.measured.prefetched_pages += part.measured.prefetched_pages;
+    out.measured.wall_ms += part.measured.wall_ms;
+
+    out.heap_stats.collections += part.heap_stats.collections;
+    out.heap_stats.full_collections += part.heap_stats.full_collections;
+    out.heap_stats.pointer_stores += part.heap_stats.pointer_stores;
+    out.heap_stats.pointer_overwrites += part.heap_stats.pointer_overwrites;
+    out.heap_stats.objects_allocated += part.heap_stats.objects_allocated;
+    out.heap_stats.bytes_allocated += part.heap_stats.bytes_allocated;
+    out.heap_stats.garbage_bytes_reclaimed +=
+        part.heap_stats.garbage_bytes_reclaimed;
+    out.heap_stats.garbage_objects_reclaimed +=
+        part.heap_stats.garbage_objects_reclaimed;
+    out.heap_stats.live_bytes_copied += part.heap_stats.live_bytes_copied;
+    out.heap_stats.live_objects_copied += part.heap_stats.live_objects_copied;
+    out.heap_stats.max_total_bytes += part.heap_stats.max_total_bytes;
+    out.heap_stats.max_partitions += part.heap_stats.max_partitions;
+
+    out.buffer_stats.hits += part.buffer_stats.hits;
+    out.buffer_stats.misses += part.buffer_stats.misses;
+    out.buffer_stats.reads_app += part.buffer_stats.reads_app;
+    out.buffer_stats.reads_gc += part.buffer_stats.reads_gc;
+    out.buffer_stats.writes_app += part.buffer_stats.writes_app;
+    out.buffer_stats.writes_gc += part.buffer_stats.writes_gc;
+
+    out.disk_stats.page_reads += part.disk_stats.page_reads;
+    out.disk_stats.page_writes += part.disk_stats.page_writes;
+    out.disk_stats.sequential_transfers +=
+        part.disk_stats.sequential_transfers;
+    out.disk_stats.random_transfers += part.disk_stats.random_transfers;
+
+    metric_parts.push_back(part.metrics);
+  }
+  out.metrics = MergeMetricSamples(metric_parts);
+  // Time series stay empty: sampling is a per-shard timeline, and the
+  // shards' timelines are not mutually ordered.
+  return out;
+}
+
+SimulationResult ConcurrentSimulator::Finish() {
+  assert(ran_ && "Finish called before a successful Run");
+  SimulationResult result = AggregateResults(shard_results_);
+  // The aggregate's identity is the run's, not shard 0's.
+  result.seed = config_.seed;
+  return result;
+}
+
+}  // namespace odbgc

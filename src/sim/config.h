@@ -35,6 +35,21 @@ struct SimulationConfig {
   /// Directory for WAL segments and checkpoint files. Empty disables
   /// durability entirely (the default: plain in-memory simulation).
   std::string wal_dir;
+  /// Concurrency (DESIGN.md §14): mutator threads replaying the run's
+  /// workload shards against per-shard heaps under a shared epoch
+  /// manager. 1 (the default) is plain serial simulation through
+  /// Simulator; >1 routes through ConcurrentSimulator. Must not exceed
+  /// the shard count (a thread with no shard to own is a configuration
+  /// error, rejected at Run). An experiment axis: recorded in manifests
+  /// but excluded from the config digest, because the aggregate result
+  /// is thread-count-invariant (the equivalence suite enforces this).
+  uint32_t mutator_threads = 1;
+  /// Number of deterministic workload shards a concurrent run splits the
+  /// allocation volume across (each shard is an independently seeded
+  /// generator stream — the determinism unit, fixed while
+  /// mutator_threads varies). 0 (the default) means one shard per
+  /// mutator thread. Ignored in serial runs.
+  uint32_t trace_shards = 0;
 };
 
 /// The paper's base configuration (Tables 2-4): 48-page partitions and

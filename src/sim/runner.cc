@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "observe/manifest.h"
+#include "sim/concurrent_simulator.h"
 #include "sim/simulator.h"
 #include "storage/device_registry.h"
 
@@ -27,6 +28,11 @@ const PolicyRuns* Experiment::Find(PolicyKind policy) const {
 Result<Experiment> RunExperiment(const ExperimentSpec& spec) {
   return RunExperimentWith(
       spec, [](const SimulationConfig& config) -> Result<SimulationResult> {
+        if (config.mutator_threads > 1 || config.trace_shards > 1) {
+          ConcurrentSimulator simulator(config);
+          ODBGC_RETURN_IF_ERROR(simulator.Run());
+          return simulator.Finish();
+        }
         Simulator simulator(config);
         ODBGC_RETURN_IF_ERROR(simulator.Run());
         return simulator.Finish();

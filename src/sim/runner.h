@@ -88,6 +88,16 @@ struct ExperimentSpec {
     threads = count;
     return std::move(*this);
   }
+  /// Concurrent mutator mode (DESIGN.md §14): every run replays its
+  /// workload across `mutators` threads over `shards` deterministic trace
+  /// shards (0 = one shard per thread). `mutators` of 1 with `shards` left
+  /// 0 is the plain serial simulator.
+  ExperimentSpec&& WithMutatorThreads(uint32_t mutators,
+                                      uint32_t shards = 0) && {
+    base.mutator_threads = mutators;
+    base.trace_shards = shards;
+    return std::move(*this);
+  }
   ExperimentSpec&& WithObserver(ObserverFactory factory) && {
     observer_factory = std::move(factory);
     return std::move(*this);

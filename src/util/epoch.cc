@@ -1,0 +1,46 @@
+#include "util/epoch.h"
+
+namespace odbgc {
+
+EpochManager::ThreadSlot* EpochManager::RegisterThread() {
+  for (size_t i = 0; i < kMaxThreads; ++i) {
+    bool expected = false;
+    if (slots_[i].registered_.compare_exchange_strong(
+            expected, true, std::memory_order_acq_rel)) {
+      slots_[i].local_epoch_.store(kQuiescent, std::memory_order_release);
+      return &slots_[i];
+    }
+  }
+  return nullptr;
+}
+
+void EpochManager::UnregisterThread(ThreadSlot* slot) {
+  slot->local_epoch_.store(kQuiescent, std::memory_order_release);
+  slot->registered_.store(false, std::memory_order_release);
+}
+
+uint64_t EpochManager::SafeEpoch() const {
+  // Read the global epoch BEFORE scanning the slots: a thread pinning
+  // concurrently publishes an epoch at least as new as this read, so a
+  // pin the scan misses cannot protect anything older than `limit` — the
+  // returned bound stays conservative.
+  uint64_t safe = epoch_.load(std::memory_order_seq_cst);
+  for (size_t i = 0; i < kMaxThreads; ++i) {
+    if (!slots_[i].registered_.load(std::memory_order_acquire)) continue;
+    const uint64_t local =
+        slots_[i].local_epoch_.load(std::memory_order_seq_cst);
+    if (local == kQuiescent) continue;
+    if (local - 1 < safe) safe = local - 1;
+  }
+  return safe;
+}
+
+size_t EpochManager::registered_threads() const {
+  size_t count = 0;
+  for (size_t i = 0; i < kMaxThreads; ++i) {
+    if (slots_[i].registered_.load(std::memory_order_acquire)) ++count;
+  }
+  return count;
+}
+
+}  // namespace odbgc

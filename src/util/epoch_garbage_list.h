@@ -1,0 +1,91 @@
+#ifndef ODBGC_UTIL_EPOCH_GARBAGE_LIST_H_
+#define ODBGC_UTIL_EPOCH_GARBAGE_LIST_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "util/epoch.h"
+
+namespace odbgc {
+
+/// An epoch-gated garbage list: resources retired under an epoch stay
+/// parked until the epoch manager proves no thread can still reference
+/// them (`EpochManager::SafeEpoch() >= retire epoch`), then flow to a
+/// caller-supplied reclaimer. The ObjectStore keeps one per partition for
+/// deferred table-slot reclamation (DESIGN.md §14); the shape mirrors the
+/// per-partition `GarbageList(EpochManager*)` design the ROADMAP grounds
+/// this PR in.
+///
+/// Retire order is preserved within the list (FIFO), and retire epochs are
+/// non-decreasing under the intended use (retire under the current epoch),
+/// so reclamation pops a prefix.
+///
+/// Thread-safety: Retire and Reclaim* may race with each other (a mutator
+/// retiring while a collector reclaims); the list serializes them with a
+/// mutex. The *grace-period guarantee* — an item passed to the reclaimer
+/// is unreachable by every thread — comes from the epoch discipline, not
+/// from the lock: callers must only pass `safe_epoch` values obtained from
+/// EpochManager::SafeEpoch().
+template <typename T>
+class EpochGarbageList {
+ public:
+  EpochGarbageList() = default;
+  EpochGarbageList(const EpochGarbageList&) = delete;
+  EpochGarbageList& operator=(const EpochGarbageList&) = delete;
+  EpochGarbageList(EpochGarbageList&& other) noexcept {
+    std::lock_guard<std::mutex> lock(other.mutex_);
+    entries_ = std::move(other.entries_);
+  }
+
+  /// Parks `item`, reclaimable once SafeEpoch() reaches `epoch`.
+  void Retire(T item, uint64_t epoch) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.push_back(Entry{epoch, std::move(item)});
+  }
+
+  /// Hands every entry with retire epoch <= `safe_epoch` to `reclaim`, in
+  /// retire order, and removes it. Returns the number reclaimed. The
+  /// reclaimer runs under the list lock — keep it cheap (the store's
+  /// reclaimer just pushes a slot index onto a free list).
+  template <typename Fn>
+  size_t ReclaimUpTo(uint64_t safe_epoch, Fn&& reclaim) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t count = 0;
+    while (!entries_.empty() && entries_.front().epoch <= safe_epoch) {
+      reclaim(std::move(entries_.front().item));
+      entries_.pop_front();
+      ++count;
+    }
+    return count;
+  }
+
+  /// Reclaims everything regardless of epoch — for shutdown/join points
+  /// where the caller has proven global quiescence (all mutator threads
+  /// joined).
+  template <typename Fn>
+  size_t DrainAll(Fn&& reclaim) {
+    return ReclaimUpTo(UINT64_MAX, std::forward<Fn>(reclaim));
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  struct Entry {
+    uint64_t epoch;
+    T item;
+  };
+
+  mutable std::mutex mutex_;
+  std::deque<Entry> entries_;
+};
+
+}  // namespace odbgc
+
+#endif  // ODBGC_UTIL_EPOCH_GARBAGE_LIST_H_

@@ -67,4 +67,21 @@ Status MetricsRegistry::Load(std::istream& in) {
   return Status::Ok();
 }
 
+std::vector<MetricSample> MergeMetricSamples(
+    const std::vector<std::vector<MetricSample>>& parts) {
+  std::map<std::string, MetricSample> merged;
+  for (const std::vector<MetricSample>& part : parts) {
+    for (const MetricSample& sample : part) {
+      MetricSample& into = merged[sample.name];
+      into.name = sample.name;
+      into.application += sample.application;
+      into.collector += sample.collector;
+    }
+  }
+  std::vector<MetricSample> out;
+  out.reserve(merged.size());
+  for (auto& [name, sample] : merged) out.push_back(std::move(sample));
+  return out;
+}
+
 }  // namespace odbgc

@@ -47,6 +47,14 @@ struct MetricSample {
   uint64_t total() const { return application + collector; }
 };
 
+/// Merges per-thread snapshot deltas into one sorted sample vector,
+/// summing per-phase values by counter name. Deterministic regardless of
+/// the order the parts arrive in (addition over a name-sorted map), which
+/// is what lets the concurrent simulator aggregate shard registries
+/// without caring which worker finished first.
+std::vector<MetricSample> MergeMetricSamples(
+    const std::vector<std::vector<MetricSample>>& parts);
+
 /// The unified measurement surface of the I/O subsystem: every component
 /// (device, buffer pool, heap) registers named counters here instead of
 /// keeping private stat structs, so one object carries the complete

@@ -1,0 +1,88 @@
+#ifndef ODBGC_UTIL_THREAD_SAFE_QUEUE_H_
+#define ODBGC_UTIL_THREAD_SAFE_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace odbgc {
+
+/// A multi-producer multi-consumer FIFO queue with a close signal — the
+/// work-distribution primitive of the concurrent simulator (mutator
+/// threads pull trace shards from one of these) and of its stress suite.
+///
+/// Deliberately mutex+condvar rather than lock-free: every operation is
+/// trivially linearizable, TSan verifies it as written, and the queue is
+/// never on a per-event hot path (it hands out whole shards / batches).
+/// The ROADMAP's `thread_safe_queue.h` reference has the same shape.
+///
+/// Semantics:
+///  - Push: appends; returns false (drops) after Close.
+///  - TryPop: non-blocking; empty optional when nothing is queued.
+///  - WaitPop: blocks until an element arrives or the queue is closed and
+///    drained; empty optional only on closed-and-drained.
+///  - Close: wakes all waiters; queued elements remain poppable.
+template <typename T>
+class ThreadSafeQueue {
+ public:
+  ThreadSafeQueue() = default;
+  ThreadSafeQueue(const ThreadSafeQueue&) = delete;
+  ThreadSafeQueue& operator=(const ThreadSafeQueue&) = delete;
+
+  bool Push(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return false;
+      items_.push_back(std::move(value));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+  std::optional<T> WaitPop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // Closed and drained.
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace odbgc
+
+#endif  // ODBGC_UTIL_THREAD_SAFE_QUEUE_H_

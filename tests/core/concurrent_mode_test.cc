@@ -1,0 +1,188 @@
+// Result-neutrality of the concurrent-mode heap transformations
+// (DESIGN.md §14): barrier-event buffering and epoch-deferred table-slot
+// reclamation must leave every observable measurement identical to the
+// plain serial heap — that is the whole premise the ConcurrentSimulator's
+// equivalence contract rests on, checked here at the component level with
+// a deterministic mutation script.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/heap.h"
+#include "util/epoch.h"
+#include "util/random.h"
+
+namespace odbgc {
+namespace {
+
+HeapOptions SmallHeap(PolicyKind policy) {
+  HeapOptions options;
+  options.store.page_size = 512;
+  options.store.pages_per_partition = 8;
+  options.buffer_pages = 16;
+  options.policy = policy;
+  options.overwrite_trigger = 10;
+  return options;
+}
+
+/// Drives `heap` through a deterministic allocate/link/overwrite script.
+/// In concurrent mode, ticks the epoch every `tick_every` operations
+/// (0 = never tick mid-run), mimicking the pacer's batching.
+void RunScript(CollectedHeap* heap, EpochManager* epochs, uint64_t seed,
+               uint32_t tick_every) {
+  Rng rng(seed);
+  std::vector<ObjectId> objects;
+  EpochManager::ThreadSlot* slot =
+      epochs != nullptr ? epochs->RegisterThread() : nullptr;
+  uint32_t since_tick = 0;
+  for (int step = 0; step < 600; ++step) {
+    if (slot != nullptr) epochs->Pin(slot);
+    const uint64_t roll = rng.Next() % 10;
+    if (objects.size() < 4 || roll < 3) {
+      auto id = heap->Allocate(80 + rng.Next() % 60, 3);
+      ASSERT_TRUE(id.ok());
+      // Link from a random older object so most objects stay reachable;
+      // root it instead when the chosen parent was already collected.
+      const ObjectId parent =
+          objects.empty() ? kNullObjectId
+                          : objects[rng.Next() % objects.size()];
+      if (rng.Next() % 4 == 0 || parent.is_null() ||
+          !heap->store().Exists(parent)) {
+        ASSERT_TRUE(heap->AddRoot(*id).ok());
+      } else {
+        ASSERT_TRUE(heap->WriteSlot(parent, rng.Next() % 3, *id).ok());
+      }
+      objects.push_back(*id);
+    } else {
+      // Overwrite a random edge — drives the trigger and makes garbage.
+      const ObjectId source = objects[rng.Next() % objects.size()];
+      const ObjectId target = objects[rng.Next() % objects.size()];
+      if (heap->store().Exists(source) && heap->store().Exists(target)) {
+        ASSERT_TRUE(heap->WriteSlot(source, rng.Next() % 3, target).ok());
+      }
+    }
+    // Objects reclaimed by a triggered collection drop out of the pool.
+    if (step % 50 == 49) {
+      std::vector<ObjectId> alive;
+      for (ObjectId id : objects) {
+        if (heap->store().Exists(id)) alive.push_back(id);
+      }
+      objects.swap(alive);
+    }
+    if (slot != nullptr) {
+      epochs->Unpin(slot);
+      if (tick_every != 0 && ++since_tick >= tick_every) {
+        since_tick = 0;
+        epochs->BumpEpoch();
+        heap->core().OnEpochTick();
+      }
+    }
+  }
+  if (slot != nullptr) {
+    heap->core().OnEpochTick();
+    heap->mutable_store().DrainDeferredSlots();
+    epochs->UnregisterThread(slot);
+  }
+}
+
+void ExpectHeapsEquivalent(const CollectedHeap& serial,
+                           const CollectedHeap& concurrent) {
+  EXPECT_EQ(serial.stats().collections, concurrent.stats().collections);
+  EXPECT_EQ(serial.stats().pointer_stores, concurrent.stats().pointer_stores);
+  EXPECT_EQ(serial.stats().pointer_overwrites,
+            concurrent.stats().pointer_overwrites);
+  EXPECT_EQ(serial.stats().objects_allocated,
+            concurrent.stats().objects_allocated);
+  EXPECT_EQ(serial.stats().bytes_allocated,
+            concurrent.stats().bytes_allocated);
+  EXPECT_EQ(serial.stats().garbage_bytes_reclaimed,
+            concurrent.stats().garbage_bytes_reclaimed);
+  EXPECT_EQ(serial.stats().live_bytes_copied,
+            concurrent.stats().live_bytes_copied);
+  EXPECT_EQ(serial.stats().max_total_bytes,
+            concurrent.stats().max_total_bytes);
+  EXPECT_EQ(serial.store().object_count(), concurrent.store().object_count());
+  EXPECT_EQ(serial.store().live_bytes(), concurrent.store().live_bytes());
+  EXPECT_EQ(serial.store().partition_count(),
+            concurrent.store().partition_count());
+  EXPECT_EQ(serial.index().entry_count(), concurrent.index().entry_count());
+  EXPECT_EQ(serial.app_io(), concurrent.app_io());
+  EXPECT_EQ(serial.gc_io(), concurrent.gc_io());
+}
+
+class ConcurrentModeTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ConcurrentModeTest, BufferedBarrierMatchesSerialHeap) {
+  for (PolicyKind policy :
+       {PolicyKind::kUpdatedPointer, PolicyKind::kMostGarbage}) {
+    CollectedHeap serial(SmallHeap(policy));
+    RunScript(&serial, nullptr, GetParam(), 0);
+
+    EpochManager epochs;
+    CollectedHeap concurrent(SmallHeap(policy));
+    concurrent.core().EnableConcurrentMode(&epochs);
+    RunScript(&concurrent, &epochs, GetParam(), 16);
+
+    SCOPED_TRACE("policy " + std::string(PolicyName(policy)));
+    ExpectHeapsEquivalent(serial, concurrent);
+    EXPECT_EQ(concurrent.core().pending_barrier_events(), 0u);
+    EXPECT_EQ(concurrent.store().deferred_slot_count(), 0u);
+  }
+}
+
+TEST_P(ConcurrentModeTest, NeverTickingMidRunStillMatches) {
+  // Extreme batching: all barrier events park until the first collection
+  // or the final tick. Flush points alone must keep results identical.
+  CollectedHeap serial(SmallHeap(PolicyKind::kUpdatedPointer));
+  RunScript(&serial, nullptr, GetParam(), 0);
+
+  EpochManager epochs;
+  CollectedHeap concurrent(SmallHeap(PolicyKind::kUpdatedPointer));
+  concurrent.core().EnableConcurrentMode(&epochs);
+  RunScript(&concurrent, &epochs, GetParam(), 0);
+
+  ExpectHeapsEquivalent(serial, concurrent);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConcurrentModeTest,
+                         ::testing::Values(101, 102, 103, 104));
+
+TEST(ConcurrentModeTest, DeferredSlotsWaitForGracePeriod) {
+  EpochManager epochs;
+  CollectedHeap heap(SmallHeap(PolicyKind::kNoCollection));
+  heap.core().EnableConcurrentMode(&epochs);
+  EpochManager::ThreadSlot* mutator = epochs.RegisterThread();
+  EpochManager::ThreadSlot* reader = epochs.RegisterThread();
+
+  epochs.Pin(mutator);
+  auto a = heap.Allocate(100, 2);
+  auto b = heap.Allocate(100, 2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(heap.AddRoot(*a).ok());
+  // A newer allocation takes over birth protection, leaving `b`
+  // unreachable; the full collection drops it, retiring its table slot
+  // under the current epoch.
+  ASSERT_TRUE(heap.Allocate(100, 2, *a).ok());
+  epochs.Pin(reader);  // A concurrent reader holds the epoch open.
+  ASSERT_TRUE(heap.CollectFullDatabase().ok());
+  EXPECT_GT(heap.store().deferred_slot_count(), 0u);
+  epochs.Unpin(mutator);
+
+  // Reclaim cannot run while the reader's pin predates the retirement.
+  heap.core().OnEpochTick();
+  EXPECT_GT(heap.store().deferred_slot_count(), 0u);
+
+  // Once the reader unpins and the epoch advances, the slot frees.
+  epochs.Unpin(reader);
+  epochs.BumpEpoch();
+  heap.core().OnEpochTick();
+  EXPECT_EQ(heap.store().deferred_slot_count(), 0u);
+
+  epochs.UnregisterThread(mutator);
+  epochs.UnregisterThread(reader);
+}
+
+}  // namespace
+}  // namespace odbgc

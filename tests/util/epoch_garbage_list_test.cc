@@ -1,0 +1,205 @@
+#include "util/epoch_garbage_list.h"
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/epoch.h"
+#include "util/random.h"
+
+namespace odbgc {
+namespace {
+
+TEST(EpochGarbageListTest, ReclaimsOnlyUpToSafeEpoch) {
+  EpochGarbageList<int> list;
+  list.Retire(10, /*epoch=*/1);
+  list.Retire(11, /*epoch=*/2);
+  list.Retire(12, /*epoch=*/4);
+  EXPECT_EQ(list.size(), 3u);
+
+  std::vector<int> reclaimed;
+  EXPECT_EQ(list.ReclaimUpTo(0, [&](int v) { reclaimed.push_back(v); }), 0u);
+  EXPECT_TRUE(reclaimed.empty());
+
+  EXPECT_EQ(list.ReclaimUpTo(2, [&](int v) { reclaimed.push_back(v); }), 2u);
+  EXPECT_EQ(reclaimed, (std::vector<int>{10, 11}));  // Retire order.
+  EXPECT_EQ(list.size(), 1u);
+
+  EXPECT_EQ(list.ReclaimUpTo(3, [&](int v) { reclaimed.push_back(v); }), 0u);
+  EXPECT_EQ(list.DrainAll([&](int v) { reclaimed.push_back(v); }), 1u);
+  EXPECT_EQ(reclaimed, (std::vector<int>{10, 11, 12}));
+  EXPECT_TRUE(list.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Model check (serial, seeds ×4): random retire/bump/reclaim schedule over
+// an EpochManager with simulated pinned threads, mirrored into a reference
+// model. The invariant: ReclaimUpTo(SafeEpoch()) never yields an item whose
+// retire epoch is still protected by any pin — i.e. every reclaimed item's
+// epoch <= min(pinned)-1 at reclaim time — and items are reclaimed exactly
+// once, in retire order.
+// ---------------------------------------------------------------------------
+
+class GarbageListModelTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GarbageListModelTest, NoReclaimBeforeGracePeriod) {
+  constexpr size_t kThreads = 4;
+  constexpr int kSteps = 4000;
+
+  EpochManager manager;
+  EpochGarbageList<uint64_t> list;
+
+  std::vector<EpochManager::ThreadSlot*> slots;
+  std::vector<uint64_t> pinned_at(kThreads, 0);  // Model: 0 = unpinned.
+  for (size_t i = 0; i < kThreads; ++i) {
+    slots.push_back(manager.RegisterThread());
+    ASSERT_NE(slots.back(), nullptr);
+  }
+
+  // Model state: item -> retire epoch, plus expected FIFO order.
+  std::deque<std::pair<uint64_t, uint64_t>> model_pending;  // (item, epoch)
+  std::set<uint64_t> reclaimed_items;
+  uint64_t next_item = 0;
+
+  Rng rng(GetParam());
+  for (int step = 0; step < kSteps; ++step) {
+    const uint64_t op = rng.UniformInt(10);
+    if (op < 3) {  // Retire an item under the current epoch.
+      const uint64_t epoch = manager.current_epoch();
+      list.Retire(next_item, epoch);
+      model_pending.emplace_back(next_item, epoch);
+      ++next_item;
+    } else if (op < 5) {  // Pin a random thread.
+      const size_t t = rng.UniformInt(kThreads);
+      manager.Pin(slots[t]);
+      pinned_at[t] = manager.current_epoch();
+    } else if (op < 7) {  // Unpin.
+      const size_t t = rng.UniformInt(kThreads);
+      manager.Unpin(slots[t]);
+      pinned_at[t] = 0;
+    } else if (op < 8) {  // Bump.
+      manager.BumpEpoch();
+    } else {  // Reclaim at the manager's safety bound.
+      const uint64_t safe = manager.SafeEpoch();
+      // Grace-period invariant, checked against the model's pin state: no
+      // pinned thread may still be inside an epoch <= safe.
+      for (size_t t = 0; t < kThreads; ++t) {
+        if (pinned_at[t] != 0) {
+          ASSERT_GT(pinned_at[t], safe)
+              << "SafeEpoch() " << safe << " overlaps thread " << t
+              << " pinned at " << pinned_at[t];
+        }
+      }
+      std::vector<uint64_t> got;
+      list.ReclaimUpTo(safe, [&](uint64_t item) { got.push_back(item); });
+      // The model reclaims the same FIFO prefix.
+      for (uint64_t item : got) {
+        ASSERT_FALSE(model_pending.empty());
+        ASSERT_EQ(model_pending.front().first, item) << "order violated";
+        ASSERT_LE(model_pending.front().second, safe)
+            << "item reclaimed before its grace period";
+        ASSERT_TRUE(reclaimed_items.insert(item).second)
+            << "item reclaimed twice";
+        model_pending.pop_front();
+      }
+      // Nothing reclaimable was left behind.
+      if (!model_pending.empty()) {
+        ASSERT_GT(model_pending.front().second, safe);
+      }
+      ASSERT_EQ(list.size(), model_pending.size());
+    }
+  }
+
+  // Drain at shutdown: every retired item is reclaimed exactly once.
+  for (EpochManager::ThreadSlot* slot : slots) manager.UnregisterThread(slot);
+  list.DrainAll([&](uint64_t item) {
+    ASSERT_TRUE(reclaimed_items.insert(item).second);
+  });
+  EXPECT_EQ(reclaimed_items.size(), next_item);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GarbageListModelTest,
+                         ::testing::Values(31u, 32u, 33u, 34u));
+
+// ---------------------------------------------------------------------------
+// Concurrent stress: each mutator round pins, retires a fresh unique token
+// under the pinned epoch, and keeps that token "in use" until it unpins; a
+// reclaimer thread reclaims at SafeEpoch(). The reclaimer asserts it never
+// receives a token whose owning critical section is still open — exactly
+// the use-after-free the grace period must prevent.
+// ---------------------------------------------------------------------------
+
+class GarbageListStressTest : public ::testing::TestWithParam<uint64_t> {};
+
+constexpr uint64_t kNoToken = UINT64_MAX;
+
+TEST_P(GarbageListStressTest, ReclaimNeverSeesInUseToken) {
+  constexpr size_t kMutators = 3;
+  constexpr uint64_t kRounds = 1500;
+
+  EpochManager manager;
+  EpochGarbageList<uint64_t> list;
+  // in_use[t] holds the token mutator t is using inside its current pin
+  // (kNoToken outside a critical section). Tokens are globally unique:
+  // token = t * kRounds + round.
+  std::atomic<uint64_t> in_use[kMutators];
+  for (std::atomic<uint64_t>& slot : in_use) slot.store(kNoToken);
+  std::atomic<size_t> mutators_done{0};
+
+  std::vector<std::thread> mutators;
+  for (size_t t = 0; t < kMutators; ++t) {
+    mutators.emplace_back([&, t] {
+      EpochManager::ThreadSlot* slot = manager.RegisterThread();
+      ASSERT_NE(slot, nullptr);
+      Rng rng(GetParam() * 100 + t);
+      for (uint64_t round = 0; round < kRounds; ++round) {
+        const uint64_t token = t * kRounds + round;
+        {
+          EpochGuard guard(&manager, slot);
+          // Retire under the pinned epoch, then keep using the token —
+          // the reclaimer must not free it until we unpin.
+          in_use[t].store(token, std::memory_order_seq_cst);
+          list.Retire(token, manager.current_epoch());
+          volatile uint64_t sink = 0;
+          const uint64_t spin = rng.UniformInt(32);
+          for (uint64_t i = 0; i < spin; ++i) sink = sink + i;
+          in_use[t].store(kNoToken, std::memory_order_seq_cst);
+        }
+        if (rng.UniformInt(8) == 0) std::this_thread::yield();
+      }
+      manager.UnregisterThread(slot);
+      mutators_done.fetch_add(1, std::memory_order_release);
+    });
+  }
+
+  size_t reclaimed = 0;
+  std::atomic<bool> violation{false};
+  auto check_token = [&](uint64_t token) {
+    const size_t owner = static_cast<size_t>(token / kRounds);
+    if (in_use[owner].load(std::memory_order_seq_cst) == token) {
+      violation.store(true);
+    }
+  };
+  while (mutators_done.load(std::memory_order_acquire) < kMutators) {
+    manager.BumpEpoch();
+    reclaimed += list.ReclaimUpTo(manager.SafeEpoch(), check_token);
+    std::this_thread::yield();
+  }
+  for (std::thread& thread : mutators) thread.join();
+
+  reclaimed += list.DrainAll(check_token);
+  EXPECT_FALSE(violation.load()) << "reclaimed a token still in use";
+  EXPECT_EQ(reclaimed, kMutators * kRounds);
+  EXPECT_TRUE(list.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GarbageListStressTest,
+                         ::testing::Values(41u, 42u, 43u, 44u));
+
+}  // namespace
+}  // namespace odbgc

@@ -113,5 +113,45 @@ TEST(MetricsRegistryTest, LoadRejectsTruncatedStream) {
   EXPECT_FALSE(dest.Load(truncated).ok());
 }
 
+TEST(MergeMetricSamplesTest, SumsByNameAcrossParts) {
+  const std::vector<std::vector<MetricSample>> parts = {
+      {{"buffer.hits", 10, 2}, {"disk.reads", 5, 1}},
+      {{"disk.reads", 3, 4}, {"ssd.erases", 0, 7}},
+  };
+  const auto merged = MergeMetricSamples(parts);
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].name, "buffer.hits");
+  EXPECT_EQ(merged[0].application, 10u);
+  EXPECT_EQ(merged[1].name, "disk.reads");
+  EXPECT_EQ(merged[1].application, 8u);
+  EXPECT_EQ(merged[1].collector, 5u);
+  EXPECT_EQ(merged[2].name, "ssd.erases");
+  EXPECT_EQ(merged[2].collector, 7u);
+}
+
+TEST(MergeMetricSamplesTest, OrderOfPartsIsIrrelevant) {
+  // The concurrent simulator merges shard registries in whatever order
+  // workers finish; determinism of the aggregate depends on this.
+  const std::vector<MetricSample> a = {{"x", 1, 2}, {"y", 3, 0}};
+  const std::vector<MetricSample> b = {{"y", 10, 1}, {"z", 0, 5}};
+  const std::vector<MetricSample> c = {{"x", 7, 7}};
+  const auto forward = MergeMetricSamples({a, b, c});
+  const auto backward = MergeMetricSamples({c, b, a});
+  ASSERT_EQ(forward.size(), backward.size());
+  for (size_t i = 0; i < forward.size(); ++i) {
+    EXPECT_EQ(forward[i].name, backward[i].name);
+    EXPECT_EQ(forward[i].application, backward[i].application);
+    EXPECT_EQ(forward[i].collector, backward[i].collector);
+  }
+}
+
+TEST(MergeMetricSamplesTest, EmptyAndSingleton) {
+  EXPECT_TRUE(MergeMetricSamples({}).empty());
+  const auto one = MergeMetricSamples({{{"only", 4, 2}}});
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].name, "only");
+  EXPECT_EQ(one[0].total(), 6u);
+}
+
 }  // namespace
 }  // namespace odbgc

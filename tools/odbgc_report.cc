@@ -182,6 +182,28 @@ Experiment GroupByPolicy(const std::vector<LoadedManifest>& manifests) {
   return experiment;
 }
 
+/// The concurrency axis of one manifest: (mutator_threads, trace_shards),
+/// defaulting to serial for pre-axis manifests.
+std::pair<uint64_t, uint64_t> ThreadsAxis(const Json& manifest) {
+  const Json* config = manifest.Get("config");
+  if (config == nullptr || !config->is_object()) return {1, 0};
+  const uint64_t threads = UNum(*config, "mutator_threads");
+  return {threads == 0 ? 1 : threads, UNum(*config, "trace_shards")};
+}
+
+/// Distinct concurrency axes across a manifest set, in first-seen order.
+std::vector<std::pair<uint64_t, uint64_t>> ThreadsAxes(
+    const std::vector<LoadedManifest>& manifests) {
+  std::vector<std::pair<uint64_t, uint64_t>> axes;
+  for (const LoadedManifest& loaded : manifests) {
+    const auto axis = ThreadsAxis(loaded.manifest);
+    if (std::find(axes.begin(), axes.end(), axis) == axes.end()) {
+      axes.push_back(axis);
+    }
+  }
+  return axes;
+}
+
 /// Distinct config digests across a manifest set. More than one means the
 /// runs are not comparable as a single experiment.
 std::vector<uint64_t> Digests(const std::vector<LoadedManifest>& manifests) {
@@ -281,9 +303,22 @@ int RunTables(const std::string& dir) {
   const Experiment experiment = GroupByPolicy(*manifests);
   size_t runs = 0;
   for (const PolicyRuns& set : experiment.sets) runs += set.runs.size();
-  std::printf("%zu manifests, %zu policies (config digest %llu)\n\n",
+  std::printf("%zu manifests, %zu policies (config digest %llu)\n",
               runs, experiment.sets.size(),
               static_cast<unsigned long long>(digests.front()));
+  // The concurrency axis is digest-excluded (thread-count-invariant
+  // results), so mixed-axis sets are legitimate — but worth surfacing.
+  const auto axes = ThreadsAxes(*manifests);
+  if (axes.size() > 1 || axes.front().first > 1) {
+    std::printf("threads axis:");
+    for (const auto& [threads, shards] : axes) {
+      std::printf(" %llux%llu", static_cast<unsigned long long>(threads),
+                  static_cast<unsigned long long>(
+                      shards == 0 ? threads : shards));
+    }
+    std::printf(" (mutator_threads x trace_shards)\n");
+  }
+  std::printf("\n");
 
   const auto summaries = Summarize(experiment);
   PrintThroughputTable(summaries, std::cout);
@@ -346,7 +381,19 @@ int RunDiff(const std::string& dir_a, const std::string& dir_b,
                    static_cast<unsigned long long>(key.second));
       return 2;
     }
-    if (manifest_a->Dump() == manifest_b->Dump()) {
+    if (ThreadsAxis(*manifest_a) != ThreadsAxis(*manifest_b)) {
+      // Legitimate (the axis is digest-excluded): this is exactly the
+      // serial-vs-concurrent equivalence comparison. Surface it so a
+      // reader knows why the documents cannot be byte-identical.
+      std::printf("note     %s-s%llu compared across thread counts "
+                  "(%llu vs %llu)\n",
+                  key.first.c_str(),
+                  static_cast<unsigned long long>(key.second),
+                  static_cast<unsigned long long>(
+                      ThreadsAxis(*manifest_a).first),
+                  static_cast<unsigned long long>(
+                      ThreadsAxis(*manifest_b).first));
+    } else if (manifest_a->Dump() == manifest_b->Dump()) {
       ++identical;
       continue;
     }
