@@ -123,6 +123,16 @@ void HeapCore::WireComponents() {
   global_collector_ = std::make_unique<GlobalMarkCollector>(
       store_.get(), buffer_.get(), &index_, weights_.get());
   store_->set_slot_write_observer(this);
+  if (options_.parallel_marking_threads >= 2) {
+    TaskPool* pool = options_.marking_pool;
+    if (pool == nullptr) {
+      owned_marking_pool_ =
+          std::make_unique<TaskPool>(options_.parallel_marking_threads);
+      pool = owned_marking_pool_.get();
+    }
+    census_engine_.EnableParallelMarking(pool,
+                                         options_.parallel_marking_threads);
+  }
   last_seen_partition_count_ = store_->partition_count();
   NoteFootprint();
 }

@@ -135,6 +135,20 @@ struct HeapOptions {
   /// opt-in for the profiling harness. Wall timings never affect simulated
   /// results (see wall_metrics()).
   bool profile_hot_paths = false;
+  /// Parallel marking for the census engine (DESIGN.md §15): number of
+  /// marking threads striping the reachability traversal behind every
+  /// census/anatomy (the MostGarbage oracle's per-trigger census is the
+  /// simulator's hottest path). Values < 2 keep the serial marker. All
+  /// results are byte-identical either way — marking computes a unique
+  /// fixpoint and the mark merge is deterministic
+  /// (tests/core/parallel_marking_test.cc).
+  uint32_t parallel_marking_threads = 0;
+  /// Optional externally-owned TaskPool for parallel marking (non-owning;
+  /// must outlive the heap). Lets many heaps — e.g. the concurrent
+  /// simulator's shards — share one pool so idle shard workers help with
+  /// a busy shard's marking. Null with parallel_marking_threads >= 2
+  /// makes the heap own a private pool of that many threads.
+  TaskPool* marking_pool = nullptr;
   /// Run-telemetry sink (non-owning; must outlive the heap). The heap
   /// publishes collection events, the device fault events; the simulator
   /// and durable engine publish run/phase/checkpoint events through the
@@ -284,6 +298,14 @@ class HeapCore : private SlotWriteObserver {
   MetricsRegistry* wall_metrics() const { return wall_metrics_.get(); }
   /// Pre-registered handles into wall_metrics() for hot-path scopes.
   WallPhaseTimers* wall_timers() const { return wall_timers_.get(); }
+  /// The effective parallel-marking pool: the injected one, the
+  /// heap-owned one, or null when marking is serial. Internal layers
+  /// (the simulator's snapshot census engine) share it so every marking
+  /// wave in a run draws from one set of workers.
+  TaskPool* marking_pool() const {
+    return options_.marking_pool != nullptr ? options_.marking_pool
+                                            : owned_marking_pool_.get();
+  }
   const InterPartitionIndex& index() const { return index_; }
   const WriteBarrier& barrier() const { return *barrier_; }
   const WeightTracker* weights() const { return weights_.get(); }
@@ -396,6 +418,10 @@ class HeapCore : private SlotWriteObserver {
   mutable ReachabilityAnalyzer census_engine_;
   mutable GarbageCensus census_scratch_;
   mutable SelectionContext selection_scratch_;
+
+  // Private marking pool, created by WireComponents only when
+  // parallel_marking_threads >= 2 and no external pool was injected.
+  std::unique_ptr<TaskPool> owned_marking_pool_;
 };
 
 }  // namespace odbgc

@@ -240,6 +240,17 @@ Json BuildManifest(const SimulationConfig& config,
     measured.Set("wall_ms", Json::Double(m.wall_ms));
     manifest.Set("measured", std::move(measured));
   }
+  // End-to-end run wall time, present only when the experiment runner's
+  // spec opted in (ExperimentSpec::record_timing). Same placement rule as
+  // `measured`: a top-level sibling of `result`, excluded from the config
+  // digest, so default manifests stay byte-identical while same-digest
+  // manifests from runs at different thread counts feed odbgc-report's
+  // scaling table.
+  if (result.run_wall_seconds > 0) {
+    Json timing = Json::Obj();
+    timing.Set("wall_seconds", Json::Double(result.run_wall_seconds));
+    manifest.Set("timing", std::move(timing));
+  }
   return manifest;
 }
 
@@ -318,6 +329,13 @@ Status ValidateManifest(const Json& manifest) {
       ODBGC_RETURN_IF_ERROR(RequireNumber(*measured, key));
     }
     ODBGC_RETURN_IF_ERROR(RequireString(*measured, "device_spec"));
+  }
+  // `timing` is optional (present only when the runner recorded wall
+  // time); when present it must be well-formed.
+  const Json* timing = manifest.Get("timing");
+  if (timing != nullptr) {
+    if (!timing->is_object()) return Missing("timing", "object");
+    ODBGC_RETURN_IF_ERROR(RequireNumber(*timing, "wall_seconds"));
   }
   return Status::Ok();
 }

@@ -1,14 +1,18 @@
 #include "sim/concurrent_simulator.h"
 
 #include <cassert>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "sim/simulator.h"
 #include "storage/device_registry.h"
+#include "util/task_pool.h"
 #include "util/thread_safe_queue.h"
 #include "workload/generator.h"
 
@@ -65,6 +69,20 @@ class EpochPacer : public TraceSink {
   uint64_t events_in_batch_ = 0;
 };
 
+// Buffers generated events for the work-stealing scheduler's batch
+// continuations.
+class VectorSink : public TraceSink {
+ public:
+  explicit VectorSink(std::vector<TraceEvent>* out) : out_(out) {}
+  Status Append(const TraceEvent& event) override {
+    out_->push_back(event);
+    return Status::Ok();
+  }
+
+ private:
+  std::vector<TraceEvent>* const out_;
+};
+
 uint64_t SplitMix64(uint64_t x) {
   x += 0x9e3779b97f4a7c15ull;
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
@@ -97,13 +115,33 @@ SimulationConfig ConcurrentSimulator::ShardConfig(uint32_t index) const {
   shard.mutator_threads = 1;
   shard.trace_shards = 0;
   shard.seed = ShardSeed(config_.seed, index);
-  // Proportional slice of the allocation volume (live target scales with
-  // it); the remainder spreads over the leading shards so slices differ
-  // by at most one byte.
   const uint64_t total = config_.workload.total_alloc_bytes;
-  const uint64_t base = total / shards;
-  const uint64_t extra = index < (total % shards) ? 1 : 0;
-  shard.workload = config_.workload.WithTotalAllocation(base + extra);
+  uint64_t slice;
+  if (config_.shard_weights.empty()) {
+    // Proportional slice of the allocation volume (live target scales
+    // with it); the remainder spreads over the leading shards so slices
+    // differ by at most one byte.
+    const uint64_t base = total / shards;
+    const uint64_t extra = index < (total % shards) ? 1 : 0;
+    slice = base + extra;
+  } else {
+    // Weighted split by cumulative-sum floors: shard i gets
+    // floor(total * cum[i+1]/W) - floor(total * cum[i]/W), which
+    // telescopes to exactly `total` over all shards.
+    double cum_before = 0.0;
+    double cum_total = 0.0;
+    for (uint32_t i = 0; i < shards; ++i) {
+      if (i < index) cum_before += config_.shard_weights[i];
+      cum_total += config_.shard_weights[i];
+    }
+    const double cum_after = cum_before + config_.shard_weights[index];
+    const auto floor_at = [&](double cum) {
+      return static_cast<uint64_t>(static_cast<double>(total) *
+                                   (cum / cum_total));
+    };
+    slice = floor_at(cum_after) - floor_at(cum_before);
+  }
+  shard.workload = config_.workload.WithTotalAllocation(slice);
   // Stateful backends (file paths) must not collide across shards; the
   // derived seed is shard-unique, so the per-run suffix disambiguates.
   shard.heap.device_spec = PerRunDeviceSpec(
@@ -136,6 +174,21 @@ Status ConcurrentSimulator::ValidateConcurrency() const {
         "concurrent mode does not support durability (wal_dir / "
         "checkpoint_every_rounds); run serially or disable checkpointing");
   }
+  if (!config_.shard_weights.empty()) {
+    if (config_.shard_weights.size() != shard_count()) {
+      return Status::InvalidArgument(
+          "shard_weights size (" +
+          std::to_string(config_.shard_weights.size()) +
+          ") must equal the shard count (" + std::to_string(shard_count()) +
+          ")");
+    }
+    for (double w : config_.shard_weights) {
+      if (!(w > 0.0)) {
+        return Status::InvalidArgument(
+            "shard_weights must all be positive");
+      }
+    }
+  }
   return Status::Ok();
 }
 
@@ -144,6 +197,19 @@ Status ConcurrentSimulator::Run() {
   const uint32_t shards = shard_count();
   shard_results_.assign(shards, SimulationResult{});
   shard_wall_metrics_.assign(shards, std::vector<MetricSample>{});
+  worker_busy_seconds_.clear();
+  scheduler_steals_ = 0;
+
+  const Status status = config_.shard_scheduler == ShardSchedulerKind::kPullQueue
+                            ? RunPullQueue()
+                            : RunWorkStealing();
+  ODBGC_RETURN_IF_ERROR(status);
+  ran_ = true;
+  return Status::Ok();
+}
+
+Status ConcurrentSimulator::RunPullQueue() {
+  const uint32_t shards = shard_count();
   std::vector<Status> shard_status(shards, Status::Ok());
 
   ThreadSafeQueue<uint32_t> queue;
@@ -156,6 +222,9 @@ Status ConcurrentSimulator::Run() {
   auto run_shard = [&](uint32_t shard, uint32_t thread_index,
                        EpochManager::ThreadSlot* slot) {
     SimulationConfig shard_config = ShardConfig(shard);
+    // The pull-queue scheduler is preserved as the PR 7 baseline for A/B
+    // scheduler benchmarking: whole-shard execution, serial marking.
+    shard_config.heap.parallel_marking_threads = 0;
     // The user's observer keeps its single-threaded contract: every
     // worker publishes through a serializing, thread-tagging wrapper.
     std::unique_ptr<SynchronizedObserver> tagged;
@@ -219,7 +288,171 @@ Status ConcurrentSimulator::Run() {
   for (const Status& status : shard_status) {
     ODBGC_RETURN_IF_ERROR(status);
   }
-  ran_ = true;
+  return Status::Ok();
+}
+
+Status ConcurrentSimulator::RunWorkStealing() {
+  const uint32_t shards = shard_count();
+  const uint32_t threads = config_.mutator_threads;
+  std::vector<Status> shard_status(shards, Status::Ok());
+  std::mutex observer_mutex;
+  SimObserver* const user_observer = config_.heap.observer;
+
+  // One epoch slot per pool worker, registered up front and indexed by
+  // worker_index — each slot is only ever pinned by its one worker
+  // thread, honouring the slot contract even though registration happens
+  // here. (threads <= kMaxThreads was validated; the manager is private
+  // to the run, so registration cannot fail.)
+  std::vector<EpochManager::ThreadSlot*> slots(threads, nullptr);
+  for (uint32_t t = 0; t < threads; ++t) slots[t] = epochs_.RegisterThread();
+
+  {
+    TaskPool pool(threads);
+
+    // Per-shard execution state. A shard advances via a chain of batch
+    // continuations — exactly one in flight per shard, so its event
+    // stream applies strictly in order no matter which workers run the
+    // batches. Declared after `pool` so the simulators (whose heaps may
+    // hold the pool as their marking pool) are destroyed first.
+    struct ShardRun {
+      uint32_t shard = 0;
+      SimulationConfig config;
+      std::unique_ptr<SynchronizedObserver> tagged;
+      std::unique_ptr<Simulator> sim;
+      std::unique_ptr<WorkloadGenerator> generator;
+      // The buffered slice of the shard's event stream (one build phase
+      // or one generator round at a time), applied in epoch batches.
+      std::vector<TraceEvent> buffer;
+      size_t next_event = 0;
+      bool built = false;
+      bool pending_reset = false;  // Warm start: reset once build applies.
+    };
+    std::vector<ShardRun> runs(shards);
+
+    TaskPool::TaskGroup group;
+    std::function<void(ShardRun*, TaskPool::Context&)> step;
+    step = [&](ShardRun* run, TaskPool::Context& ctx) {
+      // First batch of the shard: materialize its simulator here, on a
+      // worker, so construction parallelizes too.
+      if (run->sim == nullptr) {
+        run->config = ShardConfig(run->shard);
+        if (user_observer != nullptr) {
+          // The user's observer keeps its single-threaded contract via
+          // the serializing wrapper; tagged by shard (stable across
+          // scheduling) rather than by worker.
+          run->tagged = std::make_unique<SynchronizedObserver>(
+              user_observer, &observer_mutex, run->shard + 1);
+          run->config.heap.observer = run->tagged.get();
+        }
+        if (run->config.heap.parallel_marking_threads >= 2) {
+          // All shard heaps mark on the scheduler's own pool: a worker
+          // stuck behind a census-heavy shard exports marking strips to
+          // whoever is idle.
+          run->config.heap.marking_pool = &pool;
+        }
+        const Status valid = run->config.workload.Validate();
+        if (!valid.ok()) {
+          shard_status[run->shard] = valid;
+          return;
+        }
+        run->sim = std::make_unique<Simulator>(run->config);
+        run->sim->heap().core().EnableConcurrentMode(&epochs_);
+        run->generator = std::make_unique<WorkloadGenerator>(
+            run->config.workload, run->config.seed);
+      }
+
+      Simulator& sim = *run->sim;
+      HeapCore& core = sim.heap().core();
+
+      // Refill the buffer when drained: the build phase first, then one
+      // generator round per refill, then shard finalization.
+      if (run->next_event >= run->buffer.size()) {
+        run->buffer.clear();
+        run->next_event = 0;
+        VectorSink sink(&run->buffer);
+        Status refill;
+        if (!run->built) {
+          refill = run->generator->BuildInitialDatabase(&sink);
+          run->built = true;
+          if (run->config.warm_start) run->pending_reset = true;
+        } else if (!run->generator->Done()) {
+          refill = run->generator->RunRound(&sink);
+        } else {
+          // Stream exhausted: join point for this shard's store (its
+          // batches are fully applied), then record results.
+          core.OnEpochTick();
+          sim.heap().mutable_store().DrainDeferredSlots();
+          shard_results_[run->shard] = sim.Finish();
+          shard_wall_metrics_[run->shard] =
+              sim.heap().wall_metrics()->Snapshot();
+          return;  // Chain ends; no re-submit.
+        }
+        if (!refill.ok()) {
+          core.OnEpochTick();
+          sim.heap().mutable_store().DrainDeferredSlots();
+          shard_status[run->shard] = refill;
+          return;
+        }
+      }
+
+      // Apply one epoch batch under this worker's pin. `nested` guards
+      // re-entry: a worker whose census Wait helps with another shard's
+      // batch is already pinned by the outer batch, and re-pinning at a
+      // newer epoch would weaken the outer batch's grace protection — the
+      // inner batch just rides the outer pin (safe: pins are global to
+      // the shared manager, and strictly conservative).
+      EpochManager::ThreadSlot* slot = slots[ctx.worker_index];
+      const bool nested = epochs_.IsPinned(slot);
+      if (!nested) epochs_.Pin(slot);
+      Status applied = Status::Ok();
+      uint64_t in_batch = 0;
+      while (in_batch < kEventsPerEpoch &&
+             run->next_event < run->buffer.size()) {
+        applied = sim.Append(run->buffer[run->next_event]);
+        ++run->next_event;
+        ++in_batch;
+        if (!applied.ok()) break;
+      }
+      if (!nested) {
+        epochs_.Unpin(slot);
+        epochs_.BumpEpoch();
+      }
+      core.OnEpochTick();
+      if (!applied.ok()) {
+        sim.heap().mutable_store().DrainDeferredSlots();
+        shard_status[run->shard] = applied;
+        return;
+      }
+      // Warm start: measurements reset the moment the build stream has
+      // fully applied, before any round event.
+      if (run->pending_reset && run->next_event >= run->buffer.size()) {
+        sim.ResetMeasurementForWarmStart();
+        run->pending_reset = false;
+      }
+      ctx.pool->Submit(&group, [run, &step](TaskPool::Context& c) {
+        step(run, c);
+      });
+    };
+
+    for (uint32_t i = 0; i < shards; ++i) {
+      runs[i].shard = i;
+      ShardRun* run = &runs[i];
+      pool.Submit(&group, [run, &step](TaskPool::Context& c) {
+        step(run, c);
+      });
+    }
+    pool.Wait(&group);
+
+    worker_busy_seconds_ = pool.BusySeconds();
+    scheduler_steals_ = pool.steals();
+  }
+
+  for (uint32_t t = 0; t < threads; ++t) epochs_.UnregisterThread(slots[t]);
+
+  // First error in shard order, as in the pull-queue scheduler.
+  for (const Status& status : shard_status) {
+    ODBGC_RETURN_IF_ERROR(status);
+  }
   return Status::Ok();
 }
 

@@ -44,6 +44,18 @@ namespace odbgc {
 /// merge through MergeMetricSamples. Time series are a per-shard notion
 /// and stay empty in the aggregate.
 ///
+/// Scheduling (DESIGN.md §15): `config.shard_scheduler` picks how shards
+/// meet threads. The default work-stealing scheduler cuts every shard's
+/// event stream into epoch-sized batches executed as tasks on a shared
+/// TaskPool — one in-flight batch per shard (so each shard's stream still
+/// applies strictly in order on one thread at a time), with idle workers
+/// stealing other shards' batches and, when parallel marking is enabled,
+/// marking strips of a busy shard's census. The pull-queue scheduler is
+/// the PR 7 baseline (threads run whole shards to completion), kept
+/// selectable for the A/B scheduler bench. Either way the aggregate is
+/// bitwise identical — scheduling is unobservable in results
+/// (tests/sim/work_stealing_equivalence_test.cc).
+///
 /// Not supported (rejected by Run): durability (wal_dir /
 /// checkpoint_every_rounds — checkpointing a multi-heap run is future
 /// work), and mutator_threads > shard count or > EpochManager::kMaxThreads.
@@ -77,6 +89,22 @@ class ConcurrentSimulator {
   /// The epoch manager the run's heaps share (tests/diagnostics).
   const EpochManager& epochs() const { return epochs_; }
 
+  /// Per-worker wall time spent executing scheduler tasks, in seconds
+  /// (work-stealing runs only; empty after a pull-queue run). busy/wall
+  /// per worker is the scheduler-efficiency number the concurrency bench
+  /// reports. Nested helping (a worker executing other tasks while it
+  /// waits on a marking wave) double-counts the nested span in its outer
+  /// task, so treat values as an upper bound.
+  const std::vector<double>& worker_busy_seconds() const {
+    return worker_busy_seconds_;
+  }
+
+  /// Batches that executed on a different worker than the one that
+  /// enqueued them (work-stealing runs only) — the load-balancing
+  /// diagnostic: zero on a balanced run means stealing never needed to
+  /// kick in; large on a skewed run means it did its job.
+  uint64_t scheduler_steals() const { return scheduler_steals_; }
+
   /// The configuration of shard `index`: the derived seed and the
   /// workload slice. Exposed so the serial oracle in the equivalence
   /// suite replays exactly the shards a concurrent run executes.
@@ -94,12 +122,19 @@ class ConcurrentSimulator {
 
  private:
   Status ValidateConcurrency() const;
+  // The PR 7 scheduler: whole shards pulled from a shared queue.
+  Status RunPullQueue();
+  // The work-stealing scheduler: per-shard batch continuations on a
+  // TaskPool, with the pool doubling as the shards' parallel-marking pool.
+  Status RunWorkStealing();
 
   SimulationConfig config_;
   EpochManager epochs_;
   bool ran_ = false;
   std::vector<SimulationResult> shard_results_;
   std::vector<std::vector<MetricSample>> shard_wall_metrics_;
+  std::vector<double> worker_busy_seconds_;
+  uint64_t scheduler_steals_ = 0;
 };
 
 }  // namespace odbgc

@@ -1,6 +1,7 @@
 #include "sim/runner.h"
 
 #include <atomic>
+#include <chrono>
 #include <mutex>
 #include <thread>
 
@@ -8,6 +9,8 @@
 #include "sim/concurrent_simulator.h"
 #include "sim/simulator.h"
 #include "storage/device_registry.h"
+#include "storage/io_scheduler.h"
+#include "util/task_pool.h"
 
 namespace odbgc {
 
@@ -80,64 +83,96 @@ Result<Experiment> RunExperimentWith(const ExperimentSpec& spec,
   }
   threads = std::min<int>(threads, static_cast<int>(tasks.size()));
 
-  std::atomic<size_t> next_task{0};
+  // One scheduler worker pool for every run's "file" backend, instead of
+  // a private pool per run. Only meaningful for grids over a "file" spec;
+  // devices serialize whole submit+Drain batches through the scheduler's
+  // producer lock. Declared before any run starts and destroyed after the
+  // grid drains (devices hold a non-owning pointer).
+  std::unique_ptr<IoScheduler> shared_io;
+  if (spec.share_io_scheduler &&
+      DeviceSpecName(spec.base.heap.device_spec) == "file") {
+    IoSchedulerOptions io;
+    io.threads = spec.base.heap.file_device.io_threads;
+    io.backend = spec.base.heap.file_device.backend;
+    shared_io = std::make_unique<IoScheduler>(io);
+  }
+
   std::mutex error_mutex;
   Status first_error;
+  std::atomic<bool> aborted{false};
   // Serializes on_run_complete and manifest writes.
   std::mutex complete_mutex;
   Status complete_error;
 
-  auto worker = [&] {
-    for (;;) {
-      const size_t i = next_task.fetch_add(1);
-      if (i >= tasks.size()) return;
-      const Task& task = tasks[i];
+  // One grid cell. Cells write to disjoint result slots, so the
+  // scheduler's execution order is unobservable in the returned
+  // Experiment (runs stay in policy-then-seed order).
+  auto run_cell = [&](size_t i) {
+    if (aborted.load(std::memory_order_relaxed)) return;
+    const Task& task = tasks[i];
 
-      SimulationConfig config = spec.base;
-      config.seed = task.seed;
-      config.heap.policy_name = *task.policy;
-      // Stateful backends must not share backing storage across the
-      // concurrent (policy, seed) runs of one experiment: a "file" spec's
-      // path is suffixed per run, stateless specs pass through.
-      config.heap.device_spec = PerRunDeviceSpec(
-          config.heap.device_spec, *task.policy, task.seed);
-      if (spec.observer_factory) {
-        observers[i] = spec.observer_factory(*task.policy, task.seed);
-        config.heap.observer = observers[i].get();
-      }
-
-      auto result = run_one(config);
-      if (!result.ok()) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (first_error.ok()) first_error = result.status();
-        return;
-      }
-
-      if (spec.on_run_complete || !spec.manifest_dir.empty()) {
-        std::lock_guard<std::mutex> lock(complete_mutex);
-        if (!spec.manifest_dir.empty()) {
-          const std::string path =
-              spec.manifest_dir + "/" +
-              ManifestFileName(result->policy_name, result->seed);
-          const Status written =
-              WriteManifestFile(path, BuildManifest(config, *result));
-          if (!written.ok() && complete_error.ok()) complete_error = written;
-        }
-        if (spec.on_run_complete) spec.on_run_complete(config, *result);
-      }
-
-      experiment.sets[task.set_index].runs[task.run_index] =
-          std::move(result).value();
+    SimulationConfig config = spec.base;
+    config.seed = task.seed;
+    config.heap.policy_name = *task.policy;
+    // Stateful backends must not share backing storage across the
+    // concurrent (policy, seed) runs of one experiment: a "file" spec's
+    // path is suffixed per run, stateless specs pass through.
+    config.heap.device_spec = PerRunDeviceSpec(
+        config.heap.device_spec, *task.policy, task.seed);
+    if (shared_io != nullptr) {
+      config.heap.file_device.shared_scheduler = shared_io.get();
     }
+    if (spec.observer_factory) {
+      observers[i] = spec.observer_factory(*task.policy, task.seed);
+      config.heap.observer = observers[i].get();
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    auto result = run_one(config);
+    if (!result.ok()) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (first_error.ok()) first_error = result.status();
+      aborted.store(true, std::memory_order_relaxed);
+      return;
+    }
+    if (spec.record_timing) {
+      result->run_wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+    }
+
+    if (spec.on_run_complete || !spec.manifest_dir.empty()) {
+      std::lock_guard<std::mutex> lock(complete_mutex);
+      if (!spec.manifest_dir.empty()) {
+        const std::string path =
+            spec.manifest_dir + "/" +
+            ManifestFileName(result->policy_name, result->seed);
+        const Status written =
+            WriteManifestFile(path, BuildManifest(config, *result));
+        if (!written.ok() && complete_error.ok()) complete_error = written;
+      }
+      if (spec.on_run_complete) spec.on_run_complete(config, *result);
+    }
+
+    experiment.sets[task.set_index].runs[task.run_index] =
+        std::move(result).value();
   };
 
   if (threads <= 1) {
-    worker();
+    for (size_t i = 0; i < tasks.size(); ++i) run_cell(i);
   } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
-    for (auto& t : pool) t.join();
+    // The cells ride the same work-stealing pool as shard scheduling and
+    // parallel marking (DESIGN.md §15): long runs (a slow policy, a big
+    // seed) stop serializing the tail of the grid behind a static
+    // round-robin split.
+    TaskPool pool(static_cast<uint32_t>(threads));
+    TaskPool::TaskGroup group;
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      pool.Submit(&group,
+                  [&run_cell, i](TaskPool::Context&) { run_cell(i); });
+    }
+    pool.Wait(&group);
   }
 
   if (!first_error.ok()) return first_error;

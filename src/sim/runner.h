@@ -62,6 +62,17 @@ struct ExperimentSpec {
   /// (policy, seed) into this directory: <dir>/<policy>-s<seed>.json
   /// (see observe/manifest.h).
   std::string manifest_dir;
+  /// Stamp each result's `run_wall_seconds` with the run's end-to-end
+  /// wall time (and emit a "timing" manifest section). Off by default so
+  /// manifests stay byte-stable run to run; the CLI's --parallel-grid
+  /// turns it on to feed odbgc-report's scaling table.
+  bool record_timing = false;
+  /// Share one IoScheduler worker pool across every run's "file" device
+  /// instead of spawning a scheduler per run. With a parallel grid of N
+  /// runs this caps real-I/O threads at one pool (batches serialize
+  /// through the scheduler's producer lock); a no-op for in-memory
+  /// backends.
+  bool share_io_scheduler = false;
 
   // ---- Builder -----------------------------------------------------------
   static ExperimentSpec Base(SimulationConfig config) {
@@ -108,6 +119,14 @@ struct ExperimentSpec {
   }
   ExperimentSpec&& WithManifestDir(std::string dir) && {
     manifest_dir = std::move(dir);
+    return std::move(*this);
+  }
+  ExperimentSpec&& WithTiming(bool enabled = true) && {
+    record_timing = enabled;
+    return std::move(*this);
+  }
+  ExperimentSpec&& WithSharedIoScheduler(bool enabled = true) && {
+    share_io_scheduler = enabled;
     return std::move(*this);
   }
 };

@@ -90,10 +90,15 @@ FileDevice::FileDevice(size_t page_size, MetricsRegistry* registry,
     status_ = Status::IoError("FileDevice: frame buffer allocation failed");
     return;
   }
-  IoSchedulerOptions sched;
-  sched.threads = options_.io_threads;
-  sched.backend = options_.backend;
-  scheduler_ = std::make_unique<IoScheduler>(sched);
+  if (options_.shared_scheduler != nullptr) {
+    scheduler_ptr_ = options_.shared_scheduler;
+  } else {
+    IoSchedulerOptions sched;
+    sched.threads = options_.io_threads;
+    sched.backend = options_.backend;
+    scheduler_ = std::make_unique<IoScheduler>(sched);
+    scheduler_ptr_ = scheduler_.get();
+  }
 }
 
 FileDevice::~FileDevice() {
@@ -180,8 +185,10 @@ Status FileDevice::ValidateTransfer(const char* op, PageId page,
 
 Status FileDevice::PhysicalRead(PageId page, std::span<std::byte> out) {
   const auto start = std::chrono::steady_clock::now();
-  scheduler_->SubmitRead(fd_, FrameOffset(page), {scratch_, frame_size_});
-  const Status status = scheduler_->Drain();
+  auto lock = BatchLock();
+  scheduler_ptr_->SubmitRead(fd_, FrameOffset(page), {scratch_, frame_size_});
+  const Status status = scheduler_ptr_->Drain();
+  lock = {};
   measured_wall_ns_ += static_cast<double>(ElapsedNs(start));
   ++measured_reads_;
   ODBGC_RETURN_IF_ERROR(status);
@@ -221,8 +228,9 @@ void FileDevice::ApplyWriteFaultDamage(PageId page,
     std::byte* p;
     ~FrameGuard() { std::free(p); }
   } guard{old_frame};
-  scheduler_->SubmitRead(fd_, FrameOffset(page), {old_frame, frame_size_});
-  if (!scheduler_->Drain().ok()) return;
+  auto lock = BatchLock();
+  scheduler_ptr_->SubmitRead(fd_, FrameOffset(page), {old_frame, frame_size_});
+  if (!scheduler_ptr_->Drain().ok()) return;
   EncodeFrame(page, in, scratch_);
   if (plan->write_fault_style == WriteFaultStyle::kShortWrite) {
     // Only a prefix made it out: the new header plus half the payload, old
@@ -238,8 +246,8 @@ void FileDevice::ApplyWriteFaultDamage(PageId page,
     std::memset(scratch_ + kHeaderSize + payload_half, 0xDB,
                 page_size() - payload_half);
   }
-  scheduler_->SubmitWrite(fd_, FrameOffset(page), {scratch_, frame_size_});
-  (void)scheduler_->Drain();
+  scheduler_ptr_->SubmitWrite(fd_, FrameOffset(page), {scratch_, frame_size_});
+  (void)scheduler_ptr_->Drain();
   readahead_.Invalidate(page);
 }
 
@@ -253,8 +261,10 @@ Status FileDevice::WritePage(PageId page, std::span<const std::byte> in) {
   }
   EncodeFrame(page, in, scratch_);
   const auto start = std::chrono::steady_clock::now();
-  scheduler_->SubmitWrite(fd_, FrameOffset(page), {scratch_, frame_size_});
-  const Status status = scheduler_->Drain();
+  auto lock = BatchLock();
+  scheduler_ptr_->SubmitWrite(fd_, FrameOffset(page), {scratch_, frame_size_});
+  const Status status = scheduler_ptr_->Drain();
+  lock = {};
   measured_wall_ns_ += static_cast<double>(ElapsedNs(start));
   ++measured_writes_;
   ODBGC_RETURN_IF_ERROR(status);
@@ -294,34 +304,40 @@ Status FileDevice::WritePages(const PageWriteRequest* requests, size_t count,
   size_t accepted = 0;
   bool fault_fired = false;
   Status failure = Status::Ok();
-  for (size_t i = 0; i < count; ++i) {
-    const PageId page = requests[i].page;
-    failure = ValidateTransfer("WritePages", page, requests[i].data.size(),
-                               /*is_write=*/true);
-    if (failure.ok()) {
-      failure = CheckFault(/*is_write=*/true);
-      fault_fired = !failure.ok();
-    }
-    if (!failure.ok()) break;
-    if (!in_flight.insert(page).second) {
-      // Same page twice in one batch: drain so concurrent jobs never
-      // cover overlapping file ranges (the determinism precondition).
-      failure = scheduler_->Drain();
+  Status drain_status = Status::Ok();
+  {
+    // Scope ends before any fault-damage write below, which takes its own
+    // batch lock.
+    auto lock = BatchLock();
+    for (size_t i = 0; i < count; ++i) {
+      const PageId page = requests[i].page;
+      failure = ValidateTransfer("WritePages", page, requests[i].data.size(),
+                                 /*is_write=*/true);
+      if (failure.ok()) {
+        failure = CheckFault(/*is_write=*/true);
+        fault_fired = !failure.ok();
+      }
       if (!failure.ok()) break;
-      in_flight.clear();
-      in_flight.insert(page);
+      if (!in_flight.insert(page).second) {
+        // Same page twice in one batch: drain so concurrent jobs never
+        // cover overlapping file ranges (the determinism precondition).
+        failure = scheduler_ptr_->Drain();
+        if (!failure.ok()) break;
+        in_flight.clear();
+        in_flight.insert(page);
+      }
+      std::byte* frame = frames + i * frame_size_;
+      EncodeFrame(page, requests[i].data, frame);
+      scheduler_ptr_->SubmitWrite(fd_, FrameOffset(page), {frame, frame_size_});
+      // Simulated accounting happens here — on the calling thread, in
+      // request order — identical to the default WritePage loop.
+      readahead_.Invalidate(page);
+      CountWrite(page);
+      ++measured_writes_;
+      ++accepted;
     }
-    std::byte* frame = frames + i * frame_size_;
-    EncodeFrame(page, requests[i].data, frame);
-    scheduler_->SubmitWrite(fd_, FrameOffset(page), {frame, frame_size_});
-    // Simulated accounting happens here — on the calling thread, in
-    // request order — identical to the default WritePage loop.
-    readahead_.Invalidate(page);
-    CountWrite(page);
-    ++measured_writes_;
-    ++accepted;
+    drain_status = scheduler_ptr_->Drain();
   }
-  const Status drain_status = scheduler_->Drain();
   const uint64_t wall = ElapsedNs(start);
   measured_wall_ns_ += static_cast<double>(wall);
   ++measured_batches_;
@@ -367,11 +383,13 @@ void FileDevice::Prefetch(std::span<const PageId> pages) {
 
   PublishBatch(/*is_write=*/false, wanted.size(), /*completed=*/false, 0);
   const auto start = std::chrono::steady_clock::now();
+  auto lock = BatchLock();
   for (size_t i = 0; i < wanted.size(); ++i) {
-    scheduler_->SubmitRead(fd_, FrameOffset(wanted[i]),
-                           {frames + i * frame_size_, frame_size_});
+    scheduler_ptr_->SubmitRead(fd_, FrameOffset(wanted[i]),
+                               {frames + i * frame_size_, frame_size_});
   }
-  const Status drain_status = scheduler_->Drain();
+  const Status drain_status = scheduler_ptr_->Drain();
+  lock = {};
   const uint64_t wall = ElapsedNs(start);
   measured_wall_ns_ += static_cast<double>(wall);
   measured_reads_ += wanted.size();

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "storage/disk.h"
@@ -34,6 +35,13 @@ struct FileDeviceOptions {
   /// comparable with a SimulatedDisk run of the same workload. Measured
   /// wall time is reported separately (MeasuredStats).
   DiskCostParams cost;
+  /// Optional externally-owned IoScheduler shared with other devices
+  /// (non-owning; must outlive the device). When set, io_threads/backend
+  /// are ignored and every submit+Drain batch runs under the scheduler's
+  /// producer lock, so many file devices — the parallel experiment grid's
+  /// per-run backends — share one worker pool instead of spawning one
+  /// each. Null (the default) keeps a private scheduler.
+  IoScheduler* shared_scheduler = nullptr;
 };
 
 /// PageDevice over a real partition file: pread/pwrite through an
@@ -91,7 +99,9 @@ class FileDevice : public PageDevice {
   bool direct_io_effective() const { return direct_io_effective_; }
 
   const FileDeviceOptions& options() const { return options_; }
-  const IoScheduler& scheduler() const { return *scheduler_; }
+  const IoScheduler& scheduler() const { return *scheduler_ptr_; }
+  /// True when this device runs on an externally-owned scheduler.
+  bool shares_scheduler() const { return options_.shared_scheduler != nullptr; }
 
   /// Bytes of file backing one page (header sector + padded payload).
   size_t frame_size() const { return frame_size_; }
@@ -119,6 +129,13 @@ class FileDevice : public PageDevice {
 
   uint64_t FrameOffset(PageId page) const { return page * frame_size_; }
 
+  // Serializes one whole submit+Drain batch against sibling devices on a
+  // shared scheduler. A no-op (empty lock) with a private scheduler.
+  std::unique_lock<std::mutex> BatchLock() {
+    return shares_scheduler() ? scheduler_ptr_->AcquireProducerLock()
+                              : std::unique_lock<std::mutex>();
+  }
+
   void PublishBatch(bool is_write, uint64_t pages, bool completed,
                     uint64_t wall_ns);
   void PublishSync(uint64_t wall_ns);
@@ -130,7 +147,10 @@ class FileDevice : public PageDevice {
   size_t frame_size_ = 0;
   size_t num_pages_ = 0;
 
+  // Owned when options_.shared_scheduler is null; scheduler_ptr_ is the
+  // effective scheduler either way (every transfer goes through it).
   std::unique_ptr<IoScheduler> scheduler_;
+  IoScheduler* scheduler_ptr_ = nullptr;
   ReadAhead readahead_;
 
   // Scratch frame buffer for synchronous single-page transfers, aligned

@@ -52,6 +52,10 @@ IoBackend DetectIoBackend();
 ///
 /// Thread safety: one producer thread submits and drains; workers only
 /// execute jobs. (The submit/drain surface itself is not reentrant.)
+/// Multiple producers — e.g. a parallel experiment grid's file devices
+/// sharing one scheduler — serialize whole submit+Drain batches through
+/// AcquireProducerLock, which restores the single-producer contract one
+/// batch at a time.
 class IoScheduler {
  public:
   explicit IoScheduler(const IoSchedulerOptions& options = {});
@@ -59,6 +63,14 @@ class IoScheduler {
 
   IoScheduler(const IoScheduler&) = delete;
   IoScheduler& operator=(const IoScheduler&) = delete;
+
+  /// Claims exclusive use of the submit/Drain surface for one batch.
+  /// Hold the returned lock across the whole submit*-then-Drain sequence.
+  /// Single-producer users may skip this entirely (the lock protects
+  /// nothing they contend on).
+  std::unique_lock<std::mutex> AcquireProducerLock() {
+    return std::unique_lock<std::mutex>(producer_mutex_);
+  }
 
   /// Enqueues a full write of `data` at `offset` on `fd`.
   void SubmitWrite(int fd, uint64_t offset, std::span<const std::byte> data);
@@ -98,6 +110,10 @@ class IoScheduler {
 
   IoBackend backend_ = IoBackend::kThreadPool;
   uint64_t jobs_completed_ = 0;
+
+  // Serializes producers that share this scheduler (AcquireProducerLock);
+  // never touched on the single-producer path.
+  std::mutex producer_mutex_;
 
   // Thread-pool backend state. Jobs accumulate in `jobs_`; workers claim
   // them by index through `next_job_`. Drain waits until done == jobs size.

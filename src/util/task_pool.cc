@@ -1,0 +1,195 @@
+#include "util/task_pool.h"
+
+#include <cassert>
+#include <chrono>
+
+namespace odbgc {
+
+namespace {
+
+// (pool, state) of the worker thread currently executing, if any. The
+// pool pointer disambiguates nested pools: a task of pool A may construct
+// and drive pool B (the heap-owned marking pool inside a grid worker);
+// B's submissions from A's worker must go through B's injector, not A's
+// deque.
+thread_local TaskPool::Context tl_context;
+
+uint64_t XorShift64(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  return *state = x;
+}
+
+}  // namespace
+
+TaskPool::TaskPool(uint32_t workers) {
+  if (workers == 0) workers = 1;
+  worker_count_ = workers;
+  states_.reserve(workers);
+  workers_.reserve(workers);
+  for (uint32_t i = 0; i < workers; ++i) {
+    states_.push_back(std::make_unique<WorkerState>(this, i));
+  }
+  // States are fully built before any thread starts: WorkerLoop and
+  // StealSweep index the whole vector.
+  for (uint32_t i = 0; i < workers; ++i) {
+    workers_.emplace_back(&TaskPool::WorkerLoop, this, states_[i].get());
+  }
+}
+
+TaskPool::~TaskPool() {
+  // Workers drain everything still queued before exiting (the loop only
+  // returns on shutdown AND empty), so submitted-but-unwaited work is
+  // completed, not dropped.
+  shutdown_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+  }
+  sleep_cv_.notify_all();
+  for (std::thread& thread : workers_) thread.join();
+}
+
+bool TaskPool::OnWorkerThread() const { return tl_context.pool == this; }
+
+void TaskPool::Submit(TaskGroup* group, Task task) {
+  assert(group != nullptr);
+  TaskNode* node = new TaskNode{std::move(task), group};
+  group->pending_.fetch_add(1, std::memory_order_acq_rel);
+  if (tl_context.pool == this) {
+    states_[tl_context.worker_index]->deque.PushBottom(node);
+  } else {
+    std::lock_guard<std::mutex> lock(injector_mutex_);
+    injector_.push_back(node);
+  }
+  queued_.fetch_add(1, std::memory_order_release);
+  NotifyOne();
+}
+
+void TaskPool::NotifyOne() {
+  if (sleepers_.load(std::memory_order_acquire) == 0) return;
+  {
+    // Empty critical section: pairs the queued_ increment with the
+    // sleeper's predicate re-check so the wakeup cannot be lost.
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+  }
+  sleep_cv_.notify_one();
+}
+
+TaskPool::TaskNode* TaskPool::StealSweep(WorkerState* self) {
+  const uint32_t n = worker_count();
+  if (n <= 1) return nullptr;
+  // Randomized start, full rotation: every victim is visited once per
+  // sweep, in an order that decorrelates thieves.
+  const uint32_t start =
+      static_cast<uint32_t>(XorShift64(&self->rng_state) % n);
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t victim = (start + i) % n;
+    if (victim == self->worker_index) continue;
+    if (auto stolen = states_[victim]->deque.StealTop()) {
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return *stolen;
+    }
+  }
+  return nullptr;
+}
+
+TaskPool::TaskNode* TaskPool::AcquireTask(WorkerState* self) {
+  if (auto local = self->deque.PopBottom()) return *local;
+  {
+    std::lock_guard<std::mutex> lock(injector_mutex_);
+    if (!injector_.empty()) {
+      TaskNode* node = injector_.front();
+      injector_.pop_front();
+      return node;
+    }
+  }
+  return StealSweep(self);
+}
+
+void TaskPool::RunTask(WorkerState* self, TaskNode* node) {
+  queued_.fetch_sub(1, std::memory_order_acq_rel);
+  const auto start = std::chrono::steady_clock::now();
+  Context context{this, self->worker_index};
+  node->fn(context);
+  self->busy_ns.fetch_add(
+      static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now() - start)
+                                .count()),
+      std::memory_order_relaxed);
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  TaskGroup* group = node->group;
+  delete node;
+  // The group decrement is the completion publication: Wait's acquire
+  // load of pending_ synchronizes with it.
+  if (group->pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    {
+      std::lock_guard<std::mutex> lock(completion_mutex_);
+    }
+    completion_cv_.notify_all();
+  }
+}
+
+void TaskPool::WorkerLoop(WorkerState* self) {
+  tl_context = Context{this, self->worker_index};
+  for (;;) {
+    if (TaskNode* node = AcquireTask(self)) {
+      RunTask(self, node);
+      continue;
+    }
+    if (shutdown_.load(std::memory_order_acquire) &&
+        queued_.load(std::memory_order_acquire) == 0) {
+      break;
+    }
+    // Nothing found in a full sweep: park until a submission (or
+    // shutdown). queued_ is re-checked under the lock, and Submit
+    // bumps it before locking, so a wakeup cannot slip through.
+    sleepers_.fetch_add(1, std::memory_order_acq_rel);
+    {
+      std::unique_lock<std::mutex> lock(sleep_mutex_);
+      sleep_cv_.wait(lock, [this] {
+        return shutdown_.load(std::memory_order_acquire) ||
+               queued_.load(std::memory_order_acquire) > 0;
+      });
+    }
+    sleepers_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  tl_context = Context{};
+}
+
+void TaskPool::Wait(TaskGroup* group) {
+  if (tl_context.pool == this) {
+    // On a worker: help. Run whatever is available — the group's own
+    // tasks if they are still queued locally, anything else otherwise
+    // (progress on any task is progress toward this group's tasks getting
+    // a core). Yield rather than park: the group is in flight on other
+    // workers, and this wait is short-lived by construction.
+    WorkerState* self = states_[tl_context.worker_index].get();
+    while (group->pending_.load(std::memory_order_acquire) > 0) {
+      if (TaskNode* node = AcquireTask(self)) {
+        RunTask(self, node);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    return;
+  }
+  std::unique_lock<std::mutex> lock(completion_mutex_);
+  completion_cv_.wait(lock, [group] {
+    return group->pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+std::vector<double> TaskPool::BusySeconds() const {
+  std::vector<double> seconds;
+  seconds.reserve(states_.size());
+  for (const auto& state : states_) {
+    seconds.push_back(
+        static_cast<double>(state->busy_ns.load(std::memory_order_relaxed)) *
+        1e-9);
+  }
+  return seconds;
+}
+
+}  // namespace odbgc

@@ -24,6 +24,16 @@ namespace odbgc {
 ///  - WaitPop: blocks until an element arrives or the queue is closed and
 ///    drained; empty optional only on closed-and-drained.
 ///  - Close: wakes all waiters; queued elements remain poppable.
+///
+/// Blocking audit (PR 8): WaitPop is the queue's only blocking entry
+/// point, and it parks on the condition variable — a consumer waiting on
+/// an empty open queue burns no CPU until a Push or Close notifies it
+/// (verified by the ParkedConsumerBurnsNoCpu test). There is no spin
+/// loop to convert; the busy-waiting concern applies to schedulers built
+/// *on top* of pops (claim-a-whole-shard-and-poll), which is what the
+/// work-stealing TaskPool (util/task_pool.h, DESIGN.md §15) replaces.
+/// TaskPool idles the same way: workers park on a condvar when both
+/// their deques and the injector are empty.
 template <typename T>
 class ThreadSafeQueue {
  public:

@@ -1,0 +1,163 @@
+#ifndef ODBGC_UTIL_WORK_STEALING_DEQUE_H_
+#define ODBGC_UTIL_WORK_STEALING_DEQUE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <type_traits>
+#include <vector>
+
+namespace odbgc {
+
+/// A Chase–Lev work-stealing deque (DESIGN.md §15): the per-worker run
+/// queue of the TaskPool. One *owner* thread pushes and pops at the
+/// bottom (LIFO — freshly spawned subtasks run first, keeping their data
+/// warm); any number of *thief* threads steal from the top (FIFO — the
+/// oldest, usually largest, unit of work migrates, which is the right
+/// granularity to move between cores).
+///
+/// The implementation follows the C11-atomics formulation of Lê et al.,
+/// "Correct and Efficient Work-Stealing for Weak Memory Models", with two
+/// deliberate deviations:
+///  - no standalone memory fences: the ordering-critical operations on
+///    `top_`/`bottom_` are seq_cst instead. TSan does not model
+///    `atomic_thread_fence`, and this repo's concurrency claims are only
+///    worth having if the sanitizer job can verify them as written. The
+///    cost is a few extra ordered operations on an already-uncontended
+///    path (pop/steal race only on the last element).
+///  - buffer cells are `std::atomic<T>`: a thief may read a cell while
+///    the owner writes a neighbouring index after wraparound was ruled
+///    out; making the cells atomic keeps every access a data-race-free
+///    atomic load/store. `T` must be trivially copyable (the pool stores
+///    raw task pointers).
+///
+/// Growth: when the ring fills, the owner allocates a doubled array and
+/// copies the live range. Retired arrays are kept until destruction — a
+/// thief that loaded the old array pointer may still be reading from it,
+/// and parking a few stale KiB beats a hazard-pointer scheme for queues
+/// that live for one simulation run.
+template <typename T>
+class WorkStealingDeque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "WorkStealingDeque cells are atomics; T must be trivially "
+                "copyable (store pointers to anything bigger)");
+
+ public:
+  explicit WorkStealingDeque(uint64_t initial_capacity = 64) {
+    // Round up to a power of two so indexing is a mask.
+    uint64_t cap = 1;
+    while (cap < initial_capacity) cap <<= 1;
+    auto array = std::make_unique<Array>(cap);
+    array_.store(array.get(), std::memory_order_relaxed);
+    arrays_.push_back(std::move(array));
+  }
+
+  WorkStealingDeque(const WorkStealingDeque&) = delete;
+  WorkStealingDeque& operator=(const WorkStealingDeque&) = delete;
+
+  /// Owner only: pushes `value` at the bottom.
+  void PushBottom(T value) {
+    const int64_t b = bottom_.load(std::memory_order_relaxed);
+    const int64_t t = top_.load(std::memory_order_acquire);
+    Array* a = array_.load(std::memory_order_relaxed);
+    if (b - t >= static_cast<int64_t>(a->capacity)) {
+      a = Grow(a, t, b);
+    }
+    a->Put(b, value);
+    // The release on bottom_ publishes the cell write to thieves that
+    // subsequently observe the new bottom.
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+  }
+
+  /// Owner only: pops the most recently pushed element, empty if none.
+  std::optional<T> PopBottom() {
+    const int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Array* a = array_.load(std::memory_order_relaxed);
+    // Reserve the bottom slot before examining top: a concurrent thief
+    // must see either our reservation or lose the CAS below (seq_cst on
+    // both sides replaces the algorithm's fence).
+    bottom_.store(b, std::memory_order_seq_cst);
+    int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {
+      // Empty: undo the reservation.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    T value = a->Get(b);
+    if (t == b) {
+      // Last element: race the thieves for it via top.
+      const bool won = top_.compare_exchange_strong(
+          t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      if (!won) return std::nullopt;
+    }
+    return value;
+  }
+
+  /// Any thread: steals the oldest element, empty if none (or if the
+  /// steal lost a race — callers retry or move to another victim).
+  std::optional<T> StealTop() {
+    int64_t t = top_.load(std::memory_order_seq_cst);
+    const int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return std::nullopt;
+    Array* a = array_.load(std::memory_order_acquire);
+    T value = a->Get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return std::nullopt;  // Lost to the owner or another thief.
+    }
+    return value;
+  }
+
+  /// Approximate (racy) size — scheduling heuristics only.
+  size_t SizeEstimate() const {
+    const int64_t b = bottom_.load(std::memory_order_relaxed);
+    const int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<size_t>(b - t) : 0;
+  }
+
+  bool Empty() const { return SizeEstimate() == 0; }
+
+  /// Current ring capacity (tests).
+  uint64_t Capacity() const {
+    return array_.load(std::memory_order_relaxed)->capacity;
+  }
+
+ private:
+  struct Array {
+    explicit Array(uint64_t cap)
+        : capacity(cap), mask(cap - 1), cells(new std::atomic<T>[cap]) {}
+    void Put(int64_t index, T value) {
+      cells[static_cast<uint64_t>(index) & mask].store(
+          value, std::memory_order_relaxed);
+    }
+    T Get(int64_t index) const {
+      return cells[static_cast<uint64_t>(index) & mask].load(
+          std::memory_order_relaxed);
+    }
+    const uint64_t capacity;
+    const uint64_t mask;
+    std::unique_ptr<std::atomic<T>[]> cells;
+  };
+
+  // Owner only: doubles the ring, copying the live range [t, b).
+  Array* Grow(Array* old, int64_t t, int64_t b) {
+    auto bigger = std::make_unique<Array>(old->capacity * 2);
+    for (int64_t i = t; i < b; ++i) bigger->Put(i, old->Get(i));
+    Array* raw = bigger.get();
+    array_.store(raw, std::memory_order_release);
+    arrays_.push_back(std::move(bigger));  // Old array parked, not freed.
+    return raw;
+  }
+
+  std::atomic<int64_t> top_{0};
+  std::atomic<int64_t> bottom_{0};
+  std::atomic<Array*> array_{nullptr};
+  // Every array ever allocated, newest last; mutated by the owner only.
+  std::vector<std::unique_ptr<Array>> arrays_;
+};
+
+}  // namespace odbgc
+
+#endif  // ODBGC_UTIL_WORK_STEALING_DEQUE_H_

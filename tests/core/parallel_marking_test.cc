@@ -1,0 +1,271 @@
+// Parallel marking's contract (ReachabilityAnalyzer::EnableParallelMarking,
+// DESIGN.md §15): byte-identical results to the serial marker. Held two
+// ways — analyzer-level (census and anatomy field-for-field on randomized
+// stores, serial instance vs parallel instance on the same store states)
+// and simulation-level (a full generator-driven run with
+// parallel_marking_threads=4 equals the same run marked serially, across
+// seeds and for both census-hungry and census-light policies).
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/reachability.h"
+#include "sim/simulator.h"
+#include "storage/disk.h"
+#include "util/task_pool.h"
+
+namespace odbgc {
+namespace {
+
+void ExpectSameCensus(const GarbageCensus& a, const GarbageCensus& b) {
+  EXPECT_EQ(a.garbage_bytes_per_partition, b.garbage_bytes_per_partition);
+  EXPECT_EQ(a.garbage_objects_per_partition, b.garbage_objects_per_partition);
+  EXPECT_EQ(a.collectable_bytes_per_partition,
+            b.collectable_bytes_per_partition);
+  EXPECT_EQ(a.total_garbage_bytes, b.total_garbage_bytes);
+  EXPECT_EQ(a.total_garbage_objects, b.total_garbage_objects);
+  EXPECT_EQ(a.total_collectable_bytes, b.total_collectable_bytes);
+  EXPECT_EQ(a.total_live_bytes, b.total_live_bytes);
+  EXPECT_EQ(a.total_live_objects, b.total_live_objects);
+}
+
+void ExpectSameAnatomy(const GarbageAnatomy& a, const GarbageAnatomy& b) {
+  EXPECT_EQ(a.locally_collectable_bytes, b.locally_collectable_bytes);
+  EXPECT_EQ(a.nepotism_bytes, b.nepotism_bytes);
+  EXPECT_EQ(a.cross_partition_cycle_bytes, b.cross_partition_cycle_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Analyzer level: randomized store mutations, serial vs parallel marking
+// on the same states. The parallel analyzer shares one TaskPool across
+// every wave, exercising claim-array reuse and epoch bumps.
+
+class ParallelMarkingTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  ParallelMarkingTest() {
+    StoreOptions options;
+    options.page_size = 256;
+    options.pages_per_partition = 8;
+    disk_ = std::make_unique<SimulatedDisk>(options.page_size);
+    buffer_ = std::make_unique<BufferPool>(disk_.get(), 64);
+    store_ = std::make_unique<ObjectStore>(options, disk_.get(), buffer_.get());
+  }
+
+  std::unique_ptr<SimulatedDisk> disk_;
+  std::unique_ptr<BufferPool> buffer_;
+  std::unique_ptr<ObjectStore> store_;
+};
+
+TEST_P(ParallelMarkingTest, CensusAndAnatomyMatchSerialOnRandomizedStores) {
+  std::mt19937_64 rng(GetParam());
+  auto uniform = [&rng](uint32_t n) {
+    return static_cast<uint32_t>(rng() % n);
+  };
+
+  TaskPool pool(4);
+  ReachabilityAnalyzer serial;
+  ReachabilityAnalyzer parallel;
+  parallel.EnableParallelMarking(&pool, 4);
+  ASSERT_TRUE(parallel.parallel_marking_enabled());
+  ASSERT_FALSE(serial.parallel_marking_enabled());
+
+  constexpr uint32_t kSlots = 3;
+  std::vector<ObjectId> objects;
+  std::vector<ObjectId> roots;
+
+  const auto compare_now = [&](uint64_t step) {
+    SCOPED_TRACE("step " + std::to_string(step));
+    ExpectSameCensus(parallel.Census(*store_), serial.Census(*store_));
+    ExpectSameAnatomy(parallel.Anatomy(*store_), serial.Anatomy(*store_));
+  };
+
+  compare_now(0);  // Empty store: parallel path defers to serial (no roots).
+
+  for (uint64_t step = 1; step <= 500; ++step) {
+    switch (uniform(10)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3: {  // Allocate, sometimes near a random parent.
+        const ObjectId parent =
+            (!objects.empty() && uniform(2) == 0)
+                ? objects[uniform(static_cast<uint32_t>(objects.size()))]
+                : kNullObjectId;
+        const uint32_t size =
+            static_cast<uint32_t>(MinObjectSize(kSlots)) + uniform(120);
+        auto id = store_->Allocate(size, kSlots, parent);
+        ASSERT_TRUE(id.ok());
+        objects.push_back(*id);
+        if (roots.empty() || uniform(8) == 0) {
+          ASSERT_TRUE(store_->AddRoot(*id).ok());
+          roots.push_back(*id);
+        }
+        break;
+      }
+      case 4:
+      case 5:
+      case 6: {  // Random pointer store (links and unlinks alike).
+        if (objects.empty()) break;
+        const ObjectId source =
+            objects[uniform(static_cast<uint32_t>(objects.size()))];
+        const ObjectId target =
+            uniform(5) == 0
+                ? kNullObjectId
+                : objects[uniform(static_cast<uint32_t>(objects.size()))];
+        ASSERT_TRUE(store_->WriteSlot(source, uniform(kSlots), target).ok());
+        break;
+      }
+      case 7: {  // Remove a root (creates garbage trees).
+        if (roots.size() < 2) break;
+        const uint32_t at = uniform(static_cast<uint32_t>(roots.size()));
+        ASSERT_TRUE(store_->RemoveRoot(roots[at]).ok());
+        roots.erase(roots.begin() + at);
+        break;
+      }
+      case 8: {  // Drop a non-root outright: dangling slots elsewhere, and
+        // the serial marker's dangling-root tolerance gets exercised when
+        // a dropped object's id lingers in another object's slot.
+        if (objects.size() < 4) break;
+        const uint32_t at = uniform(static_cast<uint32_t>(objects.size()));
+        const ObjectId victim = objects[at];
+        bool is_root = false;
+        for (ObjectId r : roots) is_root = is_root || r == victim;
+        if (is_root) break;  // The store refuses to drop roots.
+        ASSERT_TRUE(store_->DropObject(victim).ok());
+        objects.erase(objects.begin() + at);
+        break;
+      }
+      case 9:
+        break;  // Quiet step.
+    }
+    if (step % 50 == 0) compare_now(step);
+  }
+  compare_now(501);
+  EXPECT_GT(pool.executed(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelMarkingTest,
+                         ::testing::Values(11u, 42u, 977u, 31337u));
+
+// IsLive answers identically after a parallel mark — the raw surface
+// census/anatomy are built on.
+TEST(ParallelMarkingLivenessTest, IsLiveMatchesSerialMark) {
+  StoreOptions options;
+  options.page_size = 256;
+  options.pages_per_partition = 8;
+  SimulatedDisk disk(options.page_size);
+  BufferPool buffer(&disk, 64);
+  ObjectStore store(options, &disk, &buffer);
+
+  // A chain hanging off a root plus a detached chain.
+  std::vector<ObjectId> chain;
+  for (int i = 0; i < 200; ++i) {
+    auto id = store.Allocate(64, 1, chain.empty() ? kNullObjectId : chain.back());
+    ASSERT_TRUE(id.ok());
+    if (!chain.empty()) {
+      ASSERT_TRUE(store.WriteSlot(chain.back(), 0, *id).ok());
+    }
+    chain.push_back(*id);
+  }
+  ASSERT_TRUE(store.AddRoot(chain.front()).ok());
+  std::vector<ObjectId> orphans;
+  for (int i = 0; i < 50; ++i) {
+    auto id = store.Allocate(64, 1, kNullObjectId);
+    ASSERT_TRUE(id.ok());
+    orphans.push_back(*id);
+  }
+
+  TaskPool pool(3);
+  ReachabilityAnalyzer serial;
+  ReachabilityAnalyzer parallel;
+  parallel.EnableParallelMarking(&pool, 3);
+  serial.MarkLiveSet(store);
+  parallel.MarkLiveSet(store);
+  for (ObjectId id : chain) {
+    EXPECT_TRUE(serial.IsLive(id));
+    EXPECT_TRUE(parallel.IsLive(id));
+  }
+  for (ObjectId id : orphans) {
+    EXPECT_FALSE(serial.IsLive(id));
+    EXPECT_FALSE(parallel.IsLive(id));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Simulation level: a full generator-driven run is byte-identical with
+// parallel marking on. MostGarbage is the census-per-trigger oracle (the
+// path parallel marking exists for); UpdatedPointer checks a policy whose
+// censuses come only from snapshots and Finish.
+
+class ParallelMarkingSimTest
+    : public ::testing::TestWithParam<std::tuple<std::string, uint64_t>> {};
+
+SimulationConfig SmallSim(const std::string& policy, uint64_t seed,
+                          uint32_t marking_threads) {
+  SimulationConfig config;
+  config.heap.store.page_size = 1024;
+  config.heap.store.pages_per_partition = 16;
+  config.heap.buffer_pages = 16;
+  config.heap.overwrite_trigger = 25;
+  config.heap.policy_name = policy;
+  config.heap.parallel_marking_threads = marking_threads;
+  config.workload.target_live_bytes = 96ull << 10;
+  config.workload.total_alloc_bytes = 240ull << 10;
+  config.workload.tree_nodes_min = 50;
+  config.workload.tree_nodes_max = 150;
+  config.workload.large_object_size = 4096;
+  config.seed = seed;
+  config.snapshot_interval = 500;  // Snapshot censuses run in parallel too.
+  return config;
+}
+
+TEST_P(ParallelMarkingSimTest, FullRunIsByteIdenticalToSerial) {
+  const auto& [policy, seed] = GetParam();
+  Simulator serial_sim(SmallSim(policy, seed, /*marking_threads=*/1));
+  ASSERT_TRUE(serial_sim.Run().ok());
+  SimulationResult serial = serial_sim.Finish();
+
+  Simulator parallel_sim(SmallSim(policy, seed, /*marking_threads=*/4));
+  ASSERT_TRUE(parallel_sim.Run().ok());
+  SimulationResult parallel = parallel_sim.Finish();
+
+  EXPECT_EQ(serial.app_io, parallel.app_io);
+  EXPECT_EQ(serial.gc_io, parallel.gc_io);
+  EXPECT_EQ(serial.collections, parallel.collections);
+  EXPECT_EQ(serial.garbage_reclaimed_bytes, parallel.garbage_reclaimed_bytes);
+  EXPECT_EQ(serial.live_bytes_copied, parallel.live_bytes_copied);
+  EXPECT_EQ(serial.unreclaimed_garbage_bytes,
+            parallel.unreclaimed_garbage_bytes);
+  EXPECT_EQ(serial.final_live_bytes, parallel.final_live_bytes);
+  EXPECT_EQ(serial.max_storage_bytes, parallel.max_storage_bytes);
+  EXPECT_EQ(serial.bytes_allocated, parallel.bytes_allocated);
+  EXPECT_EQ(serial.pointer_overwrites, parallel.pointer_overwrites);
+  EXPECT_EQ(serial.estimated_device_time_ms, parallel.estimated_device_time_ms);
+  EXPECT_EQ(serial.heap_stats.garbage_bytes_reclaimed,
+            parallel.heap_stats.garbage_bytes_reclaimed);
+  EXPECT_EQ(serial.buffer_stats.hits, parallel.buffer_stats.hits);
+  EXPECT_EQ(serial.buffer_stats.misses, parallel.buffer_stats.misses);
+  EXPECT_EQ(serial.disk_stats.page_reads, parallel.disk_stats.page_reads);
+  EXPECT_EQ(serial.disk_stats.page_writes, parallel.disk_stats.page_writes);
+  // Time series (Figure 4 curves) point for point.
+  ASSERT_EQ(serial.unreclaimed_garbage_kb.points().size(),
+            parallel.unreclaimed_garbage_kb.points().size());
+  for (size_t i = 0; i < serial.unreclaimed_garbage_kb.points().size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial.unreclaimed_garbage_kb.points()[i].y,
+                     parallel.unreclaimed_garbage_kb.points()[i].y);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesAndSeeds, ParallelMarkingSimTest,
+    ::testing::Combine(::testing::Values(std::string("MostGarbage"),
+                                         std::string("UpdatedPointer")),
+                       ::testing::Values(1u, 2u, 3u, 4u)));
+
+}  // namespace
+}  // namespace odbgc

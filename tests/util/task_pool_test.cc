@@ -1,0 +1,167 @@
+#include "util/task_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace odbgc {
+namespace {
+
+TEST(TaskPoolTest, RunsEverySubmittedTask) {
+  TaskPool pool(4);
+  TaskPool::TaskGroup group;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit(&group, [&](TaskPool::Context&) { ran.fetch_add(1); });
+  }
+  pool.Wait(&group);
+  EXPECT_EQ(ran.load(), 100);
+  EXPECT_GE(pool.executed(), 100u);
+}
+
+TEST(TaskPoolTest, SingleWorkerPoolStillCompletes) {
+  TaskPool pool(1);
+  TaskPool::TaskGroup group;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit(&group, [&](TaskPool::Context&) { ran.fetch_add(1); });
+  }
+  pool.Wait(&group);
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(TaskPoolTest, WorkerIndicesAreInRange) {
+  TaskPool pool(3);
+  TaskPool::TaskGroup group;
+  std::atomic<uint32_t> bad{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit(&group, [&](TaskPool::Context& ctx) {
+      if (ctx.pool == nullptr || ctx.worker_index >= 3) bad.fetch_add(1);
+      if (!ctx.pool->OnWorkerThread()) bad.fetch_add(1);
+    });
+  }
+  pool.Wait(&group);
+  EXPECT_EQ(bad.load(), 0u);
+  EXPECT_FALSE(pool.OnWorkerThread());
+}
+
+// Tasks spawning subtasks into the same group: Wait must cover the
+// transitive wave, not just the initial submissions.
+TEST(TaskPoolTest, NestedSpawnsAreWaitedFor) {
+  TaskPool pool(4);
+  TaskPool::TaskGroup group;
+  std::atomic<int> leaves{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit(&group, [&group, &leaves](TaskPool::Context& ctx) {
+      for (int j = 0; j < 8; ++j) {
+        ctx.pool->Submit(&group, [&leaves](TaskPool::Context&) {
+          leaves.fetch_add(1);
+        });
+      }
+    });
+  }
+  pool.Wait(&group);
+  EXPECT_EQ(leaves.load(), 64);
+}
+
+// A worker that Waits on a subgroup must help (execute other tasks)
+// rather than deadlock — the shape of a shard task blocking on its
+// marking wave.
+TEST(TaskPoolTest, WorkerWaitHelpsInsteadOfDeadlocking) {
+  TaskPool pool(2);
+  TaskPool::TaskGroup outer;
+  std::atomic<int> inner_ran{0};
+  std::atomic<int> outer_done{0};
+  // More outer tasks than workers: if Wait parked the worker instead of
+  // helping, the fan-out below could starve.
+  for (int i = 0; i < 6; ++i) {
+    pool.Submit(&outer, [&](TaskPool::Context& ctx) {
+      TaskPool::TaskGroup inner;
+      for (int j = 0; j < 16; ++j) {
+        ctx.pool->Submit(&inner, [&inner_ran](TaskPool::Context&) {
+          inner_ran.fetch_add(1);
+        });
+      }
+      ctx.pool->Wait(&inner);  // Helping wait on a worker thread.
+      outer_done.fetch_add(1);
+    });
+  }
+  pool.Wait(&outer);
+  EXPECT_EQ(outer_done.load(), 6);
+  EXPECT_EQ(inner_ran.load(), 6 * 16);
+}
+
+TEST(TaskPoolTest, GroupIsReusableAcrossWaves) {
+  TaskPool pool(2);
+  TaskPool::TaskGroup group;
+  std::atomic<int> ran{0};
+  for (int wave = 0; wave < 5; ++wave) {
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit(&group, [&](TaskPool::Context&) { ran.fetch_add(1); });
+    }
+    pool.Wait(&group);
+    EXPECT_EQ(ran.load(), (wave + 1) * 20);
+  }
+}
+
+TEST(TaskPoolTest, DestructorDrainsUnwaitedTasks) {
+  std::atomic<int> ran{0};
+  TaskPool::TaskGroup group;
+  {
+    TaskPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit(&group, [&](TaskPool::Context&) { ran.fetch_add(1); });
+    }
+    // No Wait: the destructor must complete (not drop) the queue.
+  }
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(TaskPoolTest, BusySecondsCoversEveryWorkerSlot) {
+  TaskPool pool(3);
+  TaskPool::TaskGroup group;
+  std::atomic<uint64_t> sink{0};
+  for (int i = 0; i < 300; ++i) {
+    pool.Submit(&group, [&](TaskPool::Context&) {
+      uint64_t x = 1;
+      for (int k = 0; k < 10000; ++k) x = x * 2862933555777941757ull + 3037;
+      sink.fetch_add(x, std::memory_order_relaxed);
+    });
+  }
+  pool.Wait(&group);
+  const std::vector<double> busy = pool.BusySeconds();
+  ASSERT_EQ(busy.size(), 3u);
+  double total = 0;
+  for (double b : busy) {
+    EXPECT_GE(b, 0.0);
+    total += b;
+  }
+  EXPECT_GT(total, 0.0);
+}
+
+// Stealing is the load-balancing mechanism: a single external submitter
+// whose tasks spawn locally must end up spread over the workers.
+TEST(TaskPoolStressTest, SkewedSpawnLoadIsStolen) {
+  TaskPool pool(4);
+  TaskPool::TaskGroup group;
+  std::atomic<uint64_t> ran{0};
+  // One root task fans out 2000 locally-spawned tasks; without stealing
+  // they would all run on the root's worker.
+  pool.Submit(&group, [&](TaskPool::Context& ctx) {
+    for (int i = 0; i < 2000; ++i) {
+      ctx.pool->Submit(&group, [&ran](TaskPool::Context&) {
+        uint64_t x = 1;
+        for (int k = 0; k < 2000; ++k) x = x * 6364136223846793005ull + 1;
+        ran.fetch_add(x != 0 ? 1 : 0, std::memory_order_relaxed);
+      });
+    }
+  });
+  pool.Wait(&group);
+  EXPECT_EQ(ran.load(), 2000u);
+  EXPECT_GT(pool.steals(), 0u);
+}
+
+}  // namespace
+}  // namespace odbgc

@@ -1,10 +1,13 @@
 #include "util/thread_safe_queue.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <thread>
 #include <vector>
+
+#include <sys/resource.h>
 
 #include <gtest/gtest.h>
 
@@ -47,6 +50,40 @@ TEST(ThreadSafeQueueTest, CloseWakesBlockedConsumer) {
   std::this_thread::yield();
   queue.Close();
   consumer.join();
+}
+
+// The blocking-audit contract (see the class comment): WaitPop parks on
+// the condition variable, so a consumer waiting on an empty open queue
+// consumes (almost) no CPU — wall time passes, process CPU time does not.
+// A spin-wait implementation would burn CPU roughly equal to wall here.
+TEST(ThreadSafeQueueTest, ParkedConsumerBurnsNoCpu) {
+  ThreadSafeQueue<int> queue;
+  std::thread consumer([&queue] { EXPECT_EQ(queue.WaitPop(), 99); });
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  struct rusage before;
+  ASSERT_EQ(getrusage(RUSAGE_SELF, &before), 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  struct rusage after;
+  ASSERT_EQ(getrusage(RUSAGE_SELF, &after), 0);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  queue.Push(99);
+  consumer.join();
+
+  auto seconds = [](const timeval& tv) {
+    return static_cast<double>(tv.tv_sec) +
+           static_cast<double>(tv.tv_usec) / 1e6;
+  };
+  const double cpu = (seconds(after.ru_utime) + seconds(after.ru_stime)) -
+                     (seconds(before.ru_utime) + seconds(before.ru_stime));
+  EXPECT_GE(wall, 0.1);
+  // Parked means well under the ~100ms a spinner would burn; allow slack
+  // for the main thread's own bookkeeping and a noisy scheduler.
+  EXPECT_LT(cpu, wall * 0.5) << "consumer appears to busy-wait";
 }
 
 TEST(ThreadSafeQueueTest, MoveOnlyElements) {

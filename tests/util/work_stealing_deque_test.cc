@@ -1,0 +1,115 @@
+#include "util/work_stealing_deque.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace odbgc {
+namespace {
+
+TEST(WorkStealingDequeTest, OwnerLifoOrder) {
+  WorkStealingDeque<int> deque;
+  deque.PushBottom(1);
+  deque.PushBottom(2);
+  deque.PushBottom(3);
+  EXPECT_EQ(deque.PopBottom(), 3);
+  EXPECT_EQ(deque.PopBottom(), 2);
+  EXPECT_EQ(deque.PopBottom(), 1);
+  EXPECT_EQ(deque.PopBottom(), std::nullopt);
+}
+
+TEST(WorkStealingDequeTest, StealTakesOldestFirst) {
+  WorkStealingDeque<int> deque;
+  deque.PushBottom(1);
+  deque.PushBottom(2);
+  deque.PushBottom(3);
+  EXPECT_EQ(deque.StealTop(), 1);
+  EXPECT_EQ(deque.StealTop(), 2);
+  // Owner and thief converge on the last element; exactly one gets it.
+  EXPECT_EQ(deque.PopBottom(), 3);
+  EXPECT_EQ(deque.StealTop(), std::nullopt);
+}
+
+TEST(WorkStealingDequeTest, EmptyFromTheStart) {
+  WorkStealingDeque<uint64_t> deque;
+  EXPECT_TRUE(deque.Empty());
+  EXPECT_EQ(deque.PopBottom(), std::nullopt);
+  EXPECT_EQ(deque.StealTop(), std::nullopt);
+}
+
+TEST(WorkStealingDequeTest, GrowsPastInitialCapacity) {
+  WorkStealingDeque<int> deque(/*initial_capacity=*/4);
+  const uint64_t before = deque.Capacity();
+  for (int i = 0; i < 1000; ++i) deque.PushBottom(i);
+  EXPECT_GT(deque.Capacity(), before);
+  for (int i = 999; i >= 0; --i) EXPECT_EQ(deque.PopBottom(), i);
+  EXPECT_EQ(deque.PopBottom(), std::nullopt);
+}
+
+TEST(WorkStealingDequeTest, GrowthPreservesOrderForThieves) {
+  WorkStealingDeque<int> deque(/*initial_capacity=*/4);
+  for (int i = 0; i < 64; ++i) deque.PushBottom(i);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(deque.StealTop(), i);
+}
+
+// The contended contract: with one owner pushing/popping and several
+// thieves stealing, every pushed element is consumed exactly once —
+// checked by summing (each value appears once, so the sums match) and by
+// counting.
+TEST(WorkStealingDequeStressTest, EveryElementConsumedExactlyOnce) {
+  constexpr int kThieves = 3;
+  constexpr uint64_t kItems = 100000;
+  WorkStealingDeque<uint64_t> deque(/*initial_capacity=*/8);
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> stolen_sum{0};
+  std::atomic<uint64_t> stolen_count{0};
+
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      uint64_t sum = 0, count = 0;
+      while (!done.load(std::memory_order_acquire) || !deque.Empty()) {
+        if (auto v = deque.StealTop()) {
+          sum += *v;
+          ++count;
+        }
+      }
+      stolen_sum.fetch_add(sum);
+      stolen_count.fetch_add(count);
+    });
+  }
+
+  uint64_t popped_sum = 0, popped_count = 0;
+  for (uint64_t i = 1; i <= kItems; ++i) {
+    deque.PushBottom(i);
+    // Interleave pops so the owner races the thieves on a short deque.
+    if (i % 3 == 0) {
+      if (auto v = deque.PopBottom()) {
+        popped_sum += *v;
+        ++popped_count;
+      }
+    }
+  }
+  while (auto v = deque.PopBottom()) {
+    popped_sum += *v;
+    ++popped_count;
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : thieves) t.join();
+  // Late arrivals: thieves may have quit between the owner's last pop and
+  // done; drain the rest.
+  while (auto v = deque.PopBottom()) {
+    popped_sum += *v;
+    ++popped_count;
+  }
+
+  EXPECT_EQ(popped_count + stolen_count.load(), kItems);
+  EXPECT_EQ(popped_sum + stolen_sum.load(), kItems * (kItems + 1) / 2);
+}
+
+}  // namespace
+}  // namespace odbgc
