@@ -1,0 +1,300 @@
+// Multi-tenant heap service probes (DESIGN.md §16), three experiments in
+// one binary:
+//
+// 1. Fleet scaling: fleets of 4/8/16 tenants (policies cycled across the
+//    registry, one seed per tenant) hosted unpressured at 1, 2 and 4
+//    service threads. Tenants are the determinism units, so every row of
+//    a fleet must produce the identical aggregate regardless of thread
+//    count (checked here — a scaling probe that changed the answer would
+//    be worthless); events/sec measures scheduling overhead plus
+//    parallel speedup across tenants.
+//
+// 2. Pressure saturation: a fixed 8-tenant fleet with the admission
+//    watermark armed at 0.5, swept across shared budgets from the full
+//    sum of tenant caps (no overcommit) down to half. Reported per row:
+//    admission stalls, collections forced by the cross-tenant scheduler,
+//    and peak post-round occupancy. The probe checks the admission bound
+//    — peak <= watermark + the largest single-tenant allowance — on every
+//    row where no forced admission fired, and aborts on a violation.
+//
+// 3. GlobalView neutrality: the same overcommitted fleet run once with
+//    every tenant on the pressure-blind UpdatedPointer and once on
+//    PoolPressure (the GlobalView exemplar policy). The pressure boost is
+//    a common factor within each heap and the cross-tenant ranker
+//    normalizes by the per-heap best score, so both runs must produce the
+//    identical trajectory — checked here: a divergence would mean the
+//    GlobalView plumbing leaked nondeterminism into victim selection.
+//
+// ODBGC_FAST=1 shrinks the fleets (2/4 tenants, skips the 16-tenant row)
+// for smoke runs.
+//
+// Usage: mt_tenants [output.json]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "service/heap_service.h"
+#include "sim/config.h"
+#include "sim/spec.h"
+
+namespace odbgc {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Small per-tenant workloads: the probe measures the service's
+// scheduling, admission and forced-collection machinery, not per-tenant
+// collector throughput (the paper tables cover that).
+SimulationConfig TenantConfig(uint64_t seed, const std::string& policy) {
+  SimulationConfig c;
+  c.heap.store.page_size = 1024;
+  c.heap.store.pages_per_partition = 16;
+  c.heap.buffer_pages = 16;
+  c.heap.overwrite_trigger = 25;
+  c.heap.policy_name = policy;
+  c.workload.target_live_bytes = 96ull << 10;
+  c.workload.total_alloc_bytes = bench::FastMode() ? 240ull << 10
+                                                   : 960ull << 10;
+  c.workload.tree_nodes_min = 50;
+  c.workload.tree_nodes_max = 150;
+  c.workload.large_object_size = 4096;
+  c.seed = seed;
+  return c;
+}
+
+const std::vector<std::string>& PolicyCycle() {
+  static const std::vector<std::string> kCycle = {
+      "UpdatedPointer", "MostGarbage", "WeightedPointer", "MutatedPartition",
+      "PoolPressure"};
+  return kCycle;
+}
+
+ServiceSpec FleetSpec(uint32_t tenants, uint32_t threads,
+                      double budget_fraction, double watermark,
+                      const std::string& pinned_policy = "") {
+  ServiceSpec spec = ServiceSpec::Hosting({}).WithThreads(threads);
+  uint64_t cap_sum = 0;
+  for (uint32_t i = 0; i < tenants; ++i) {
+    const std::string& policy =
+        pinned_policy.empty() ? PolicyCycle()[i % PolicyCycle().size()]
+                              : pinned_policy;
+    TenantSpec tenant =
+        TenantSpec::Base(TenantConfig(100 + i, policy))
+            .Named("t" + std::to_string(i));
+    cap_sum += tenant.config.heap.buffer_pages;
+    spec.tenants.push_back(std::move(tenant));
+  }
+  if (budget_fraction > 0 && budget_fraction < 1.0) {
+    spec.shared_frame_budget = static_cast<uint64_t>(
+        static_cast<double>(cap_sum) * budget_fraction);
+  }
+  spec.admission_watermark = watermark;
+  return spec;
+}
+
+bool SameAggregate(const SimulationResult& a, const SimulationResult& b) {
+  return a.app_events == b.app_events && a.app_io == b.app_io &&
+         a.gc_io == b.gc_io && a.collections == b.collections &&
+         a.garbage_reclaimed_bytes == b.garbage_reclaimed_bytes &&
+         a.bytes_allocated == b.bytes_allocated &&
+         a.max_storage_bytes == b.max_storage_bytes;
+}
+
+struct Row {
+  uint32_t tenants = 0;
+  uint32_t threads = 0;
+  double wall_seconds = 0;
+  double events_per_sec = 0;
+  ServiceResult result;
+};
+
+Row RunOnce(ServiceSpec spec) {
+  Row row;
+  row.tenants = static_cast<uint32_t>(spec.tenants.size());
+  row.threads = spec.threads;
+  const auto start = Clock::now();
+  auto service = RunService(std::move(spec));
+  row.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  if (!service.ok()) bench::Fail(service.status(), "mt_tenants");
+  row.result = std::move(*service);
+  row.events_per_sec =
+      row.wall_seconds > 0
+          ? static_cast<double>(row.result.aggregate.app_events) /
+                row.wall_seconds
+          : 0;
+  return row;
+}
+
+// Every tenant cap is 16 frames here, so the admission bound's slack term
+// (the largest single-tenant allowance) is at most one tenant cap.
+constexpr uint64_t kTenantCap = 16;
+
+bool BoundHolds(const ServiceResult& r) {
+  if (r.watermark_frames == 0) return true;  // Admission off: no bound.
+  if (r.forced_admissions > 0) return true;  // Bound is conditional.
+  return r.peak_occupancy_frames <= r.watermark_frames + kTenantCap;
+}
+
+}  // namespace
+}  // namespace odbgc
+
+int main(int argc, char** argv) {
+  using namespace odbgc;
+
+  const char* json_path = "BENCH_service.json";
+  if (argc > 1) json_path = argv[1];
+
+  bench::PrintHeader("Multi-tenant heap service (shared pool, admission, "
+                     "cross-tenant GC)",
+                     "service engineering (no paper table)");
+
+  // -- 1. Fleet scaling (unpressured, invariance-checked) -------------------
+  std::vector<uint32_t> fleets = bench::FastMode()
+                                     ? std::vector<uint32_t>{2, 4}
+                                     : std::vector<uint32_t>{4, 8, 16};
+  const std::vector<uint32_t> thread_counts = {1, 2, 4};
+
+  std::printf("fleet scaling (watermark off; aggregate must be "
+              "thread-count invariant):\n");
+  std::vector<Row> scaling;
+  for (uint32_t tenants : fleets) {
+    const Row* baseline = nullptr;
+    for (uint32_t threads : thread_counts) {
+      Row row = RunOnce(FleetSpec(tenants, threads, 0.0, 0.0));
+      std::printf("  tenants=%-3u threads=%u  events=%-9llu wall=%7.3fs"
+                  "  events/sec=%11.0f  speedup=%.2fx\n",
+                  tenants, threads,
+                  static_cast<unsigned long long>(
+                      row.result.aggregate.app_events),
+                  row.wall_seconds, row.events_per_sec,
+                  baseline != nullptr && baseline->events_per_sec > 0
+                      ? row.events_per_sec / baseline->events_per_sec
+                      : 1.0);
+      if (baseline != nullptr &&
+          !SameAggregate(baseline->result.aggregate, row.result.aggregate)) {
+        std::fprintf(stderr,
+                     "aggregate diverged between 1 and %u threads at "
+                     "%u tenants — the service scheduler is broken\n",
+                     threads, tenants);
+        return 1;
+      }
+      scaling.push_back(std::move(row));
+      if (threads == 1) baseline = &scaling.back();
+    }
+  }
+
+  // -- 2. Pressure saturation (admission-bound probe) -----------------------
+  const uint32_t pressure_fleet = bench::FastMode() ? 4 : 8;
+  const double kWatermark = 0.5;
+  const std::vector<double> budget_fractions = {1.0, 0.75, 0.5};
+
+  std::printf("\npressure saturation (%u tenants, 2 threads, watermark "
+              "%.2f):\n", pressure_fleet, kWatermark);
+  std::vector<Row> pressure;
+  for (double fraction : budget_fractions) {
+    Row row = RunOnce(FleetSpec(pressure_fleet, 2, fraction, kWatermark));
+    const ServiceResult& r = row.result;
+    std::printf("  budget=%.0f%%  frames=%-4llu peak=%-4llu stalls=%-6llu"
+                " forced_gc=%-5llu forced_admit=%llu  bound=%s\n",
+                fraction * 100,
+                static_cast<unsigned long long>(r.shared_frame_budget),
+                static_cast<unsigned long long>(r.peak_occupancy_frames),
+                static_cast<unsigned long long>(r.admission_stalls),
+                static_cast<unsigned long long>(r.forced_collections),
+                static_cast<unsigned long long>(r.forced_admissions),
+                BoundHolds(r) ? "ok" : "VIOLATED");
+    if (!BoundHolds(r)) {
+      std::fprintf(stderr,
+                   "admission bound violated: peak %llu > watermark %llu + "
+                   "cap %llu with no forced admission\n",
+                   static_cast<unsigned long long>(r.peak_occupancy_frames),
+                   static_cast<unsigned long long>(r.watermark_frames),
+                   static_cast<unsigned long long>(kTenantCap));
+      return 1;
+    }
+    pressure.push_back(std::move(row));
+  }
+
+  // -- 3. GlobalView neutrality (see file comment) --------------------------
+  std::printf("\nGlobalView neutrality (%u tenants, budget 50%%, watermark "
+              "%.2f):\n", pressure_fleet, kWatermark);
+  const Row blind =
+      RunOnce(FleetSpec(pressure_fleet, 2, 0.5, kWatermark, "UpdatedPointer"));
+  const Row aware =
+      RunOnce(FleetSpec(pressure_fleet, 2, 0.5, kWatermark, "PoolPressure"));
+  std::printf("  %-16s total_io=%-8llu forced_gc=%-5llu stalls=%llu\n",
+              "UpdatedPointer",
+              static_cast<unsigned long long>(
+                  blind.result.aggregate.total_io()),
+              static_cast<unsigned long long>(blind.result.forced_collections),
+              static_cast<unsigned long long>(blind.result.admission_stalls));
+  std::printf("  %-16s total_io=%-8llu forced_gc=%-5llu stalls=%llu\n",
+              "PoolPressure",
+              static_cast<unsigned long long>(
+                  aware.result.aggregate.total_io()),
+              static_cast<unsigned long long>(aware.result.forced_collections),
+              static_cast<unsigned long long>(aware.result.admission_stalls));
+  const bool neutral =
+      SameAggregate(blind.result.aggregate, aware.result.aggregate) &&
+      blind.result.forced_collections == aware.result.forced_collections;
+  std::printf("  trajectories %s\n",
+              neutral ? "identical (boost is a common factor — ok)"
+                      : "DIVERGED");
+  if (!neutral) {
+    std::fprintf(stderr,
+                 "PoolPressure diverged from UpdatedPointer under a uniform "
+                 "boost — GlobalView plumbing leaked into victim choice\n");
+    return 1;
+  }
+
+  // -- JSON -----------------------------------------------------------------
+  std::ofstream json(json_path);
+  json << "{\n  \"bench\": \"mt_tenants\",\n";
+  json << "  \"fast_mode\": " << (bench::FastMode() ? "true" : "false")
+       << ",\n  \"scaling\": [\n";
+  for (size_t i = 0; i < scaling.size(); ++i) {
+    const Row& r = scaling[i];
+    json << "    {\"tenants\": " << r.tenants
+         << ", \"threads\": " << r.threads
+         << ", \"events\": " << r.result.aggregate.app_events
+         << ", \"wall_seconds\": " << r.wall_seconds
+         << ", \"events_per_sec\": " << r.events_per_sec
+         << ", \"rounds\": " << r.result.rounds << "}"
+         << (i + 1 < scaling.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"aggregate_invariant\": true,\n";
+  json << "  \"pressure\": {\n    \"tenants\": " << pressure_fleet
+       << ",\n    \"watermark\": " << kWatermark << ",\n    \"rows\": [\n";
+  for (size_t i = 0; i < pressure.size(); ++i) {
+    const ServiceResult& r = pressure[i].result;
+    json << "      {\"budget_fraction\": " << budget_fractions[i]
+         << ", \"budget_frames\": " << r.shared_frame_budget
+         << ", \"watermark_frames\": " << r.watermark_frames
+         << ", \"peak_occupancy_frames\": " << r.peak_occupancy_frames
+         << ", \"admission_stalls\": " << r.admission_stalls
+         << ", \"forced_collections\": " << r.forced_collections
+         << ", \"forced_admissions\": " << r.forced_admissions
+         << ", \"bound_held\": " << (BoundHolds(r) ? "true" : "false") << "}"
+         << (i + 1 < pressure.size() ? "," : "") << "\n";
+  }
+  json << "    ]\n  },\n  \"global_view_neutrality\": {\n";
+  json << "    \"UpdatedPointer\": {\"total_io\": "
+       << blind.result.aggregate.total_io()
+       << ", \"forced_collections\": " << blind.result.forced_collections
+       << ", \"admission_stalls\": " << blind.result.admission_stalls
+       << "},\n";
+  json << "    \"PoolPressure\": {\"total_io\": "
+       << aware.result.aggregate.total_io()
+       << ", \"forced_collections\": " << aware.result.forced_collections
+       << ", \"admission_stalls\": " << aware.result.admission_stalls
+       << "},\n    \"identical\": " << (neutral ? "true" : "false")
+       << "\n  }\n}\n";
+  json.close();
+  std::printf("\nWrote %s\n", json_path);
+  return json.good() ? 0 : 1;
+}

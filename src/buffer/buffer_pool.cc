@@ -58,6 +58,7 @@ uint32_t BufferPool::AllocFrame() {
 
 Result<std::span<std::byte>> BufferPool::GetPage(PageId page,
                                                  AccessMode mode) {
+  ODBGC_DCHECK_EXCLUSIVE(&access_check_, "BufferPool::GetPage");
   const uint32_t resident = page_to_frame_.Find(page);
   if (resident != OpenIndexMap::kEmptyValue) {
     registry_->Count(hits_);
@@ -113,6 +114,7 @@ Status BufferPool::WriteBack(Frame& frame) {
 }
 
 Status BufferPool::FlushAll() {
+  ODBGC_DCHECK_EXCLUSIVE(&access_check_, "BufferPool::FlushAll");
   // Dirty frames in slot order — the same order the per-frame loop used,
   // so the device's request-order accounting (sequential/random
   // classification, fault schedule) is unchanged by batching.
@@ -139,6 +141,7 @@ Status BufferPool::FlushAll() {
 }
 
 void BufferPool::PrefetchExtent(const PageExtent& extent) {
+  ODBGC_DCHECK_EXCLUSIVE(&access_check_, "BufferPool::PrefetchExtent");
   if (!extent.valid()) return;
   std::vector<PageId> pages;
   pages.reserve(extent.page_count);
@@ -151,6 +154,7 @@ void BufferPool::PrefetchExtent(const PageExtent& extent) {
 }
 
 void BufferPool::DiscardExtent(const PageExtent& extent) {
+  ODBGC_DCHECK_EXCLUSIVE(&access_check_, "BufferPool::DiscardExtent");
   for (PageId p = extent.first_page; p < extent.end_page(); ++p) {
     const uint32_t slot = page_to_frame_.Find(p);
     if (slot == OpenIndexMap::kEmptyValue) continue;
@@ -209,6 +213,7 @@ void BufferPool::SaveState(std::ostream& out) const {
 }
 
 Status BufferPool::LoadState(std::istream& in) {
+  ODBGC_DCHECK_EXCLUSIVE(&access_check_, "BufferPool::LoadState");
   auto frame_count = GetVarint(in);
   ODBGC_RETURN_IF_ERROR(frame_count.status());
   if (*frame_count != frame_count_) {

@@ -12,6 +12,7 @@
 #include "storage/extent.h"
 #include "storage/page.h"
 #include "storage/page_device.h"
+#include "util/access_check.h"
 #include "util/metrics_registry.h"
 #include "util/open_hash_map.h"
 #include "util/status.h"
@@ -55,6 +56,13 @@ struct BufferStats {
 /// so its counters are the experiment's I/O measurement. Counters live in
 /// the device's MetricsRegistry ("buffer.*" names); `stats()` snapshots
 /// them.
+///
+/// Threading: single-owner. The pool has no internal locking; exactly one
+/// thread may be inside its methods at a time. Handing an idle pool from
+/// one thread to another (with a happens-before edge, as the batch
+/// schedulers do for whole heaps) is fine. Debug builds enforce this with
+/// an ExclusiveAccessCheck — two threads caught inside mutating methods at
+/// once abort rather than corrupt the frame table silently.
 class BufferPool {
  public:
   /// `device` must outlive the pool. `frame_count` > 0 frames of
@@ -171,6 +179,10 @@ class BufferPool {
   MetricCounter* const misses_;
   MetricCounter* const reads_;
   MetricCounter* const writes_;
+
+  // Debug-build single-owner enforcement (see class comment). Mutable so
+  // logically-const inspectors can participate in the check.
+  mutable ExclusiveAccessCheck access_check_;
 };
 
 /// RAII helper that switches the pool's accounting phase and restores the

@@ -91,6 +91,7 @@ void HeapCore::WireComponents() {
     PolicyContext context;
     context.seed = options_.seed;
     context.store = &policy_store_view_;
+    context.global = options_.global_view;
     auto made = MakePolicy(context, options_.policy_name);
     if (!made.ok()) {
       // Configuration error, not a runtime condition: the registry is

@@ -154,6 +154,13 @@ struct HeapOptions {
   /// and durable engine publish run/phase/checkpoint events through the
   /// same pointer. Null (the default) disables publishing entirely.
   SimObserver* observer = nullptr;
+  /// Cross-tenant pressure view a multi-tenant host (service/
+  /// heap_service.h) binds into registry-built policies via
+  /// PolicyContext::global (non-owning; must outlive the heap; refreshed
+  /// by the host at its barriers). Null — the default, and the only value
+  /// single-heap runs ever use — leaves every policy in its single-heap
+  /// behaviour; the paper's six never consult it.
+  const GlobalView* global_view = nullptr;
 };
 
 /// Aggregate heap statistics.

@@ -74,6 +74,9 @@ PolicyRegistry& GlobalPolicyRegistry() {
     r->factories.emplace("CostBenefit", [](const PolicyContext& context) {
       return std::make_unique<CostBenefitPolicy>(context.store);
     });
+    r->factories.emplace("PoolPressure", [](const PolicyContext& context) {
+      return std::make_unique<PoolPressurePolicy>(context.global);
+    });
     return r;
   }();
   return *registry;

@@ -1,0 +1,38 @@
+#include "service/pool_budget.h"
+
+namespace odbgc {
+
+void SharedPoolBudget::Configure(uint64_t total_frames,
+                                 double watermark_fraction,
+                                 size_t tenant_count) {
+  total_frames_ = total_frames;
+  watermark_frames_ =
+      watermark_fraction > 0.0
+          ? static_cast<uint64_t>(watermark_fraction *
+                                  static_cast<double>(total_frames))
+          : 0;
+  occupancy_ = 0;
+  peak_occupancy_ = 0;
+  resident_.assign(tenant_count, 0);
+  cap_.assign(tenant_count, 0);
+}
+
+void SharedPoolBudget::Update(size_t tenant, uint64_t resident_frames,
+                              uint64_t frame_cap) {
+  occupancy_ -= resident_[tenant];
+  resident_[tenant] = resident_frames;
+  cap_[tenant] = frame_cap;
+  occupancy_ += resident_frames;
+}
+
+void SharedPoolBudget::NotePeak() {
+  if (occupancy_ > peak_occupancy_) peak_occupancy_ = occupancy_;
+}
+
+double SharedPoolBudget::TenantPressure(size_t tenant) const {
+  if (cap_[tenant] == 0) return 0.0;
+  return static_cast<double>(resident_[tenant]) /
+         static_cast<double>(cap_[tenant]);
+}
+
+}  // namespace odbgc

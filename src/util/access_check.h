@@ -1,0 +1,106 @@
+#ifndef ODBGC_UTIL_ACCESS_CHECK_H_
+#define ODBGC_UTIL_ACCESS_CHECK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace odbgc {
+
+/// A debug-build guard for single-owner components: detects two threads
+/// inside a guarded scope *at the same time* and fails loudly, while
+/// allowing the two access patterns the codebase legitimately uses —
+/// same-thread re-entry, and handing a quiescent component from one thread
+/// to another (the concurrent simulator and the heap service both migrate
+/// a heap's batches across workers, one batch at a time, with a
+/// happens-before edge between them).
+///
+/// This is an assertion, not a lock: a failed TryEnter means the program
+/// already has a data race, so the guarded component (e.g. BufferPool,
+/// whose open-addressed frame table corrupts silently under concurrent
+/// mutation) aborts instead of limping on. All operations are lock-free;
+/// the release/acquire pair on `owner_` mirrors the synchronization any
+/// correct handoff must already perform, so the check itself introduces no
+/// ordering the program could accidentally rely on.
+class ExclusiveAccessCheck {
+ public:
+  /// Claims the scope for the calling thread. Returns false — concurrent
+  /// misuse — iff another thread currently holds it. Re-entry by the
+  /// holder nests (returns true, tracked by depth).
+  bool TryEnter() {
+    const uint64_t self = SelfId();
+    uint64_t expected = 0;
+    if (owner_.compare_exchange_strong(expected, self,
+                                       std::memory_order_acquire)) {
+      depth_ = 1;
+      return true;
+    }
+    if (expected == self) {
+      ++depth_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Releases one level of nesting; the outermost Exit opens the scope to
+  /// any thread again. Only the holder may call it.
+  void Exit() {
+    if (--depth_ == 0) owner_.store(0, std::memory_order_release);
+  }
+
+  /// Nonzero id of the calling thread (stable for the thread's lifetime).
+  static uint64_t SelfId() {
+    const uint64_t id = static_cast<uint64_t>(
+        std::hash<std::thread::id>{}(std::this_thread::get_id()));
+    return id | 1;  // Never 0, which means "unowned".
+  }
+
+ private:
+  std::atomic<uint64_t> owner_{0};
+  // Only the owning thread reads/writes the depth while it holds owner_.
+  uint32_t depth_ = 0;
+};
+
+/// RAII scope for ExclusiveAccessCheck that aborts (with the guarded
+/// component's name) on concurrent entry. Use via ODBGC_DCHECK_EXCLUSIVE
+/// so release builds pay nothing.
+class ExclusiveAccessScope {
+ public:
+  ExclusiveAccessScope(ExclusiveAccessCheck* check, const char* what)
+      : check_(check) {
+    if (!check_->TryEnter()) {
+      std::fprintf(stderr,
+                   "odbgc: concurrent access to single-owner component %s "
+                   "(two threads inside at once)\n",
+                   what);
+      std::abort();
+    }
+  }
+  ~ExclusiveAccessScope() { check_->Exit(); }
+
+  ExclusiveAccessScope(const ExclusiveAccessScope&) = delete;
+  ExclusiveAccessScope& operator=(const ExclusiveAccessScope&) = delete;
+
+ private:
+  ExclusiveAccessCheck* const check_;
+};
+
+// Asserts, for the enclosing scope, that the calling thread has exclusive
+// use of the component guarded by `check` (an ExclusiveAccessCheck
+// member). Compiled out with NDEBUG, like assert(); the RelAssert CI
+// configuration keeps it live against optimized code.
+#ifndef NDEBUG
+#define ODBGC_ACCESS_CONCAT_INNER(a, b) a##b
+#define ODBGC_ACCESS_CONCAT(a, b) ODBGC_ACCESS_CONCAT_INNER(a, b)
+#define ODBGC_DCHECK_EXCLUSIVE(check, what)                      \
+  ::odbgc::ExclusiveAccessScope ODBGC_ACCESS_CONCAT(             \
+      odbgc_access_scope_, __LINE__)((check), (what))
+#else
+#define ODBGC_DCHECK_EXCLUSIVE(check, what) ((void)0)
+#endif
+
+}  // namespace odbgc
+
+#endif  // ODBGC_UTIL_ACCESS_CHECK_H_

@@ -1,0 +1,157 @@
+// GlobalView (core/selection_policy.h) and the PoolPressure exemplar
+// policy: null view == plain UpdatedPointer behaviour (the single-heap
+// degradation contract), bound view == pressure-boosted scores with
+// unchanged within-heap victim choice.
+
+#include "core/extension_policies.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/selection_policy.h"
+#include "sim/config.h"
+#include "sim/simulator.h"
+
+namespace odbgc {
+namespace {
+
+SlotWriteEvent OverwriteInto(PartitionId old_target_partition) {
+  SlotWriteEvent event;
+  event.source = ObjectId{1};
+  event.source_partition = 0;
+  event.old_target = ObjectId{2};
+  event.old_target_partition = old_target_partition;
+  event.new_target = ObjectId{3};
+  event.new_target_partition = 0;
+  return event;
+}
+
+TEST(GlobalViewTest, FractionsDegradeToZeroWhenUnset) {
+  GlobalView view;
+  EXPECT_DOUBLE_EQ(view.OccupancyFraction(), 0.0);
+  EXPECT_DOUBLE_EQ(view.TenantPressure(), 0.0);
+}
+
+TEST(GlobalViewTest, FractionsReflectTheLedger) {
+  GlobalView view;
+  view.shared_pool_frames = 200;
+  view.shared_resident_frames = 150;
+  view.tenant_frame_cap = 40;
+  view.tenant_resident_frames = 30;
+  EXPECT_DOUBLE_EQ(view.OccupancyFraction(), 0.75);
+  EXPECT_DOUBLE_EQ(view.TenantPressure(), 0.75);
+}
+
+TEST(GlobalViewTest, PolicyContextDefaultsToNoView) {
+  PolicyContext context;
+  EXPECT_EQ(context.global, nullptr);
+}
+
+TEST(PoolPressurePolicyTest, IsRegistered) {
+  EXPECT_TRUE(IsPolicyRegistered("PoolPressure"));
+  auto policy = MakePolicy("PoolPressure", 1);
+  ASSERT_TRUE(policy.status().ok());
+  EXPECT_EQ((*policy)->name(), "PoolPressure");
+  EXPECT_EQ((*policy)->kind(), PolicyKind::kUpdatedPointer);
+}
+
+TEST(PoolPressurePolicyTest, NullViewScoresAreRawOverwriteCounts) {
+  PoolPressurePolicy policy(nullptr);
+  policy.OnPointerStore(OverwriteInto(3), 0);
+  policy.OnPointerStore(OverwriteInto(3), 0);
+  policy.OnPointerStore(OverwriteInto(5), 0);
+  EXPECT_DOUBLE_EQ(policy.Score(3), 2.0);
+  EXPECT_DOUBLE_EQ(policy.Score(5), 1.0);
+  EXPECT_DOUBLE_EQ(policy.Score(7), 0.0);
+
+  SelectionContext context;
+  context.candidates = {3, 5, 7};
+  EXPECT_EQ(policy.Select(context), 3u);
+}
+
+TEST(PoolPressurePolicyTest, BoundViewBoostsScoresUniformly) {
+  GlobalView view;
+  view.shared_pool_frames = 100;
+  view.shared_resident_frames = 80;  // occupancy 0.8
+  view.tenant_frame_cap = 16;
+  view.tenant_resident_frames = 8;  // pressure 0.5
+
+  PoolPressurePolicy policy(&view);
+  policy.OnPointerStore(OverwriteInto(3), 0);
+  policy.OnPointerStore(OverwriteInto(3), 0);
+  policy.OnPointerStore(OverwriteInto(5), 0);
+
+  // score = hits * (1 + 0.8 * 0.5) = hits * 1.4
+  EXPECT_DOUBLE_EQ(policy.Score(3), 2.0 * 1.4);
+  EXPECT_DOUBLE_EQ(policy.Score(5), 1.0 * 1.4);
+
+  // The boost is a common factor: within-heap victim choice is identical
+  // to UpdatedPointer's.
+  SelectionContext context;
+  context.candidates = {3, 5};
+  EXPECT_EQ(policy.Select(context), 3u);
+
+  // The host refreshes the view in place; the policy reads live values.
+  view.shared_resident_frames = 0;
+  EXPECT_DOUBLE_EQ(policy.Score(3), 2.0);
+}
+
+TEST(PoolPressurePolicyTest, CollectionResetsTheCounter) {
+  PoolPressurePolicy policy(nullptr);
+  policy.OnPointerStore(OverwriteInto(3), 0);
+  policy.OnPartitionCollected(3);
+  EXPECT_DOUBLE_EQ(policy.Score(3), 0.0);
+}
+
+TEST(PoolPressurePolicyTest, NonOverwriteStoresDoNotCount) {
+  PoolPressurePolicy policy(nullptr);
+  SlotWriteEvent initializing;
+  initializing.source = ObjectId{1};
+  initializing.source_partition = 0;
+  initializing.new_target = ObjectId{2};
+  initializing.new_target_partition = 3;
+  policy.OnPointerStore(initializing, 0);  // old_target null: not an overwrite.
+  EXPECT_DOUBLE_EQ(policy.Score(3), 0.0);
+}
+
+// End-to-end degradation: a full simulation under "PoolPressure" with no
+// GlobalView bound produces the same trajectory as "UpdatedPointer" —
+// every counter equal; only the policy identity differs.
+TEST(PoolPressurePolicyTest, UnboundRunMatchesUpdatedPointer) {
+  SimulationConfig config;
+  config.heap.store.page_size = 1024;
+  config.heap.store.pages_per_partition = 16;
+  config.heap.buffer_pages = 16;
+  config.heap.overwrite_trigger = 25;
+  config.workload.target_live_bytes = 64ull << 10;
+  config.workload.total_alloc_bytes = 160ull << 10;
+  config.workload.tree_nodes_min = 50;
+  config.workload.tree_nodes_max = 150;
+  config.workload.large_object_size = 4096;
+  config.seed = 11;
+
+  config.heap.policy_name = "UpdatedPointer";
+  Simulator baseline(config);
+  ASSERT_TRUE(baseline.Run().ok());
+  const SimulationResult expected = baseline.Finish();
+
+  config.heap.policy_name = "PoolPressure";
+  Simulator pressured(config);
+  ASSERT_TRUE(pressured.Run().ok());
+  const SimulationResult actual = pressured.Finish();
+
+  EXPECT_GT(expected.collections, 0u);
+  EXPECT_EQ(actual.app_io, expected.app_io);
+  EXPECT_EQ(actual.gc_io, expected.gc_io);
+  EXPECT_EQ(actual.collections, expected.collections);
+  EXPECT_EQ(actual.garbage_reclaimed_bytes, expected.garbage_reclaimed_bytes);
+  EXPECT_EQ(actual.live_bytes_copied, expected.live_bytes_copied);
+  EXPECT_EQ(actual.max_storage_bytes, expected.max_storage_bytes);
+  EXPECT_EQ(actual.unreclaimed_garbage_bytes,
+            expected.unreclaimed_garbage_bytes);
+  EXPECT_EQ(actual.final_live_bytes, expected.final_live_bytes);
+}
+
+}  // namespace
+}  // namespace odbgc

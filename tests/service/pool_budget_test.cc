@@ -1,0 +1,75 @@
+#include "service/pool_budget.h"
+
+#include <gtest/gtest.h>
+
+namespace odbgc {
+namespace {
+
+TEST(PoolBudgetTest, ConfigureArmsWatermarkAndZeroesLedger) {
+  SharedPoolBudget budget;
+  budget.Configure(100, 0.75, 3);
+  EXPECT_EQ(budget.total_frames(), 100u);
+  EXPECT_EQ(budget.watermark_frames(), 75u);
+  EXPECT_TRUE(budget.enabled());
+  EXPECT_EQ(budget.occupancy(), 0u);
+  EXPECT_EQ(budget.peak_occupancy(), 0u);
+  EXPECT_EQ(budget.tenant_count(), 3u);
+  EXPECT_FALSE(budget.OverWatermark());
+}
+
+TEST(PoolBudgetTest, ZeroWatermarkDisablesAdmission) {
+  SharedPoolBudget budget;
+  budget.Configure(100, 0.0, 2);
+  EXPECT_FALSE(budget.enabled());
+  budget.Update(0, 100, 100);
+  EXPECT_FALSE(budget.OverWatermark());
+}
+
+TEST(PoolBudgetTest, UpdateTracksOccupancyIncrementally) {
+  SharedPoolBudget budget;
+  budget.Configure(64, 0.5, 2);
+  budget.Update(0, 10, 16);
+  budget.Update(1, 20, 48);
+  EXPECT_EQ(budget.occupancy(), 30u);
+  // Re-updating a tenant replaces its slice, not accumulates it.
+  budget.Update(1, 5, 48);
+  EXPECT_EQ(budget.occupancy(), 15u);
+  EXPECT_EQ(budget.resident(0), 10u);
+  EXPECT_EQ(budget.resident(1), 5u);
+  EXPECT_EQ(budget.cap(1), 48u);
+}
+
+TEST(PoolBudgetTest, PeakOnlyMovesAtNotePeak) {
+  SharedPoolBudget budget;
+  budget.Configure(64, 0.5, 1);
+  budget.Update(0, 40, 64);
+  EXPECT_EQ(budget.peak_occupancy(), 0u);  // Not yet noted.
+  budget.NotePeak();
+  EXPECT_EQ(budget.peak_occupancy(), 40u);
+  budget.Update(0, 10, 64);
+  budget.NotePeak();
+  EXPECT_EQ(budget.peak_occupancy(), 40u);  // Monotone.
+}
+
+TEST(PoolBudgetTest, AllowanceAndPressure) {
+  SharedPoolBudget budget;
+  budget.Configure(64, 0.5, 2);
+  budget.Update(0, 12, 16);
+  EXPECT_EQ(budget.Allowance(0), 4u);
+  EXPECT_DOUBLE_EQ(budget.TenantPressure(0), 0.75);
+  // Unsized tenant: no allowance, no pressure (never a division by zero).
+  EXPECT_EQ(budget.Allowance(1), 0u);
+  EXPECT_DOUBLE_EQ(budget.TenantPressure(1), 0.0);
+}
+
+TEST(PoolBudgetTest, OverWatermarkAtExactBoundary) {
+  SharedPoolBudget budget;
+  budget.Configure(100, 0.5, 1);
+  budget.Update(0, 49, 100);
+  EXPECT_FALSE(budget.OverWatermark());
+  budget.Update(0, 50, 100);
+  EXPECT_TRUE(budget.OverWatermark());  // At the watermark counts as over.
+}
+
+}  // namespace
+}  // namespace odbgc

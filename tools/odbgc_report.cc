@@ -1,5 +1,5 @@
 // odbgc-report: the command-line consumer of run manifests (see
-// observe/manifest.h). Three subcommands:
+// observe/manifest.h). Four subcommands:
 //
 //   tables <dir>
 //       Aggregates every manifest in <dir> into the paper's summary
@@ -7,6 +7,13 @@
 //       bench binaries print, but computed offline from the canonical
 //       per-run records, so any two runs of any policies can be tabled
 //       together after the fact.
+//
+//   tenants <dir>
+//       Per-tenant table from a multi-tenant service run's manifest
+//       directory (HeapService with a manifest_dir — files are named
+//       <tenant>-<policy>-s<seed>.json). One row per tenant plus a
+//       service-total row; tenants may run different policies, so rows
+//       are not averaged.
 //
 //   diff <dirA> <dirB> [--tolerance=PCT]
 //       Matches manifests by (policy, seed) and compares run metrics.
@@ -52,6 +59,8 @@ int Usage() {
       stderr,
       "usage: odbgc-report <command> ...\n"
       "  tables <dir>                          paper tables from manifests\n"
+      "  tenants <dir>                         per-tenant table from a\n"
+      "                                        service run's manifests\n"
       "  diff <dirA> <dirB> [--tolerance=PCT]  compare two manifest sets\n"
       "  check <dir> --baseline=<file> [--tolerance=PCT] [--write]\n"
       "                                        gate against a baseline\n");
@@ -423,6 +432,64 @@ int RunTables(const std::string& dir) {
 }
 
 // ---------------------------------------------------------------------------
+// tenants
+
+/// The tenant name a service run encoded in a manifest's filename:
+/// <tenant>-<policy>-s<seed>.json (see HeapService::WriteManifests). Falls
+/// back to the whole stem when the suffix doesn't match — the row is
+/// still printable, just unlabelled.
+std::string TenantFromFilename(const std::string& file,
+                               const SimulationResult& result) {
+  const std::string suffix =
+      "-" + result.policy_name + "-s" + std::to_string(result.seed) + ".json";
+  if (file.size() > suffix.size() &&
+      file.compare(file.size() - suffix.size(), suffix.size(), suffix) == 0) {
+    return file.substr(0, file.size() - suffix.size());
+  }
+  const size_t dot = file.rfind(".json");
+  return dot == std::string::npos ? file : file.substr(0, dot);
+}
+
+int RunTenants(const std::string& dir) {
+  auto manifests = LoadManifestDir(dir);
+  if (!manifests.ok()) {
+    std::fprintf(stderr, "%s\n", manifests.status().ToString().c_str());
+    return 2;
+  }
+
+  TablePrinter table({"tenant", "policy", "seed", "events", "app_io", "gc_io",
+                      "total_io", "collections", "reclaimed_kb",
+                      "max_storage_kb", "efficiency"});
+  SimulationResult total;
+  for (const LoadedManifest& loaded : *manifests) {
+    const SimulationResult r = ResultFromManifest(loaded.manifest);
+    table.AddRow({TenantFromFilename(loaded.file, r), r.policy_name,
+                  std::to_string(r.seed), FormatCount(r.app_events),
+                  FormatCount(r.app_io), FormatCount(r.gc_io),
+                  FormatCount(r.total_io()), FormatCount(r.collections),
+                  FormatCount(r.garbage_reclaimed_bytes / 1024),
+                  FormatCount(r.max_storage_bytes / 1024),
+                  FormatDouble(r.EfficiencyKbPerIo(), 3)});
+    total.app_events += r.app_events;
+    total.app_io += r.app_io;
+    total.gc_io += r.gc_io;
+    total.collections += r.collections;
+    total.garbage_reclaimed_bytes += r.garbage_reclaimed_bytes;
+    total.max_storage_bytes += r.max_storage_bytes;
+  }
+  table.AddRow({"(service)", "-", "-", FormatCount(total.app_events),
+                FormatCount(total.app_io), FormatCount(total.gc_io),
+                FormatCount(total.total_io()), FormatCount(total.collections),
+                FormatCount(total.garbage_reclaimed_bytes / 1024),
+                FormatCount(total.max_storage_bytes / 1024),
+                FormatDouble(total.EfficiencyKbPerIo(), 3)});
+
+  std::printf("%zu tenants in %s\n\n", manifests->size(), dir.c_str());
+  table.Print(std::cout);
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
 // diff
 
 int RunDiff(const std::string& dir_a, const std::string& dir_b,
@@ -686,6 +753,9 @@ int main(int argc, char** argv) {
 
   if (command == "tables" && positional.size() == 1) {
     return RunTables(positional[0]);
+  }
+  if (command == "tenants" && positional.size() == 1) {
+    return RunTenants(positional[0]);
   }
   if (command == "diff" && positional.size() == 2) {
     return RunDiff(positional[0], positional[1], tolerance_pct);
