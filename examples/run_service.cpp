@@ -50,6 +50,14 @@ void Usage(const char* prog) {
       "  --watermark=F         admission watermark fraction (default 0.5;\n"
       "                        0 disables admission control entirely)\n"
       "  --events-per-batch=N  events per tenant per round (default 256)\n"
+      "  --steps-per-round=K   batches per tenant per round (default 1;\n"
+      "                        higher K amortizes barrier overhead)\n"
+      "  --private-pools       per-tenant private pools instead of the\n"
+      "                        physically shared frame arena (the default)\n"
+      "  --stagger-arrival=N   tenant i arrives at round (i/8)*N instead of\n"
+      "                        all at round 0 (waves of 8)\n"
+      "  --depart-after=R      staggered tenants also depart R rounds after\n"
+      "                        arriving (0 = run to completion)\n"
       "  --manifest-dir=DIR    write one run manifest per tenant for\n"
       "                        odbgc-report (files <tenant>-<policy>-sN.json)\n"
       "  --csv                 CSV instead of an aligned table\n",
@@ -89,6 +97,10 @@ int main(int argc, char** argv) {
   double overcommit = 0.75;
   double watermark = 0.5;
   uint64_t events_per_batch = 256;
+  uint64_t steps_per_round = 1;
+  bool shared_pool = true;
+  uint64_t stagger_arrival = 0;
+  uint64_t depart_after = 0;
   std::string manifest_dir;
   bool csv = false;
 
@@ -122,6 +134,14 @@ int main(int argc, char** argv) {
       watermark = std::atof(value.c_str());
     } else if (ParseFlag(argv[i], "--events-per-batch", &value)) {
       events_per_batch = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--steps-per-round", &value)) {
+      steps_per_round = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--private-pools") == 0) {
+      shared_pool = false;
+    } else if (ParseFlag(argv[i], "--stagger-arrival", &value)) {
+      stagger_arrival = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--depart-after", &value)) {
+      depart_after = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "--manifest-dir", &value)) {
       manifest_dir = value;
     } else if (std::strcmp(argv[i], "--csv") == 0) {
@@ -132,7 +152,7 @@ int main(int argc, char** argv) {
     }
   }
   if (tenants <= 0 || threads == 0 || policies.empty() ||
-      events_per_batch == 0) {
+      events_per_batch == 0 || steps_per_round == 0) {
     Usage(argv[0]);
     return 1;
   }
@@ -141,6 +161,8 @@ int main(int argc, char** argv) {
                          .WithThreads(threads)
                          .WithWatermark(watermark)
                          .WithEventsPerBatch(events_per_batch)
+                         .WithStepsPerRound(steps_per_round)
+                         .WithSharedPool(shared_pool)
                          .WithManifestDir(manifest_dir);
   uint64_t cap_sum = 0;
   for (int i = 0; i < tenants; ++i) {
@@ -150,6 +172,14 @@ int main(int argc, char** argv) {
             .WithPolicy(policies[static_cast<size_t>(i) % policies.size()])
             .WithSeed(first_seed + static_cast<uint64_t>(i))
             .WithTotalAllocationMb(alloc_mb);
+    if (stagger_arrival > 0) {
+      // Waves of 8: wave w arrives at round w * N, so a large fleet is
+      // hosted as a rolling population instead of all at once.
+      tenant.arrival_round = (static_cast<uint64_t>(i) / 8) * stagger_arrival;
+      if (depart_after > 0) {
+        tenant.departure_round = tenant.arrival_round + depart_after;
+      }
+    }
     cap_sum += tenant.config.heap.buffer_pages;
     spec.tenants.push_back(std::move(tenant));
   }
@@ -208,9 +238,16 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(result.admission_stalls),
       static_cast<unsigned long long>(result.forced_admissions));
   std::printf(
-      "shared pool: budget %llu frames, watermark %llu, peak occupancy %llu\n",
+      "shared pool: %s, budget %llu frames, watermark %llu, peak occupancy "
+      "%llu\n",
+      result.shared_pool ? "one shared arena" : "private per-tenant pools",
       static_cast<unsigned long long>(result.shared_frame_budget),
       static_cast<unsigned long long>(result.watermark_frames),
       static_cast<unsigned long long>(result.peak_occupancy_frames));
+  if (result.shared_pool) {
+    std::printf("arena: %llu squeezed evictions, %llu departures\n",
+                static_cast<unsigned long long>(result.squeezed_evictions),
+                static_cast<unsigned long long>(result.departures));
+  }
   return 0;
 }

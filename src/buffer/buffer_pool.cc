@@ -4,6 +4,7 @@
 #include <cassert>
 #include <utility>
 
+#include "buffer/frame_arena.h"
 #include "util/serde.h"
 
 namespace odbgc {
@@ -23,13 +24,16 @@ IoPhase FromMetricPhase(MetricPhase phase) {
 }  // namespace
 
 BufferPool::BufferPool(PageDevice* device, size_t frame_count,
-                       ReplacementPolicyKind policy)
+                       ReplacementPolicyKind policy, SharedFrameArena* arena,
+                       uint32_t arena_tenant)
     : device_(device),
       registry_(device ? device->metrics() : nullptr),
       frame_count_(frame_count),
       policy_(MakeReplacementPolicy(policy, frame_count)),
       frames_(frame_count),
-      page_to_frame_(frame_count),
+      page_to_frame_(arena != nullptr ? 0 : frame_count),
+      arena_(arena),
+      arena_tenant_(arena_tenant),
       hits_(registry_->Register("buffer.hits")),
       misses_(registry_->Register("buffer.misses")),
       reads_(registry_->Register("buffer.disk_reads")),
@@ -59,16 +63,23 @@ uint32_t BufferPool::AllocFrame() {
 Result<std::span<std::byte>> BufferPool::GetPage(PageId page,
                                                  AccessMode mode) {
   ODBGC_DCHECK_EXCLUSIVE(&access_check_, "BufferPool::GetPage");
-  const uint32_t resident = page_to_frame_.Find(page);
+  // Shared-arena residency lives in the arena's striped table under the
+  // (tenant, page) composite key; everything else — counters, policy
+  // calls, quota math — is identical in both modes, which is the
+  // byte-identity contract (DESIGN.md §17).
+  const uint32_t resident = arena_ != nullptr
+                                ? arena_->FindSlot(arena_tenant_, page)
+                                : page_to_frame_.Find(page);
   if (resident != OpenIndexMap::kEmptyValue) {
     registry_->Count(hits_);
     policy_->OnHit(resident);
     Frame& frame = frames_[resident];
     if (mode == AccessMode::kWrite) frame.dirty = true;
-    return std::span<std::byte>(frame.data);
+    return std::span<std::byte>(FrameBytes(frame));
   }
 
   registry_->Count(misses_);
+  if (arena_ != nullptr) return FillShared(page, mode);
 
   // Evict the policy's victim if the pool is full; its frame is reused
   // for the incoming page.
@@ -104,10 +115,81 @@ Result<std::span<std::byte>> BufferPool::GetPage(PageId page,
   return std::span<std::byte>(frame.data);
 }
 
+Status BufferPool::EvictSlotShared(uint32_t* slot) {
+  const uint32_t victim = policy_->ChooseVictim();
+  Frame& evicted = frames_[victim];
+  ODBGC_RETURN_IF_ERROR(WriteBack(evicted));
+  policy_->OnEvict(victim);
+  arena_->EraseSlot(arena_tenant_, evicted.page);
+  evicted.page = kInvalidPageId;
+  --resident_count_;
+  *slot = victim;  // The borrowed frame stays attached for the newcomer.
+  return Status::Ok();
+}
+
+Result<std::span<std::byte>> BufferPool::FillShared(PageId page,
+                                                    AccessMode mode) {
+  uint32_t slot;
+  if (resident_count_ >= frame_count_) {
+    // Quota full: evict this tenant's own victim — the same decision, in
+    // the same order, a private pool of frame_count_ frames would make.
+    ODBGC_RETURN_IF_ERROR(EvictSlotShared(&slot));
+  } else {
+    slot = AllocFrame();
+    if (frames_[slot].arena_frame == UINT32_MAX) {
+      const uint32_t physical = arena_->TryAllocFrame();
+      if (physical != SharedFrameArena::kNoFrame) {
+        frames_[slot].arena_frame = physical;
+      } else {
+        // Squeeze: the arena is exhausted while this tenant is under its
+        // quota (the fleet is overcommitted past the admission bound).
+        // Self-evict our own victim rather than stealing another tenant's
+        // frame — cross-tenant theft would wreck their determinism, not
+        // just ours. Counted: invariance gates require zero squeezes.
+        free_frames_.push_back(slot);
+        if (resident_count_ == 0) {
+          return Status::ResourceExhausted(
+              "shared frame arena exhausted and tenant holds no frame to "
+              "squeeze; raise the budget or arm the admission watermark");
+        }
+        ODBGC_RETURN_IF_ERROR(EvictSlotShared(&slot));
+        ++squeezed_evictions_;
+        arena_->NoteSqueezedEviction();
+      }
+    }
+  }
+
+  Frame& frame = frames_[slot];
+  std::vector<std::byte>& bytes = arena_->FrameData(frame.arena_frame);
+  // Frames migrate between tenants whose devices may differ in page size.
+  if (bytes.size() != device_->page_size()) bytes.resize(device_->page_size());
+  const Status read = device_->ReadPage(page, std::span<std::byte>(bytes));
+  if (!read.ok()) {
+    // The page never became resident; the slot returns to the free pool
+    // and the borrowed frame goes back to the arena.
+    arena_->ReleaseFrame(frame.arena_frame);
+    frame.arena_frame = UINT32_MAX;
+    free_frames_.push_back(slot);
+    return read;
+  }
+  registry_->Count(reads_);
+  frame.page = page;
+  frame.dirty = (mode == AccessMode::kWrite);
+  policy_->OnInsert(slot, page);
+  arena_->InsertSlot(arena_tenant_, page, slot);
+  ++resident_count_;
+  return std::span<std::byte>(bytes);
+}
+
+std::vector<std::byte>& BufferPool::FrameBytes(Frame& frame) {
+  return arena_ != nullptr ? arena_->FrameData(frame.arena_frame)
+                           : frame.data;
+}
+
 Status BufferPool::WriteBack(Frame& frame) {
   if (!frame.dirty) return Status::Ok();
   ODBGC_RETURN_IF_ERROR(device_->WritePage(
-      frame.page, std::span<const std::byte>(frame.data)));
+      frame.page, std::span<const std::byte>(FrameBytes(frame))));
   registry_->Count(writes_);
   frame.dirty = false;
   return Status::Ok();
@@ -124,7 +206,7 @@ Status BufferPool::FlushAll() {
     Frame& frame = frames_[slot];
     if (frame.page == kInvalidPageId || !frame.dirty) continue;
     batch.push_back(
-        {frame.page, std::span<const std::byte>(frame.data)});
+        {frame.page, std::span<const std::byte>(FrameBytes(frame))});
     slots.push_back(slot);
   }
   if (batch.empty()) return Status::Ok();
@@ -146,7 +228,7 @@ void BufferPool::PrefetchExtent(const PageExtent& extent) {
   std::vector<PageId> pages;
   pages.reserve(extent.page_count);
   for (PageId p = extent.first_page; p < extent.end_page(); ++p) {
-    if (!page_to_frame_.Contains(p)) pages.push_back(p);
+    if (!IsResident(p)) pages.push_back(p);
   }
   if (!pages.empty()) {
     device_->Prefetch(std::span<const PageId>(pages));
@@ -155,6 +237,27 @@ void BufferPool::PrefetchExtent(const PageExtent& extent) {
 
 void BufferPool::DiscardExtent(const PageExtent& extent) {
   ODBGC_DCHECK_EXCLUSIVE(&access_check_, "BufferPool::DiscardExtent");
+  if (arena_ != nullptr) {
+    // Discarded slots hand their borrowed frames straight back (one
+    // allocator lock for the whole extent) — a collected partition's
+    // residency becomes other tenants' headroom immediately.
+    std::vector<uint32_t> released;
+    for (PageId p = extent.first_page; p < extent.end_page(); ++p) {
+      const uint32_t slot = arena_->FindSlot(arena_tenant_, p);
+      if (slot == SharedFrameArena::kNoFrame) continue;
+      policy_->OnErase(slot);
+      arena_->EraseSlot(arena_tenant_, p);
+      Frame& frame = frames_[slot];
+      released.push_back(frame.arena_frame);
+      frame.arena_frame = UINT32_MAX;
+      frame.page = kInvalidPageId;
+      frame.dirty = false;
+      free_frames_.push_back(slot);
+      --resident_count_;
+    }
+    arena_->ReleaseFrames(released);
+    return;
+  }
   for (PageId p = extent.first_page; p < extent.end_page(); ++p) {
     const uint32_t slot = page_to_frame_.Find(p);
     if (slot == OpenIndexMap::kEmptyValue) continue;
@@ -165,6 +268,30 @@ void BufferPool::DiscardExtent(const PageExtent& extent) {
     free_frames_.push_back(slot);
     --resident_count_;
   }
+}
+
+void BufferPool::ReleaseArenaFrames() {
+  if (arena_ == nullptr) return;
+  ODBGC_DCHECK_EXCLUSIVE(&access_check_, "BufferPool::ReleaseArenaFrames");
+  std::vector<uint32_t> released;
+  released.reserve(resident_count_);
+  for (uint32_t slot = 0; slot < used_frames_; ++slot) {
+    Frame& frame = frames_[slot];
+    if (frame.page != kInvalidPageId) {
+      arena_->EraseSlot(arena_tenant_, frame.page);
+      frame.page = kInvalidPageId;
+    }
+    if (frame.arena_frame != UINT32_MAX) {
+      released.push_back(frame.arena_frame);
+      frame.arena_frame = UINT32_MAX;
+    }
+    frame.dirty = false;
+  }
+  arena_->ReleaseFrames(released);
+  policy_->Clear();
+  free_frames_.clear();
+  used_frames_ = 0;
+  resident_count_ = 0;
 }
 
 BufferStats BufferPool::stats() const {
@@ -185,14 +312,25 @@ void BufferPool::ResetStats() {
   writes_->Reset();
 }
 
+bool BufferPool::IsResident(PageId page) const {
+  return arena_ != nullptr ? arena_->FindSlot(arena_tenant_, page) !=
+                                 SharedFrameArena::kNoFrame
+                           : page_to_frame_.Contains(page);
+}
+
 bool BufferPool::IsDirty(PageId page) const {
-  const uint32_t slot = page_to_frame_.Find(page);
+  const uint32_t slot = arena_ != nullptr
+                            ? arena_->FindSlot(arena_tenant_, page)
+                            : page_to_frame_.Find(page);
   return slot != OpenIndexMap::kEmptyValue && frames_[slot].dirty;
 }
 
 std::vector<PageId> BufferPool::LruOrder() const { return policy_->Order(); }
 
 void BufferPool::SaveState(std::ostream& out) const {
+  // Checkpointing a shared-arena pool is unsupported (the service forbids
+  // durability for its tenants); only private pools reach here.
+  assert(arena_ == nullptr && "SaveState unsupported in shared-arena mode");
   PutVarint(out, frame_count_);
   PutU8(out, static_cast<uint8_t>(policy_->kind()));
   std::vector<uint32_t> resident;
@@ -214,6 +352,10 @@ void BufferPool::SaveState(std::ostream& out) const {
 
 Status BufferPool::LoadState(std::istream& in) {
   ODBGC_DCHECK_EXCLUSIVE(&access_check_, "BufferPool::LoadState");
+  if (arena_ != nullptr) {
+    return Status::InvalidArgument(
+        "buffer state restore is unsupported in shared-arena mode");
+  }
   auto frame_count = GetVarint(in);
   ODBGC_RETURN_IF_ERROR(frame_count.status());
   if (*frame_count != frame_count_) {

@@ -19,6 +19,8 @@
 
 namespace odbgc {
 
+class SharedFrameArena;
+
 /// Who is driving I/O right now. The paper reports "Application I/Os" and
 /// "Collector I/Os" separately (Table 2); the pool attributes each device
 /// transfer to the phase that was active when it happened.
@@ -63,12 +65,27 @@ struct BufferStats {
 /// schedulers do for whole heaps) is fine. Debug builds enforce this with
 /// an ExclusiveAccessCheck — two threads caught inside mutating methods at
 /// once abort rather than corrupt the frame table silently.
+///
+/// Shared-arena mode (DESIGN.md §17): constructed with a SharedFrameArena,
+/// the pool stops owning physical frames. `frame_count` becomes the
+/// tenant's *logical quota*: replacement state, residency accounting and
+/// every counter run over logical slots [0, frame_count) exactly as in
+/// private mode — which is what makes per-tenant results byte-identical to
+/// a private pool — while each resident slot borrows one physical frame
+/// from the arena and the page→slot residency map lives in the arena's
+/// lock-striped table under the (tenant, page) composite key. The pool
+/// itself stays single-owner; only the arena's striped structures are
+/// touched by several tenants at once.
 class BufferPool {
  public:
   /// `device` must outlive the pool. `frame_count` > 0 frames of
-  /// device->page_size() bytes each.
+  /// device->page_size() bytes each. With `arena` non-null (which must
+  /// then outlive the pool) the pool runs in shared-arena mode under
+  /// tenant id `arena_tenant`; frame payloads then come from the arena and
+  /// `frame_count` is the logical quota.
   BufferPool(PageDevice* device, size_t frame_count,
-             ReplacementPolicyKind policy = ReplacementPolicyKind::kLru);
+             ReplacementPolicyKind policy = ReplacementPolicyKind::kLru,
+             SharedFrameArena* arena = nullptr, uint32_t arena_tenant = 0);
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
@@ -114,9 +131,22 @@ class BufferPool {
   size_t frame_count() const { return frame_count_; }
   size_t resident_pages() const { return resident_count_; }
 
+  /// True when the pool borrows frames from a shared arena.
+  bool shared_arena() const { return arena_ != nullptr; }
+  /// Evictions this pool performed *under* quota because the shared arena
+  /// had no free frame (always 0 in private mode; see SharedFrameArena).
+  uint64_t squeezed_evictions() const { return squeezed_evictions_; }
+
+  /// Shared-arena mode only: drops every resident page without write-back
+  /// or counter traffic and returns the borrowed frames to the arena. The
+  /// service calls this when a tenant finishes or departs, so parked
+  /// residency never pins physical frames against live tenants. No-op in
+  /// private mode.
+  void ReleaseArenaFrames();
+
   /// True if `page` is currently resident (test/inspection helper; does not
   /// touch replacement order or counters).
-  bool IsResident(PageId page) const { return page_to_frame_.Contains(page); }
+  bool IsResident(PageId page) const;
 
   /// True if `page` is resident and dirty (test/inspection helper).
   bool IsDirty(PageId page) const;
@@ -145,12 +175,18 @@ class BufferPool {
  private:
   /// One fixed slot of the pool. `page` is kInvalidPageId while the frame
   /// is free; `data` is sized lazily on first use and then reused across
-  /// occupants.
+  /// occupants. In shared-arena mode `data` stays empty and the payload is
+  /// the arena frame `arena_frame` (UINT32_MAX while none is borrowed).
   struct Frame {
     std::vector<std::byte> data;
     PageId page = kInvalidPageId;
+    uint32_t arena_frame = UINT32_MAX;
     bool dirty = false;
   };
+
+  // The payload bytes of `frame`: its own buffer, or the borrowed arena
+  // frame's.
+  std::vector<std::byte>& FrameBytes(Frame& frame);
 
   // Writes back `frame` if dirty (charging the current phase).
   Status WriteBack(Frame& frame);
@@ -159,6 +195,13 @@ class BufferPool {
   // exists, else the next never-used one. The caller evicts first when
   // the pool is full.
   uint32_t AllocFrame();
+
+  // Shared-arena miss path (GetPage's tail once the local lookup missed).
+  Result<std::span<std::byte>> FillShared(PageId page, AccessMode mode);
+
+  // Evicts the slot the policy chose (write-back, policy + arena-table
+  // drop) and returns it for reuse; the borrowed frame stays attached.
+  Status EvictSlotShared(uint32_t* slot);
 
   PageDevice* const device_;
   MetricsRegistry* const registry_;
@@ -174,6 +217,12 @@ class BufferPool {
   std::vector<uint32_t> free_frames_;
   uint32_t used_frames_ = 0;  // High-water mark of ever-touched frames.
   size_t resident_count_ = 0;
+
+  /// Shared-arena mode (null in private mode): the physical frames and
+  /// the striped (tenant, page) → slot residency table.
+  SharedFrameArena* const arena_;
+  const uint32_t arena_tenant_;
+  uint64_t squeezed_evictions_ = 0;
 
   MetricCounter* const hits_;
   MetricCounter* const misses_;

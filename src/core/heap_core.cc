@@ -67,7 +67,9 @@ HeapCore::HeapCore(const HeapOptions& options) : options_(options) {
   metrics_ = std::make_unique<MetricsRegistry>();
   device_ = MakeConfiguredDevice(options_, metrics_.get());
   buffer_ = std::make_unique<BufferPool>(device_.get(), options_.buffer_pages,
-                                         options_.replacement);
+                                         options_.replacement,
+                                         options_.shared_arena,
+                                         options_.arena_tenant);
   store_ = std::make_unique<ObjectStore>(options_.store, device_.get(),
                                          buffer_.get());
   WireComponents();
@@ -78,7 +80,9 @@ HeapCore::HeapCore(const HeapOptions& options, RestoreTag)
   metrics_ = std::make_unique<MetricsRegistry>();
   device_ = MakeConfiguredDevice(options_, metrics_.get());
   buffer_ = std::make_unique<BufferPool>(device_.get(), options_.buffer_pages,
-                                         options_.replacement);
+                                         options_.replacement,
+                                         options_.shared_arena,
+                                         options_.arena_tenant);
 }
 
 void HeapCore::WireComponents() {

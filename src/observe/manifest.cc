@@ -214,7 +214,8 @@ uint32_t ConfigDigest(const SimulationConfig& config) {
 }
 
 Json BuildManifest(const SimulationConfig& config,
-                   const SimulationResult& result) {
+                   const SimulationResult& result,
+                   const ManifestServiceInfo* service) {
   Json manifest = Json::Obj();
   manifest.Set("schema_version", Json::UInt(kManifestSchemaVersion));
   manifest.Set("config", ConfigJson(config));
@@ -250,6 +251,19 @@ Json BuildManifest(const SimulationConfig& config,
     Json timing = Json::Obj();
     timing.Set("wall_seconds", Json::Double(result.run_wall_seconds));
     manifest.Set("timing", std::move(timing));
+  }
+  // Per-tenant service telemetry, present only for manifests a
+  // HeapService wrote. Same placement rule as `measured`/`timing`: a
+  // top-level sibling of `result`, excluded from the digest, so a
+  // tenant's deterministic surface stays comparable with a standalone
+  // run's while odbgc-report's tenants table reads the occupancy story.
+  if (service != nullptr) {
+    Json section = Json::Obj();
+    section.Set("peak_resident_frames",
+                Json::UInt(service->peak_resident_frames));
+    section.Set("admission_stalls", Json::UInt(service->admission_stalls));
+    section.Set("shared_pool", Json::Bool(service->shared_pool));
+    manifest.Set("service", std::move(section));
   }
   return manifest;
 }
@@ -336,6 +350,19 @@ Status ValidateManifest(const Json& manifest) {
   if (timing != nullptr) {
     if (!timing->is_object()) return Missing("timing", "object");
     ODBGC_RETURN_IF_ERROR(RequireNumber(*timing, "wall_seconds"));
+  }
+  // `service` is optional (present only for HeapService tenant
+  // manifests); when present it must be well-formed.
+  const Json* service = manifest.Get("service");
+  if (service != nullptr) {
+    if (!service->is_object()) return Missing("service", "object");
+    for (const char* key : {"peak_resident_frames", "admission_stalls"}) {
+      ODBGC_RETURN_IF_ERROR(RequireNumber(*service, key));
+    }
+    const Json* shared = service->Get("shared_pool");
+    if (shared == nullptr || !shared->is_bool()) {
+      return Missing("service.shared_pool", "boolean");
+    }
   }
   return Status::Ok();
 }

@@ -41,9 +41,23 @@ inline constexpr uint64_t kManifestSchemaVersion = 1;
 /// runs; odbgc-report refuses to diff manifest sets whose digests differ.
 uint32_t ConfigDigest(const SimulationConfig& config);
 
-/// Builds the manifest document for one finished run.
+/// Per-tenant service telemetry for manifests written by a HeapService
+/// run: the tenant's peak barrier residency, how many rounds the
+/// admission watermark stalled it, and whether the fleet shared one
+/// physical frame arena. Lands in the OPTIONAL top-level `service`
+/// section — same placement rule as `measured`: a sibling of `result`,
+/// excluded from the config digest, absent from standalone manifests.
+struct ManifestServiceInfo {
+  uint64_t peak_resident_frames = 0;
+  uint64_t admission_stalls = 0;
+  bool shared_pool = false;
+};
+
+/// Builds the manifest document for one finished run. `service` non-null
+/// adds the optional `service` section (HeapService tenants only).
 Json BuildManifest(const SimulationConfig& config,
-                   const SimulationResult& result);
+                   const SimulationResult& result,
+                   const ManifestServiceInfo* service = nullptr);
 
 /// Schema check: required keys present with the right types and the
 /// schema_version is one this binary understands. InvalidArgument with a

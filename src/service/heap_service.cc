@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "buffer/frame_arena.h"
 #include "observe/manifest.h"
 #include "observe/observer.h"
 #include "sim/concurrent_simulator.h"
@@ -77,6 +78,14 @@ Status HeapService::Validate() const {
   if (spec_.events_per_batch == 0) {
     return Status::InvalidArgument("events_per_batch must be >= 1");
   }
+  if (spec_.steps_per_round == 0) {
+    return Status::InvalidArgument("steps_per_round must be >= 1");
+  }
+  if (spec_.shared_pool &&
+      spec_.tenants.size() > SharedFrameArena::kMaxTenants) {
+    return Status::InvalidArgument(
+        "too many tenants for the shared arena's composite key space");
+  }
   if (spec_.admission_watermark < 0.0 || spec_.admission_watermark > 1.0) {
     return Status::InvalidArgument("admission_watermark must be in [0, 1]");
   }
@@ -101,6 +110,11 @@ Status HeapService::Validate() const {
     }
     if (config.heap.buffer_pages == 0) {
       return Status::InvalidArgument(label + ": buffer_pages must be >= 1");
+    }
+    if (tenant.departure_round != 0 &&
+        tenant.departure_round <= tenant.arrival_round) {
+      return Status::InvalidArgument(
+          label + ": departure_round must be after arrival_round");
     }
     if (!config.heap.policy_name.empty() &&
         !IsPolicyRegistered(config.heap.policy_name)) {
@@ -129,6 +143,12 @@ Status HeapService::PrepareTenants() {
     run->config.mutator_threads = 1;
     run->config.trace_shards = 0;
     run->config.heap.global_view = &views_[i];
+    if (arena_ != nullptr) {
+      // Physically shared frames: the tenant's pool becomes a logical
+      // quota over the arena, under its tenant id in the composite key.
+      run->config.heap.shared_arena = arena_.get();
+      run->config.heap.arena_tenant = static_cast<uint32_t>(i);
+    }
     // The service observer (or the tenant's own sink) watches every
     // tenant through a serializing wrapper tagged tenant index + 1, so 0
     // stays "standalone serial run".
@@ -157,6 +177,43 @@ Status HeapService::PrepareTenants() {
     runs_.push_back(std::move(run));
   }
   return Status::Ok();
+}
+
+bool HeapService::Arrived(size_t tenant) const {
+  return spec_.tenants[tenant].arrival_round <= rounds_;
+}
+
+void HeapService::RunTenantRound(TenantRun* run) {
+  // K-step batching: one worker wake (or one inline visit) services K
+  // batches before the next barrier, so GlobalView refresh and TaskPool
+  // wake/park churn are amortized K-fold.
+  for (uint64_t k = 0; k < spec_.steps_per_round && !run->done; ++k) {
+    StepTenant(run);
+  }
+  if (run->done && run->sim != nullptr) {
+    // A finished tenant's borrowed frames return to the arena right away
+    // (no counter moves — its result is already finalized), so parked
+    // residency never pins the shared budget. No-op for private pools.
+    run->sim->heap().mutable_buffer().ReleaseArenaFrames();
+  }
+}
+
+void HeapService::RetireDepartures() {
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    const uint64_t departure = spec_.tenants[i].departure_round;
+    if (departure == 0 || rounds_ < departure) continue;
+    TenantRun& run = *runs_[i];
+    if (run.done) continue;
+    // A tenant retired before it ever started still leaves a well-formed
+    // (empty) result behind: construct and immediately finalize it.
+    if (run.sim == nullptr) {
+      run.sim = std::make_unique<Simulator>(run.config);
+    }
+    run.result = run.sim->Finish();
+    run.done = true;
+    ++departures_;
+    run.sim->heap().mutable_buffer().ReleaseArenaFrames();
+  }
 }
 
 void HeapService::StepTenant(TenantRun* run) {
@@ -224,8 +281,10 @@ void HeapService::RefreshSharedState() {
     // residency would pin the watermark high against the still-running
     // tenants with nothing left to shed.
     const bool active = run.sim != nullptr && !run.done;
+    // A dormant (not yet arrived) tenant holds no slice of the budget —
+    // its cap enters the ledger only once it can actually fault pages in.
     budget_.Update(t, active ? run.sim->heap().buffer().resident_pages() : 0,
-                   run.config.heap.buffer_pages);
+                   Arrived(t) ? run.config.heap.buffer_pages : 0);
     // Footprint (partitions x partition bytes) as the live-size signal: it
     // is the DBA-visible database size, cheap, and monotone in pressure.
     views_[t].tenant_live_bytes =
@@ -298,21 +357,24 @@ void HeapService::CollectUnderPressure() {
 
 void HeapService::ComputeAdmissions(std::vector<char>* admitted) {
   const size_t n = runs_.size();
-  if (!budget_.enabled()) {
-    for (size_t i = 0; i < n; ++i) (*admitted)[i] = 1;
-    return;
-  }
   // Admit in tenant id order while the projection — current occupancy
   // plus every admitted tenant's allowance (the most its pool can grow in
   // one round) — stays under the watermark. The bound this yields:
-  // post-round occupancy <= watermark + one tenant's allowance.
+  // post-round occupancy <= watermark + one tenant's allowance. Dormant
+  // tenants (arrival_round in the future) are neither admitted nor
+  // counted as stalled — they are not in the fleet yet.
   uint64_t projected = budget_.occupancy();
   bool any = false;
   size_t first_pending = n;
   for (size_t i = 0; i < n; ++i) {
     (*admitted)[i] = 0;
-    if (runs_[i]->done) continue;
+    if (runs_[i]->done || !Arrived(i)) continue;
     if (first_pending == n) first_pending = i;
+    if (!budget_.enabled()) {
+      (*admitted)[i] = 1;
+      any = true;
+      continue;
+    }
     if (projected < budget_.watermark_frames()) {
       (*admitted)[i] = 1;
       projected += budget_.Allowance(i);
@@ -322,22 +384,34 @@ void HeapService::ComputeAdmissions(std::vector<char>* admitted) {
   // Progress guarantee: when nobody fits (occupancy stuck at/above the
   // watermark with nothing left to shed), one tenant runs anyway so the
   // service always terminates.
-  if (!any && first_pending < n) {
+  if (budget_.enabled() && !any && first_pending < n) {
     (*admitted)[first_pending] = 1;
     ++forced_admissions_;
   }
   for (size_t i = 0; i < n; ++i) {
-    if (!runs_[i]->done && (*admitted)[i] == 0) ++admission_stalls_;
+    if (!runs_[i]->done && Arrived(i) && (*admitted)[i] == 0) {
+      ++admission_stalls_;
+      ++tenant_stalls_[i];
+    }
   }
 }
 
 Status HeapService::WriteManifests() const {
   if (spec_.manifest_dir.empty()) return Status::Ok();
-  for (const auto& run : runs_) {
-    const Json manifest = BuildManifest(run->config, run->result);
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    const TenantRun& run = *runs_[i];
+    // Per-tenant service telemetry rides along in the optional `service`
+    // section (digest-excluded, like `measured`): the standalone result
+    // surface stays byte-identical, and odbgc-report's tenants table gets
+    // its occupancy/stall columns.
+    ManifestServiceInfo service;
+    service.peak_resident_frames = budget_.peak_resident(i);
+    service.admission_stalls = tenant_stalls_[i];
+    service.shared_pool = arena_ != nullptr;
+    const Json manifest = BuildManifest(run.config, run.result, &service);
     const std::string path =
-        spec_.manifest_dir + "/" + run->name + "-" +
-        ManifestFileName(run->result.policy_name, run->result.seed);
+        spec_.manifest_dir + "/" + run.name + "-" +
+        ManifestFileName(run.result.policy_name, run.result.seed);
     ODBGC_RETURN_IF_ERROR(WriteManifestFile(path, manifest));
   }
   return Status::Ok();
@@ -347,12 +421,21 @@ Status HeapService::Run() {
   ODBGC_RETURN_IF_ERROR(Validate());
   const size_t n = spec_.tenants.size();
   views_.assign(n, GlobalView{});
-  ODBGC_RETURN_IF_ERROR(PrepareTenants());
+  tenant_stalls_.assign(n, 0);
 
   uint64_t total_cap = 0;
-  for (const auto& run : runs_) total_cap += run->config.heap.buffer_pages;
+  for (const TenantSpec& tenant : spec_.tenants) {
+    total_cap += tenant.config.heap.buffer_pages;
+  }
   const uint64_t budget_frames =
       spec_.shared_frame_budget != 0 ? spec_.shared_frame_budget : total_cap;
+  // The arena is sized to the budget: physical capacity and the ledger's
+  // denominator are the same number, so "over budget" means "the frames
+  // physically ran out", not just an accounting overdraft.
+  if (spec_.shared_pool) {
+    arena_ = std::make_unique<SharedFrameArena>(budget_frames);
+  }
+  ODBGC_RETURN_IF_ERROR(PrepareTenants());
   budget_.Configure(budget_frames, spec_.admission_watermark, n);
   RefreshSharedState();  // Caps registered; occupancy 0; views zeroed.
 
@@ -372,24 +455,34 @@ Status HeapService::Run() {
   std::vector<char> admitted(n, 1);
   ComputeAdmissions(&admitted);
   while (!all_done()) {
-    if (pool != nullptr) {
+    size_t runnable = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (admitted[i] != 0 && !runs_[i]->done) ++runnable;
+    }
+    if (pool != nullptr && runnable > 1) {
       TaskPool::TaskGroup group;
       for (size_t i = 0; i < n; ++i) {
         if (admitted[i] == 0 || runs_[i]->done) continue;
         TenantRun* run = runs_[i].get();
         pool->Submit(&group,
-                     [this, run](TaskPool::Context&) { StepTenant(run); });
+                     [this, run](TaskPool::Context&) { RunTenantRound(run); });
       }
       pool->Wait(&group);
     } else {
-      // Single thread: inline, in tenant order — byte-stable end to end.
+      // Inline, in tenant order — byte-stable end to end at one thread,
+      // and a round with at most one runnable tenant skips the worker
+      // pool entirely rather than paying wake/park churn for no overlap.
       for (size_t i = 0; i < n; ++i) {
-        if (admitted[i] != 0 && !runs_[i]->done) StepTenant(runs_[i].get());
+        if (admitted[i] != 0 && !runs_[i]->done) {
+          RunTenantRound(runs_[i].get());
+        }
       }
     }
     ++rounds_;
 
-    // Barrier: accounting, pressure view, forced collections, admission.
+    // Barrier: departures, accounting, pressure view, forced collections,
+    // admission.
+    RetireDepartures();
     RefreshSharedState();
     budget_.NotePeak();
     if (budget_.enabled()) CollectUnderPressure();
@@ -427,6 +520,15 @@ ServiceResult HeapService::Finish() {
   out.shared_frame_budget = budget_.total_frames();
   out.watermark_frames = budget_.watermark_frames();
   out.peak_occupancy_frames = budget_.peak_occupancy();
+  out.shared_pool = arena_ != nullptr;
+  out.squeezed_evictions =
+      arena_ != nullptr ? arena_->squeezed_evictions() : 0;
+  out.departures = departures_;
+  out.tenant_admission_stalls = tenant_stalls_;
+  out.tenant_peak_resident_frames.reserve(runs_.size());
+  for (size_t t = 0; t < runs_.size(); ++t) {
+    out.tenant_peak_resident_frames.push_back(budget_.peak_resident(t));
+  }
   return out;
 }
 

@@ -16,6 +16,7 @@
 namespace odbgc {
 
 class IoScheduler;
+class SharedFrameArena;
 
 /// Everything a service run measures: the per-tenant SimulationResults
 /// (the same records a standalone Simulator produces — tenant i of an
@@ -50,17 +51,40 @@ struct ServiceResult {
   uint64_t shared_frame_budget = 0;
   uint64_t watermark_frames = 0;
   uint64_t peak_occupancy_frames = 0;
+
+  /// Whether the fleet ran over one physically shared frame arena
+  /// (ServiceSpec::shared_pool) rather than per-tenant pools.
+  bool shared_pool = false;
+  /// Under-quota evictions tenants performed because the shared arena was
+  /// physically exhausted (0 in private mode, and 0 whenever the budget
+  /// covers the admission bound — the invariance-gated regime).
+  uint64_t squeezed_evictions = 0;
+  /// Tenants retired mid-run by their departure_round.
+  uint64_t departures = 0;
+  /// Per-tenant occupancy story, indexed like `tenants`: the highest
+  /// barrier residency each tenant reached, and how many rounds each was
+  /// individually stalled by the watermark. These also land in the
+  /// optional `service` section of each tenant manifest.
+  std::vector<uint64_t> tenant_peak_resident_frames;
+  std::vector<uint64_t> tenant_admission_stalls;
 };
 
 /// A multi-tenant heap service: N TenantSpecs — each an independent
 /// CollectedHeap + Simulator replaying its own deterministic workload
 /// stream — hosted over one shared frame budget, one shared IoScheduler
-/// (for "file" backends), and one worker pool.
+/// (for "file" backends), one worker pool, and (by default) one
+/// physically shared BufferPool arena: a single frame array plus a
+/// lock-striped residency table that every tenant pool draws from, with
+/// each tenant's buffer_pages as its logical quota (DESIGN.md §17).
+/// Tenants may arrive (TenantSpec::arrival_round) and depart
+/// (departure_round) while the service runs, so a fleet can be grown to
+/// thousands of tenants without hosting them all simultaneously.
 ///
 /// Execution is round-based. Each round, every *admitted* tenant applies
-/// up to `events_per_batch` events of its stream (in parallel across the
-/// worker pool; a tenant's own stream always applies in order). At the
-/// barrier after each round the service, single-threaded:
+/// up to `steps_per_round` batches of `events_per_batch` events of its
+/// stream (in parallel across the worker pool; a tenant's own stream
+/// always applies in order). At the barrier after each round the service,
+/// single-threaded:
 ///
 ///   1. refreshes the SharedPoolBudget from every tenant pool's residency
 ///      and records the occupancy peak;
@@ -93,10 +117,14 @@ struct ServiceResult {
 /// equivalence contract (tests/service/service_equivalence_test.cc).
 ///
 /// Threading: tenant heaps stay in plain serial mode; one worker applies
-/// one tenant's batch per round, and the pool's submit/wait edges order
+/// one tenant's round per round, and the pool's submit/wait edges order
 /// each heap's cross-round (and barrier) accesses. The BufferPool
 /// single-owner check holds: ownership hands off only through those
-/// edges.
+/// edges. The shared arena's striped table and allocator are the only
+/// structures several tenants touch at once; they carry their own locks
+/// (and stripe-scoped single-owner assertions). Rounds with at most one
+/// runnable tenant run inline on the service thread — a small fleet never
+/// pays TaskPool wake/park churn for work one thread does anyway.
 class HeapService {
  public:
   explicit HeapService(ServiceSpec spec);
@@ -124,12 +152,20 @@ class HeapService {
 
   Status Validate() const;
   /// Serial per-tenant setup: resolved name, rewritten device spec,
-  /// observer wrapper, GlobalView binding.
+  /// observer wrapper, GlobalView binding, shared-arena binding.
   Status PrepareTenants();
+  /// True once the service's round clock has reached the tenant's
+  /// arrival_round (always true for arrival_round 0).
+  bool Arrived(size_t tenant) const;
   /// Applies one batch of tenant `run`'s stream (refilling its buffer
   /// from the generator as needed); finalizes the tenant when the stream
   /// is exhausted. Runs on a worker (or inline when threads == 1).
   void StepTenant(TenantRun* run);
+  /// One round's worth of work for a tenant: steps_per_round batches.
+  void RunTenantRound(TenantRun* run);
+  /// Barrier step 0: retires tenants whose departure_round has come
+  /// (finalize, count, release shared frames).
+  void RetireDepartures();
   /// Barrier step 1-2: budget refresh from pool residency + GlobalViews.
   void RefreshSharedState();
   /// Barrier step 3: the cross-tenant forced-collection loop.
@@ -144,6 +180,9 @@ class HeapService {
   // runs on a file backend). Declared before runs_: the tenant devices
   // hold non-owning pointers into it, so it must outlive them.
   std::unique_ptr<IoScheduler> shared_io_;
+  // The physically shared frame arena (null when spec_.shared_pool is
+  // off). Same lifetime rule as shared_io_: tenant pools point into it.
+  std::unique_ptr<SharedFrameArena> arena_;
   // Serializes tenant observer wrappers into spec_.observer (or a
   // tenant's own sink) across workers.
   std::mutex observer_mutex_;
@@ -154,6 +193,8 @@ class HeapService {
   uint64_t forced_collections_ = 0;
   uint64_t admission_stalls_ = 0;
   uint64_t forced_admissions_ = 0;
+  uint64_t departures_ = 0;
+  std::vector<uint64_t> tenant_stalls_;
   bool ran_ = false;
 };
 

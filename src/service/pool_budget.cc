@@ -14,6 +14,7 @@ void SharedPoolBudget::Configure(uint64_t total_frames,
   occupancy_ = 0;
   peak_occupancy_ = 0;
   resident_.assign(tenant_count, 0);
+  peak_resident_.assign(tenant_count, 0);
   cap_.assign(tenant_count, 0);
 }
 
@@ -27,6 +28,9 @@ void SharedPoolBudget::Update(size_t tenant, uint64_t resident_frames,
 
 void SharedPoolBudget::NotePeak() {
   if (occupancy_ > peak_occupancy_) peak_occupancy_ = occupancy_;
+  for (size_t t = 0; t < resident_.size(); ++t) {
+    if (resident_[t] > peak_resident_[t]) peak_resident_[t] = resident_[t];
+  }
 }
 
 double SharedPoolBudget::TenantPressure(size_t tenant) const {

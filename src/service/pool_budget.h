@@ -31,8 +31,9 @@ class SharedPoolBudget {
   /// Refreshes one tenant's slice (resident frames and its pool cap).
   void Update(size_t tenant, uint64_t resident_frames, uint64_t frame_cap);
 
-  /// Records the current occupancy into the peak if higher. Called at
-  /// consistent barrier points so the peak is comparable across runs.
+  /// Records the current occupancy (global and per tenant) into the peaks
+  /// if higher. Called at consistent barrier points so the peaks are
+  /// comparable across runs.
   void NotePeak();
 
   uint64_t total_frames() const { return total_frames_; }
@@ -50,6 +51,9 @@ class SharedPoolBudget {
   }
 
   uint64_t resident(size_t tenant) const { return resident_[tenant]; }
+  /// Highest residency NotePeak has seen for this tenant (the per-tenant
+  /// column of the occupancy story — odbgc-report's tenants table).
+  uint64_t peak_resident(size_t tenant) const { return peak_resident_[tenant]; }
   uint64_t cap(size_t tenant) const { return cap_[tenant]; }
   /// Frames tenant's pool could still grow by in one round (cap -
   /// resident) — the admission controller's projection unit.
@@ -68,6 +72,7 @@ class SharedPoolBudget {
   uint64_t occupancy_ = 0;
   uint64_t peak_occupancy_ = 0;
   std::vector<uint64_t> resident_;
+  std::vector<uint64_t> peak_resident_;
   std::vector<uint64_t> cap_;
 };
 

@@ -41,6 +41,14 @@ struct TenantSpec {
   /// Tenant identity for service telemetry/manifests. Empty means
   /// "tenant<index>" at the position the service assigns.
   std::string name;
+  /// First service round this tenant exists (0 = present from the start).
+  /// Until then it is dormant: never admitted or stepped, and it holds no
+  /// slice of the shared budget.
+  uint64_t arrival_round = 0;
+  /// Round at whose barrier the tenant is retired mid-run (0 = runs to
+  /// completion). A departing tenant finalizes whatever it has simulated
+  /// so far and releases its shared-pool frames immediately.
+  uint64_t departure_round = 0;
 
   // ---- Builder -----------------------------------------------------------
   static TenantSpec Base(SimulationConfig base = PaperBaseConfig()) {
@@ -51,6 +59,15 @@ struct TenantSpec {
 
   TenantSpec&& Named(std::string tenant_name) && {
     name = std::move(tenant_name);
+    return std::move(*this);
+  }
+  /// Mid-run fleet membership (service only; see the fields above).
+  TenantSpec&& ArrivingAtRound(uint64_t round) && {
+    arrival_round = round;
+    return std::move(*this);
+  }
+  TenantSpec&& DepartingAtRound(uint64_t round) && {
+    departure_round = round;
     return std::move(*this);
   }
 
@@ -159,6 +176,19 @@ struct ServiceSpec {
   /// the spec including this), so it is a spec field, not a tuning
   /// global.
   uint64_t events_per_batch = 256;
+  /// Batches each admitted tenant applies per round (K-step batching).
+  /// One worker wake services K * events_per_batch events before the next
+  /// barrier, amortizing GlobalView refresh and TaskPool wake/park churn
+  /// across K batches. Like events_per_batch this shapes the admission /
+  /// forced-collection schedule, so it is part of the spec.
+  uint64_t steps_per_round = 1;
+  /// One physically shared BufferPool arena for the whole fleet (the
+  /// default): a single frame array sized to the shared budget plus a
+  /// lock-striped residency table, with each tenant's buffer_pages as its
+  /// logical quota. At threads == 1 per-tenant results are byte-identical
+  /// to private pools; false reverts to one private pool per tenant (the
+  /// PR 9 baseline — the ledger shared, the frames not).
+  bool shared_pool = true;
 
   // ---- Builder -----------------------------------------------------------
   static ServiceSpec Hosting(std::vector<TenantSpec> specs) {
@@ -192,6 +222,14 @@ struct ServiceSpec {
   }
   ServiceSpec&& WithEventsPerBatch(uint64_t events) && {
     events_per_batch = events;
+    return std::move(*this);
+  }
+  ServiceSpec&& WithStepsPerRound(uint64_t steps) && {
+    steps_per_round = steps;
+    return std::move(*this);
+  }
+  ServiceSpec&& WithSharedPool(bool shared) && {
+    shared_pool = shared;
     return std::move(*this);
   }
 };

@@ -459,17 +459,34 @@ int RunTenants(const std::string& dir) {
 
   TablePrinter table({"tenant", "policy", "seed", "events", "app_io", "gc_io",
                       "total_io", "collections", "reclaimed_kb",
-                      "max_storage_kb", "efficiency"});
+                      "max_storage_kb", "efficiency", "peak_frames",
+                      "stalls"});
   SimulationResult total;
+  uint64_t total_stalls = 0;
+  bool any_service = false;
   for (const LoadedManifest& loaded : *manifests) {
     const SimulationResult r = ResultFromManifest(loaded.manifest);
+    // Service manifests carry the per-tenant occupancy story in the
+    // optional `service` section; standalone manifests print "-".
+    std::string peak_frames = "-";
+    std::string stalls = "-";
+    if (const Json* service = loaded.manifest.Get("service")) {
+      const uint64_t peak =
+          service->Get("peak_resident_frames")->uint_value();
+      const uint64_t stalled = service->Get("admission_stalls")->uint_value();
+      peak_frames = FormatCount(peak);
+      stalls = FormatCount(stalled);
+      total_stalls += stalled;
+      any_service = true;
+    }
     table.AddRow({TenantFromFilename(loaded.file, r), r.policy_name,
                   std::to_string(r.seed), FormatCount(r.app_events),
                   FormatCount(r.app_io), FormatCount(r.gc_io),
                   FormatCount(r.total_io()), FormatCount(r.collections),
                   FormatCount(r.garbage_reclaimed_bytes / 1024),
                   FormatCount(r.max_storage_bytes / 1024),
-                  FormatDouble(r.EfficiencyKbPerIo(), 3)});
+                  FormatDouble(r.EfficiencyKbPerIo(), 3), peak_frames,
+                  stalls});
     total.app_events += r.app_events;
     total.app_io += r.app_io;
     total.gc_io += r.gc_io;
@@ -477,12 +494,15 @@ int RunTenants(const std::string& dir) {
     total.garbage_reclaimed_bytes += r.garbage_reclaimed_bytes;
     total.max_storage_bytes += r.max_storage_bytes;
   }
+  // Per-tenant peaks are concurrent maxima, not addends — the service
+  // total prints only the summable stall count.
   table.AddRow({"(service)", "-", "-", FormatCount(total.app_events),
                 FormatCount(total.app_io), FormatCount(total.gc_io),
                 FormatCount(total.total_io()), FormatCount(total.collections),
                 FormatCount(total.garbage_reclaimed_bytes / 1024),
                 FormatCount(total.max_storage_bytes / 1024),
-                FormatDouble(total.EfficiencyKbPerIo(), 3)});
+                FormatDouble(total.EfficiencyKbPerIo(), 3), "-",
+                any_service ? FormatCount(total_stalls) : "-"});
 
   std::printf("%zu tenants in %s\n\n", manifests->size(), dir.c_str());
   table.Print(std::cout);
